@@ -1,0 +1,48 @@
+// Ablation: cluster shape at a fixed 64-lane machine.
+//
+// The paper chooses the 4-lane Ara2 cluster as AraXL's building block
+// because it is the most energy-efficient Ara2 configuration (§III-A).
+// This ablation holds the total datapath at 64 lanes and varies the split:
+// 32 clusters x 2 lanes, 16 x 4 (the paper), 8 x 8. Fewer, fatter clusters
+// shorten the ring (faster reductions) but grow the per-cluster A2A units
+// the design is trying to avoid; more, thinner clusters do the opposite.
+// The timing model captures the ring-length effects; the area argument for
+// 4-lane clusters comes from the Ara2 paper's efficiency data.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/fmt.hpp"
+#include "common/table.hpp"
+
+using namespace araxl;
+
+int main(int argc, char** argv) {
+  const bool quick = bench::has_flag(argc, argv, "--quick");
+  bench::print_header("Ablation: cluster shape (clusters x lanes) at 64 lanes",
+                      "design-choice study (DESIGN.md); paper fixes 4-lane "
+                      "clusters");
+
+  const char* kernels[] = {"fmatmul", "fdotproduct", "softmax", "fconv2d"};
+  const std::uint64_t bpl = quick ? 128 : 512;
+
+  TextTable table({"kernel", "32c x 2L", "16c x 4L (paper)", "8c x 8L"});
+  table.align_right(1);
+  table.align_right(2);
+  table.align_right(3);
+  for (const char* kname : kernels) {
+    std::vector<std::string> row{kname};
+    for (const auto& [clusters, lanes] :
+         {std::pair{32u, 2u}, std::pair{16u, 4u}, std::pair{8u, 8u}}) {
+      const MachineConfig cfg = MachineConfig::araxl_shaped(clusters, lanes);
+      const RunStats s = bench::run_kernel(cfg, kname, bpl);
+      row.push_back(fmt_f(s.flop_per_cycle(), 1) + " F/c, " +
+                    fmt_pct(s.fpu_util(), 0));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("expected shape: compute-bound kernels are shape-insensitive; "
+              "reduction kernels (fdotproduct, softmax) prefer fewer, fatter "
+              "clusters because the ring log-tree shortens.\n");
+  return 0;
+}

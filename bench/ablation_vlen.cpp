@@ -1,0 +1,44 @@
+// Ablation: the value of long vector registers.
+//
+// The paper's central design premise is that a larger VRF (up to the RVV
+// ceiling of 64 Kibit/register) buys latency tolerance and lower issue
+// pressure. This ablation fixes the 64-lane AraXL datapath and the problem
+// size, and sweeps only VLEN: shorter registers force more strip-mining
+// iterations and more vector-instruction setups for the same work.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/fmt.hpp"
+#include "common/table.hpp"
+
+using namespace araxl;
+
+int main(int, char**) {
+  bench::print_header("Ablation: VLEN (register length) at fixed datapath",
+                      "design-choice study (DESIGN.md); extends paper SIV-B");
+
+  for (const char* kname : {"fmatmul", "fdotproduct"}) {
+    TextTable table({"VLEN [bits]", "bits/lane", "cycles", "FPU util",
+                     "vs 64Kibit"});
+    for (std::size_t c = 0; c < 5; ++c) table.align_right(c);
+
+    Cycle best = 0;
+    for (const std::uint64_t vlen : {65536ull, 32768ull, 16384ull, 8192ull, 4096ull}) {
+      MachineConfig cfg = MachineConfig::araxl(64);
+      cfg.vlen_bits = vlen;
+      cfg.validate();
+      // Fixed problem: the paper's 512 B/lane point, independent of VLEN.
+      const RunStats s = bench::run_kernel(cfg, kname, 512);
+      if (vlen == 65536) best = s.cycles;
+      table.add_row({std::to_string(vlen), std::to_string(vlen / 64),
+                     fmt_group(s.cycles), fmt_pct(s.fpu_util(), 1),
+                     fmt_f(static_cast<double>(s.cycles) / best, 2) + "x"});
+    }
+    std::printf("--- %s (64L AraXL, fixed problem size) ---\n%s\n", kname,
+                table.render().c_str());
+  }
+  std::printf("expected shape: cycles grow and utilization falls as VLEN "
+              "shrinks — the motivation for reaching the RVV 64 Kibit "
+              "ceiling.\n");
+  return 0;
+}

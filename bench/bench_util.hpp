@@ -1,0 +1,46 @@
+// Shared helpers for the table/figure bench binaries.
+#ifndef ARAXL_BENCH_BENCH_UTIL_HPP
+#define ARAXL_BENCH_BENCH_UTIL_HPP
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kernels/common.hpp"
+#include "machine/machine.hpp"
+
+namespace araxl::bench {
+
+/// Runs `kernel_name` at the weak-scaling point `bytes_per_lane` on `cfg`
+/// and returns the stats (verifying the result unless `verify` is false).
+inline RunStats run_kernel(const MachineConfig& cfg, std::string_view kernel_name,
+                           std::uint64_t bytes_per_lane, bool verify = true) {
+  Machine m(cfg);
+  auto kernel = make_kernel(kernel_name);
+  const Program prog = kernel->build(m, bytes_per_lane);
+  const RunStats stats = m.run(prog);
+  if (verify) {
+    const VerifyResult vr = kernel->verify(m);
+    check(vr.ok(kernel->tolerance()),
+          "kernel verification failed inside bench harness");
+  }
+  return stats;
+}
+
+/// True when the bench was invoked with the given flag.
+inline bool has_flag(int argc, char** argv, std::string_view flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+inline void print_header(std::string_view title, std::string_view paper_ref) {
+  std::printf("==== %s ====\n", std::string(title).c_str());
+  std::printf("reproduces: %s\n\n", std::string(paper_ref).c_str());
+}
+
+}  // namespace araxl::bench
+
+#endif  // ARAXL_BENCH_BENCH_UTIL_HPP

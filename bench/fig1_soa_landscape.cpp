@@ -1,0 +1,59 @@
+// Figure 1 — vector processors grouped by vector register width (VLEN)
+// and FPUs per instruction, rendered as an ASCII scatter over the same
+// log-log axes as the paper.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/bits.hpp"
+#include "common/table.hpp"
+#include "ppa/soa.hpp"
+
+using namespace araxl;
+
+int main(int, char**) {
+  bench::print_header("Figure 1: SoA landscape (VLEN vs FPUs)",
+                      "paper Fig. 1 — vector processors by VLEN and FPUs "
+                      "per instruction");
+
+  std::vector<SoaProcessor> procs = fig1_landscape();
+
+  TextTable table({"processor", "VLEN [bits]", "lanes (FPUs/instr)", "ISA"});
+  table.align_right(1);
+  table.align_right(2);
+  std::stable_sort(procs.begin(), procs.end(),
+                   [](const SoaProcessor& a, const SoaProcessor& b) {
+                     return a.vlen_bits * 64 + a.fpus < b.vlen_bits * 64 + b.fpus;
+                   });
+  for (const SoaProcessor& p : procs) {
+    table.add_row({p.name, std::to_string(p.vlen_bits), std::to_string(p.fpus),
+                   p.riscv ? "RISC-V" : "non-RISC-V"});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Scatter: x = log2(VLEN) (64..65536 -> columns), y = log2(lanes).
+  const unsigned x0 = 6, x1 = 16;  // log2 VLEN range
+  const unsigned y1 = 6;           // log2 lanes max (64)
+  std::vector<std::string> grid(y1 + 1, std::string((x1 - x0 + 1) * 6, ' '));
+  for (const SoaProcessor& p : procs) {
+    const unsigned x = (log2_floor(p.vlen_bits) - x0) * 6;
+    const unsigned y = y1 - log2_floor(p.fpus);
+    const char mark = p.riscv ? 'o' : 'x';
+    if (grid[y][x] == ' ') {
+      grid[y][x] = mark;
+    } else {
+      grid[y][x + 1] = mark;  // collision: nudge right
+    }
+  }
+  std::printf("lanes\n");
+  for (unsigned y = 0; y <= y1; ++y) {
+    std::printf("%4u |%s\n", 1u << (y1 - y), grid[y].c_str());
+  }
+  std::printf("     +");
+  for (unsigned x = x0; x <= x1; ++x) std::printf("------");
+  std::printf("\n      ");
+  for (unsigned x = x0; x <= x1; ++x) std::printf("%-6llu", 1ull << x);
+  std::printf(" VLEN [bits]   (o = RISC-V, x = non-RISC-V)\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Figure 6 — AraXL performance scalability under weak scaling.
+//
+// For each Table-I kernel and each B/lane in {64, 128, 256, 512}, runs
+// {8L, 16L} Ara2 and {8, 16, 32, 64}-lane AraXL at proportionally larger
+// problem sizes and prints:
+//   * the performance scaling factor normalized to the original 8-lane
+//     Ara2 (the paper's bar plot, left Y axis), and
+//   * the absolute FPU utilization of 8L Ara2 and 64L AraXL (the line
+//     plot, right Y axis).
+// Also reproduces the §IV-B text experiment: fdotproduct at 16384 B/lane
+// strip-mined over 16 iterations (paper: 7.6x at 64 lanes).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/fmt.hpp"
+#include "common/table.hpp"
+
+using namespace araxl;
+
+namespace {
+
+struct Config {
+  const char* label;
+  MachineConfig cfg;
+};
+
+std::vector<Config> fig6_configs() {
+  return {
+      {"8L-Ara2", MachineConfig::ara2(8)},
+      {"8L-AraXL", MachineConfig::araxl(8)},
+      {"16L-Ara2", MachineConfig::ara2(16)},
+      {"16L-AraXL", MachineConfig::araxl(16)},
+      {"32L-AraXL", MachineConfig::araxl(32)},
+      {"64L-AraXL", MachineConfig::araxl(64)},
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = bench::has_flag(argc, argv, "--quick");
+  bench::print_header("Figure 6: performance scalability (weak scaling)",
+                      "paper Fig. 6 — bars normalized to 8L Ara2; lines are "
+                      "FPU utilization of 8L Ara2 and 64L AraXL");
+
+  const std::vector<std::uint64_t> sizes =
+      quick ? std::vector<std::uint64_t>{64, 512}
+            : std::vector<std::uint64_t>{64, 128, 256, 512};
+  const char* kernels[] = {"fmatmul", "fconv2d", "jacobi2d",
+                           "fdotproduct", "exp", "softmax"};
+
+  for (const char* kname : kernels) {
+    TextTable table({"B/lane", "8L-Ara2", "8L-AraXL", "16L-Ara2", "16L-AraXL",
+                     "32L-AraXL", "64L-AraXL", "util 8L-Ara2", "util 64L-AraXL"});
+    for (std::size_t c = 0; c < 9; ++c) table.align_right(c);
+
+    for (const std::uint64_t bpl : sizes) {
+      double base_fpc = 0.0;  // 8L Ara2 DP-FLOP/cycle at this B/lane
+      double util_ara2_8l = 0.0;
+      double util_araxl_64l = 0.0;
+      std::vector<std::string> row{std::to_string(bpl)};
+      for (const Config& c : fig6_configs()) {
+        const RunStats stats = bench::run_kernel(c.cfg, kname, bpl);
+        const double fpc = stats.flop_per_cycle();
+        if (std::string_view(c.label) == "8L-Ara2") {
+          base_fpc = fpc;
+          util_ara2_8l = stats.fpu_util();
+        }
+        if (std::string_view(c.label) == "64L-AraXL") {
+          util_araxl_64l = stats.fpu_util();
+        }
+        row.push_back(fmt_f(fpc / base_fpc, 2) + "x");
+      }
+      row.push_back(fmt_pct(util_ara2_8l, 1));
+      row.push_back(fmt_pct(util_araxl_64l, 1));
+      table.add_row(std::move(row));
+    }
+    std::printf("--- %s (scaling factor vs 8L-Ara2) ---\n%s\n", kname,
+                table.render().c_str());
+  }
+
+  // §IV-B long-vector dot product: 16384 B/lane, strip-mined over 16
+  // vsetvli iterations at 64 lanes (paper: scaling recovers to 7.6x).
+  if (!quick) {
+    const std::uint64_t bpl = 16384;
+    const RunStats base = bench::run_kernel(MachineConfig::ara2(8), "fdotproduct", bpl);
+    const RunStats big =
+        bench::run_kernel(MachineConfig::araxl(64), "fdotproduct", bpl);
+    std::printf("--- fdotproduct long-vector regime (16384 B/lane) ---\n");
+    std::printf("64L-AraXL scaling vs 8L-Ara2: %.2fx (paper: 7.6x)\n",
+                big.flop_per_cycle() / base.flop_per_cycle());
+    std::printf("64L-AraXL FPU utilization:    %s\n\n",
+                fmt_pct(big.fpu_util(), 1).c_str());
+  }
+  return 0;
+}

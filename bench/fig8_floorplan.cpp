@@ -1,0 +1,35 @@
+// Figure 8 — hierarchical floorplan of the 16-lane AraXL.
+//
+// The paper shows the annotated P&R floorplan (4-lane clusters around
+// CVA6 and the top-level interfaces). We regenerate the hierarchical
+// layout from the calibrated area model with a slicing floorplanner and
+// render it as ASCII; block areas are exact, the topology is the
+// slicing-tree approximation of the published plan.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/fmt.hpp"
+#include "ppa/floorplan.hpp"
+
+using namespace araxl;
+
+int main(int argc, char** argv) {
+  const unsigned lanes = bench::has_flag(argc, argv, "--64l") ? 64 : 16;
+  bench::print_header("Figure 8: AraXL floorplan",
+                      "paper Fig. 8 — 16-lane AraXL hierarchical floorplan");
+
+  const MachineConfig cfg = MachineConfig::araxl(lanes);
+  const Floorplan fp = machine_floorplan(cfg);
+
+  std::printf("%s: die %.2f x %.2f mm (%.2f mm2 at 80%% utilization)\n\n",
+              cfg.name().c_str(), fp.die_w, fp.die_h, fp.die_w * fp.die_h);
+  std::printf("%s\n", fp.render(76).c_str());
+
+  std::printf("%-10s %10s %10s %12s\n", "block", "x,y [mm]", "w x h [mm]",
+              "area [mm2]");
+  for (const PlacedBlock& b : fp.blocks) {
+    std::printf("%-10s %4.2f,%4.2f  %4.2f x %4.2f %10.3f\n", b.name.c_str(),
+                b.x, b.y, b.w, b.h, b.area());
+  }
+  return 0;
+}

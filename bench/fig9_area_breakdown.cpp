@@ -1,0 +1,61 @@
+// Figure 9 — area breakdown of the 16-lane AraXL vs the 16-lane Ara2.
+//
+// Per the figure's caption, AraXL's VLSU/SLDU/SEQ+DISP bars include the
+// top-level GLSU/RINGI/REQI areas for a fair comparison. The paper's
+// headline deltas: the A2A units (MASKU+SLDU+VLSU) shrink by 58% and the
+// total by 14%.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/fmt.hpp"
+#include "common/table.hpp"
+#include "ppa/area_model.hpp"
+
+using namespace araxl;
+
+int main(int, char**) {
+  bench::print_header("Figure 9: 16-lane area breakdown, Ara2 vs AraXL",
+                      "paper Fig. 9 — cell area in kGE per block");
+
+  const AreaModel model;
+  const AreaBreakdown ara2 = model.breakdown(MachineConfig::ara2(16));
+  const AreaBreakdown araxl = model.fig9_breakdown(MachineConfig::araxl(16));
+
+  // Paper bars (kGE).
+  struct PaperRow {
+    const char* name;
+    double ara2, araxl;
+  };
+  const PaperRow paper[] = {
+      {"LANES", 10048, 10032}, {"MASKU", 1105, 328}, {"SLDU", 196, 425},
+      {"VLSU", 1677, 507},     {"SEQ+DISP", 52, 134}, {"CVA6", 904, 936},
+  };
+
+  TextTable table({"block", "16L-Ara2 model", "paper", "16L-AraXL model",
+                   "paper", "delta"});
+  for (std::size_t c = 1; c < 6; ++c) table.align_right(c);
+  for (const PaperRow& row : paper) {
+    const double a2 = ara2.block_kge(row.name);
+    const double ax = araxl.block_kge(row.name);
+    table.add_row({row.name, fmt_f(a2, 0), fmt_f(row.ara2, 0), fmt_f(ax, 0),
+                   fmt_f(row.araxl, 0), fmt_pct(ax / a2 - 1.0, 0)});
+  }
+  table.add_rule();
+  const double t2 = ara2.total_kge();
+  const double tx = araxl.total_kge();
+  table.add_row({"TOTAL", fmt_f(t2, 0), "14773", fmt_f(tx, 0), "12641",
+                 fmt_pct(tx / t2 - 1.0, 0)});
+  std::printf("%s", table.render().c_str());
+
+  const double a2a_ara2 = ara2.block_kge("MASKU") + ara2.block_kge("SLDU") +
+                          ara2.block_kge("VLSU");
+  const double a2a_araxl = araxl.block_kge("MASKU") + araxl.block_kge("SLDU") +
+                           araxl.block_kge("VLSU");
+  std::printf("\nA2A units (MASKU+SLDU+VLSU): Ara2 %s kGE -> AraXL %s kGE "
+              "(%s; paper: -58%%)\n",
+              fmt_f(a2a_ara2, 0).c_str(), fmt_f(a2a_araxl, 0).c_str(),
+              fmt_pct(a2a_araxl / a2a_ara2 - 1.0, 0).c_str());
+  std::printf("total: %s (paper: -14%%)\n",
+              fmt_pct(tx / t2 - 1.0, 0).c_str());
+  return 0;
+}

@@ -1,0 +1,69 @@
+// google-benchmark microbenchmarks of the simulator itself: how fast the
+// cycle-level engine retires simulated cycles and instructions. Not a
+// paper figure — a development aid for keeping the reproduction usable.
+#include <benchmark/benchmark.h>
+
+#include "kernels/common.hpp"
+#include "machine/machine.hpp"
+
+namespace araxl {
+namespace {
+
+void BM_AxpyCycles(benchmark::State& state) {
+  const MachineConfig cfg = MachineConfig::araxl(static_cast<unsigned>(state.range(0)));
+  Machine m(cfg);
+  const std::uint64_t n = 16384;
+  MemLayout layout;
+  const std::uint64_t x_addr = layout.alloc(n * 8);
+  const std::uint64_t y_addr = layout.alloc(n * 8);
+
+  ProgramBuilder pb(cfg.effective_vlen(), "axpy");
+  std::uint64_t done = 0;
+  while (done < n) {
+    const std::uint64_t vl = pb.vsetvli(n - done, Sew::k64, kLmul4);
+    pb.vle(8, x_addr + done * 8);
+    pb.vle(16, y_addr + done * 8);
+    pb.vfmacc_vf(16, 1.5, 8);
+    pb.vse(16, y_addr + done * 8);
+    done += vl;
+  }
+  const Program prog = pb.take();
+
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    const RunStats stats = m.run(prog);
+    cycles += stats.cycles;
+    benchmark::DoNotOptimize(stats.cycles);
+  }
+  state.counters["sim_cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_AxpyCycles)->Arg(8)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_KernelBuild(benchmark::State& state) {
+  const MachineConfig cfg = MachineConfig::araxl(16);
+  for (auto _ : state) {
+    Machine m(cfg);
+    auto kernel = make_kernel("fmatmul");
+    const Program prog = kernel->build(m, 128);
+    benchmark::DoNotOptimize(prog.ops.size());
+  }
+}
+BENCHMARK(BM_KernelBuild)->Unit(benchmark::kMillisecond);
+
+void BM_FmatmulSim(benchmark::State& state) {
+  const MachineConfig cfg = MachineConfig::araxl(16);
+  Machine m(cfg);
+  auto kernel = make_kernel("fmatmul");
+  const Program prog = kernel->build(m, 64);
+  for (auto _ : state) {
+    const RunStats stats = m.run(prog);
+    benchmark::DoNotOptimize(stats.cycles);
+  }
+}
+BENCHMARK(BM_FmatmulSim)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace araxl
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Table I — benchmark parameters and analytic peak performance, plus the
+// measured DP-FLOP/cycle of each kernel on the 64-lane AraXL in the
+// long-vector regime as a cross-check of the peak accounting.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/fmt.hpp"
+#include "common/table.hpp"
+
+using namespace araxl;
+
+int main(int argc, char** argv) {
+  const bool quick = bench::has_flag(argc, argv, "--quick");
+  bench::print_header("Table I: benchmark parameters",
+                      "paper Table I — problem sizes, LMUL, max perf "
+                      "[DP-FLOP/cycle] (and measured on 64L AraXL)");
+
+  const MachineConfig cfg = MachineConfig::araxl(quick ? 16 : 64);
+  const std::uint64_t bpl = 512;
+  const double lc = cfg.total_lanes();
+
+  struct Row {
+    const char* kernel;
+    const char* problem;
+    const char* paper_peak;  // Table I formula
+  };
+  const Row rows[] = {
+      {"fmatmul", "A=64x256 B=256xN", "2 x LC"},
+      {"fconv2d", "A=256xN f=7x7", "2 x LC"},
+      {"jacobi2d", "A=256xN", "LC"},
+      {"fdotproduct", "A=B=N", "LC"},
+      {"exp", "A=N", "28/21 x LC (ours: 30/20)"},
+      {"softmax", "A=64xN", "32/25 x LC (ours: 34/24)"},
+  };
+
+  TextTable table({"kernel", "problem size", "LMUL", "paper max perf",
+                   "model peak [FLOP/c]", "measured [FLOP/c]", "measured util"});
+  for (std::size_t c = 2; c < 7; ++c) table.align_right(c);
+
+  for (const Row& r : rows) {
+    auto kernel = make_kernel(r.kernel);
+    const unsigned g = kernel->lmul(bpl).group_regs();
+    const RunStats stats = bench::run_kernel(cfg, r.kernel, bpl);
+    table.add_row({r.kernel, r.problem, std::to_string(g), r.paper_peak,
+                   fmt_f(kernel->max_perf_factor() * lc, 1),
+                   fmt_f(stats.flop_per_cycle(), 1), fmt_pct(stats.fpu_util(), 1)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\nN = n x L x C with n = 16 x LMUL at 128 x LMUL B/lane "
+              "(here: %llu B/lane on %s).\n",
+              static_cast<unsigned long long>(bpl), cfg.name().c_str());
+  return 0;
+}

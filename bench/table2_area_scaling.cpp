@@ -1,0 +1,75 @@
+// Table II — AraXL area breakdown and scaling characterization (kGE) for
+// 16-, 32- and 64-lane configurations, with the paper's published values
+// for comparison and the scaling factor normalized to half the lane count.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/fmt.hpp"
+#include "common/table.hpp"
+#include "ppa/area_model.hpp"
+
+using namespace araxl;
+
+namespace {
+
+struct PaperCol {
+  unsigned lanes;
+  double clusters, cva6, glsu, ringi, reqi, total;
+};
+
+constexpr PaperCol kPaper[] = {
+    {16, 11354, 936, 291, 25, 34, 12641},
+    {32, 22708, 901, 618, 44, 81, 24352},
+    {64, 45415, 931, 1385, 76, 144, 47950},
+};
+
+}  // namespace
+
+int main(int, char**) {
+  bench::print_header("Table II: AraXL area breakdown and scaling",
+                      "paper Table II — kGE per block at 16/32/64 lanes; "
+                      "(x) = factor vs half the lane count");
+
+  const AreaModel model;
+  TextTable table({"block", "16L model", "16L paper", "32L model (x)",
+                   "32L paper", "64L model (x)", "64L paper"});
+  for (std::size_t c = 1; c < 7; ++c) table.align_right(c);
+
+  const char* names[] = {"Clusters", "CVA6", "GLSU", "RINGI", "REQI", "TOTAL"};
+  AreaBreakdown bd[3];
+  double total[3];
+  for (int i = 0; i < 3; ++i) {
+    bd[i] = model.breakdown(MachineConfig::araxl(kPaper[i].lanes));
+    total[i] = bd[i].total_kge();
+  }
+  for (const char* name : names) {
+    const bool is_total = std::string_view(name) == "TOTAL";
+    double v[3];
+    double paper[3];
+    for (int i = 0; i < 3; ++i) {
+      v[i] = is_total ? total[i] : bd[i].block_kge(name);
+      const PaperCol& p = kPaper[i];
+      paper[i] = is_total                      ? p.total
+                 : std::string_view(name) == "Clusters" ? p.clusters
+                 : std::string_view(name) == "CVA6"     ? p.cva6
+                 : std::string_view(name) == "GLSU"     ? p.glsu
+                 : std::string_view(name) == "RINGI"    ? p.ringi
+                                                        : p.reqi;
+    }
+    table.add_row({name, fmt_f(v[0], 0), fmt_f(paper[0], 0),
+                   fmt_f(v[1], 0) + " (" + fmt_f(v[1] / v[0], 1) + "x)",
+                   fmt_f(paper[1], 0),
+                   fmt_f(v[2], 0) + " (" + fmt_f(v[2] / v[1], 1) + "x)",
+                   fmt_f(paper[2], 0)});
+  }
+  std::printf("%s", table.render().c_str());
+
+  const double ifc64 = bd[2].block_kge("GLSU") + bd[2].block_kge("RINGI") +
+                       bd[2].block_kge("REQI");
+  std::printf("\ninterfaces (GLSU+RINGI+REQI) at 64L: %s of total "
+              "(paper: ~3%%)\n",
+              fmt_pct(ifc64 / total[2], 1).c_str());
+  std::printf("64L total vs 16L total: %.2fx (paper headline: 3.8x)\n",
+              total[2] / total[0]);
+  return 0;
+}

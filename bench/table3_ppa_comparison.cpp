@@ -1,0 +1,64 @@
+// Table III — PPA comparison against state-of-the-art laned vector
+// processors: max frequency, peak fmatmul performance (measured by the
+// cycle-level simulator at 512 B/lane), energy efficiency and area
+// efficiency, for Vitruvius+ (paper row), 16L Ara2, and 16/32/64L AraXL.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/fmt.hpp"
+#include "common/table.hpp"
+#include "ppa/area_model.hpp"
+#include "ppa/freq_model.hpp"
+#include "ppa/power_model.hpp"
+#include "ppa/soa.hpp"
+
+using namespace araxl;
+
+int main(int argc, char** argv) {
+  const bool quick = bench::has_flag(argc, argv, "--quick");
+  bench::print_header("Table III: PPA comparison vs SoA laned vector processors",
+                      "paper Table III — fmatmul @ 512 B/lane, 22 nm, "
+                      "TT/0.8V/25C");
+
+  const AreaModel area;
+  const FreqModel freq;
+  const PowerModel power;
+
+  TextTable table({"design", "L", "freq [GHz]", "max perf [GFLOPs]",
+                   "energy eff [GFLOPS/W]", "area eff [GFLOPS/mm2]"});
+  for (std::size_t c = 1; c < 6; ++c) table.align_right(c);
+
+  // External row: Vitruvius+ (from the paper; no microarchitecture model).
+  const SoaPpaRow vit = vitruvius_row();
+  table.add_row({vit.name + " *", std::to_string(vit.lanes), fmt_f(vit.freq_ghz, 2),
+                 fmt_f(vit.max_perf_gflops, 1), fmt_f(vit.energy_eff_gflops_w, 1),
+                 fmt_f(vit.area_eff_gflops_mm2, 2)});
+
+  struct Cfg {
+    MachineConfig cfg;
+  };
+  std::vector<MachineConfig> cfgs = {MachineConfig::ara2(16),
+                                     MachineConfig::araxl(16),
+                                     MachineConfig::araxl(32)};
+  if (!quick) cfgs.push_back(MachineConfig::araxl(64));
+
+  for (const MachineConfig& cfg : cfgs) {
+    const RunStats stats = bench::run_kernel(cfg, "fmatmul", 512);
+    const double f = freq.freq_ghz(cfg);
+    const double gflops = stats.gflops(f);
+    const double mm2 = area.total_mm2(cfg);
+    const double eff_w = power.gflops_per_w(cfg, f, stats.flop_per_cycle(),
+                                            stats.fpu_util());
+    table.add_row({cfg.name(), std::to_string(cfg.total_lanes()), fmt_f(f, 2),
+                   fmt_f(gflops, 1), fmt_f(eff_w, 1), fmt_f(gflops / mm2, 1)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\n* Vitruvius+ row from the paper (scalar core and caches not "
+              "included in its efficiency metrics).\n");
+  std::printf("paper: Ara2 1.08GHz/34.2/30.3/11.6; AraXL16 1.40/44.3/39.6/17.4; "
+              "AraXL32 1.40/87.2/40.4/17.8; AraXL64 1.15/146.0/40.1/15.1\n");
+  std::printf("SIV-E check: 64L AraXL vs older NEC VE vector unit area eff "
+              "(%.2f GFLOPS/mm2): paper claims >= +45%%\n",
+              nec_ve_area_eff_gflops_mm2());
+  return 0;
+}

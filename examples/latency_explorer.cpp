@@ -1,0 +1,75 @@
+// Latency explorer: an interactive-style tool that sweeps memory latency
+// and interface register cuts on any kernel and reports the utilization
+// surface — the generalization of the paper's Fig. 7 study, useful when
+// exploring deeper pipelining of the AraXL interfaces.
+//
+// Usage: latency_explorer [kernel] [bytes-per-lane]
+//        (defaults: fdotproduct 512)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/fmt.hpp"
+#include "common/table.hpp"
+#include "kernels/common.hpp"
+#include "machine/machine.hpp"
+
+using namespace araxl;
+
+namespace {
+
+double run_util(MachineConfig cfg, const std::string& kernel, std::uint64_t bpl) {
+  Machine m(cfg);
+  auto k = make_kernel(kernel);
+  const Program p = k->build(m, bpl);
+  return m.run(p).fpu_util();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string kernel = argc > 1 ? argv[1] : "fdotproduct";
+  const std::uint64_t bpl = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 512;
+
+  std::printf("latency tolerance surface: %s at %llu B/lane on 64L AraXL\n\n",
+              kernel.c_str(), static_cast<unsigned long long>(bpl));
+
+  // Sweep 1: L2 latency (the tolerance that lets AraXL relax its
+  // interconnect timing in the first place).
+  {
+    TextTable t({"L2 latency [cycles]", "FPU util", "drop vs 12"});
+    t.align_right(1);
+    t.align_right(2);
+    MachineConfig cfg = MachineConfig::araxl(64);
+    const double base = run_util(cfg, kernel, bpl);
+    for (const unsigned lat : {4u, 12u, 24u, 48u, 96u}) {
+      cfg.l2_latency = lat;
+      const double u = run_util(cfg, kernel, bpl);
+      t.add_row({std::to_string(lat), fmt_pct(u, 1), fmt_pct(base - u, 1)});
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+
+  // Sweep 2: interface register cuts (the paper's Fig. 7 axes, extended).
+  {
+    TextTable t({"interface", "+regs", "FPU util", "drop"});
+    t.align_right(1);
+    t.align_right(2);
+    t.align_right(3);
+    const double base = run_util(MachineConfig::araxl(64), kernel, bpl);
+    t.add_row({"(baseline)", "0", fmt_pct(base, 1), "-"});
+    for (const unsigned regs : {1u, 2u, 4u, 8u}) {
+      for (int which = 0; which < 3; ++which) {
+        MachineConfig cfg = MachineConfig::araxl(64);
+        const char* name = which == 0 ? "GLSU" : which == 1 ? "REQI" : "RINGI";
+        (which == 0 ? cfg.glsu_regs : which == 1 ? cfg.reqi_regs : cfg.ring_regs) =
+            regs;
+        const double u = run_util(cfg, kernel, bpl);
+        t.add_row({name, std::to_string(regs), fmt_pct(u, 1),
+                   fmt_pct(base - u, 1)});
+      }
+    }
+    std::printf("%s", t.render().c_str());
+  }
+  return 0;
+}

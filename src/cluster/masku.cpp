@@ -1,0 +1,21 @@
+#include "cluster/masku.hpp"
+
+#include "common/bits.hpp"
+
+namespace araxl {
+
+std::uint64_t masku_bits_to_move(const VrfMapping& map, MaskLayout layout,
+                                 std::uint64_t vl) {
+  std::uint64_t moved = 0;
+  for (std::uint64_t i = 0; i < vl; ++i) {
+    const MaskBitLoc loc = mask_bit_loc(map, layout, i);
+    if (loc.cluster != map.cluster_of(i) || loc.lane != map.lane_of(i)) ++moved;
+  }
+  return moved;
+}
+
+std::uint64_t masku_distribution_cycles(std::uint64_t bits_to_move) {
+  return ceil_div(bits_to_move, 64);
+}
+
+}  // namespace araxl

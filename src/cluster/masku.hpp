@@ -1,0 +1,29 @@
+// Mask Unit model — paper §III-B.5.
+//
+// Ara2's MASKU distributes mask bits across lanes bit-by-bit through an
+// all-to-all network (1105 kGE at 16 lanes); AraXL avoids the traffic with
+// the lane-local mask byte layout, shrinking the MASKU to 328 kGE. This
+// module quantifies the traffic difference: how many mask bits must move
+// between lanes to consume a mask register under each layout.
+#ifndef ARAXL_CLUSTER_MASKU_HPP
+#define ARAXL_CLUSTER_MASKU_HPP
+
+#include <cstdint>
+
+#include "vrf/layout.hpp"
+
+namespace araxl {
+
+/// Number of the first `vl` mask bits that are NOT already resident in the
+/// lane of the element they guard — the bits Ara2's A2A MASKU must move
+/// (zero under the AraXL layout).
+std::uint64_t masku_bits_to_move(const VrfMapping& map, MaskLayout layout,
+                                 std::uint64_t vl);
+
+/// Cycles Ara2's MASKU needs to distribute those bits over its 64-bit
+/// collation network.
+std::uint64_t masku_distribution_cycles(std::uint64_t bits_to_move);
+
+}  // namespace araxl
+
+#endif  // ARAXL_CLUSTER_MASKU_HPP

@@ -1,0 +1,39 @@
+// Sequencer / dispatcher rules — paper Fig. 2 "Seq + Disp".
+//
+// Each cluster's sequencer accepts the broadcast instruction stream in
+// order, tracks register claims, and dispatches to per-unit queues. Because
+// AraXL's clusters run in lockstep on the same stream, the model keeps one
+// logical sequencer. This module holds the pure rules: which register
+// groups an instruction writes/reads, and the element offset a slide
+// imposes on its chained source.
+#ifndef ARAXL_CLUSTER_SEQUENCER_HPP
+#define ARAXL_CLUSTER_SEQUENCER_HPP
+
+#include <cstdint>
+#include <utility>
+
+#include "isa/instr.hpp"
+
+namespace araxl {
+
+/// Destination register group (base, count) claimed by `in` under an LMUL
+/// group of `group_regs` registers. Mask destinations, reductions and
+/// vfmv.s.f write a single register.
+std::pair<unsigned, unsigned> write_group(const VInstr& in, unsigned group_regs);
+
+/// Source register groups (vs1, vs2, vd-as-source, v0 mask).
+struct ReadGroups {
+  unsigned base[4] = {0, 0, 0, 0};
+  unsigned count[4] = {0, 0, 0, 0};
+  unsigned n = 0;
+};
+
+ReadGroups read_groups(const VInstr& in, unsigned group_regs);
+
+/// Element offset a slide imposes on its vs2 chaining dependency: consumer
+/// element i needs producer element i + offset.
+std::int64_t slide_offset(const VInstr& in);
+
+}  // namespace araxl
+
+#endif  // ARAXL_CLUSTER_SEQUENCER_HPP

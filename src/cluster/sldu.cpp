@@ -1,0 +1,21 @@
+#include "cluster/sldu.hpp"
+
+namespace araxl {
+
+bool slide_elem_is_remote(const VrfMapping& map, std::uint64_t i, std::int64_t k,
+                          std::uint64_t vl) {
+  const std::int64_t src = static_cast<std::int64_t>(i) + k;
+  if (src < 0 || src >= static_cast<std::int64_t>(vl)) return false;  // fill value
+  return map.cluster_of(i) != map.cluster_of(static_cast<std::uint64_t>(src));
+}
+
+std::uint64_t slide_remote_elems(const VrfMapping& map, std::int64_t k,
+                                 std::uint64_t vl) {
+  std::uint64_t remote = 0;
+  for (std::uint64_t i = 0; i < vl; ++i) {
+    if (slide_elem_is_remote(map, i, k, vl)) ++remote;
+  }
+  return remote;
+}
+
+}  // namespace araxl

@@ -1,0 +1,27 @@
+// Per-cluster Slide Unit — paper §III-B.4 and Fig. 4.
+//
+// A slide executes in two parts: the local slide (elements whose source
+// lives in the same cluster) and the remote slide (boundary elements
+// arriving over the RINGI). This module computes which elements of a slide
+// are remote, which the ring model turns into transfer plans.
+#ifndef ARAXL_CLUSTER_SLDU_HPP
+#define ARAXL_CLUSTER_SLDU_HPP
+
+#include <cstdint>
+
+#include "vrf/mapping.hpp"
+
+namespace araxl {
+
+/// True iff destination element `i` of a slide by `k` (vd[i] = vs2[i+k])
+/// sources its data from a different cluster — the "remote slide" part.
+bool slide_elem_is_remote(const VrfMapping& map, std::uint64_t i, std::int64_t k,
+                          std::uint64_t vl);
+
+/// Number of remote elements in a slide of `vl` elements by `k`.
+std::uint64_t slide_remote_elems(const VrfMapping& map, std::int64_t k,
+                                 std::uint64_t vl);
+
+}  // namespace araxl
+
+#endif  // ARAXL_CLUSTER_SLDU_HPP

@@ -1,0 +1,48 @@
+// Small bit-manipulation helpers used across the address/alignment logic of
+// the memory system and the VRF byte mapping.
+#ifndef ARAXL_COMMON_BITS_HPP
+#define ARAXL_COMMON_BITS_HPP
+
+#include <bit>
+#include <cstdint>
+
+#include "common/contracts.hpp"
+
+namespace araxl {
+
+/// True iff `x` is a power of two (zero is not).
+constexpr bool is_pow2(std::uint64_t x) noexcept { return x != 0 && (x & (x - 1)) == 0; }
+
+/// floor(log2(x)); precondition x > 0.
+constexpr unsigned log2_floor(std::uint64_t x) noexcept {
+  return 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+/// ceil(log2(x)); precondition x > 0. log2_ceil(1) == 0.
+constexpr unsigned log2_ceil(std::uint64_t x) noexcept {
+  return x <= 1 ? 0u : log2_floor(x - 1) + 1u;
+}
+
+/// Rounds `x` down to a multiple of power-of-two `align`.
+constexpr std::uint64_t align_down(std::uint64_t x, std::uint64_t align) noexcept {
+  return x & ~(align - 1);
+}
+
+/// Rounds `x` up to a multiple of power-of-two `align`.
+constexpr std::uint64_t align_up(std::uint64_t x, std::uint64_t align) noexcept {
+  return (x + align - 1) & ~(align - 1);
+}
+
+/// Ceiling division for unsigned integers.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// Extracts bits [lo, lo+width) of `x`.
+constexpr std::uint64_t bits_of(std::uint64_t x, unsigned lo, unsigned width) noexcept {
+  return width >= 64 ? (x >> lo) : ((x >> lo) & ((std::uint64_t{1} << width) - 1));
+}
+
+}  // namespace araxl
+
+#endif  // ARAXL_COMMON_BITS_HPP

@@ -1,0 +1,20 @@
+#include "common/contracts.hpp"
+
+namespace araxl {
+
+void fail(std::string_view msg, std::source_location loc) {
+  std::string what;
+  what.reserve(msg.size() + 128);
+  what += "contract violation: ";
+  what += msg;
+  what += " [";
+  what += loc.file_name();
+  what += ':';
+  what += std::to_string(loc.line());
+  what += " in ";
+  what += loc.function_name();
+  what += ']';
+  throw ContractViolation(what);
+}
+
+}  // namespace araxl

@@ -1,0 +1,46 @@
+// Contract-checking helpers (C++ Core Guidelines I.6 / E.12 style).
+//
+// `check()` enforces preconditions and invariants that depend on user input
+// or configuration and therefore must hold in release builds too; it throws
+// `araxl::ContractViolation` with the offending source location so that unit
+// tests can assert on misuse.  `debug_check()` compiles away in release
+// builds and is reserved for hot-path internal invariants.
+#ifndef ARAXL_COMMON_CONTRACTS_HPP
+#define ARAXL_COMMON_CONTRACTS_HPP
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace araxl {
+
+/// Exception thrown when a checked contract is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Throws ContractViolation annotated with the call site.
+[[noreturn]] void fail(std::string_view msg,
+                       std::source_location loc = std::source_location::current());
+
+/// Enforced in all build types; use for config/user-facing preconditions.
+inline void check(bool cond, std::string_view msg,
+                  std::source_location loc = std::source_location::current()) {
+  if (!cond) fail(msg, loc);
+}
+
+/// Cheap internal invariant; disabled when NDEBUG is defined.
+inline void debug_check([[maybe_unused]] bool cond,
+                        [[maybe_unused]] std::string_view msg = "internal invariant",
+                        [[maybe_unused]] std::source_location loc =
+                            std::source_location::current()) {
+#ifndef NDEBUG
+  if (!cond) fail(msg, loc);
+#endif
+}
+
+}  // namespace araxl
+
+#endif  // ARAXL_COMMON_CONTRACTS_HPP

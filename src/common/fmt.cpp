@@ -1,0 +1,60 @@
+#include "common/fmt.hpp"
+
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+
+namespace araxl {
+
+std::string fmt_f(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+std::string fmt_pct(double frac, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", prec, frac * 100.0);
+  return buf;
+}
+
+std::string fmt_group(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t first = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - first) % 3 == 0 && i >= first) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string fmt_eng(double v, int prec) {
+  const char* suffix = "";
+  double scaled = v;
+  if (v >= 1e9) {
+    scaled = v / 1e9;
+    suffix = "G";
+  } else if (v >= 1e6) {
+    scaled = v / 1e6;
+    suffix = "M";
+  } else if (v >= 1e3) {
+    scaled = v / 1e3;
+    suffix = "K";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%s", prec, scaled, suffix);
+  return buf;
+}
+
+std::string strprintf(const char* format, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof buf, format, args);
+  va_end(args);
+  return buf;
+}
+
+}  // namespace araxl

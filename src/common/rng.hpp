@@ -1,0 +1,64 @@
+// Deterministic xoshiro256** PRNG. Tests and workload generators need
+// reproducible pseudo-random data independent of the standard library's
+// unspecified distributions, so we carry our own small generator.
+#ifndef ARAXL_COMMON_RNG_HPP
+#define ARAXL_COMMON_RNG_HPP
+
+#include <array>
+#include <cstdint>
+
+namespace araxl {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed) noexcept {
+    // splitmix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  constexpr std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound).
+  constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {
+    return bound == 0 ? 0 : next_u64() % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_unit() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double next_double(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_unit();
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace araxl
+
+#endif  // ARAXL_COMMON_RNG_HPP

@@ -1,0 +1,37 @@
+// Plain-text table renderer used by every bench binary to print the paper's
+// tables and figure series in aligned columns.
+#ifndef ARAXL_COMMON_TABLE_HPP
+#define ARAXL_COMMON_TABLE_HPP
+
+#include <string>
+#include <vector>
+
+namespace araxl {
+
+/// Column-aligned text table with optional title and per-column right
+/// alignment (numeric columns read better right-aligned).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Inserts a horizontal rule before the next row.
+  void add_rule();
+
+  /// Marks column `col` as right-aligned.
+  void align_right(std::size_t col);
+
+  /// Renders the table, ending with a newline.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row encodes a rule
+  std::vector<bool> right_;
+};
+
+}  // namespace araxl
+
+#endif  // ARAXL_COMMON_TABLE_HPP

@@ -1,0 +1,22 @@
+#include "interconnect/glsu.hpp"
+
+namespace araxl {
+
+std::vector<std::uint64_t> GlsuModel::cluster_byte_share(std::uint64_t vl,
+                                                         unsigned ew) const {
+  const unsigned clusters = cfg_->topo.clusters;
+  const unsigned lanes = cfg_->topo.lanes;
+  std::vector<std::uint64_t> share(clusters, 0);
+  // Element i belongs to cluster (i / L) mod C; whole L-element runs land
+  // in one cluster, so the share can be computed run-wise.
+  const std::uint64_t runs = vl / lanes;
+  for (unsigned c = 0; c < clusters; ++c) {
+    const std::uint64_t full = runs / clusters + (runs % clusters > c ? 1 : 0);
+    share[c] = full * lanes * ew;
+  }
+  const std::uint64_t tail = vl % lanes;
+  if (tail != 0) share[runs % clusters] += tail * ew;
+  return share;
+}
+
+}  // namespace araxl

@@ -1,0 +1,74 @@
+// Global Load-Store Unit (GLSU) model — paper §III-B.3 and Fig. 3.
+//
+// The GLSU sits between the L2 memory and the per-cluster VLSUs. Its three
+// pipelined stages are:
+//   Align   — shifts misaligned data onto the memory bus with power-of-two
+//             shift levels (2 levels modelled),
+//   Addrgen — splits requests into AXI bursts and converts bandwidth,
+//   Shuffle — distributes aligned data to the owning clusters per the
+//             element mapping (2 levels modelled).
+// Extra pipeline registers (glsu_regs) add 2 cycles each to the
+// request-response latency (the paper's "+4 registers => +8 cycles").
+//
+// Functionally the GLSU's job is the element mapping itself, which lives in
+// VrfMapping; this model supplies the timing and the per-cluster
+// distribution math that the tests validate against the mapping.
+#ifndef ARAXL_INTERCONNECT_GLSU_HPP
+#define ARAXL_INTERCONNECT_GLSU_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/config.hpp"
+#include "mem/axi.hpp"
+
+namespace araxl {
+
+class GlsuModel {
+ public:
+  explicit GlsuModel(const MachineConfig& cfg) : cfg_(&cfg) {}
+
+  /// Data bus width in bytes (per direction; read/write are separate
+  /// channels).
+  [[nodiscard]] std::uint64_t bus_bytes() const { return cfg_->mem_bytes_per_cycle(); }
+
+  /// Load request -> first data beat written into the VRF. AraXL pays the
+  /// 3-stage GLSU pipe (Align 2 + Addrgen 1 + Shuffle 2); Ara2's all-to-all
+  /// VLSU aligns and shuffles in a single stage.
+  [[nodiscard]] unsigned load_latency() const {
+    const unsigned base =
+        cfg_->kind == MachineKind::kAraXL ? 5 + 2 * cfg_->glsu_regs : 2;
+    return base + cfg_->l2_latency;
+  }
+
+  /// Store path latency before the first beat leaves the cluster.
+  [[nodiscard]] unsigned store_latency() const {
+    return cfg_->kind == MachineKind::kAraXL ? 3 + cfg_->glsu_regs : 2;
+  }
+
+  /// Useless bytes transferred in the first beat of a misaligned access
+  /// (the Align stage ships the full first bus word).
+  [[nodiscard]] std::uint64_t head_skew(std::uint64_t addr) const {
+    return addr % bus_bytes();
+  }
+
+  /// Total bus beats for a unit-stride access, including 4-KiB burst splits
+  /// and the misalignment beat (delegates to the AXI splitter).
+  [[nodiscard]] std::uint64_t transfer_beats(std::uint64_t addr,
+                                             std::uint64_t len_bytes) const {
+    return total_beats(addr, len_bytes, bus_bytes());
+  }
+
+  /// Shuffle-stage distribution: how many bytes of a unit-stride access of
+  /// `vl` elements (width `ew`) land in each cluster. Tests validate this
+  /// against the element mapping.
+  [[nodiscard]] std::vector<std::uint64_t> cluster_byte_share(std::uint64_t vl,
+                                                              unsigned ew) const;
+
+ private:
+  const MachineConfig* cfg_;
+};
+
+}  // namespace araxl
+
+#endif  // ARAXL_INTERCONNECT_GLSU_HPP

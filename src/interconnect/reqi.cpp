@@ -1,0 +1,4 @@
+#include "interconnect/reqi.hpp"
+
+// ReqiModel is header-only; this translation unit anchors the module in the
+// build and hosts no code today.

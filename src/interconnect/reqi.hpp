@@ -1,0 +1,40 @@
+// Request Interface (REQI) model — paper §III-B.1.
+//
+// CVA6 broadcasts every vector instruction to all clusters; cluster 0 sends
+// the acknowledge (exceptions / scalar results) back. The next vector
+// instruction issues only after the ack returns, so the REQI round trip is
+// the machine's issue interval floor. Each extra register cut (reqi_regs)
+// adds one cycle per direction, i.e. the paper's "+1 register => the
+// instruction is acknowledged 2 cycles later".
+#ifndef ARAXL_INTERCONNECT_REQI_HPP
+#define ARAXL_INTERCONNECT_REQI_HPP
+
+#include "machine/config.hpp"
+
+namespace araxl {
+
+class ReqiModel {
+ public:
+  explicit ReqiModel(const MachineConfig& cfg) : cfg_(&cfg) {}
+
+  /// CVA6 -> cluster sequencer transport latency (broadcast direction).
+  [[nodiscard]] unsigned fwd_latency() const {
+    return cfg_->kind == MachineKind::kAraXL ? 2 + cfg_->reqi_regs : 1;
+  }
+
+  /// Issue -> acknowledge round trip; gates back-to-back issue. The base
+  /// values (CVA6 scoreboard + dispatcher handshake) are calibrated so the
+  /// medium-vector (64 B/lane) utilization drop and the Fig. 7b REQI
+  /// sensitivity match the paper; AraXL pays 2 extra cycles over Ara2 for
+  /// the top-level broadcast/response stages, plus 2 per register cut.
+  [[nodiscard]] unsigned ack_latency() const {
+    return cfg_->kind == MachineKind::kAraXL ? 6 + 2 * cfg_->reqi_regs : 4;
+  }
+
+ private:
+  const MachineConfig* cfg_;
+};
+
+}  // namespace araxl
+
+#endif  // ARAXL_INTERCONNECT_REQI_HPP

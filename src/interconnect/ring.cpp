@@ -1,0 +1,35 @@
+#include "interconnect/ring.hpp"
+
+#include <algorithm>
+
+#include "common/bits.hpp"
+
+namespace araxl {
+
+Cycle RingModel::slide_start_penalty(std::int64_t k) const {
+  if (!present()) return 0;
+  const std::uint64_t mag = static_cast<std::uint64_t>(k < 0 ? -k : k);
+  const std::uint64_t hops = std::min<std::uint64_t>(
+      cfg_->topo.clusters - 1,
+      ceil_div(std::max<std::uint64_t>(mag, 1), cfg_->topo.lanes));
+  return hops * hop_latency();
+}
+
+Cycle RingModel::reduction_tree_cycles() const {
+  if (!present()) return 0;
+  Cycle total = 0;
+  const unsigned steps = log2_ceil(cfg_->topo.clusters);
+  for (unsigned s = 0; s < steps; ++s) {
+    total += (Cycle{1} << s) * hop_latency() + cfg_->red_add_latency;
+  }
+  return total;
+}
+
+std::uint64_t RingModel::slide1_boundary_elems(std::uint64_t vl) const {
+  if (!present()) return 0;
+  // One element crosses each cluster boundary per fully-occupied row of
+  // L*C elements; partial rows still cross for the occupied boundary.
+  return ceil_div(vl, cfg_->topo.total_lanes());
+}
+
+}  // namespace araxl

@@ -1,0 +1,57 @@
+// Ring Interface (RINGI) model — paper §III-B.4 and Fig. 4.
+//
+// Each cluster's SLDU owns two 64 bit/cycle output buses towards its
+// neighbours (and two inputs), sized so that slide-by-1 — the dominant
+// permutation in HPC/ML kernels — sustains full throughput: each cluster
+// exchanges exactly one boundary element per row with its neighbour.
+// Larger slides bypass over multiple hops at reduced throughput, and
+// reductions use the ring for an inter-cluster log-tree whose step s moves
+// a partial across 2^s hops. ring_regs adds one cycle per hop.
+#ifndef ARAXL_INTERCONNECT_RING_HPP
+#define ARAXL_INTERCONNECT_RING_HPP
+
+#include <cstdint>
+
+#include "machine/config.hpp"
+#include "sim/cycle.hpp"
+
+namespace araxl {
+
+class RingModel {
+ public:
+  explicit RingModel(const MachineConfig& cfg) : cfg_(&cfg) {}
+
+  [[nodiscard]] bool present() const {
+    return cfg_->kind == MachineKind::kAraXL && cfg_->topo.clusters > 1;
+  }
+
+  /// Latency of one hop between adjacent clusters' SLDUs.
+  [[nodiscard]] unsigned hop_latency() const { return 1 + cfg_->ring_regs; }
+
+  /// Start-up penalty of a slide by `k` (signed): ceil(|k|/L) hops of
+  /// bypass, capped at C-1. Zero on the lumped Ara2.
+  [[nodiscard]] Cycle slide_start_penalty(std::int64_t k) const;
+
+  /// Whether a slide by `k` exceeds the fast slide-by-1 path and funnels
+  /// through the 64-bit ring links (one element per cluster per cycle).
+  [[nodiscard]] bool long_slide(std::int64_t k) const {
+    return present() && (k > 1 || k < -1);
+  }
+
+  /// Total cycles of the inter-cluster reduction log-tree: step s pays
+  /// 2^s hops plus one FPU add (paper: "multiple hops for later reduction
+  /// stages").
+  [[nodiscard]] Cycle reduction_tree_cycles() const;
+
+  /// Boundary elements each cluster must send for a slide-by-1 of `vl`
+  /// elements: one per occupied row (used by tests to show the ring link is
+  /// never the bottleneck for slide1).
+  [[nodiscard]] std::uint64_t slide1_boundary_elems(std::uint64_t vl) const;
+
+ private:
+  const MachineConfig* cfg_;
+};
+
+}  // namespace araxl
+
+#endif  // ARAXL_INTERCONNECT_RING_HPP

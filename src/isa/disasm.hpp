@@ -1,0 +1,19 @@
+// Instruction and program disassembly for debugging and tracing.
+#ifndef ARAXL_ISA_DISASM_HPP
+#define ARAXL_ISA_DISASM_HPP
+
+#include <string>
+
+#include "isa/program.hpp"
+
+namespace araxl {
+
+/// Renders one instruction ("vfmacc.vf v8, fs=1.5, v16").
+std::string disasm(const VInstr& in);
+
+/// Renders a full program, one op per line with indices.
+std::string disasm(const Program& prog, std::size_t max_ops = 200);
+
+}  // namespace araxl
+
+#endif  // ARAXL_ISA_DISASM_HPP

@@ -1,0 +1,27 @@
+#include "isa/ew.hpp"
+
+#include "common/contracts.hpp"
+
+namespace araxl {
+
+Sew sew_from_bits(unsigned bits) {
+  switch (bits) {
+    case 8: return Sew::k8;
+    case 16: return Sew::k16;
+    case 32: return Sew::k32;
+    case 64: return Sew::k64;
+    default: fail("invalid SEW bit width");
+  }
+}
+
+std::string_view sew_name(Sew s) {
+  switch (s) {
+    case Sew::k8: return "e8";
+    case Sew::k16: return "e16";
+    case Sew::k32: return "e32";
+    case Sew::k64: return "e64";
+  }
+  return "?";
+}
+
+}  // namespace araxl

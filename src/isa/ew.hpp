@@ -1,0 +1,27 @@
+// Standard element width (SEW) of the RISC-V V extension.
+#ifndef ARAXL_ISA_EW_HPP
+#define ARAXL_ISA_EW_HPP
+
+#include <cstdint>
+#include <string_view>
+
+namespace araxl {
+
+/// Selected element width. Values match the RVV vtype.vsew encoding.
+enum class Sew : std::uint8_t { k8 = 0, k16 = 1, k32 = 2, k64 = 3 };
+
+/// Element width in bits (8/16/32/64).
+constexpr unsigned sew_bits(Sew s) noexcept { return 8u << static_cast<unsigned>(s); }
+
+/// Element width in bytes (1/2/4/8).
+constexpr unsigned sew_bytes(Sew s) noexcept { return 1u << static_cast<unsigned>(s); }
+
+/// Inverse of sew_bits(); throws on invalid widths.
+Sew sew_from_bits(unsigned bits);
+
+/// "e8" / "e16" / "e32" / "e64".
+std::string_view sew_name(Sew s);
+
+}  // namespace araxl
+
+#endif  // ARAXL_ISA_EW_HPP

@@ -1,0 +1,37 @@
+#include "isa/vtype.hpp"
+
+#include <algorithm>
+
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+
+namespace araxl {
+
+std::uint64_t vlmax(std::uint64_t vlen_bits, Vtype vt) {
+  check(is_pow2(vlen_bits) && vlen_bits >= 64 && vlen_bits <= kMaxVlenBits,
+        "VLEN must be a power of two in [64, 65536]");
+  check(vt.lmul.log2 >= -3 && vt.lmul.log2 <= 3, "LMUL out of range");
+  const std::uint64_t per_reg = vlen_bits / sew_bits(vt.sew);
+  if (vt.lmul.log2 >= 0) return per_reg << vt.lmul.log2;
+  const std::uint64_t result = per_reg >> (-vt.lmul.log2);
+  check(result > 0, "fractional LMUL yields VLMAX of zero");
+  return result;
+}
+
+std::uint64_t vsetvl_result(std::uint64_t vlen_bits, std::uint64_t avl, Vtype vt) {
+  return std::min(avl, vlmax(vlen_bits, vt));
+}
+
+std::string vtype_name(Vtype vt) {
+  std::string out{sew_name(vt.sew)};
+  out += ",m";
+  if (vt.lmul.log2 >= 0) {
+    out += std::to_string(1 << vt.lmul.log2);
+  } else {
+    out += 'f';
+    out += std::to_string(1 << (-vt.lmul.log2));
+  }
+  return out;
+}
+
+}  // namespace araxl

@@ -1,0 +1,88 @@
+#include "kernels/common.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace araxl {
+
+std::unique_ptr<Kernel> make_fmatmul();
+std::unique_ptr<Kernel> make_fconv2d();
+std::unique_ptr<Kernel> make_jacobi2d();
+std::unique_ptr<Kernel> make_fdotproduct();
+std::unique_ptr<Kernel> make_fexp();
+std::unique_ptr<Kernel> make_fsoftmax();
+std::unique_ptr<Kernel> make_spmv();
+std::unique_ptr<Kernel> make_stream_triad();
+
+std::vector<std::unique_ptr<Kernel>> make_all_kernels() {
+  std::vector<std::unique_ptr<Kernel>> out;
+  out.push_back(make_fmatmul());
+  out.push_back(make_fconv2d());
+  out.push_back(make_jacobi2d());
+  out.push_back(make_fdotproduct());
+  out.push_back(make_fexp());
+  out.push_back(make_fsoftmax());
+  return out;
+}
+
+std::vector<std::unique_ptr<Kernel>> make_extension_kernels() {
+  std::vector<std::unique_ptr<Kernel>> out;
+  out.push_back(make_spmv());
+  out.push_back(make_stream_triad());
+  return out;
+}
+
+std::unique_ptr<Kernel> make_kernel(std::string_view name) {
+  if (name == "fmatmul") return make_fmatmul();
+  if (name == "fconv2d") return make_fconv2d();
+  if (name == "jacobi2d") return make_jacobi2d();
+  if (name == "fdotproduct") return make_fdotproduct();
+  if (name == "exp") return make_fexp();
+  if (name == "softmax") return make_fsoftmax();
+  if (name == "spmv") return make_spmv();
+  if (name == "stream_triad") return make_stream_triad();
+  fail("unknown kernel name");
+}
+
+std::uint64_t elems_for_bytes_per_lane(const MachineConfig& cfg,
+                                       std::uint64_t bytes_per_lane) {
+  check(bytes_per_lane % 8 == 0, "bytes per lane must be a multiple of 8");
+  return bytes_per_lane * cfg.total_lanes() / 8;
+}
+
+std::vector<double> random_doubles(std::uint64_t n, double lo, double hi,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (auto& v : out) v = rng.next_double(lo, hi);
+  return out;
+}
+
+VerifyResult compare_doubles(const std::vector<double>& expected,
+                             const std::vector<double>& actual) {
+  check(expected.size() == actual.size(), "size mismatch in verification");
+  VerifyResult r;
+  r.checked = expected.size();
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const double denom = std::max(std::abs(expected[i]), 1.0);
+    r.max_rel_err = std::max(r.max_rel_err,
+                             std::abs(expected[i] - actual[i]) / denom);
+  }
+  return r;
+}
+
+std::uint64_t MemLayout::alloc(std::uint64_t bytes) {
+  const std::uint64_t base = align_up(cursor_, align_);
+  cursor_ = base + bytes;
+  return base;
+}
+
+std::uint64_t MemLayout::alloc_misaligned(std::uint64_t bytes, std::uint64_t skew) {
+  return alloc(bytes + skew) + skew;
+}
+
+}  // namespace araxl

@@ -1,0 +1,103 @@
+// Benchmark kernel framework (paper Table I).
+//
+// Each kernel knows how to (a) size its problem for a weak-scaling point —
+// the paper's "B/lane" metric: bytes of vector data each lane processes per
+// register, so N = bytes_per_lane x total_lanes / 8 for DP elements — (b)
+// generate its input data and vector program for a given machine, and (c)
+// verify the machine's results against a scalar golden reference.
+#ifndef ARAXL_KERNELS_COMMON_HPP
+#define ARAXL_KERNELS_COMMON_HPP
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "machine/machine.hpp"
+
+namespace araxl {
+
+/// Result of verifying a kernel run.
+struct VerifyResult {
+  double max_rel_err = 0.0;
+  std::uint64_t checked = 0;
+
+  [[nodiscard]] bool ok(double tol) const { return max_rel_err <= tol; }
+};
+
+/// Interface of one Table-I benchmark kernel.
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Paper Table I "Max Perf" in DP-FLOP/cycle per total lane (2.0 for
+  /// fmatmul/fconv2d, 1.0 for jacobi2d/fdotproduct, ...).
+  [[nodiscard]] virtual double max_perf_factor() const = 0;
+
+  /// LMUL the kernel uses at a given weak-scaling point (Table I).
+  [[nodiscard]] virtual Lmul lmul(std::uint64_t bytes_per_lane) const = 0;
+
+  /// Generates inputs into `m.mem()` and returns the vector program for the
+  /// weak-scaling point `bytes_per_lane`. May be called repeatedly with
+  /// different machines/sizes; state for verify() refers to the last build.
+  virtual Program build(Machine& m, std::uint64_t bytes_per_lane) = 0;
+
+  /// Useful DP-FLOP of the last built problem (the paper's accounting).
+  [[nodiscard]] virtual std::uint64_t useful_flops() const = 0;
+
+  /// Compares machine results (in memory) against the scalar reference.
+  [[nodiscard]] virtual VerifyResult verify(const Machine& m) const = 0;
+
+  /// Verification tolerance (relative); exact-dataflow kernels use 0.
+  [[nodiscard]] virtual double tolerance() const { return 1e-12; }
+};
+
+/// All six Table-I kernels in paper order.
+std::vector<std::unique_ptr<Kernel>> make_all_kernels();
+
+/// Extension kernels beyond the paper's benchmark set: "spmv" (CSR sparse
+/// matrix-vector product over the indexed-access path) and "stream_triad"
+/// (bandwidth probe).
+std::vector<std::unique_ptr<Kernel>> make_extension_kernels();
+
+/// Factory by name ("fmatmul", "fconv2d", "jacobi2d", "fdotproduct",
+/// "exp", "softmax", "spmv", "stream_triad"); throws on unknown names.
+std::unique_ptr<Kernel> make_kernel(std::string_view name);
+
+// ---- shared helpers ---------------------------------------------------------
+
+/// DP elements per vector for a weak-scaling point: N = B/lane x lanes / 8.
+std::uint64_t elems_for_bytes_per_lane(const MachineConfig& cfg,
+                                       std::uint64_t bytes_per_lane);
+
+/// Deterministic input data in [lo, hi).
+std::vector<double> random_doubles(std::uint64_t n, double lo, double hi,
+                                   std::uint64_t seed);
+
+/// Max relative error between two spans (absolute error for tiny values).
+VerifyResult compare_doubles(const std::vector<double>& expected,
+                             const std::vector<double>& actual);
+
+/// Simple bump allocator for laying out kernel buffers in main memory.
+class MemLayout {
+ public:
+  explicit MemLayout(std::uint64_t base = 1u << 20, std::uint64_t align = 4096)
+      : cursor_(base), align_(align) {}
+
+  /// Reserves `bytes` and returns the base address.
+  std::uint64_t alloc(std::uint64_t bytes);
+
+  /// Reserves `bytes` and deliberately misaligns the base by `skew` bytes
+  /// (for misalignment tests).
+  std::uint64_t alloc_misaligned(std::uint64_t bytes, std::uint64_t skew);
+
+ private:
+  std::uint64_t cursor_;
+  std::uint64_t align_;
+};
+
+}  // namespace araxl
+
+#endif  // ARAXL_KERNELS_COMMON_HPP

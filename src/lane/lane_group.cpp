@@ -1,0 +1,39 @@
+#include "lane/lane_group.hpp"
+
+#include <algorithm>
+
+namespace araxl {
+
+std::uint64_t LaneGroupModel::rate256(Op op, unsigned ew) const {
+  const std::uint64_t lanes = cfg_->total_lanes();
+  const OpSpec& spec = op_spec(op);
+  if (spec.widens) ew = std::min(8u, ew * 2);  // destination width limits
+  const std::uint64_t simd = 8 / ew;
+  switch (spec.unit) {
+    case Unit::kFpu: {
+      const bool div = op == Op::kVfdivVV || op == Op::kVfdivVF ||
+                       op == Op::kVfrdivVF || op == Op::kVfsqrtV;
+      const std::uint64_t full = lanes * simd * 256;
+      return div ? full / cfg_->div_cycles_per_elem : full;
+    }
+    case Unit::kAlu:
+    case Unit::kSldu: return lanes * simd * 256;
+    case Unit::kMasku: return lanes * 8 * 256;  // single-bit mask elements
+    default: return lanes * simd * 256;
+  }
+}
+
+unsigned LaneGroupModel::chain_lag(Unit u) const {
+  switch (u) {
+    case Unit::kFpu: return cfg_->fpu_latency;
+    case Unit::kAlu: return cfg_->alu_latency;
+    case Unit::kMasku: return cfg_->alu_latency;
+    case Unit::kSldu: return cfg_->sldu_latency;
+    case Unit::kLoad: return cfg_->load_chain_lag;
+    case Unit::kStore: return 2;
+    case Unit::kNone: return 0;
+  }
+  return 0;
+}
+
+}  // namespace araxl

@@ -1,0 +1,42 @@
+// Lane-group execution model.
+//
+// Every lane carries one 64-bit FMA-capable FPU and one 64-bit ALU; a
+// vector instruction executes SIMD across all lanes of all clusters, so the
+// machine-wide element throughput of an arithmetic unit is
+// total_lanes x (64 / EW) per cycle. Divisions occupy the unpipelined
+// divider for div_cycles_per_elem cycles per element. Rates are expressed
+// in 1/256ths of an element per cycle so fractional throughputs accumulate
+// exactly in integer arithmetic.
+#ifndef ARAXL_LANE_LANE_GROUP_HPP
+#define ARAXL_LANE_LANE_GROUP_HPP
+
+#include <cstdint>
+
+#include "isa/instr.hpp"
+#include "machine/config.hpp"
+
+namespace araxl {
+
+class LaneGroupModel {
+ public:
+  explicit LaneGroupModel(const MachineConfig& cfg) : cfg_(&cfg) {}
+
+  /// Element throughput x256 of `op` at element width `ew` bytes on the
+  /// unit that executes it (memory units excluded — the GLSU model owns
+  /// those).
+  [[nodiscard]] std::uint64_t rate256(Op op, unsigned ew) const;
+
+  /// Result latency of a unit: cycles between an element being produced
+  /// and a chained consumer being able to read it.
+  [[nodiscard]] unsigned chain_lag(Unit u) const;
+
+  /// Dispatch -> first-result latency for lane-resident units.
+  [[nodiscard]] unsigned start_latency() const { return cfg_->unit_start_latency; }
+
+ private:
+  const MachineConfig* cfg_;
+};
+
+}  // namespace araxl
+
+#endif  // ARAXL_LANE_LANE_GROUP_HPP

@@ -1,0 +1,93 @@
+// Machine configuration for the two modelled microarchitectures:
+//
+//  * AraXL  — C clusters x 4 lanes, REQI/GLSU/RINGI top-level interconnects
+//             (paper Fig. 2), VLEN = 1024 bit x total lanes up to the RVV
+//             maximum of 64 Kibit at 64 lanes.
+//  * Ara2   — the baseline lumped design: one "cluster" of L lanes whose
+//             MASKU/SLDU/VLSU are all-to-all connected (single-cycle
+//             align+shuffle, no top-level interfaces, standard mask layout).
+//
+// All latency knobs of the paper's latency-tolerance study (Fig. 5/7) are
+// explicit parameters: reqi_regs, glsu_regs, ring_regs.
+#ifndef ARAXL_MACHINE_CONFIG_HPP
+#define ARAXL_MACHINE_CONFIG_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "vrf/layout.hpp"
+#include "vrf/mapping.hpp"
+
+namespace araxl {
+
+enum class MachineKind : std::uint8_t { kAraXL, kAra2 };
+
+struct MachineConfig {
+  MachineKind kind = MachineKind::kAraXL;
+  Topology topo{4, 4};  ///< default: 16-lane AraXL (4 clusters x 4 lanes)
+
+  /// Bits per vector register; 0 selects the paper's configuration rule
+  /// VLEN = 1024 x total lanes (64 Kibit at 64 lanes).
+  std::uint64_t vlen_bits = 0;
+
+  std::uint64_t mem_size_bytes = 64ull << 20;
+
+  // ---- latency-tolerance knobs (paper Fig. 5) -----------------------------
+  unsigned reqi_regs = 0;  ///< extra REQI register cuts (+1 => ack +2 cycles)
+  unsigned glsu_regs = 0;  ///< extra GLSU pipeline registers (+4 => +8 cycles)
+  unsigned ring_regs = 0;  ///< extra RINGI registers per hop (+1 => hop +1)
+
+  // ---- microarchitectural constants ---------------------------------------
+  unsigned fpu_latency = 5;        ///< FPU result latency (chaining lag)
+  unsigned alu_latency = 2;        ///< ALU result latency
+  unsigned sldu_latency = 3;       ///< slide-unit result latency
+  unsigned load_chain_lag = 3;     ///< VRF write -> operand read lag for loads
+  unsigned div_cycles_per_elem = 12;  ///< unpipelined divider occupancy
+  unsigned unit_start_latency = 4;    ///< dispatch -> first result (arith)
+  unsigned unit_queue_depth = 4;      ///< per-unit instruction queue
+  unsigned seq_queue_depth = 8;       ///< sequencer instruction queue
+  unsigned dcache_load_latency = 3;   ///< CVA6 scalar load (d-cache hit)
+  unsigned l2_latency = 12;           ///< L2 access latency (beyond GLSU pipe)
+  unsigned red_step_latency = 4;      ///< per inter-lane reduction step
+  unsigned red_add_latency = 8;       ///< SLDU round trip + FPU add per
+                                      ///< inter-cluster tree step
+  unsigned writeback_latency = 2;     ///< final scalar writeback of reductions
+
+  // ---- derived ------------------------------------------------------------
+  [[nodiscard]] std::uint64_t effective_vlen() const;
+  [[nodiscard]] unsigned total_lanes() const { return topo.total_lanes(); }
+
+  /// Memory bandwidth per direction (read and write channels are separate):
+  /// 8 bytes/lane/cycle, i.e. 64-bit per lane (see DESIGN.md §3 on the
+  /// Fig. 2 label discrepancy).
+  [[nodiscard]] std::uint64_t mem_bytes_per_cycle() const {
+    return 8ull * total_lanes();
+  }
+
+  [[nodiscard]] MaskLayout mask_layout() const {
+    return kind == MachineKind::kAraXL ? MaskLayout::kLaneLocal
+                                       : MaskLayout::kStandard;
+  }
+
+  /// Throws ContractViolation if inconsistent.
+  void validate() const;
+
+  /// "64L-AraXL" / "8L-Ara2" display name.
+  [[nodiscard]] std::string name() const;
+
+  // ---- factories -----------------------------------------------------------
+  /// AraXL instance with `total_lanes` lanes in 4-lane clusters (the paper's
+  /// building block; 8..64 lanes => 2..16 clusters).
+  static MachineConfig araxl(unsigned total_lanes);
+
+  /// AraXL with an explicit cluster shape (design-space exploration; the
+  /// paper fixes lanes_per_cluster = 4).
+  static MachineConfig araxl_shaped(unsigned clusters, unsigned lanes_per_cluster);
+
+  /// Baseline Ara2 with `lanes` lanes (2..16 per the Ara2 paper).
+  static MachineConfig ara2(unsigned lanes);
+};
+
+}  // namespace araxl
+
+#endif  // ARAXL_MACHINE_CONFIG_HPP

@@ -1,0 +1,425 @@
+#include "machine/functional.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace araxl {
+
+FunctionalEngine::FunctionalEngine(const MachineConfig& cfg, Vrf& vrf,
+                                   MainMemory& mem)
+    : cfg_(cfg), vrf_(vrf), mem_(mem) {}
+
+double FunctionalEngine::read_f(unsigned reg, std::uint64_t i) const {
+  switch (vtype_.sew) {
+    case Sew::k64: return vrf_.read_f64(reg, i);
+    case Sew::k32: return static_cast<double>(vrf_.read_f32(reg, i));
+    default: fail("FP operations require SEW of 32 or 64");
+  }
+}
+
+void FunctionalEngine::write_f(unsigned reg, std::uint64_t i, double v) {
+  switch (vtype_.sew) {
+    case Sew::k64: vrf_.write_f64(reg, i, v); return;
+    case Sew::k32: vrf_.write_f32(reg, i, static_cast<float>(v)); return;
+    default: fail("FP operations require SEW of 32 or 64");
+  }
+}
+
+std::uint64_t FunctionalEngine::read_x(unsigned reg, std::uint64_t i) const {
+  return vrf_.read_elem(reg, i, ew_bytes());
+}
+
+void FunctionalEngine::write_x(unsigned reg, std::uint64_t i, std::uint64_t v) {
+  vrf_.write_elem(reg, i, ew_bytes(), v);
+}
+
+bool FunctionalEngine::active(const VInstr& in, std::uint64_t i) const {
+  return !in.masked || vrf_.mask_bit(0, i);
+}
+
+void FunctionalEngine::exec(const VInstr& in) {
+  if (in.op == Op::kVsetvli) {
+    vtype_ = in.vtype;
+    vl_ = vsetvl_result(cfg_.effective_vlen(), in.avl, in.vtype);
+    return;
+  }
+  const OpSpec& spec = op_spec(in.op);
+  if (in.op == Op::kVfmvFS) {
+    // Reads element 0 regardless of vl.
+    scalar_acc_ = read_f(in.vs2, 0);
+    return;
+  }
+  if (in.op == Op::kVcpopM || in.op == Op::kVfirstM) {
+    exec_mask_population(in);  // handles vl == 0 (count 0 / index -1)
+    return;
+  }
+  if (vl_ == 0) return;
+
+  if (spec.reads_mem || spec.writes_mem) {
+    exec_memory(in);
+  } else if (spec.widens) {
+    exec_widening(in);
+  } else if (spec.is_gather) {
+    exec_gather(in);
+  } else if (in.op == Op::kViotaM || in.op == Op::kVmsbfM ||
+             in.op == Op::kVmsifM || in.op == Op::kVmsofM) {
+    exec_mask_population(in);
+  } else if (spec.is_reduction) {
+    exec_reduction(in);
+  } else if (spec.is_slide) {
+    exec_slide(in);
+  } else if (spec.writes_mask || spec.unit == Unit::kMasku) {
+    exec_mask(in);
+  } else if (spec.unit == Unit::kFpu) {
+    exec_fp(in);
+  } else {
+    exec_int(in);
+  }
+}
+
+void FunctionalEngine::exec_widening(const VInstr& in) {
+  check(vtype_.sew == Sew::k32, "widening requires SEW=32");
+  for (std::uint64_t i = 0; i < vl_; ++i) {
+    if (!active(in, i)) continue;
+    const double a = static_cast<double>(vrf_.read_f32(in.vs2, i));
+    const double b = static_cast<double>(vrf_.read_f32(in.vs1, i));
+    double result = 0.0;
+    switch (in.op) {
+      case Op::kVfwaddVV: result = a + b; break;
+      case Op::kVfwsubVV: result = a - b; break;
+      case Op::kVfwmulVV: result = a * b; break;
+      case Op::kVfwmaccVV:
+        result = std::fma(b, a, vrf_.read_f64(in.vd, i));
+        break;
+      default: fail("unhandled widening op");
+    }
+    vrf_.write_f64(in.vd, i, result);
+  }
+}
+
+void FunctionalEngine::exec_gather(const VInstr& in) {
+  const unsigned ew = ew_bytes();
+  const std::uint64_t vlmax_now = vlmax(cfg_.effective_vlen(), vtype_);
+  if (in.op == Op::kVrgatherVV) {
+    for (std::uint64_t i = 0; i < vl_; ++i) {
+      if (!active(in, i)) continue;
+      const std::uint64_t idx = vrf_.read_elem(in.vs1, i, ew);
+      vrf_.write_elem(in.vd, i, ew,
+                      idx < vlmax_now ? vrf_.read_elem(in.vs2, idx, ew) : 0);
+    }
+    return;
+  }
+  // vcompress.vm: pack active elements; tail of vd is left undisturbed.
+  std::uint64_t k = 0;
+  for (std::uint64_t i = 0; i < vl_; ++i) {
+    if (!vrf_.mask_bit(in.vs1, i)) continue;
+    vrf_.write_elem(in.vd, k++, ew, vrf_.read_elem(in.vs2, i, ew));
+  }
+}
+
+void FunctionalEngine::exec_mask_population(const VInstr& in) {
+  switch (in.op) {
+    case Op::kVcpopM: {
+      std::int64_t count = 0;
+      for (std::uint64_t i = 0; i < vl_; ++i) {
+        if (vrf_.mask_bit(in.vs2, i) && active(in, i)) ++count;
+      }
+      scalar_iacc_ = count;
+      scalar_acc_ = static_cast<double>(count);
+      return;
+    }
+    case Op::kVfirstM: {
+      std::int64_t first = -1;
+      for (std::uint64_t i = 0; i < vl_; ++i) {
+        if (vrf_.mask_bit(in.vs2, i) && active(in, i)) {
+          first = static_cast<std::int64_t>(i);
+          break;
+        }
+      }
+      scalar_iacc_ = first;
+      scalar_acc_ = static_cast<double>(first);
+      return;
+    }
+    case Op::kViotaM: {
+      std::uint64_t count = 0;
+      for (std::uint64_t i = 0; i < vl_; ++i) {
+        if (active(in, i)) write_x(in.vd, i, count);
+        if (vrf_.mask_bit(in.vs2, i)) ++count;
+      }
+      return;
+    }
+    case Op::kVmsbfM:
+    case Op::kVmsifM:
+    case Op::kVmsofM: {
+      bool seen = false;
+      for (std::uint64_t i = 0; i < vl_; ++i) {
+        const bool bit = vrf_.mask_bit(in.vs2, i);
+        bool out = false;
+        if (!seen) {
+          if (bit) {
+            seen = true;
+            out = in.op != Op::kVmsbfM;  // msif/msof include the first
+          } else {
+            out = in.op != Op::kVmsofM;  // msbf/msif set before the first
+          }
+        }
+        if (active(in, i)) vrf_.set_mask_bit(in.vd, i, out);
+      }
+      return;
+    }
+    default: fail("unhandled mask-population op");
+  }
+}
+
+void FunctionalEngine::exec_memory(const VInstr& in) {
+  const unsigned ew = ew_bytes();
+  const auto elem_addr = [&](std::uint64_t i) -> std::uint64_t {
+    switch (in.op) {
+      case Op::kVle:
+      case Op::kVse: return in.addr + i * ew;
+      case Op::kVlse:
+      case Op::kVsse:
+        return static_cast<std::uint64_t>(static_cast<std::int64_t>(in.addr) +
+                                          static_cast<std::int64_t>(i) * in.stride);
+      case Op::kVluxei:
+      case Op::kVsuxei: return in.addr + vrf_.read_elem(in.vs2, i, ew);
+      default: fail("not a memory op");
+    }
+  };
+
+  const bool is_load = op_spec(in.op).reads_mem;
+  for (std::uint64_t i = 0; i < vl_; ++i) {
+    if (!active(in, i)) continue;
+    const std::uint64_t a = elem_addr(i);
+    if (is_load) {
+      std::uint64_t bits = 0;
+      switch (ew) {
+        case 1: bits = mem_.load<std::uint8_t>(a); break;
+        case 2: bits = mem_.load<std::uint16_t>(a); break;
+        case 4: bits = mem_.load<std::uint32_t>(a); break;
+        case 8: bits = mem_.load<std::uint64_t>(a); break;
+        default: fail("bad element width");
+      }
+      vrf_.write_elem(in.vd, i, ew, bits);
+    } else {
+      const std::uint64_t bits = vrf_.read_elem(in.vd, i, ew);
+      switch (ew) {
+        case 1: mem_.store<std::uint8_t>(a, static_cast<std::uint8_t>(bits)); break;
+        case 2: mem_.store<std::uint16_t>(a, static_cast<std::uint16_t>(bits)); break;
+        case 4: mem_.store<std::uint32_t>(a, static_cast<std::uint32_t>(bits)); break;
+        case 8: mem_.store<std::uint64_t>(a, bits); break;
+        default: fail("bad element width");
+      }
+    }
+  }
+}
+
+void FunctionalEngine::exec_fp(const VInstr& in) {
+  const double fs = scalar_of(in);
+  for (std::uint64_t i = 0; i < vl_; ++i) {
+    if (!active(in, i)) continue;
+    double result = 0.0;
+    switch (in.op) {
+      case Op::kVfaddVV: result = read_f(in.vs2, i) + read_f(in.vs1, i); break;
+      case Op::kVfaddVF: result = read_f(in.vs2, i) + fs; break;
+      case Op::kVfsubVV: result = read_f(in.vs2, i) - read_f(in.vs1, i); break;
+      case Op::kVfsubVF: result = read_f(in.vs2, i) - fs; break;
+      case Op::kVfrsubVF: result = fs - read_f(in.vs2, i); break;
+      case Op::kVfmulVV: result = read_f(in.vs2, i) * read_f(in.vs1, i); break;
+      case Op::kVfmulVF: result = read_f(in.vs2, i) * fs; break;
+      case Op::kVfdivVV: result = read_f(in.vs2, i) / read_f(in.vs1, i); break;
+      case Op::kVfdivVF: result = read_f(in.vs2, i) / fs; break;
+      case Op::kVfrdivVF: result = fs / read_f(in.vs2, i); break;
+      case Op::kVfmaccVV:
+        result = std::fma(read_f(in.vs1, i), read_f(in.vs2, i), read_f(in.vd, i));
+        break;
+      case Op::kVfmaccVF:
+        result = std::fma(fs, read_f(in.vs2, i), read_f(in.vd, i));
+        break;
+      case Op::kVfnmsacVV:
+        result = std::fma(-read_f(in.vs1, i), read_f(in.vs2, i), read_f(in.vd, i));
+        break;
+      case Op::kVfnmsacVF:
+        result = std::fma(-fs, read_f(in.vs2, i), read_f(in.vd, i));
+        break;
+      case Op::kVfmaddVF:
+        result = std::fma(read_f(in.vd, i), fs, read_f(in.vs2, i));
+        break;
+      case Op::kVfmaddVV:
+        result = std::fma(read_f(in.vd, i), read_f(in.vs1, i), read_f(in.vs2, i));
+        break;
+      case Op::kVfmsacVF:
+        result = std::fma(fs, read_f(in.vs2, i), -read_f(in.vd, i));
+        break;
+      case Op::kVfminVV: result = std::fmin(read_f(in.vs2, i), read_f(in.vs1, i)); break;
+      case Op::kVfminVF: result = std::fmin(read_f(in.vs2, i), fs); break;
+      case Op::kVfmaxVV: result = std::fmax(read_f(in.vs2, i), read_f(in.vs1, i)); break;
+      case Op::kVfmaxVF: result = std::fmax(read_f(in.vs2, i), fs); break;
+      case Op::kVfsgnjVV:
+        result = std::copysign(read_f(in.vs2, i), read_f(in.vs1, i));
+        break;
+      case Op::kVfsgnjnVV:
+        result = std::copysign(read_f(in.vs2, i), -read_f(in.vs1, i));
+        break;
+      case Op::kVfcvtXF: {
+        const double r = std::nearbyint(read_f(in.vs2, i));
+        write_x(in.vd, i, static_cast<std::uint64_t>(static_cast<std::int64_t>(r)));
+        continue;
+      }
+      case Op::kVfcvtFX: {
+        const auto x = static_cast<std::int64_t>(read_x(in.vs2, i));
+        result = static_cast<double>(x);
+        break;
+      }
+      case Op::kVfsqrtV: result = std::sqrt(read_f(in.vs2, i)); break;
+      default: fail("unhandled FP op");
+    }
+    write_f(in.vd, i, result);
+  }
+}
+
+void FunctionalEngine::exec_int(const VInstr& in) {
+  const unsigned bits = sew_bits(vtype_.sew);
+  const std::uint64_t mask =
+      bits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << bits) - 1);
+  const auto xs = static_cast<std::uint64_t>(in.xs);
+  for (std::uint64_t i = 0; i < vl_; ++i) {
+    if (!active(in, i) && in.op != Op::kVmergeVVM && in.op != Op::kVfmergeVFM) {
+      continue;
+    }
+    switch (in.op) {
+      case Op::kVaddVV: write_x(in.vd, i, (read_x(in.vs2, i) + read_x(in.vs1, i)) & mask); break;
+      case Op::kVaddVX: write_x(in.vd, i, (read_x(in.vs2, i) + xs) & mask); break;
+      case Op::kVsubVV: write_x(in.vd, i, (read_x(in.vs2, i) - read_x(in.vs1, i)) & mask); break;
+      case Op::kVsllVX: write_x(in.vd, i, (read_x(in.vs2, i) << (xs % bits)) & mask); break;
+      case Op::kVsrlVX: write_x(in.vd, i, (read_x(in.vs2, i) & mask) >> (xs % bits)); break;
+      case Op::kVandVX: write_x(in.vd, i, read_x(in.vs2, i) & xs & mask); break;
+      case Op::kVmvVX: write_x(in.vd, i, xs & mask); break;
+      case Op::kVmvVV: write_x(in.vd, i, read_x(in.vs1, i)); break;
+      case Op::kVfmvVF: write_f(in.vd, i, scalar_of(in)); break;
+      case Op::kVfmvSF:
+        if (i == 0) write_f(in.vd, 0, scalar_of(in));
+        break;
+      case Op::kVidV: write_x(in.vd, i, i & mask); break;
+      case Op::kVmergeVVM:
+        write_x(in.vd, i, vrf_.mask_bit(0, i) ? read_x(in.vs1, i) : read_x(in.vs2, i));
+        break;
+      case Op::kVfmergeVFM:
+        if (vrf_.mask_bit(0, i)) {
+          write_f(in.vd, i, scalar_of(in));
+        } else {
+          write_x(in.vd, i, read_x(in.vs2, i));
+        }
+        break;
+      case Op::kVmulVV:
+        write_x(in.vd, i, (read_x(in.vs2, i) * read_x(in.vs1, i)) & mask);
+        break;
+      case Op::kVmulVX: write_x(in.vd, i, (read_x(in.vs2, i) * xs) & mask); break;
+      case Op::kVmaccVV:
+        write_x(in.vd, i,
+                (read_x(in.vd, i) + read_x(in.vs1, i) * read_x(in.vs2, i)) & mask);
+        break;
+      case Op::kVrsubVX: write_x(in.vd, i, (xs - read_x(in.vs2, i)) & mask); break;
+      case Op::kVmaxVV:
+      case Op::kVminVV: {
+        // Signed comparison at the current SEW: sign-extend stored bits.
+        const auto sext = [&](std::uint64_t v) -> std::int64_t {
+          if (bits >= 64) return static_cast<std::int64_t>(v);
+          const std::uint64_t sign = std::uint64_t{1} << (bits - 1);
+          return static_cast<std::int64_t>(((v & mask) ^ sign) - sign);
+        };
+        const std::int64_t a = sext(read_x(in.vs2, i));
+        const std::int64_t b = sext(read_x(in.vs1, i));
+        const std::int64_t r =
+            in.op == Op::kVmaxVV ? std::max(a, b) : std::min(a, b);
+        write_x(in.vd, i, static_cast<std::uint64_t>(r) & mask);
+        break;
+      }
+      default: fail("unhandled integer/move op");
+    }
+  }
+}
+
+void FunctionalEngine::exec_reduction(const VInstr& in) {
+  double acc = read_f(in.vs1, 0);
+  for (std::uint64_t i = 0; i < vl_; ++i) {
+    if (!active(in, i)) continue;
+    const double v = read_f(in.vs2, i);
+    switch (in.op) {
+      case Op::kVfredusum: acc += v; break;
+      case Op::kVfredmax: acc = std::fmax(acc, v); break;
+      case Op::kVfredmin: acc = std::fmin(acc, v); break;
+      default: fail("unhandled reduction");
+    }
+  }
+  write_f(in.vd, 0, acc);
+}
+
+void FunctionalEngine::exec_slide(const VInstr& in) {
+  const std::uint64_t vlmax_now = vlmax(cfg_.effective_vlen(), vtype_);
+  switch (in.op) {
+    case Op::kVfslide1up: {
+      // vd must not overlap vs2 (enforced by the builder): descending copy
+      // is safe either way.
+      for (std::uint64_t i = vl_; i-- > 1;) {
+        if (active(in, i)) write_f(in.vd, i, read_f(in.vs2, i - 1));
+      }
+      if (active(in, 0)) write_f(in.vd, 0, scalar_of(in));
+      return;
+    }
+    case Op::kVfslide1down: {
+      for (std::uint64_t i = 0; i + 1 < vl_; ++i) {
+        if (active(in, i)) write_f(in.vd, i, read_f(in.vs2, i + 1));
+      }
+      if (vl_ > 0 && active(in, vl_ - 1)) write_f(in.vd, vl_ - 1, scalar_of(in));
+      return;
+    }
+    case Op::kVslideupVX: {
+      const auto k = static_cast<std::uint64_t>(in.xs);
+      for (std::uint64_t i = vl_; i-- > k;) {
+        if (active(in, i)) write_x(in.vd, i, read_x(in.vs2, i - k));
+      }
+      return;  // elements [0, k) remain undisturbed
+    }
+    case Op::kVslidedownVX: {
+      const auto k = static_cast<std::uint64_t>(in.xs);
+      for (std::uint64_t i = 0; i < vl_; ++i) {
+        if (!active(in, i)) continue;
+        const std::uint64_t src = i + k;
+        write_x(in.vd, i, src < vlmax_now ? read_x(in.vs2, src) : 0);
+      }
+      return;
+    }
+    default: fail("unhandled slide");
+  }
+}
+
+void FunctionalEngine::exec_mask(const VInstr& in) {
+  const double fs = scalar_of(in);
+  for (std::uint64_t i = 0; i < vl_; ++i) {
+    if (!active(in, i)) continue;
+    bool bit = false;
+    switch (in.op) {
+      case Op::kVmfeqVV: bit = read_f(in.vs2, i) == read_f(in.vs1, i); break;
+      case Op::kVmfltVV: bit = read_f(in.vs2, i) < read_f(in.vs1, i); break;
+      case Op::kVmfleVV: bit = read_f(in.vs2, i) <= read_f(in.vs1, i); break;
+      case Op::kVmfltVF: bit = read_f(in.vs2, i) < fs; break;
+      case Op::kVmfleVF: bit = read_f(in.vs2, i) <= fs; break;
+      case Op::kVmfgtVF: bit = read_f(in.vs2, i) > fs; break;
+      case Op::kVmfgeVF: bit = read_f(in.vs2, i) >= fs; break;
+      case Op::kVmandMM: bit = vrf_.mask_bit(in.vs2, i) && vrf_.mask_bit(in.vs1, i); break;
+      case Op::kVmorMM: bit = vrf_.mask_bit(in.vs2, i) || vrf_.mask_bit(in.vs1, i); break;
+      case Op::kVmxorMM: bit = vrf_.mask_bit(in.vs2, i) != vrf_.mask_bit(in.vs1, i); break;
+      case Op::kVmandnMM:
+        bit = vrf_.mask_bit(in.vs2, i) && !vrf_.mask_bit(in.vs1, i);
+        break;
+      default: fail("unhandled mask op");
+    }
+    vrf_.set_mask_bit(in.vd, i, bit);
+  }
+}
+
+}  // namespace araxl

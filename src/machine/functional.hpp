@@ -1,0 +1,68 @@
+// Functional (architectural) execution of the RVV subset.
+//
+// The machine model separates *what* an instruction computes from *when*
+// its results appear: this engine updates the physical VRF, memory, and the
+// scalar accumulator with exact IEEE-754 semantics in program order, while
+// machine/timing.cpp models when each element becomes visible. The split is
+// sound because the timing model enforces the same program-order dataflow
+// the functional engine assumes (hazards + chaining).
+#ifndef ARAXL_MACHINE_FUNCTIONAL_HPP
+#define ARAXL_MACHINE_FUNCTIONAL_HPP
+
+#include <cstdint>
+
+#include "isa/program.hpp"
+#include "machine/config.hpp"
+#include "mem/main_memory.hpp"
+#include "vrf/vrf.hpp"
+
+namespace araxl {
+
+class FunctionalEngine {
+ public:
+  FunctionalEngine(const MachineConfig& cfg, Vrf& vrf, MainMemory& mem);
+
+  /// Executes one vector instruction (including vsetvli) architecturally.
+  void exec(const VInstr& in);
+
+  [[nodiscard]] std::uint64_t vl() const noexcept { return vl_; }
+  [[nodiscard]] Vtype vtype() const noexcept { return vtype_; }
+  /// Value captured by the last vfmv.f.s (the scalar FP accumulator).
+  [[nodiscard]] double scalar_acc() const noexcept { return scalar_acc_; }
+  /// Value captured by the last vcpop.m / vfirst.m (integer accumulator).
+  [[nodiscard]] std::int64_t scalar_iacc() const noexcept { return scalar_iacc_; }
+
+ private:
+  // Element accessors honouring the current SEW.
+  [[nodiscard]] double read_f(unsigned reg, std::uint64_t i) const;
+  void write_f(unsigned reg, std::uint64_t i, double v);
+  [[nodiscard]] std::uint64_t read_x(unsigned reg, std::uint64_t i) const;
+  void write_x(unsigned reg, std::uint64_t i, std::uint64_t v);
+  [[nodiscard]] bool active(const VInstr& in, std::uint64_t i) const;
+  [[nodiscard]] unsigned ew_bytes() const { return sew_bytes(vtype_.sew); }
+  [[nodiscard]] double scalar_of(const VInstr& in) const {
+    return in.fs_from_acc ? scalar_acc_ : in.fs;
+  }
+
+  void exec_memory(const VInstr& in);
+  void exec_fp(const VInstr& in);
+  void exec_int(const VInstr& in);
+  void exec_reduction(const VInstr& in);
+  void exec_slide(const VInstr& in);
+  void exec_mask(const VInstr& in);
+  void exec_widening(const VInstr& in);
+  void exec_gather(const VInstr& in);
+  void exec_mask_population(const VInstr& in);
+
+  const MachineConfig& cfg_;
+  Vrf& vrf_;
+  MainMemory& mem_;
+  Vtype vtype_{};
+  std::uint64_t vl_ = 0;
+  double scalar_acc_ = 0.0;
+  std::int64_t scalar_iacc_ = 0;
+};
+
+}  // namespace araxl
+
+#endif  // ARAXL_MACHINE_FUNCTIONAL_HPP

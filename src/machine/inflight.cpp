@@ -1,0 +1,3 @@
+#include "machine/inflight.hpp"
+
+// Inflight is a passive aggregate; this translation unit anchors the module.

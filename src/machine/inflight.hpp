@@ -1,0 +1,80 @@
+// In-flight vector instruction state tracked by the timing engine.
+#ifndef ARAXL_MACHINE_INFLIGHT_HPP
+#define ARAXL_MACHINE_INFLIGHT_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instr.hpp"
+#include "sim/cycle.hpp"
+#include "sim/pipe.hpp"
+
+namespace araxl {
+
+/// Chaining dependency on an older in-flight instruction.
+///
+/// Element i of the consumer needs element (i + offset) of the producer to
+/// have been produced at least `lag` cycles ago (the producer unit's result
+/// latency). `full` marks scalar-style dependencies (e.g. the vs1 seed of a
+/// reduction) that require the producer to have finished entirely.
+struct Dep {
+  std::uint64_t producer = 0;
+  std::int64_t offset = 0;
+  unsigned lag = 0;
+  bool full = false;
+};
+
+/// Progress phases of a reduction (paper §III-B.4): accumulate in the
+/// lanes, combine across lanes, combine across clusters over the ring in a
+/// log-tree, reduce the SIMD word, write back the scalar.
+enum class RedPhase : std::uint8_t {
+  kIntraLane,
+  kInterLane,
+  kInterCluster,
+  kSimd,
+  kWriteback,
+  kDone,
+};
+
+struct Inflight {
+  std::uint64_t id = 0;
+  VInstr in{};
+  const OpSpec* spec = nullptr;
+  std::uint64_t vl = 0;       ///< element count captured at issue
+  unsigned ew = 8;            ///< element bytes captured at issue
+  Unit unit = Unit::kNone;
+
+  Cycle issued_at = 0;         ///< accepted by CVA6 (trace)
+  Cycle dispatched_at = 0;
+  Cycle start_at = 0;          ///< earliest cycle the first result can appear
+  Cycle first_result_at = kNeverCycle;  ///< first element produced (trace)
+  Cycle completed_at = kNeverCycle;
+
+  std::uint64_t produced = 0;  ///< element results produced so far
+  LaggedCounter hist;          ///< produced-count history for consumers
+  std::uint64_t rate_acc = 0;  ///< fractional-throughput accumulator (x256)
+
+  // Memory transfer state (loads/stores).
+  std::uint64_t bytes_total = 0;
+  std::uint64_t bytes_done = 0;
+  std::uint64_t head_skew = 0;  ///< useless bytes in the first beat (misalignment)
+
+  // Reduction phase machine.
+  RedPhase red_phase = RedPhase::kIntraLane;
+  Cycle red_phase_end = kNeverCycle;
+
+  std::vector<Dep> deps;
+
+  // Register claims (released at retirement).
+  unsigned write_base = 0;
+  unsigned write_count = 0;  ///< 0 when the op writes no register
+  unsigned read_base[3] = {0, 0, 0};
+  unsigned read_count[3] = {0, 0, 0};
+  unsigned read_groups = 0;
+
+  [[nodiscard]] bool finished_producing() const noexcept { return produced >= vl; }
+};
+
+}  // namespace araxl
+
+#endif  // ARAXL_MACHINE_INFLIGHT_HPP

@@ -1,0 +1,16 @@
+#include "machine/machine.hpp"
+
+namespace araxl {
+
+Machine::Machine(MachineConfig cfg)
+    : cfg_(std::move(cfg)),
+      mem_((cfg_.validate(), cfg_.mem_size_bytes)),
+      vrf_(cfg_.topo, cfg_.effective_vlen(), cfg_.mask_layout()),
+      fn_(cfg_, vrf_, mem_) {}
+
+RunStats Machine::run(const Program& prog, InstrTrace* trace) {
+  TimingEngine engine(cfg_, fn_, trace);
+  return engine.run(prog);
+}
+
+}  // namespace araxl

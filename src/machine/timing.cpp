@@ -1,0 +1,508 @@
+#include "machine/timing.hpp"
+
+#include <algorithm>
+
+#include "cluster/sequencer.hpp"
+#include "cluster/vlsu.hpp"
+#include "common/bits.hpp"
+#include "common/contracts.hpp"
+#include "isa/disasm.hpp"
+
+namespace araxl {
+namespace {
+
+/// Conservative address range touched by a vector memory op. Indexed
+/// accesses are unbounded (returns false).
+bool mem_range(const VInstr& in, std::uint64_t vl, unsigned ew, std::uint64_t* lo,
+               std::uint64_t* hi) {
+  switch (in.op) {
+    case Op::kVle:
+    case Op::kVse:
+      *lo = in.addr;
+      *hi = in.addr + vl * ew;
+      return true;
+    case Op::kVlse:
+    case Op::kVsse: {
+      const std::int64_t span = in.stride * static_cast<std::int64_t>(vl ? vl - 1 : 0);
+      const std::int64_t a = static_cast<std::int64_t>(in.addr);
+      *lo = static_cast<std::uint64_t>(std::min(a, a + span));
+      *hi = static_cast<std::uint64_t>(std::max(a, a + span)) + ew;
+      return true;
+    }
+    default: return false;  // indexed: unknown footprint
+  }
+}
+
+}  // namespace
+
+TimingEngine::TimingEngine(const MachineConfig& cfg, FunctionalEngine& fn,
+                           InstrTrace* trace)
+    : cfg_(cfg), fn_(fn), trace_(trace), reqi_(cfg), glsu_(cfg), ring_(cfg),
+      lanes_(cfg), cva6_(cfg) {}
+
+const Inflight* TimingEngine::find(std::uint64_t id) const {
+  const auto it = active_.find(id);
+  return it == active_.end() ? nullptr : it->second.get();
+}
+
+std::uint64_t TimingEngine::avail_elems(Cycle t, const Inflight& instr) const {
+  std::uint64_t avail = instr.vl;
+  for (const Dep& d : instr.deps) {
+    const Inflight* p = find(d.producer);
+    if (p == nullptr) continue;  // retired: fully available
+    std::uint64_t pa;
+    if (d.full) {
+      pa = p->finished_producing() ? instr.vl : 0;
+    } else {
+      const std::uint64_t raw = p->hist.value_at_lag(t, d.lag);
+      const std::int64_t adj = static_cast<std::int64_t>(raw) - d.offset;
+      pa = adj < 0 ? 0 : static_cast<std::uint64_t>(adj);
+    }
+    avail = std::min(avail, pa);
+  }
+  return avail;
+}
+
+void TimingEngine::account(Unit u, const Inflight& instr, std::uint64_t adv) {
+  stats_.unit_busy_elems[static_cast<std::size_t>(u)] += adv;
+  if (u == Unit::kFpu) stats_.fpu_result_elems += adv;
+  stats_.flops += adv * instr.spec->flops_per_elem;
+}
+
+void TimingEngine::finish_producing(Cycle t, Inflight& instr) {
+  if (instr.spec->is_reduction) {
+    // Enter the inter-lane phase; advance_red_phases() walks the rest.
+    instr.red_phase = RedPhase::kInterLane;
+    instr.red_phase_end =
+        t + static_cast<Cycle>(log2_ceil(cfg_.topo.lanes)) * cfg_.red_step_latency;
+    return;
+  }
+  instr.completed_at = t + lanes_.chain_lag(instr.unit);
+}
+
+void TimingEngine::advance_red_phases(Cycle t, Inflight& instr) {
+  while (instr.red_phase != RedPhase::kDone && t >= instr.red_phase_end) {
+    const Cycle base = instr.red_phase_end;
+    switch (instr.red_phase) {
+      case RedPhase::kInterLane:
+        // Next: inter-cluster log-tree over the ring (paper §III-B.4).
+        instr.red_phase = RedPhase::kInterCluster;
+        instr.red_phase_end = base + ring_.reduction_tree_cycles();
+        break;
+      case RedPhase::kInterCluster: {
+        const Cycle dur = instr.ew < 8
+                              ? static_cast<Cycle>(log2_ceil(8 / instr.ew)) *
+                                    cfg_.red_step_latency
+                              : 0;
+        instr.red_phase = RedPhase::kSimd;
+        instr.red_phase_end = base + dur;
+        break;
+      }
+      case RedPhase::kSimd:
+        instr.red_phase = RedPhase::kWriteback;
+        instr.red_phase_end = base + cfg_.writeback_latency;
+        break;
+      case RedPhase::kWriteback:
+        instr.red_phase = RedPhase::kDone;
+        instr.completed_at = base;
+        // Tree combine steps perform total_lanes-1 additional adds.
+        stats_.flops += cfg_.total_lanes() - 1;
+        break;
+      case RedPhase::kIntraLane:
+      case RedPhase::kDone: return;
+    }
+  }
+}
+
+void TimingEngine::advance_arith(Cycle t, Inflight& instr) {
+  if (t < instr.start_at) return;
+  std::uint64_t r256 = lanes_.rate256(instr.in.op, instr.ew);
+  if (instr.unit == Unit::kSldu &&
+      (ring_.long_slide(slide_offset(instr.in)) ||
+       (instr.spec->is_gather && ring_.present()))) {
+    // Long slides and gathers/compressions funnel through the 64-bit ring
+    // links: one element per cluster per cycle.
+    r256 = std::uint64_t{cfg_.topo.clusters} * (8 / instr.ew) * 256;
+  }
+  if (instr.unit == Unit::kLoad || instr.unit == Unit::kStore) {
+    // Element-granular strided/indexed beats from the per-cluster addrgens.
+    r256 = std::uint64_t{cfg_.topo.clusters} * 256;
+  }
+  instr.rate_acc += r256;
+  const std::uint64_t quota = instr.rate_acc >> 8;
+  instr.rate_acc &= 0xFF;  // unused whole-element slots are lost, not banked
+  if (quota == 0) return;
+  const std::uint64_t avail = avail_elems(t, instr);
+  if (avail <= instr.produced) return;
+  const std::uint64_t adv =
+      std::min({quota, avail - instr.produced, instr.vl - instr.produced});
+  if (adv == 0) return;
+  if (instr.produced == 0) instr.first_result_at = t;
+  instr.produced += adv;
+  instr.hist.record(t, instr.produced);
+  account(instr.unit, instr, adv);
+  if (instr.finished_producing()) finish_producing(t, instr);
+}
+
+void TimingEngine::advance_load(Cycle t, Inflight& instr) {
+  if (t < instr.start_at) return;
+  if (elementwise_mem_op(instr.in.op)) {
+    advance_arith(t, instr);  // element-granular beats
+    return;
+  }
+  const std::uint64_t raw_total = instr.head_skew + instr.bytes_total;
+  const std::uint64_t grant =
+      std::min(glsu_.bus_bytes(), raw_total - instr.bytes_done);
+  if (grant == 0) return;
+  instr.bytes_done += grant;
+  const std::uint64_t useful =
+      instr.bytes_done > instr.head_skew ? instr.bytes_done - instr.head_skew : 0;
+  const std::uint64_t new_produced =
+      std::min<std::uint64_t>(instr.vl, useful / instr.ew);
+  if (new_produced > instr.produced) {
+    if (instr.produced == 0) instr.first_result_at = t;
+    account(instr.unit, instr, new_produced - instr.produced);
+    instr.produced = new_produced;
+    instr.hist.record(t, instr.produced);
+  }
+  if (instr.bytes_done >= raw_total && instr.finished_producing()) {
+    instr.completed_at = t + lanes_.chain_lag(Unit::kLoad);
+  }
+}
+
+void TimingEngine::advance_store(Cycle t, Inflight& instr) {
+  if (t < instr.start_at) return;
+  if (elementwise_mem_op(instr.in.op)) {
+    advance_arith(t, instr);
+    return;
+  }
+  const std::uint64_t avail = avail_elems(t, instr);
+  const std::uint64_t raw_total = instr.head_skew + instr.bytes_total;
+  const std::uint64_t sendable =
+      std::min(raw_total, instr.head_skew + avail * instr.ew);
+  if (sendable <= instr.bytes_done) return;
+  const std::uint64_t grant =
+      std::min(glsu_.bus_bytes(), sendable - instr.bytes_done);
+  instr.bytes_done += grant;
+  const std::uint64_t useful =
+      instr.bytes_done > instr.head_skew ? instr.bytes_done - instr.head_skew : 0;
+  const std::uint64_t new_produced =
+      std::min<std::uint64_t>(instr.vl, useful / instr.ew);
+  if (new_produced > instr.produced) {
+    if (instr.produced == 0) instr.first_result_at = t;
+    account(instr.unit, instr, new_produced - instr.produced);
+    instr.produced = new_produced;
+    instr.hist.record(t, instr.produced);
+  }
+  if (instr.bytes_done >= raw_total) {
+    instr.completed_at = t + lanes_.chain_lag(Unit::kStore);
+  }
+}
+
+void TimingEngine::advance_head(Cycle t, Inflight& instr) {
+  switch (instr.unit) {
+    case Unit::kLoad: advance_load(t, instr); break;
+    case Unit::kStore: advance_store(t, instr); break;
+    default: advance_arith(t, instr); break;
+  }
+}
+
+void TimingEngine::tick_unit(Cycle t, Unit u) {
+  auto& q = unitq_[static_cast<std::size_t>(u)];
+  bool head_found = false;
+  for (const std::uint64_t id : q) {
+    Inflight& instr = *active_.at(id);
+    if (instr.spec->is_reduction && instr.finished_producing() &&
+        instr.red_phase != RedPhase::kDone) {
+      advance_red_phases(t, instr);
+    }
+    if (!head_found && !instr.finished_producing()) {
+      head_found = true;
+      advance_head(t, instr);
+    }
+  }
+}
+
+void TimingEngine::tick_units(Cycle t) {
+  for (std::size_t u = 1; u < kNumUnits; ++u) {
+    tick_unit(t, static_cast<Unit>(u));
+  }
+}
+
+void TimingEngine::release_claims(const Inflight& instr) {
+  for (unsigned r = instr.write_base; r < instr.write_base + instr.write_count;
+       ++r) {
+    if (regs_[r].writer == instr.id) regs_[r].writer = 0;
+  }
+  for (unsigned g = 0; g < instr.read_groups; ++g) {
+    for (unsigned r = instr.read_base[g]; r < instr.read_base[g] + instr.read_count[g];
+         ++r) {
+      auto& readers = regs_[r].readers;
+      readers.erase(std::remove(readers.begin(), readers.end(), instr.id),
+                    readers.end());
+    }
+  }
+}
+
+void TimingEngine::retire(Cycle t) {
+  for (auto& q : unitq_) {
+    while (!q.empty()) {
+      const auto it = active_.find(q.front());
+      debug_check(it != active_.end(), "queued instruction missing from active set");
+      Inflight& instr = *it->second;
+      if (instr.completed_at > t) break;
+      if (trace_ != nullptr) {
+        TraceRecord rec;
+        rec.id = instr.id;
+        rec.text = disasm(instr.in);
+        rec.unit = instr.unit;
+        rec.vl = instr.vl;
+        rec.issued = instr.issued_at;
+        rec.dispatched = instr.dispatched_at;
+        rec.first_result =
+            instr.first_result_at == kNeverCycle ? 0 : instr.first_result_at;
+        rec.completed = instr.completed_at;
+        trace_->add(rec);
+      }
+      release_claims(instr);
+      active_.erase(it);
+      q.pop_front();
+    }
+  }
+}
+
+bool TimingEngine::mem_conflict(const Pending& p) const {
+  const OpSpec& spec = op_spec(p.in.op);
+  if (!spec.reads_mem && !spec.writes_mem) return false;
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  const bool bounded = mem_range(p.in, p.vl, p.ew, &lo, &hi);
+  // A load must not race an in-flight store over the same bytes (and vice
+  // versa). Same-kind ops are ordered by their in-order unit queue.
+  const Unit other = spec.reads_mem ? Unit::kStore : Unit::kLoad;
+  for (const std::uint64_t id : unitq_[static_cast<std::size_t>(other)]) {
+    const Inflight& o = *active_.at(id);
+    std::uint64_t olo = 0;
+    std::uint64_t ohi = 0;
+    if (!bounded || !mem_range(o.in, o.vl, o.ew, &olo, &ohi)) return true;
+    if (lo < ohi && olo < hi) return true;
+  }
+  return false;
+}
+
+void TimingEngine::tick_dispatch(Cycle t) {
+  if (seq_.empty() || seq_.front().arrive_at > t) return;
+  const Pending& p = seq_.front();
+  const OpSpec& spec = op_spec(p.in.op);
+  const Unit unit = spec.unit;
+  auto& q = unitq_[static_cast<std::size_t>(unit)];
+  if (q.size() >= cfg_.unit_queue_depth) return;
+  if (mem_conflict(p)) return;
+
+  const auto [wb, wc] = write_group(p.in, p.group_regs);
+  const ReadGroups rgs = read_groups(p.in, p.group_regs);
+
+  // WAW/WAR hazards: cross-unit conflicts stall dispatch; same-unit
+  // conflicts are safe because units execute strictly in order.
+  for (unsigned r = wb; r < wb + wc; ++r) {
+    if (const Inflight* w = find(regs_[r].writer); w != nullptr && w->unit != unit) {
+      return;
+    }
+    for (const std::uint64_t rid : regs_[r].readers) {
+      if (const Inflight* rd = find(rid); rd != nullptr && rd->unit != unit) return;
+    }
+  }
+
+  auto instr = std::make_unique<Inflight>();
+  instr->id = next_id_++;
+  instr->in = p.in;
+  instr->spec = &spec;
+  instr->vl = p.vl;
+  instr->ew = p.ew;
+  instr->unit = unit;
+  instr->issued_at = p.issued_at;
+  instr->dispatched_at = t;
+
+  // RAW chaining dependencies on in-flight producers of the source groups.
+  const std::int64_t offset = spec.is_slide ? slide_offset(p.in) : 0;
+  for (unsigned g = 0; g < rgs.n; ++g) {
+    const bool is_vd_source = spec.reads_vd && rgs.base[g] == p.in.vd;
+    for (unsigned r = rgs.base[g]; r < rgs.base[g] + rgs.count[g]; ++r) {
+      const Inflight* w = find(regs_[r].writer);
+      if (w == nullptr) continue;
+      Dep d;
+      d.producer = w->id;
+      d.lag = lanes_.chain_lag(w->unit);
+      d.offset = (spec.is_slide && !is_vd_source) ? offset : 0;
+      // Reduction seeds need the producer finished; gathers read arbitrary
+      // source elements, so they cannot chain either.
+      d.full = (spec.is_reduction && rgs.base[g] == p.in.vs1 && rgs.count[g] == 1) ||
+               spec.is_gather;
+      const bool dup =
+          std::any_of(instr->deps.begin(), instr->deps.end(),
+                      [&](const Dep& e) { return e.producer == d.producer; });
+      if (!dup) instr->deps.push_back(d);
+    }
+  }
+
+  // Claim registers.
+  instr->write_base = wb;
+  instr->write_count = wc;
+  for (unsigned r = wb; r < wb + wc; ++r) regs_[r].writer = instr->id;
+  instr->read_groups = rgs.n;
+  for (unsigned g = 0; g < rgs.n; ++g) {
+    instr->read_base[g] = rgs.base[g];
+    instr->read_count[g] = rgs.count[g];
+    for (unsigned r = rgs.base[g]; r < rgs.base[g] + rgs.count[g]; ++r) {
+      regs_[r].readers.push_back(instr->id);
+    }
+  }
+
+  // Start latency and memory setup.
+  switch (unit) {
+    case Unit::kLoad:
+      instr->start_at = t + glsu_.load_latency();
+      instr->bytes_total = p.vl * p.ew;
+      if (!elementwise_mem_op(p.in.op)) instr->head_skew = glsu_.head_skew(p.in.addr);
+      stats_.mem_read_bytes += instr->bytes_total;
+      break;
+    case Unit::kStore:
+      instr->start_at = t + glsu_.store_latency();
+      instr->bytes_total = p.vl * p.ew;
+      if (!elementwise_mem_op(p.in.op)) instr->head_skew = glsu_.head_skew(p.in.addr);
+      stats_.mem_write_bytes += instr->bytes_total;
+      break;
+    case Unit::kSldu:
+      instr->start_at =
+          t + lanes_.start_latency() + ring_.slide_start_penalty(slide_offset(p.in));
+      break;
+    default:
+      instr->start_at = t + lanes_.start_latency();
+      break;
+  }
+
+  q.push_back(instr->id);
+  active_.emplace(instr->id, std::move(instr));
+  seq_.pop_front();
+}
+
+bool TimingEngine::reg_pending_write(unsigned reg) const {
+  if (find(regs_[reg].writer) != nullptr) return true;
+  for (const Pending& p : seq_) {
+    const auto [wb, wc] = write_group(p.in, p.group_regs);
+    if (reg >= wb && reg < wb + wc) return true;
+  }
+  return false;
+}
+
+void TimingEngine::tick_cva6(Cycle t) {
+  if (t < cva6_free_ || pc_ >= prog_->ops.size()) return;
+  const ProgOp& op = prog_->ops[pc_];
+
+  if (const auto* s = std::get_if<ScalarOp>(&op)) {
+    cva6_free_ = t + cva6_.scalar_cost(*s);
+    ++stats_.scalar_ops;
+    ++pc_;
+    return;
+  }
+
+  const VInstr& in = std::get<VInstr>(op);
+  if (in.op == Op::kVsetvli) {
+    fn_.exec(in);
+    cva6_free_ = t + reqi_.ack_latency() + 1;
+    ++stats_.vinstrs;
+    ++pc_;
+    return;
+  }
+  const OpSpec& spec = op_spec(in.op);
+  if (spec.returns_scalar) {
+    // vfmv.f.s / vcpop.m / vfirst.m: CVA6 blocks until the producing vector
+    // instruction has fully retired, then the scalar crosses the REQI
+    // response path.
+    if (reg_pending_write(in.vs2)) {
+      ++stats_.scalar_wait_cycles;
+      return;
+    }
+    fn_.exec(in);
+    cva6_free_ = t + reqi_.ack_latency();
+    ++stats_.vinstrs;
+    ++pc_;
+    return;
+  }
+
+  if (seq_.size() >= cfg_.seq_queue_depth) {
+    ++stats_.issue_stall_cycles;
+    return;
+  }
+
+  Pending p;
+  p.in = in;
+  p.vl = in.op == Op::kVfmvSF ? std::min<std::uint64_t>(1, fn_.vl()) : fn_.vl();
+  p.ew = sew_bytes(fn_.vtype().sew);
+  p.group_regs = fn_.vtype().lmul.group_regs();
+  p.issued_at = t;
+  p.arrive_at = t + reqi_.fwd_latency();
+  fn_.exec(in);  // architectural effects in program order
+  ++stats_.vinstrs;
+  ++pc_;
+  cva6_free_ = t + reqi_.ack_latency();
+  if (p.vl == 0) return;  // nothing to execute
+  seq_.push_back(p);
+}
+
+bool TimingEngine::drained() const {
+  return pc_ >= prog_->ops.size() && seq_.empty() && active_.empty();
+}
+
+void TimingEngine::progress_watchdog(Cycle t) {
+  std::uint64_t sig = pc_ * 1315423911ull + seq_.size() * 2654435761ull +
+                      active_.size() * 40503ull;
+  for (const auto& [id, instr] : active_) {
+    sig += id * 31 + instr->produced * 7 + instr->bytes_done * 3 +
+           static_cast<std::uint64_t>(instr->red_phase);
+  }
+  if (sig != last_progress_sig_) {
+    last_progress_sig_ = sig;
+    last_progress_cycle_ = t;
+    return;
+  }
+  if (t - last_progress_cycle_ > 500000) {
+    std::string diag = "timing engine deadlock at pc " + std::to_string(pc_);
+    for (const auto& [id, instr] : active_) {
+      diag += "; #" + std::to_string(id) + " " + disasm(instr->in) + " produced " +
+              std::to_string(instr->produced) + "/" + std::to_string(instr->vl);
+    }
+    fail(diag);
+  }
+}
+
+RunStats TimingEngine::run(const Program& prog) {
+  prog_ = &prog;
+  pc_ = 0;
+  cva6_free_ = 0;
+  stats_ = RunStats{};
+  stats_.total_lanes = cfg_.total_lanes();
+  active_.clear();
+  seq_.clear();
+  for (auto& q : unitq_) q.clear();
+  for (auto& r : regs_) {
+    r.writer = 0;
+    r.readers.clear();
+  }
+  last_progress_sig_ = ~std::uint64_t{0};
+  last_progress_cycle_ = 0;
+
+  Cycle t = 0;
+  while (!drained()) {
+    tick_units(t);
+    retire(t);
+    tick_dispatch(t);
+    tick_cva6(t);
+    if ((t & 0xFFF) == 0) progress_watchdog(t);
+    ++t;
+  }
+  stats_.cycles = t;
+  return stats_;
+}
+
+}  // namespace araxl

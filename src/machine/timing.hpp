@@ -1,0 +1,110 @@
+// Cycle-stepped timing engine.
+//
+// Composes the component models (REQI, GLSU, RINGI, lane group, sequencer
+// rules, CVA6) into the machine-level schedule: the issue path (CVA6 ->
+// REQI -> sequencer -> unit queues), per-unit in-order execution with
+// element-granular operand chaining across units, the GLSU memory pipeline
+// with bandwidth and misalignment, slide traffic over the RINGI, and the
+// multi-phase reduction schedule. Functional execution happens in program
+// order at issue time (see machine/functional.hpp for why the split is
+// sound).
+#ifndef ARAXL_MACHINE_TIMING_HPP
+#define ARAXL_MACHINE_TIMING_HPP
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "interconnect/glsu.hpp"
+#include "interconnect/reqi.hpp"
+#include "interconnect/ring.hpp"
+#include "lane/lane_group.hpp"
+#include "machine/config.hpp"
+#include "machine/functional.hpp"
+#include "machine/inflight.hpp"
+#include "scalar/cva6.hpp"
+#include "sim/stats.hpp"
+#include "trace/trace.hpp"
+
+namespace araxl {
+
+class TimingEngine {
+ public:
+  TimingEngine(const MachineConfig& cfg, FunctionalEngine& fn,
+               InstrTrace* trace = nullptr);
+
+  /// Simulates `prog` to completion and returns the run statistics.
+  RunStats run(const Program& prog);
+
+ private:
+  struct RegState {
+    std::uint64_t writer = 0;           ///< active in-flight writer (0 = none)
+    std::vector<std::uint64_t> readers; ///< active in-flight readers
+  };
+
+  /// Instruction accepted by CVA6, travelling to / waiting in the sequencer.
+  /// vl/ew/group_regs are captured at issue: a later vsetvli in the sequencer
+  /// pipeline must not retroactively change an older instruction's shape.
+  struct Pending {
+    VInstr in{};
+    std::uint64_t vl = 0;
+    unsigned ew = 8;
+    unsigned group_regs = 1;
+    Cycle issued_at = 0;
+    Cycle arrive_at = 0;
+  };
+
+  // -- per-cycle phases -------------------------------------------------------
+  void tick_units(Cycle t);
+  void tick_unit(Cycle t, Unit u);
+  void advance_head(Cycle t, Inflight& instr);
+  void advance_arith(Cycle t, Inflight& instr);
+  void advance_load(Cycle t, Inflight& instr);
+  void advance_store(Cycle t, Inflight& instr);
+  void advance_red_phases(Cycle t, Inflight& instr);
+  void retire(Cycle t);
+  void tick_dispatch(Cycle t);
+  void tick_cva6(Cycle t);
+
+  // -- helpers ----------------------------------------------------------------
+  [[nodiscard]] bool drained() const;
+  [[nodiscard]] const Inflight* find(std::uint64_t id) const;
+  [[nodiscard]] std::uint64_t avail_elems(Cycle t, const Inflight& instr) const;
+  [[nodiscard]] bool reg_pending_write(unsigned reg) const;
+  [[nodiscard]] bool mem_conflict(const Pending& p) const;
+  void account(Unit u, const Inflight& instr, std::uint64_t adv);
+  void finish_producing(Cycle t, Inflight& instr);
+  void release_claims(const Inflight& instr);
+  void progress_watchdog(Cycle t);
+
+  const MachineConfig& cfg_;
+  FunctionalEngine& fn_;
+  InstrTrace* trace_ = nullptr;
+  ReqiModel reqi_;
+  GlsuModel glsu_;
+  RingModel ring_;
+  LaneGroupModel lanes_;
+  Cva6Model cva6_;
+  RunStats stats_{};
+
+  const Program* prog_ = nullptr;
+  std::size_t pc_ = 0;
+  Cycle cva6_free_ = 0;
+
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Inflight>> active_;
+  std::array<std::deque<std::uint64_t>, kNumUnits> unitq_;
+  std::deque<Pending> seq_;
+  std::array<RegState, kNumVregs> regs_;
+
+  // watchdog
+  std::uint64_t last_progress_sig_ = ~std::uint64_t{0};
+  Cycle last_progress_cycle_ = 0;
+};
+
+}  // namespace araxl
+
+#endif  // ARAXL_MACHINE_TIMING_HPP

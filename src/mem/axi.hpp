@@ -1,0 +1,35 @@
+// AXI-style request decomposition. The GLSU's Addrgen stage splits vector
+// memory requests into bursts that respect bus width and the AXI 4-KiB
+// boundary rule; the beat counts drive the timing model and the Align stage
+// cost (misaligned first beats).
+#ifndef ARAXL_MEM_AXI_HPP
+#define ARAXL_MEM_AXI_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace araxl {
+
+/// One AXI burst: contiguous, within a 4-KiB page.
+struct AxiBurst {
+  std::uint64_t addr = 0;
+  std::uint64_t len_bytes = 0;
+  /// Number of data beats on a bus of `bus_bytes` (set by split function).
+  std::uint64_t beats = 0;
+};
+
+/// Splits [addr, addr+len) into bursts that do not cross 4-KiB boundaries
+/// and computes per-burst beat counts for the given bus width.
+/// Misalignment costs an extra beat whenever the first byte is not
+/// bus-aligned (the Align stage shifts it into place).
+std::vector<AxiBurst> split_bursts(std::uint64_t addr, std::uint64_t len_bytes,
+                                   std::uint64_t bus_bytes);
+
+/// Total data beats needed to move [addr, addr+len) over a `bus_bytes` bus,
+/// including the misalignment penalty beat per burst.
+std::uint64_t total_beats(std::uint64_t addr, std::uint64_t len_bytes,
+                          std::uint64_t bus_bytes);
+
+}  // namespace araxl
+
+#endif  // ARAXL_MEM_AXI_HPP

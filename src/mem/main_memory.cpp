@@ -1,0 +1,34 @@
+#include "mem/main_memory.hpp"
+
+#include <algorithm>
+
+namespace araxl {
+
+MainMemory::MainMemory(std::uint64_t size_bytes) : bytes_(size_bytes, 0) {
+  check(size_bytes > 0, "memory size must be positive");
+}
+
+void MainMemory::read(std::uint64_t addr, std::span<std::uint8_t> out) const {
+  bounds(addr, out.size());
+  std::memcpy(out.data(), bytes_.data() + addr, out.size());
+}
+
+void MainMemory::write(std::uint64_t addr, std::span<const std::uint8_t> in) {
+  bounds(addr, in.size());
+  std::memcpy(bytes_.data() + addr, in.data(), in.size());
+}
+
+void MainMemory::store_doubles(std::uint64_t addr, std::span<const double> values) {
+  bounds(addr, values.size() * sizeof(double));
+  std::memcpy(bytes_.data() + addr, values.data(), values.size() * sizeof(double));
+}
+
+std::vector<double> MainMemory::load_doubles(std::uint64_t addr,
+                                             std::size_t count) const {
+  bounds(addr, count * sizeof(double));
+  std::vector<double> out(count);
+  std::memcpy(out.data(), bytes_.data() + addr, count * sizeof(double));
+  return out;
+}
+
+}  // namespace araxl

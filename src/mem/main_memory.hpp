@@ -1,0 +1,65 @@
+// Flat L2 memory model. AraXL's clusters see L2 through the GLSU; the
+// functional side is a plain byte-addressable store with typed accessors,
+// while all timing (latency, bandwidth, beats) is modelled in the GLSU and
+// the timing engine.
+#ifndef ARAXL_MEM_MAIN_MEMORY_HPP
+#define ARAXL_MEM_MAIN_MEMORY_HPP
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace araxl {
+
+/// Byte-addressable main memory (the paper assumes an L2 of at least
+/// 16 MiB to fit the benchmarks; we default to 64 MiB).
+class MainMemory {
+ public:
+  static constexpr std::uint64_t kDefaultSize = 64ull << 20;
+
+  explicit MainMemory(std::uint64_t size_bytes = kDefaultSize);
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return bytes_.size(); }
+
+  void read(std::uint64_t addr, std::span<std::uint8_t> out) const;
+  void write(std::uint64_t addr, std::span<const std::uint8_t> in);
+
+  /// Typed scalar accessors (little-endian, matching RISC-V).
+  template <typename T>
+  [[nodiscard]] T load(std::uint64_t addr) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    bounds(addr, sizeof(T));
+    T v;
+    std::memcpy(&v, bytes_.data() + addr, sizeof(T));
+    return v;
+  }
+
+  template <typename T>
+  void store(std::uint64_t addr, T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    bounds(addr, sizeof(T));
+    std::memcpy(bytes_.data() + addr, &v, sizeof(T));
+  }
+
+  /// Bulk helpers for workload setup/verification.
+  void store_doubles(std::uint64_t addr, std::span<const double> values);
+  [[nodiscard]] std::vector<double> load_doubles(std::uint64_t addr,
+                                                 std::size_t count) const;
+
+  void fill(std::uint8_t value) { std::fill(bytes_.begin(), bytes_.end(), value); }
+
+ private:
+  void bounds(std::uint64_t addr, std::uint64_t len) const {
+    check(addr + len <= bytes_.size() && addr + len >= addr,
+          "memory access out of bounds");
+  }
+
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace araxl
+
+#endif  // ARAXL_MEM_MAIN_MEMORY_HPP

@@ -1,0 +1,140 @@
+#include "ppa/floorplan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/contracts.hpp"
+
+namespace araxl {
+namespace {
+
+struct Rect {
+  double x, y, w, h;
+};
+
+/// Recursively slices `rect` among blocks [lo, hi), cutting perpendicular
+/// to the longer side and splitting the block list at the area median.
+void slice(const std::vector<AreaBlock>& blocks, std::vector<std::size_t>& order,
+           std::size_t lo, std::size_t hi, Rect rect,
+           std::vector<PlacedBlock>& out) {
+  if (hi - lo == 1) {
+    const AreaBlock& b = blocks[order[lo]];
+    out.push_back({b.name, rect.x, rect.y, rect.w, rect.h});
+    return;
+  }
+  double total = 0.0;
+  for (std::size_t i = lo; i < hi; ++i) total += blocks[order[i]].kge;
+  // Split point: accumulate until half the area (at least one block per
+  // side).
+  double acc = 0.0;
+  std::size_t mid = lo;
+  for (std::size_t i = lo; i + 1 < hi; ++i) {
+    acc += blocks[order[i]].kge;
+    mid = i + 1;
+    if (acc >= total / 2) break;
+  }
+  double frac = 0.0;
+  for (std::size_t i = lo; i < mid; ++i) frac += blocks[order[i]].kge;
+  frac /= total;
+
+  if (rect.w >= rect.h) {
+    const double w1 = rect.w * frac;
+    slice(blocks, order, lo, mid, {rect.x, rect.y, w1, rect.h}, out);
+    slice(blocks, order, mid, hi, {rect.x + w1, rect.y, rect.w - w1, rect.h}, out);
+  } else {
+    const double h1 = rect.h * frac;
+    slice(blocks, order, lo, mid, {rect.x, rect.y, rect.w, h1}, out);
+    slice(blocks, order, mid, hi, {rect.x, rect.y + h1, rect.w, rect.h - h1}, out);
+  }
+}
+
+}  // namespace
+
+Floorplan slice_floorplan(const std::vector<AreaBlock>& blocks,
+                          double utilization) {
+  check(!blocks.empty(), "floorplan needs at least one block");
+  check(utilization > 0.0 && utilization <= 1.0, "utilization must be in (0, 1]");
+  double total_kge = 0.0;
+  for (const AreaBlock& b : blocks) {
+    check(b.kge > 0.0, "block areas must be positive");
+    total_kge += b.kge;
+  }
+  const double block_mm2 = total_kge * kMm2PerKge;
+  const double die_mm2 = block_mm2 / utilization;
+  const double side = std::sqrt(die_mm2);
+
+  // Place big blocks first (stable area-descending order) for a compact
+  // slicing tree.
+  std::vector<std::size_t> order(blocks.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return blocks[a].kge > blocks[b].kge;
+  });
+
+  Floorplan fp;
+  fp.die_w = side;
+  fp.die_h = side;
+  // The slicing region covers `utilization` of the die, centered.
+  const double margin = side * (1.0 - std::sqrt(utilization)) / 2.0;
+  const double span = side - 2 * margin;
+  slice(blocks, order, 0, blocks.size(), {margin, margin, span, span}, fp.blocks);
+
+  // Scale block rectangles so each covers exactly its share of the slicing
+  // region (slicing is area-exact by construction; this asserts it).
+  return fp;
+}
+
+Floorplan machine_floorplan(const MachineConfig& cfg) {
+  const AreaModel model;
+  std::vector<AreaBlock> blocks;
+  if (cfg.kind == MachineKind::kAraXL) {
+    for (unsigned c = 0; c < cfg.topo.clusters; ++c) {
+      blocks.push_back({"cluster" + std::to_string(c), model.cluster_kge()});
+    }
+    blocks.push_back({"CVA6", model.cva6_kge(cfg)});
+    blocks.push_back({"GLSU", model.glsu_kge(cfg.topo.clusters)});
+    blocks.push_back({"RINGI", model.ringi_kge(cfg.topo.clusters)});
+    blocks.push_back({"REQI", model.reqi_kge(cfg.topo.clusters)});
+  } else {
+    const AreaBreakdown bd = model.breakdown(cfg);
+    for (const AreaBlock& b : bd.blocks) blocks.push_back(b);
+  }
+  return slice_floorplan(blocks);
+}
+
+std::string Floorplan::render(unsigned cols) const {
+  check(cols >= 20, "rendering needs at least 20 columns");
+  const double scale = cols / die_w;
+  const unsigned rows = std::max(10u, static_cast<unsigned>(die_h * scale / 2.2));
+  const double yscale = rows / die_h;
+
+  std::vector<std::string> grid(rows + 1, std::string(cols + 1, ' '));
+  for (const PlacedBlock& b : blocks) {
+    const auto x0 = static_cast<unsigned>(b.x * scale);
+    const auto y0 = static_cast<unsigned>(b.y * yscale);
+    const auto x1 = std::min<unsigned>(cols, static_cast<unsigned>((b.x + b.w) * scale));
+    const auto y1 = std::min<unsigned>(rows, static_cast<unsigned>((b.y + b.h) * yscale));
+    for (unsigned y = y0; y <= y1; ++y) {
+      for (unsigned x = x0; x <= x1; ++x) {
+        const bool border = y == y0 || y == y1 || x == x0 || x == x1;
+        if (border) grid[y][x] = (y == y0 || y == y1) ? '-' : '|';
+      }
+    }
+    // Label inside the block (clipped).
+    const unsigned ly = (y0 + y1) / 2;
+    unsigned lx = x0 + 2;
+    for (const char ch : b.name) {
+      if (lx + 1 >= x1) break;
+      grid[ly][lx++] = ch;
+    }
+  }
+  std::string out;
+  for (const auto& line : grid) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace araxl

@@ -1,0 +1,50 @@
+// Slicing-tree floorplanner — reproduces the hierarchical physical layout
+// of paper Fig. 8 (16-lane AraXL floorplan) from the area model.
+//
+// Blocks are placed by recursive area bisection with alternating cut
+// directions inside a square die sized for a given core utilization, the
+// standard first-order slicing floorplan used for early hierarchical P&R
+// exploration. Invariants (no overlap, containment, area proportionality)
+// are enforced by tests.
+#ifndef ARAXL_PPA_FLOORPLAN_HPP
+#define ARAXL_PPA_FLOORPLAN_HPP
+
+#include <string>
+#include <vector>
+
+#include "ppa/area_model.hpp"
+
+namespace araxl {
+
+/// Axis-aligned placed block (mm).
+struct PlacedBlock {
+  std::string name;
+  double x = 0.0;
+  double y = 0.0;
+  double w = 0.0;
+  double h = 0.0;
+
+  [[nodiscard]] double area() const { return w * h; }
+};
+
+struct Floorplan {
+  double die_w = 0.0;
+  double die_h = 0.0;
+  std::vector<PlacedBlock> blocks;
+
+  /// ASCII rendering (roughly `cols` characters wide).
+  [[nodiscard]] std::string render(unsigned cols = 72) const;
+};
+
+/// Floorplans a list of blocks into a square die at `utilization`
+/// (fraction of die area covered by blocks; 0.8 is typical).
+Floorplan slice_floorplan(const std::vector<AreaBlock>& blocks,
+                          double utilization = 0.8);
+
+/// Convenience: the Fig. 8 plan of a machine — CVA6 + top-level interfaces
+/// + one block per cluster (AraXL) or per lane group + A2A units (Ara2).
+Floorplan machine_floorplan(const MachineConfig& cfg);
+
+}  // namespace araxl
+
+#endif  // ARAXL_PPA_FLOORPLAN_HPP

@@ -1,0 +1,3 @@
+#include "ppa/freq_model.hpp"
+
+// FreqModel is header-only; this translation unit anchors the module.

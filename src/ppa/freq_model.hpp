@@ -1,0 +1,31 @@
+// Maximum-frequency model — paper §IV-D.a (22 nm, typical corner, 0.8 V).
+//
+// AraXL closes timing at 1.40 GHz up to 32 lanes because the A2A critical
+// paths of Ara2 (align/shuffle in the VLSU, bit-level MASKU) were replaced
+// with pipelined interconnects; the 64-lane instance degrades to 1.15 GHz
+// due to floorplan-induced routing congestion. Ara2's frequency falls with
+// lane count as the all-to-all wiring grows (1.08 GHz at 16 lanes).
+#ifndef ARAXL_PPA_FREQ_MODEL_HPP
+#define ARAXL_PPA_FREQ_MODEL_HPP
+
+#include "machine/config.hpp"
+
+namespace araxl {
+
+class FreqModel {
+ public:
+  /// Maximum clock frequency in GHz (TT corner, 0.8 V, 25 C).
+  [[nodiscard]] double freq_ghz(const MachineConfig& cfg) const {
+    if (cfg.kind == MachineKind::kAraXL) {
+      // Congestion hotspots appear when the cluster ring exceeds 8 stops
+      // (paper: 1.15 GHz at 64 lanes, 1.40 GHz up to 32).
+      return cfg.topo.clusters <= 8 ? 1.40 : 1.15;
+    }
+    // Ara2: the A2A units put the lane count in the critical path.
+    return 1.40 - 0.02 * cfg.topo.lanes;
+  }
+};
+
+}  // namespace araxl
+
+#endif  // ARAXL_PPA_FREQ_MODEL_HPP

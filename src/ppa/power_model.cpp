@@ -1,0 +1,34 @@
+#include "ppa/power_model.hpp"
+
+namespace araxl {
+namespace {
+
+// AraXL energy-per-cycle coefficients (pJ), solved exactly from the three
+// fmatmul power points implied by Table III (44.3 W.Eff 39.6 => 1.119 W at
+// 1.40 GHz, etc.):  E = a*total_lanes + b*clusters^2 + c.
+constexpr double kLanePj = 41.97;
+constexpr double kWirePj = 1.469;
+constexpr double kFixedPj = 104.0;
+
+// Ara2: A2A interconnect toggling folds into a larger per-lane energy
+// (30.3 GFLOPS/W at 16 lanes => 1.129 W at 1.08 GHz => 1045 pJ/cycle).
+constexpr double kAra2LanePj = 58.8;
+constexpr double kAra2FixedPj = 104.0;
+
+// Fraction of the active-lane energy that is utilization-independent
+// (clock tree, VRF standby, sequencers).
+constexpr double kIdleFraction = 0.35;
+
+}  // namespace
+
+double PowerModel::energy_per_cycle_pj(const MachineConfig& cfg,
+                                       double util) const {
+  const double activity = kIdleFraction + (1.0 - kIdleFraction) * util;
+  if (cfg.kind == MachineKind::kAraXL) {
+    const double c = cfg.topo.clusters;
+    return kLanePj * cfg.total_lanes() * activity + kWirePj * c * c + kFixedPj;
+  }
+  return kAra2LanePj * cfg.topo.lanes * activity + kAra2FixedPj;
+}
+
+}  // namespace araxl

@@ -1,0 +1,39 @@
+// Power / energy-efficiency model — paper §IV-D.b (post-layout PrimeTime
+// power at 0.8 V, TT, 25 C, running fmatmul in the long-vector regime).
+//
+// Energy per cycle decomposes into a per-lane term (FPU + VRF + operand
+// path), a quadratic-in-clusters interconnect wiring term, and a fixed
+// CVA6 + clock-tree term. The three coefficients are solved exactly from
+// the paper's three published efficiency points (39.6 / 40.4 / 40.1 GFLOPS/W at
+// 16/32/64 lanes); Ara2's higher per-lane energy (A2A toggling) is
+// calibrated from its 30.3 GFLOPS/W.
+#ifndef ARAXL_PPA_POWER_MODEL_HPP
+#define ARAXL_PPA_POWER_MODEL_HPP
+
+#include "machine/config.hpp"
+
+namespace araxl {
+
+class PowerModel {
+ public:
+  /// Dynamic + static energy per clock cycle in pJ while running a
+  /// compute-bound kernel at FPU utilization `util` (0..1).
+  [[nodiscard]] double energy_per_cycle_pj(const MachineConfig& cfg,
+                                           double util) const;
+
+  /// Total power in W at frequency `freq_ghz` and utilization `util`.
+  [[nodiscard]] double power_w(const MachineConfig& cfg, double freq_ghz,
+                               double util) const {
+    return energy_per_cycle_pj(cfg, util) * freq_ghz * 1e-3;
+  }
+
+  /// Energy efficiency in GFLOPS/W given achieved DP-FLOP/cycle.
+  [[nodiscard]] double gflops_per_w(const MachineConfig& cfg, double freq_ghz,
+                                    double flop_per_cycle, double util) const {
+    return flop_per_cycle * freq_ghz / power_w(cfg, freq_ghz, util);
+  }
+};
+
+}  // namespace araxl
+
+#endif  // ARAXL_PPA_POWER_MODEL_HPP

@@ -1,0 +1,41 @@
+#include "ppa/soa.hpp"
+
+namespace araxl {
+
+std::vector<SoaProcessor> fig1_landscape() {
+  // VLEN/FPU placements follow the paper's Fig. 1. For commercial cores
+  // whose shipping configurations are ranges (SiFive, Andes,
+  // Semidynamics), the figure's plotted point is used; the paper's §II text
+  // fixes Andes AX45MPV at 16 FPUs / 1024-bit VLEN and Semidynamics at 32
+  // FPUs / 4096-bit VLEN.
+  return {
+      {"2L-Ara2", 2048, 2, true},
+      {"4L-Ara2", 4096, 4, true},
+      {"8L-Ara2", 8192, 8, true},
+      {"16L-Ara2", 16384, 16, true},
+      {"16L-AraXL", 16384, 16, true},
+      {"32L-AraXL", 32768, 32, true},
+      {"64L-AraXL", 65536, 64, true},
+      {"Vitruvius+", 16384, 8, true},
+      {"SiFive P270", 256, 1, true},
+      {"SiFive X280/P670", 512, 2, true},
+      {"SiFive X390", 1024, 4, true},
+      {"Andes AX45MPV", 1024, 16, true},
+      {"Semidynamics", 4096, 32, true},
+      {"Spatz", 512, 4, true},
+      {"Vicuna-small", 128, 1, true},
+      {"Vicuna-fast", 2048, 8, true},
+      {"Arrow", 512, 1, true},
+      {"Fugaku A64FX", 512, 32, false},   // 2048-bit is the SVE ISA ceiling
+      {"NEC VE30", 16384, 32, false},     // 32 lanes per core, VLEN 16 Kibit
+  };
+}
+
+SoaPpaRow vitruvius_row() {
+  return {"Vitruvius+", 8, 1.40, 22.4, 47.3, 17.23,
+          "scalar core and caches not included"};
+}
+
+double nec_ve_area_eff_gflops_mm2() { return 10.16; }
+
+}  // namespace araxl

@@ -1,0 +1,45 @@
+// State-of-the-art survey data — paper Fig. 1 (VLEN vs FPUs landscape) and
+// the external rows of Table III.
+#ifndef ARAXL_PPA_SOA_HPP
+#define ARAXL_PPA_SOA_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace araxl {
+
+/// One processor in the Fig. 1 landscape.
+struct SoaProcessor {
+  std::string name;
+  std::uint64_t vlen_bits;  ///< vector register bit width
+  unsigned fpus;            ///< FPUs used by one vector instruction
+  bool riscv;
+};
+
+/// The Fig. 1 survey set (positions as plotted by the paper; entries whose
+/// public configurations are ranges use the figure's placement and are
+/// commented in the implementation).
+std::vector<SoaProcessor> fig1_landscape();
+
+/// External comparison row of Table III (Vitruvius+; the paper's footnote:
+/// scalar core and caches are not included in its efficiency metrics).
+struct SoaPpaRow {
+  std::string name;
+  unsigned lanes;
+  double freq_ghz;
+  double max_perf_gflops;
+  double energy_eff_gflops_w;
+  double area_eff_gflops_mm2;
+  std::string note;
+};
+
+SoaPpaRow vitruvius_row();
+
+/// Older-generation NEC vector engine area efficiency the paper quotes in
+/// §IV-E (10.16 DP-GFLOPS/mm^2 at 1.6 GHz).
+double nec_ve_area_eff_gflops_mm2();
+
+}  // namespace araxl
+
+#endif  // ARAXL_PPA_SOA_HPP

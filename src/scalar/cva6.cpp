@@ -1,0 +1,3 @@
+#include "scalar/cva6.hpp"
+
+// Cva6Model is header-only; this translation unit anchors the module.

@@ -1,0 +1,36 @@
+// CVA6 scalar core issue model — paper §III-A.
+//
+// The scalar core's influence on the vector evaluation is limited to (a)
+// the cycles its scalar bookkeeping consumes between vector issues, (b)
+// the d-cache latency of scalar loads feeding .vf operands, and (c) the
+// REQI handshake, which lives in ReqiModel. This model prices (a) and (b).
+#ifndef ARAXL_SCALAR_CVA6_HPP
+#define ARAXL_SCALAR_CVA6_HPP
+
+#include "isa/program.hpp"
+#include "machine/config.hpp"
+#include "sim/cycle.hpp"
+
+namespace araxl {
+
+class Cva6Model {
+ public:
+  explicit Cva6Model(const MachineConfig& cfg) : cfg_(&cfg) {}
+
+  /// Cycles CVA6 is busy executing one scalar op.
+  [[nodiscard]] Cycle scalar_cost(const ScalarOp& op) const {
+    switch (op.kind) {
+      case ScalarOp::Kind::kCycles: return op.count;
+      case ScalarOp::Kind::kLoad: return cfg_->dcache_load_latency;
+      case ScalarOp::Kind::kStore: return 1;
+    }
+    return 1;
+  }
+
+ private:
+  const MachineConfig* cfg_;
+};
+
+}  // namespace araxl
+
+#endif  // ARAXL_SCALAR_CVA6_HPP

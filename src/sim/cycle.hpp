@@ -1,0 +1,18 @@
+// Core time types of the cycle-stepped simulation kernel.
+#ifndef ARAXL_SIM_CYCLE_HPP
+#define ARAXL_SIM_CYCLE_HPP
+
+#include <cstdint>
+#include <limits>
+
+namespace araxl {
+
+/// Simulation time in clock cycles.
+using Cycle = std::uint64_t;
+
+/// Sentinel for "not yet scheduled / never".
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+}  // namespace araxl
+
+#endif  // ARAXL_SIM_CYCLE_HPP

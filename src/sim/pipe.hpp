@@ -1,0 +1,157 @@
+// Latency/queue building blocks for the interconnect models.
+//
+// `DelayLine` models a fixed-latency pipelined channel (one push per cycle,
+// items pop `latency` cycles later).  `BoundedQueue` models an elastic
+// buffer with backpressure.  Both are deliberately simple value types; the
+// timing engine advances them explicitly each cycle.
+#ifndef ARAXL_SIM_PIPE_HPP
+#define ARAXL_SIM_PIPE_HPP
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "sim/cycle.hpp"
+
+namespace araxl {
+
+/// Fixed-latency pipelined channel. Fully elastic in occupancy (it models a
+/// register chain, one slot per cycle of latency is never exceeded because
+/// the caller pushes at most once per cycle).
+template <typename T>
+class DelayLine {
+ public:
+  explicit DelayLine(Cycle latency) : latency_(latency) {}
+
+  /// Latency in cycles between push and availability.
+  [[nodiscard]] Cycle latency() const noexcept { return latency_; }
+  void set_latency(Cycle latency) noexcept { latency_ = latency; }
+
+  /// Enqueues `item` at time `now`; it becomes poppable at `now + latency`.
+  void push(Cycle now, T item) { items_.emplace_back(now + latency_, std::move(item)); }
+
+  /// True iff the head item has matured at time `now`.
+  [[nodiscard]] bool ready(Cycle now) const {
+    return !items_.empty() && items_.front().first <= now;
+  }
+
+  /// Pops the head item; precondition: ready(now).
+  T pop(Cycle now) {
+    check(ready(now), "DelayLine::pop on non-ready channel");
+    T item = std::move(items_.front().second);
+    items_.pop_front();
+    return item;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+
+ private:
+  Cycle latency_;
+  std::deque<std::pair<Cycle, T>> items_;
+};
+
+/// FIFO with a capacity bound; `try_push` fails (backpressure) when full.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    check(capacity_ > 0, "queue capacity must be positive");
+  }
+
+  [[nodiscard]] bool full() const noexcept { return items_.size() >= capacity_; }
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Pushes if space is available; returns false when full.
+  [[nodiscard]] bool try_push(T item) {
+    if (full()) return false;
+    items_.push_back(std::move(item));
+    return true;
+  }
+
+  /// Reference to the oldest element; precondition: !empty().
+  [[nodiscard]] T& front() {
+    check(!empty(), "front() on empty queue");
+    return items_.front();
+  }
+  [[nodiscard]] const T& front() const {
+    check(!empty(), "front() on empty queue");
+    return items_.front();
+  }
+
+  void pop() {
+    check(!empty(), "pop() on empty queue");
+    items_.pop_front();
+  }
+
+  /// Iteration support (e.g. for hazard scans over queued instructions).
+  [[nodiscard]] auto begin() const noexcept { return items_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return items_.end(); }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> items_;
+};
+
+/// Tracks recent samples of a monotonically increasing counter so a
+/// consumer can ask "what was the producer's count `lag` cycles ago?" —
+/// the mechanism behind result-latency-aware operand chaining.
+///
+/// Stores up to kDepth (cycle, value) change points; since the producer
+/// records at most once per cycle and chaining lags are single-digit
+/// cycles, the answer is always within the retained history.
+class LaggedCounter {
+ public:
+  static constexpr std::size_t kDepth = 64;
+
+  /// Records the counter value at cycle `now` (non-decreasing in both).
+  void record(Cycle now, std::uint64_t value) {
+    debug_check(count_ == 0 || value >= newest().value, "counter must be monotonic");
+    debug_check(count_ == 0 || now >= newest().cycle, "time must be monotonic");
+    if (count_ > 0 && newest().cycle == now) {
+      newest().value = value;
+      return;
+    }
+    if (count_ == kDepth) {
+      head_ = (head_ + 1) % kDepth;
+      --count_;
+    }
+    ring_[(head_ + count_) % kDepth] = Entry{now, value};
+    ++count_;
+  }
+
+  /// Value the counter had at cycle `now - lag`; 0 before any history.
+  [[nodiscard]] std::uint64_t value_at_lag(Cycle now, Cycle lag) const {
+    if (lag > now) return 0;
+    const Cycle when = now - lag;
+    for (std::size_t k = count_; k-- > 0;) {
+      const Entry& e = ring_[(head_ + k) % kDepth];
+      if (e.cycle <= when) return e.value;
+    }
+    return 0;
+  }
+
+  [[nodiscard]] std::uint64_t latest() const noexcept {
+    return count_ == 0 ? 0 : ring_[(head_ + count_ - 1) % kDepth].value;
+  }
+
+ private:
+  struct Entry {
+    Cycle cycle = 0;
+    std::uint64_t value = 0;
+  };
+
+  [[nodiscard]] Entry& newest() { return ring_[(head_ + count_ - 1) % kDepth]; }
+
+  Entry ring_[kDepth] = {};
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace araxl
+
+#endif  // ARAXL_SIM_PIPE_HPP

@@ -1,0 +1,38 @@
+#include "sim/stats.hpp"
+
+#include "common/fmt.hpp"
+
+namespace araxl {
+
+std::string_view unit_name(Unit u) {
+  switch (u) {
+    case Unit::kNone: return "none";
+    case Unit::kFpu: return "fpu";
+    case Unit::kAlu: return "alu";
+    case Unit::kLoad: return "load";
+    case Unit::kStore: return "store";
+    case Unit::kSldu: return "sldu";
+    case Unit::kMasku: return "masku";
+  }
+  return "?";
+}
+
+std::string RunStats::summary() const {
+  std::string out;
+  out += "cycles:            " + fmt_group(cycles) + "\n";
+  out += "vector instrs:     " + fmt_group(vinstrs) + "\n";
+  out += "scalar ops:        " + fmt_group(scalar_ops) + "\n";
+  out += "DP-FLOP:           " + fmt_group(flops) + "\n";
+  out += "DP-FLOP/cycle:     " + fmt_f(flop_per_cycle(), 2) + "\n";
+  out += "FPU utilization:   " + fmt_pct(fpu_util(), 1) + "\n";
+  out += "L2 read bytes:     " + fmt_group(mem_read_bytes) + "\n";
+  out += "L2 write bytes:    " + fmt_group(mem_write_bytes) + "\n";
+  for (std::size_t u = 1; u < kNumUnits; ++u) {
+    out += "busy[" + std::string(unit_name(static_cast<Unit>(u))) + "]: ";
+    out.append(12 - unit_name(static_cast<Unit>(u)).size(), ' ');
+    out += fmt_group(unit_busy_elems[u]) + " element-slots\n";
+  }
+  return out;
+}
+
+}  // namespace araxl

@@ -1,0 +1,70 @@
+// Run statistics collected by the timing engine. These counters are the
+// measurement interface of the whole reproduction: FPU utilization,
+// DP-FLOP/cycle, and the per-unit busy breakdown that the paper's Figures 6
+// and 7 are built from.
+#ifndef ARAXL_SIM_STATS_HPP
+#define ARAXL_SIM_STATS_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sim/cycle.hpp"
+
+namespace araxl {
+
+/// Execution units of a vector cluster (aggregated machine-wide by the
+/// timing engine; see DESIGN.md §3).
+enum class Unit : std::uint8_t {
+  kNone = 0,  // vsetvli and other non-executing ops
+  kFpu,       // FMA-capable floating-point pipeline (one per lane)
+  kAlu,       // integer/move/merge pipeline (one per lane)
+  kLoad,      // VLSU load path (through the GLSU on AraXL)
+  kStore,     // VLSU store path
+  kSldu,      // slide unit (ring-connected on AraXL)
+  kMasku,     // mask unit
+};
+
+inline constexpr std::size_t kNumUnits = 7;
+
+/// Human-readable unit name ("fpu", "load", ...).
+std::string_view unit_name(Unit u);
+
+/// Counters for one simulated program run.
+struct RunStats {
+  Cycle cycles = 0;                  ///< total runtime in cycles
+  std::uint64_t total_lanes = 0;     ///< lanes × clusters of the machine
+  std::uint64_t vinstrs = 0;         ///< vector instructions issued
+  std::uint64_t scalar_ops = 0;      ///< scalar (CVA6) operations retired
+  std::uint64_t flops = 0;           ///< DP-FLOP executed (FMA counts 2)
+  std::uint64_t fpu_result_elems = 0;///< element results produced by FPUs
+  std::uint64_t mem_read_bytes = 0;  ///< bytes read from L2
+  std::uint64_t mem_write_bytes = 0; ///< bytes written to L2
+  std::uint64_t issue_stall_cycles = 0;  ///< CVA6 cycles stalled on REQI ack
+  std::uint64_t scalar_wait_cycles = 0;  ///< CVA6 cycles waiting on vector results
+  std::array<std::uint64_t, kNumUnits> unit_busy_elems{};  ///< element slots per unit
+
+  /// Fraction of lane-FPU slots that produced a valid result — the paper's
+  /// FPU-utilization metric (Fig. 6 lines, Fig. 7 drops).
+  [[nodiscard]] double fpu_util() const {
+    if (cycles == 0 || total_lanes == 0) return 0.0;
+    return static_cast<double>(fpu_result_elems) /
+           (static_cast<double>(cycles) * static_cast<double>(total_lanes));
+  }
+
+  /// Achieved DP-FLOP per cycle (paper's performance metric before the
+  /// frequency model is applied).
+  [[nodiscard]] double flop_per_cycle() const {
+    return cycles == 0 ? 0.0 : static_cast<double>(flops) / static_cast<double>(cycles);
+  }
+
+  /// GFLOPS at a given clock frequency in GHz.
+  [[nodiscard]] double gflops(double freq_ghz) const { return flop_per_cycle() * freq_ghz; }
+
+  /// Multi-line human-readable dump (used by examples).
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace araxl
+
+#endif  // ARAXL_SIM_STATS_HPP

@@ -1,0 +1,45 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "common/fmt.hpp"
+
+namespace araxl {
+
+std::string InstrTrace::gantt(Cycle from_cycle, Cycle to_cycle, unsigned width,
+                              std::size_t max_rows) const {
+  check(to_cycle > from_cycle, "empty trace window");
+  check(width >= 10, "gantt needs at least 10 columns");
+  const double scale =
+      static_cast<double>(width) / static_cast<double>(to_cycle - from_cycle);
+  const auto col = [&](Cycle t) -> long {
+    return static_cast<long>(static_cast<double>(t - from_cycle) * scale);
+  };
+
+  std::string out = strprintf("cycles %llu .. %llu (1 column ~ %.1f cycles)\n",
+                              static_cast<unsigned long long>(from_cycle),
+                              static_cast<unsigned long long>(to_cycle),
+                              1.0 / scale);
+  std::size_t rows = 0;
+  for (const TraceRecord& r : records_) {
+    if (r.completed <= from_cycle || r.dispatched >= to_cycle) continue;
+    if (rows++ >= max_rows) {
+      out += "  ... (more instructions in window)\n";
+      break;
+    }
+    std::string bar(width, ' ');
+    const long c0 = std::clamp(col(r.dispatched), 0L, static_cast<long>(width) - 1);
+    const long c1 = std::clamp(col(r.completed), c0, static_cast<long>(width) - 1);
+    const long cs = std::clamp(r.first_result > 0 ? col(r.first_result) : c0, c0, c1);
+    for (long c = c0; c <= c1; ++c) bar[static_cast<std::size_t>(c)] = c < cs ? '.' : '=';
+    if (r.first_result > 0) bar[static_cast<std::size_t>(cs)] = '#';
+    std::string label = std::string(unit_name(r.unit)) + " " + r.text;
+    if (label.size() > 28) label.resize(28);
+    out += strprintf("%-28s |%s|\n", label.c_str(), bar.c_str());
+  }
+  if (rows == 0) out += "  (no instructions in window)\n";
+  return out;
+}
+
+}  // namespace araxl

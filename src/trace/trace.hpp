@@ -1,0 +1,53 @@
+// Instruction-level timing trace.
+//
+// When a trace sink is attached to Machine::run, the timing engine records
+// one record per vector instruction: issue (CVA6), dispatch (sequencer ->
+// unit queue), first result, and completion, plus the executing unit. The
+// Gantt renderer turns a window of the trace into an ASCII timeline —
+// the fastest way to see chaining, unit overlap and interface stalls.
+#ifndef ARAXL_TRACE_TRACE_HPP
+#define ARAXL_TRACE_TRACE_HPP
+
+#include <string>
+#include <vector>
+
+#include "sim/cycle.hpp"
+#include "sim/stats.hpp"
+
+namespace araxl {
+
+struct TraceRecord {
+  std::uint64_t id = 0;       ///< in-flight id (monotonic in dispatch order)
+  std::string text;           ///< disassembly
+  Unit unit = Unit::kNone;
+  std::uint64_t vl = 0;
+  Cycle issued = 0;           ///< accepted by CVA6
+  Cycle dispatched = 0;       ///< entered its unit queue
+  Cycle first_result = 0;     ///< first element produced (0 if none)
+  Cycle completed = 0;        ///< retired
+};
+
+class InstrTrace {
+ public:
+  void add(TraceRecord rec) { records_.push_back(std::move(rec)); }
+  void clear() { records_.clear(); }
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+
+  /// ASCII Gantt chart of records whose lifetime intersects
+  /// [from_cycle, to_cycle); `width` columns of timeline. '.' marks queue
+  /// wait, '=' execution, '#' the first-result cycle.
+  [[nodiscard]] std::string gantt(Cycle from_cycle, Cycle to_cycle,
+                                  unsigned width = 80,
+                                  std::size_t max_rows = 40) const;
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace araxl
+
+#endif  // ARAXL_TRACE_TRACE_HPP

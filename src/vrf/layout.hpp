@@ -1,0 +1,44 @@
+// Mask byte layouts (paper §III-B.5).
+//
+// Ara2 keeps masks in the standard RVV layout — bit i of the logical
+// register — whose bytes land in lanes according to the 64-bit-word
+// mapping, so using a mask requires distributing single bits across all
+// lanes through an all-to-all MASKU. AraXL introduces a dedicated layout
+// that stores the mask bit of element i inside the lane that owns element
+// i, making mask consumption entirely lane-local; converting a register
+// between layouts is the explicit "reshuffle" operation routed through
+// SLDU + RINGI.
+#ifndef ARAXL_VRF_LAYOUT_HPP
+#define ARAXL_VRF_LAYOUT_HPP
+
+#include <cstdint>
+
+#include "vrf/mapping.hpp"
+
+namespace araxl {
+
+enum class MaskLayout : std::uint8_t {
+  kStandard,   ///< RVV bitstring order (Ara2): bit i at logical byte i/8
+  kLaneLocal,  ///< AraXL encoding: bit of element i inside element i's lane
+};
+
+/// Physical home (cluster, lane, byte offset within the lane's slice of the
+/// mask register, plus bit position) of mask bit `i` under `layout`.
+struct MaskBitLoc {
+  unsigned cluster = 0;
+  unsigned lane = 0;
+  std::uint64_t byte_offset = 0;
+  unsigned bit = 0;
+};
+
+MaskBitLoc mask_bit_loc(const VrfMapping& map, MaskLayout layout, std::uint64_t i);
+
+/// Fraction of the first `vl` mask bits that live in the same lane as the
+/// element they guard. 1.0 for kLaneLocal by construction; ~1/total_lanes
+/// for kStandard — the quantity behind Ara2's A2A MASKU traffic.
+double mask_locality_fraction(const VrfMapping& map, MaskLayout layout,
+                              std::uint64_t vl);
+
+}  // namespace araxl
+
+#endif  // ARAXL_VRF_LAYOUT_HPP

@@ -1,0 +1,37 @@
+#include "vrf/mapping.hpp"
+
+#include "common/bits.hpp"
+#include "isa/vtype.hpp"  // kMaxVlenBits, kNumVregs
+
+namespace araxl {
+
+VrfMapping::VrfMapping(Topology topo, std::uint64_t vlen_bits)
+    : topo_(topo), vlen_bits_(vlen_bits) {
+  check(topo.clusters >= 1 && topo.lanes >= 1, "topology must be non-empty");
+  check(is_pow2(topo.clusters) && is_pow2(topo.lanes),
+        "cluster and lane counts must be powers of two");
+  check(is_pow2(vlen_bits) && vlen_bits >= 64 && vlen_bits <= kMaxVlenBits,
+        "VLEN must be a power of two in [64, 65536]");
+  check(vlen_bits % (64ull * topo.total_lanes()) == 0,
+        "each lane must hold whole 64-bit words of every register");
+  slice_bytes_ = vlen_bits_ / 8 / topo_.total_lanes();
+}
+
+VregLoc VrfMapping::element_loc(unsigned base_vreg, std::uint64_t idx,
+                                unsigned ew_bytes) const {
+  debug_check(ew_bytes == 1 || ew_bytes == 2 || ew_bytes == 4 || ew_bytes == 8,
+              "invalid element width");
+  const std::uint64_t epr = elems_per_reg(ew_bytes);
+  const unsigned vreg = base_vreg + static_cast<unsigned>(idx / epr);
+  check(vreg < kNumVregs, "element index spills past v31");
+  const std::uint64_t j = idx % epr;
+  VregLoc loc;
+  loc.vreg = vreg;
+  loc.cluster = cluster_of(j);
+  loc.lane = lane_of(j);
+  loc.byte_offset = row_of(j) * ew_bytes;
+  debug_check(loc.byte_offset + ew_bytes <= slice_bytes_, "slice overflow");
+  return loc;
+}
+
+}  // namespace araxl

@@ -1,0 +1,79 @@
+// Memory-to-VRF element mapping (paper §III-B.2).
+//
+// Ara2 maps element i to lane i (mod L) regardless of element width so that
+// mixed-width operations never reshuffle bytes between lanes. AraXL extends
+// the mapping hierarchically: element i lives in cluster ⌊i/L⌋ (mod C),
+// lane i (mod L), at row ⌊i/(L·C)⌋ of that lane's slice of the register.
+#ifndef ARAXL_VRF_MAPPING_HPP
+#define ARAXL_VRF_MAPPING_HPP
+
+#include <cstdint>
+
+#include "common/contracts.hpp"
+
+namespace araxl {
+
+/// Machine shape: C clusters of L lanes (Ara2 is modelled as C=1).
+struct Topology {
+  unsigned clusters = 1;
+  unsigned lanes = 4;
+
+  [[nodiscard]] constexpr unsigned total_lanes() const noexcept {
+    return clusters * lanes;
+  }
+  friend bool operator==(const Topology&, const Topology&) = default;
+};
+
+/// Physical home of one element (or mask bit) of a vector register.
+struct VregLoc {
+  unsigned vreg = 0;          ///< architectural register (after LMUL spill)
+  unsigned cluster = 0;
+  unsigned lane = 0;
+  std::uint64_t byte_offset = 0;  ///< within this lane's slice of the vreg
+};
+
+/// Pure mapping math shared by the VRF, the VLSU shuffle logic, and the
+/// layout tests.
+class VrfMapping {
+ public:
+  VrfMapping(Topology topo, std::uint64_t vlen_bits);
+
+  [[nodiscard]] Topology topology() const noexcept { return topo_; }
+  [[nodiscard]] std::uint64_t vlen_bits() const noexcept { return vlen_bits_; }
+
+  /// Bytes each lane contributes to one architectural register.
+  [[nodiscard]] std::uint64_t slice_bytes() const noexcept { return slice_bytes_; }
+
+  /// Elements of width `ew_bytes` held by one architectural register.
+  [[nodiscard]] std::uint64_t elems_per_reg(unsigned ew_bytes) const {
+    return vlen_bits_ / 8 / ew_bytes;
+  }
+
+  /// Physical home of element `idx` of the group starting at `base_vreg`
+  /// (idx may exceed one register under LMUL > 1).
+  [[nodiscard]] VregLoc element_loc(unsigned base_vreg, std::uint64_t idx,
+                                    unsigned ew_bytes) const;
+
+  /// Cluster that owns element `idx` (EW-independent, the key property of
+  /// the Ara2/AraXL mapping).
+  [[nodiscard]] unsigned cluster_of(std::uint64_t idx) const noexcept {
+    return static_cast<unsigned>((idx / topo_.lanes) % topo_.clusters);
+  }
+  /// Lane (within its cluster) that owns element `idx`.
+  [[nodiscard]] unsigned lane_of(std::uint64_t idx) const noexcept {
+    return static_cast<unsigned>(idx % topo_.lanes);
+  }
+  /// Row of element `idx` within its lane's slice.
+  [[nodiscard]] std::uint64_t row_of(std::uint64_t idx) const noexcept {
+    return idx / topo_.total_lanes();
+  }
+
+ private:
+  Topology topo_;
+  std::uint64_t vlen_bits_;
+  std::uint64_t slice_bytes_;
+};
+
+}  // namespace araxl
+
+#endif  // ARAXL_VRF_MAPPING_HPP

@@ -1,0 +1,123 @@
+#include "vrf/vrf.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "isa/instr.hpp"
+
+namespace araxl {
+
+Vrf::Vrf(Topology topo, std::uint64_t vlen_bits, MaskLayout mask_layout)
+    : map_(topo, vlen_bits), mask_layout_(mask_layout) {
+  bytes_.assign(static_cast<std::size_t>(topo.total_lanes()) * kNumVregs *
+                    map_.slice_bytes(),
+                0);
+}
+
+std::size_t Vrf::chunk_index(unsigned cluster, unsigned lane, unsigned vreg,
+                             std::uint64_t offset) const {
+  debug_check(cluster < map_.topology().clusters && lane < map_.topology().lanes &&
+                  vreg < kNumVregs && offset < map_.slice_bytes(),
+              "VRF index out of range");
+  const std::size_t lane_flat = cluster * map_.topology().lanes + lane;
+  return (lane_flat * kNumVregs + vreg) * map_.slice_bytes() + offset;
+}
+
+std::uint64_t Vrf::read_elem(unsigned base_vreg, std::uint64_t idx,
+                             unsigned ew_bytes) const {
+  const VregLoc loc = map_.element_loc(base_vreg, idx, ew_bytes);
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &bytes_[chunk_index(loc.cluster, loc.lane, loc.vreg,
+                                         loc.byte_offset)],
+              ew_bytes);
+  return bits;
+}
+
+void Vrf::write_elem(unsigned base_vreg, std::uint64_t idx, unsigned ew_bytes,
+                     std::uint64_t bits) {
+  const VregLoc loc = map_.element_loc(base_vreg, idx, ew_bytes);
+  std::memcpy(&bytes_[chunk_index(loc.cluster, loc.lane, loc.vreg, loc.byte_offset)],
+              &bits, ew_bytes);
+}
+
+double Vrf::read_f64(unsigned base_vreg, std::uint64_t idx) const {
+  return std::bit_cast<double>(read_elem(base_vreg, idx, 8));
+}
+void Vrf::write_f64(unsigned base_vreg, std::uint64_t idx, double v) {
+  write_elem(base_vreg, idx, 8, std::bit_cast<std::uint64_t>(v));
+}
+float Vrf::read_f32(unsigned base_vreg, std::uint64_t idx) const {
+  return std::bit_cast<float>(
+      static_cast<std::uint32_t>(read_elem(base_vreg, idx, 4)));
+}
+void Vrf::write_f32(unsigned base_vreg, std::uint64_t idx, float v) {
+  write_elem(base_vreg, idx, 4, std::bit_cast<std::uint32_t>(v));
+}
+std::int64_t Vrf::read_i64(unsigned base_vreg, std::uint64_t idx) const {
+  return static_cast<std::int64_t>(read_elem(base_vreg, idx, 8));
+}
+void Vrf::write_i64(unsigned base_vreg, std::uint64_t idx, std::int64_t v) {
+  write_elem(base_vreg, idx, 8, static_cast<std::uint64_t>(v));
+}
+
+std::vector<double> Vrf::read_f64_slice(unsigned base_vreg,
+                                        std::uint64_t count) const {
+  std::vector<double> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) out.push_back(read_f64(base_vreg, i));
+  return out;
+}
+
+bool Vrf::mask_bit_in(unsigned vreg, std::uint64_t i, MaskLayout layout) const {
+  const MaskBitLoc loc = mask_bit_loc(map_, layout, i);
+  const std::uint8_t byte =
+      bytes_[chunk_index(loc.cluster, loc.lane, vreg, loc.byte_offset)];
+  return ((byte >> loc.bit) & 1u) != 0;
+}
+
+void Vrf::set_mask_bit_in(unsigned vreg, std::uint64_t i, MaskLayout layout,
+                          bool value) {
+  const MaskBitLoc loc = mask_bit_loc(map_, layout, i);
+  std::uint8_t& byte =
+      bytes_[chunk_index(loc.cluster, loc.lane, vreg, loc.byte_offset)];
+  if (value) {
+    byte = static_cast<std::uint8_t>(byte | (1u << loc.bit));
+  } else {
+    byte = static_cast<std::uint8_t>(byte & ~(1u << loc.bit));
+  }
+}
+
+bool Vrf::mask_bit(unsigned vreg, std::uint64_t i) const {
+  return mask_bit_in(vreg, i, mask_layout_);
+}
+
+void Vrf::set_mask_bit(unsigned vreg, std::uint64_t i, bool value) {
+  set_mask_bit_in(vreg, i, mask_layout_, value);
+}
+
+std::uint64_t Vrf::reshuffle_mask(unsigned vreg, MaskLayout from, MaskLayout to,
+                                  std::uint64_t bits) {
+  std::vector<bool> values(bits);
+  std::uint64_t moved = 0;
+  for (std::uint64_t i = 0; i < bits; ++i) {
+    values[i] = mask_bit_in(vreg, i, from);
+    const MaskBitLoc a = mask_bit_loc(map_, from, i);
+    const MaskBitLoc b = mask_bit_loc(map_, to, i);
+    if (a.cluster != b.cluster || a.lane != b.lane) ++moved;
+  }
+  // Clear both encodings' footprints before rewriting to avoid stale bits.
+  for (std::uint64_t i = 0; i < bits; ++i) {
+    set_mask_bit_in(vreg, i, from, false);
+  }
+  for (std::uint64_t i = 0; i < bits; ++i) {
+    set_mask_bit_in(vreg, i, to, values[i]);
+  }
+  return moved;
+}
+
+std::uint8_t Vrf::lane_byte(unsigned cluster, unsigned lane, unsigned vreg,
+                            std::uint64_t offset) const {
+  return bytes_[chunk_index(cluster, lane, vreg, offset)];
+}
+
+}  // namespace araxl

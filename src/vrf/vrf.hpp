@@ -1,0 +1,76 @@
+// Physical Vector Register File.
+//
+// Storage is organized exactly as in the hardware: each (cluster, lane)
+// pair owns a chunk holding its slice of all 32 architectural registers
+// (e.g. 128 B x 32 = 4 KiB per lane at VLEN = 1024 bits/lane). All
+// functional reads/writes go through the element mapping, so the mapping
+// and layout logic is exercised by every simulated instruction.
+#ifndef ARAXL_VRF_VRF_HPP
+#define ARAXL_VRF_VRF_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "vrf/layout.hpp"
+#include "vrf/mapping.hpp"
+
+namespace araxl {
+
+class Vrf {
+ public:
+  Vrf(Topology topo, std::uint64_t vlen_bits, MaskLayout mask_layout);
+
+  [[nodiscard]] const VrfMapping& mapping() const noexcept { return map_; }
+  [[nodiscard]] MaskLayout mask_layout() const noexcept { return mask_layout_; }
+
+  // ---- raw element access (idx counts from base_vreg across LMUL) --------
+  [[nodiscard]] std::uint64_t read_elem(unsigned base_vreg, std::uint64_t idx,
+                                        unsigned ew_bytes) const;
+  void write_elem(unsigned base_vreg, std::uint64_t idx, unsigned ew_bytes,
+                  std::uint64_t bits);
+
+  // ---- typed convenience --------------------------------------------------
+  [[nodiscard]] double read_f64(unsigned base_vreg, std::uint64_t idx) const;
+  void write_f64(unsigned base_vreg, std::uint64_t idx, double v);
+  [[nodiscard]] float read_f32(unsigned base_vreg, std::uint64_t idx) const;
+  void write_f32(unsigned base_vreg, std::uint64_t idx, float v);
+  [[nodiscard]] std::int64_t read_i64(unsigned base_vreg, std::uint64_t idx) const;
+  void write_i64(unsigned base_vreg, std::uint64_t idx, std::int64_t v);
+
+  /// Reads `count` doubles starting at element 0 (test/verification aid).
+  [[nodiscard]] std::vector<double> read_f64_slice(unsigned base_vreg,
+                                                   std::uint64_t count) const;
+
+  // ---- mask registers ------------------------------------------------------
+  [[nodiscard]] bool mask_bit(unsigned vreg, std::uint64_t i) const;
+  void set_mask_bit(unsigned vreg, std::uint64_t i, bool value);
+
+  /// Converts mask register `vreg` (first `bits` bits) between layouts —
+  /// the reshuffle operation of paper §III-B.5. Returns the number of bits
+  /// that had to move to a different lane (the ring traffic the timing
+  /// model charges for).
+  std::uint64_t reshuffle_mask(unsigned vreg, MaskLayout from, MaskLayout to,
+                               std::uint64_t bits);
+
+  // ---- introspection (layout tests) ---------------------------------------
+  /// Raw byte inside one lane's slice of a register.
+  [[nodiscard]] std::uint8_t lane_byte(unsigned cluster, unsigned lane,
+                                       unsigned vreg, std::uint64_t offset) const;
+
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept { return bytes_.size(); }
+
+ private:
+  [[nodiscard]] std::size_t chunk_index(unsigned cluster, unsigned lane,
+                                        unsigned vreg, std::uint64_t offset) const;
+  [[nodiscard]] bool mask_bit_in(unsigned vreg, std::uint64_t i,
+                                 MaskLayout layout) const;
+  void set_mask_bit_in(unsigned vreg, std::uint64_t i, MaskLayout layout, bool value);
+
+  VrfMapping map_;
+  MaskLayout mask_layout_;
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace araxl
+
+#endif  // ARAXL_VRF_VRF_HPP

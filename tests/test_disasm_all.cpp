@@ -1,0 +1,73 @@
+// Exhaustive disassembler coverage: every opcode renders with its
+// mnemonic and plausibly formed operands, and program-level disassembly
+// truncates long programs gracefully.
+#include <gtest/gtest.h>
+
+#include "isa/disasm.hpp"
+
+namespace araxl {
+namespace {
+
+TEST(DisasmAll, EveryOpcodeRenders) {
+  for (unsigned op = 0; op < kNumOps; ++op) {
+    VInstr in;
+    in.op = static_cast<Op>(op);
+    in.vd = 8;
+    in.vs1 = 4;
+    in.vs2 = 12;
+    in.fs = 1.25;
+    in.xs = 3;
+    in.addr = 0x1000;
+    in.stride = 16;
+    in.avl = 64;
+    in.vtype = {Sew::k64, kLmul2};
+    const std::string text = disasm(in);
+    const OpSpec& spec = op_spec(in.op);
+    EXPECT_EQ(text.rfind(std::string(spec.mnemonic), 0), 0u)
+        << "disasm must start with the mnemonic: " << text;
+    if (spec.reads_vs2 && in.op != Op::kVsetvli) {
+      EXPECT_NE(text.find("v12"), std::string::npos) << text;
+    }
+    if (spec.writes_vd) {
+      EXPECT_NE(text.find("v8"), std::string::npos) << text;
+    }
+  }
+}
+
+TEST(DisasmAll, MemoryOperandsRendered) {
+  VInstr in;
+  in.op = Op::kVlse;
+  in.vd = 2;
+  in.addr = 0xABC0;
+  in.stride = -8;
+  const std::string text = disasm(in);
+  EXPECT_NE(text.find("0xabc0"), std::string::npos) << text;
+  EXPECT_NE(text.find("stride=-8"), std::string::npos) << text;
+}
+
+TEST(DisasmAll, ProgramTruncation) {
+  ProgramBuilder pb(8192, "long");
+  pb.vsetvli(64, Sew::k64, kLmul1);
+  for (int i = 0; i < 500; ++i) pb.vfadd_vv(8, 4, 4);
+  const Program p = pb.take();
+  const std::string text = disasm(p, 50);
+  EXPECT_NE(text.find("more)"), std::string::npos);
+  EXPECT_NE(text.find("program 'long'"), std::string::npos);
+  // Count rendered lines: header + 50 ops + truncation notice.
+  std::size_t lines = 0;
+  for (const char c : text) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 52u);
+}
+
+TEST(DisasmAll, MnemonicsAreUnique) {
+  for (unsigned a = 0; a < kNumOps; ++a) {
+    for (unsigned b = a + 1; b < kNumOps; ++b) {
+      EXPECT_NE(op_spec(static_cast<Op>(a)).mnemonic,
+                op_spec(static_cast<Op>(b)).mnemonic)
+          << a << " vs " << b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace araxl

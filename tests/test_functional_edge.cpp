@@ -1,0 +1,234 @@
+// Edge-case functional tests: IEEE special values, masked execution of
+// every instruction class, LMUL sweeps, narrow-element memory, and the exp
+// kernel's clamp masks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+#include "kernels/common.hpp"
+#include "kernels/exp_core.hpp"
+#include "machine/machine.hpp"
+
+namespace araxl {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+Machine small_machine() { return Machine(MachineConfig::araxl(8)); }
+
+TEST(IeeeEdge, MinMaxWithNanAndInf) {
+  // vfmin/vfmax follow IEEE 754 minNum/maxNum (fmin/fmax): a NaN operand
+  // yields the other operand.
+  Machine m = small_machine();
+  ProgramBuilder pb(m.config().effective_vlen(), "nan");
+  pb.vsetvli(4, Sew::k64, kLmul1);
+  pb.vfmax_vv(12, 8, 10);
+  pb.vfmin_vv(14, 8, 10);
+  const Program prog = pb.take();
+  const double a[4] = {kNan, 1.0, kInf, -kInf};
+  const double b[4] = {2.0, kNan, 5.0, 5.0};
+  for (int i = 0; i < 4; ++i) {
+    m.vrf().write_f64(8, i, a[i]);
+    m.vrf().write_f64(10, i, b[i]);
+  }
+  m.run(prog);
+  EXPECT_DOUBLE_EQ(m.vrf().read_f64(12, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.vrf().read_f64(12, 1), 1.0);
+  EXPECT_DOUBLE_EQ(m.vrf().read_f64(12, 2), kInf);
+  EXPECT_DOUBLE_EQ(m.vrf().read_f64(14, 3), -kInf);
+}
+
+TEST(IeeeEdge, DivisionSpecials) {
+  Machine m = small_machine();
+  ProgramBuilder pb(m.config().effective_vlen(), "div");
+  pb.vsetvli(3, Sew::k64, kLmul1);
+  pb.vfdiv_vv(12, 8, 10);
+  const Program prog = pb.take();
+  const double a[3] = {1.0, -1.0, 0.0};
+  const double b[3] = {0.0, 0.0, 0.0};
+  for (int i = 0; i < 3; ++i) {
+    m.vrf().write_f64(8, i, a[i]);
+    m.vrf().write_f64(10, i, b[i]);
+  }
+  m.run(prog);
+  EXPECT_DOUBLE_EQ(m.vrf().read_f64(12, 0), kInf);
+  EXPECT_DOUBLE_EQ(m.vrf().read_f64(12, 1), -kInf);
+  EXPECT_TRUE(std::isnan(m.vrf().read_f64(12, 2)));
+}
+
+TEST(IeeeEdge, SignedZeroThroughSgnj) {
+  Machine m = small_machine();
+  ProgramBuilder pb(m.config().effective_vlen(), "szero");
+  pb.vsetvli(1, Sew::k64, kLmul1);
+  pb.vfsgnjn_vv(12, 8, 8);  // negate
+  const Program prog = pb.take();
+  m.vrf().write_f64(8, 0, 0.0);
+  m.run(prog);
+  EXPECT_TRUE(std::signbit(m.vrf().read_f64(12, 0)));
+}
+
+TEST(MaskedEdge, SlidesRespectMask) {
+  Machine m = small_machine();
+  const std::uint64_t vl = 32;
+  ProgramBuilder pb(m.config().effective_vlen(), "mslide");
+  pb.vsetvli(vl, Sew::k64, kLmul1);
+  // Masked slide through the raw instruction interface: builder emits the
+  // unmasked form, so drive the engine directly via a masked vfadd after a
+  // slide to prove mask+slide composition (paper kernels never mask
+  // slides; the ISA allows it and the model must not corrupt inactive
+  // elements).
+  pb.vfslide1down(12, 8, 7.0);
+  pb.vfadd_vf(12, 12, 100.0, /*masked=*/true);
+  const Program prog = pb.take();
+  const auto a = random_doubles(vl, -1, 1, 41);
+  for (std::uint64_t i = 0; i < vl; ++i) {
+    m.vrf().write_f64(8, i, a[i]);
+    m.vrf().set_mask_bit(0, i, i % 4 == 0);
+  }
+  m.run(prog);
+  for (std::uint64_t i = 0; i < vl; ++i) {
+    const double slid = i + 1 < vl ? a[i + 1] : 7.0;
+    const double expect = i % 4 == 0 ? slid + 100.0 : slid;
+    EXPECT_DOUBLE_EQ(m.vrf().read_f64(12, i), expect) << i;
+  }
+}
+
+TEST(MaskedEdge, ReductionSkipsInactive) {
+  Machine m = small_machine();
+  const std::uint64_t vl = 48;
+  ProgramBuilder pb(m.config().effective_vlen(), "mred");
+  pb.vsetvli(vl, Sew::k64, kLmul1);
+  pb.vfmv_s_f(4, 0.0);
+  {
+    // Masked reduction via the raw instruction (builder keeps reductions
+    // unmasked for the paper kernels).
+    VInstr in;
+    in.op = Op::kVfredusum;
+    in.vd = 12;
+    in.vs1 = 4;
+    in.vs2 = 8;
+    in.masked = true;
+    // Emit through a tiny manual program extension:
+    Program p = pb.take();
+    p.ops.emplace_back(in);
+    const auto a = random_doubles(vl, -1, 1, 42);
+    double expect = 0.0;
+    for (std::uint64_t i = 0; i < vl; ++i) {
+      m.vrf().write_f64(8, i, a[i]);
+      const bool bit = i % 3 == 0;
+      m.vrf().set_mask_bit(0, i, bit);
+      if (bit) expect += a[i];
+    }
+    m.run(p);
+    EXPECT_NEAR(m.vrf().read_f64(12, 0), expect, 1e-12);
+  }
+}
+
+class LmulSweep : public testing::TestWithParam<int> {};
+
+TEST_P(LmulSweep, ElementwiseAcrossGroups) {
+  const Lmul ml{static_cast<std::int8_t>(GetParam())};
+  Machine m = small_machine();
+  ProgramBuilder pb(m.config().effective_vlen(), "lmul");
+  const std::uint64_t vl = pb.vlmax(Sew::k64, ml);
+  pb.vsetvli(vl, Sew::k64, ml);
+  pb.vfmacc_vv(16, 0, 8);
+  const Program prog = pb.take();
+  const auto a = random_doubles(vl, -1, 1, 43);
+  const auto b = random_doubles(vl, -1, 1, 44);
+  const auto d = random_doubles(vl, -1, 1, 45);
+  for (std::uint64_t i = 0; i < vl; ++i) {
+    m.vrf().write_f64(0, i, a[i]);
+    m.vrf().write_f64(8, i, b[i]);
+    m.vrf().write_f64(16, i, d[i]);
+  }
+  m.run(prog);
+  for (std::uint64_t i = 0; i < vl; ++i) {
+    EXPECT_DOUBLE_EQ(m.vrf().read_f64(16, i), std::fma(a[i], b[i], d[i])) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLmuls, LmulSweep, testing::Values(-1, 0, 1, 2, 3),
+                         [](const testing::TestParamInfo<int>& info) {
+                           const int v = info.param;
+                           return v < 0 ? "mf" + std::to_string(1 << -v)
+                                        : "m" + std::to_string(1 << v);
+                         });
+
+class NarrowMem : public testing::TestWithParam<Sew> {};
+
+TEST_P(NarrowMem, LoadStoreRoundTrip) {
+  const Sew sew = GetParam();
+  const unsigned ew = sew_bytes(sew);
+  Machine m = small_machine();
+  const std::uint64_t vl = 100;
+  ProgramBuilder pb(m.config().effective_vlen(), "narrow");
+  pb.vsetvli(vl, sew, kLmul1);
+  pb.vle(8, 0x10000);
+  pb.vadd_vx(12, 8, 1);
+  pb.vse(12, 0x20000);
+  const Program prog = pb.take();
+  Rng rng(46);
+  std::vector<std::uint8_t> data(vl * ew);
+  for (auto& byte : data) byte = static_cast<std::uint8_t>(rng.next_below(256));
+  m.mem().write(0x10000, data);
+  m.run(prog);
+  for (std::uint64_t i = 0; i < vl; ++i) {
+    std::uint64_t in_bits = 0;
+    std::memcpy(&in_bits, data.data() + i * ew, ew);
+    std::uint64_t out_bits = 0;
+    std::vector<std::uint8_t> out(ew);
+    m.mem().read(0x20000 + i * ew, out);
+    std::memcpy(&out_bits, out.data(), ew);
+    const std::uint64_t mask = ew >= 8 ? ~0ull : ((1ull << (8 * ew)) - 1);
+    EXPECT_EQ(out_bits, (in_bits + 1) & mask) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, NarrowMem,
+                         testing::Values(Sew::k8, Sew::k16, Sew::k32, Sew::k64),
+                         [](const testing::TestParamInfo<Sew>& info) {
+                           return std::string(sew_name(info.param));
+                         });
+
+TEST(ExpClamps, OverflowToInfUnderflowToZero) {
+  Machine m = small_machine();
+  ProgramBuilder pb(m.config().effective_vlen(), "clamp");
+  pb.vsetvli(4, Sew::k64, kLmul1);
+  ExpRegs regs;
+  emit_exp_core(pb, regs);
+  const Program prog = pb.take();
+  m.vrf().write_f64(regs.x, 0, 800.0);    // overflow
+  m.vrf().write_f64(regs.x, 1, -800.0);   // underflow
+  m.vrf().write_f64(regs.x, 2, 0.0);      // exp(0) = 1
+  m.vrf().write_f64(regs.x, 3, 1.0);      // exp(1) = e
+  m.run(prog);
+  EXPECT_DOUBLE_EQ(m.vrf().read_f64(regs.out, 0), kInf);
+  EXPECT_DOUBLE_EQ(m.vrf().read_f64(regs.out, 1), 0.0);
+  EXPECT_NEAR(m.vrf().read_f64(regs.out, 2), 1.0, 1e-14);
+  EXPECT_NEAR(m.vrf().read_f64(regs.out, 3), std::exp(1.0), 1e-13);
+}
+
+TEST(ExpCore, AccuracyOverFullRange) {
+  Machine m = small_machine();
+  ProgramBuilder pb(m.config().effective_vlen(), "expacc");
+  const std::uint64_t vl = 128;
+  pb.vsetvli(vl, Sew::k64, kLmul1);
+  ExpRegs regs;
+  emit_exp_core(pb, regs);
+  const Program prog = pb.take();
+  const auto xs = random_doubles(vl, -700.0, 700.0, 47);
+  for (std::uint64_t i = 0; i < vl; ++i) m.vrf().write_f64(regs.x, i, xs[i]);
+  m.run(prog);
+  for (std::uint64_t i = 0; i < vl; ++i) {
+    const double expect = std::exp(xs[i]);
+    const double got = m.vrf().read_f64(regs.out, i);
+    EXPECT_NEAR(got, expect, std::abs(expect) * 1e-12) << "x=" << xs[i];
+  }
+}
+
+}  // namespace
+}  // namespace araxl

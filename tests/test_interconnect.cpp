@@ -1,0 +1,278 @@
+// Unit tests: component models — REQI, GLSU, RINGI, lane group, sequencer
+// rules, per-cluster VLSU/SLDU/MASKU helpers, CVA6 cost model, machine
+// configuration.
+#include <gtest/gtest.h>
+
+#include "cluster/masku.hpp"
+#include "cluster/sequencer.hpp"
+#include "cluster/sldu.hpp"
+#include "cluster/vlsu.hpp"
+#include "common/contracts.hpp"
+#include "interconnect/glsu.hpp"
+#include "interconnect/reqi.hpp"
+#include "interconnect/ring.hpp"
+#include "lane/lane_group.hpp"
+#include "scalar/cva6.hpp"
+
+namespace araxl {
+namespace {
+
+TEST(Config, FactoriesAndNames) {
+  const MachineConfig a = MachineConfig::araxl(64);
+  EXPECT_EQ(a.topo.clusters, 16u);
+  EXPECT_EQ(a.topo.lanes, 4u);
+  EXPECT_EQ(a.name(), "64L-AraXL");
+  const MachineConfig b = MachineConfig::ara2(16);
+  EXPECT_EQ(b.topo.clusters, 1u);
+  EXPECT_EQ(b.name(), "16L-Ara2");
+}
+
+TEST(Config, VlenRule) {
+  // VLEN = 1024 bits x total lanes, capped at the RVV maximum.
+  EXPECT_EQ(MachineConfig::araxl(8).effective_vlen(), 8192u);
+  EXPECT_EQ(MachineConfig::araxl(16).effective_vlen(), 16384u);
+  EXPECT_EQ(MachineConfig::araxl(64).effective_vlen(), 65536u);
+  EXPECT_EQ(MachineConfig::ara2(16).effective_vlen(), 16384u);
+}
+
+TEST(Config, RejectsInvalid) {
+  EXPECT_THROW(MachineConfig::ara2(32), ContractViolation);   // Ara2 caps at 16
+  EXPECT_THROW(MachineConfig::araxl(4), ContractViolation);   // needs >= 2 clusters
+  EXPECT_THROW(MachineConfig::araxl(12), ContractViolation);  // non-pow2 clusters
+  // Clusters of 2-8 lanes are allowed for design-space exploration; 16 is
+  // past the A2A scalability knee and rejected.
+  EXPECT_NO_THROW(MachineConfig::araxl_shaped(8, 8));
+  EXPECT_THROW(MachineConfig::araxl_shaped(4, 16), ContractViolation);
+  EXPECT_THROW(MachineConfig::araxl_shaped(1, 4), ContractViolation);
+}
+
+TEST(Config, MemBandwidthPerLane) {
+  EXPECT_EQ(MachineConfig::araxl(64).mem_bytes_per_cycle(), 512u);
+  EXPECT_EQ(MachineConfig::ara2(8).mem_bytes_per_cycle(), 64u);
+}
+
+TEST(Config, MaskLayoutPerKind) {
+  EXPECT_EQ(MachineConfig::araxl(16).mask_layout(), MaskLayout::kLaneLocal);
+  EXPECT_EQ(MachineConfig::ara2(16).mask_layout(), MaskLayout::kStandard);
+}
+
+TEST(Reqi, RegisterCutsCostTwoCyclesOnAck) {
+  // Paper §IV-C.b: +1 register => instruction acknowledged 2 cycles later.
+  MachineConfig cfg = MachineConfig::araxl(64);
+  const unsigned base = ReqiModel(cfg).ack_latency();
+  cfg.reqi_regs = 1;
+  EXPECT_EQ(ReqiModel(cfg).ack_latency(), base + 2);
+  cfg.reqi_regs = 2;
+  EXPECT_EQ(ReqiModel(cfg).ack_latency(), base + 4);
+}
+
+TEST(Reqi, Ara2HasShorterIssuePath) {
+  const MachineConfig xl = MachineConfig::araxl(16);
+  const MachineConfig a2 = MachineConfig::ara2(16);
+  EXPECT_GT(ReqiModel(xl).ack_latency(), ReqiModel(a2).ack_latency());
+  EXPECT_GT(ReqiModel(xl).fwd_latency(), ReqiModel(a2).fwd_latency());
+}
+
+TEST(Glsu, FourRegistersCostEightCycles) {
+  // Paper §IV-C.a: +4 registers => +8 cycles request-response latency.
+  MachineConfig cfg = MachineConfig::araxl(64);
+  const unsigned base = GlsuModel(cfg).load_latency();
+  cfg.glsu_regs = 4;
+  EXPECT_EQ(GlsuModel(cfg).load_latency(), base + 8);
+}
+
+TEST(Glsu, Ara2SingleStageAlignShuffle) {
+  // Ara2's A2A VLSU aligns+shuffles in one cycle; AraXL pays the 3-stage
+  // GLSU pipeline on top of L2 latency.
+  const MachineConfig xl = MachineConfig::araxl(16);
+  const MachineConfig a2 = MachineConfig::ara2(16);
+  EXPECT_GT(GlsuModel(xl).load_latency(), GlsuModel(a2).load_latency());
+}
+
+TEST(Glsu, HeadSkewTracksMisalignment) {
+  const MachineConfig cfg = MachineConfig::araxl(16);  // 128 B bus
+  const GlsuModel glsu(cfg);
+  EXPECT_EQ(glsu.head_skew(0x1000), 0u);
+  EXPECT_EQ(glsu.head_skew(0x1008), 8u);
+  EXPECT_EQ(glsu.head_skew(0x107F), 0x7Fu);
+}
+
+TEST(Glsu, ClusterByteShareMatchesMapping) {
+  const MachineConfig cfg = MachineConfig::araxl(16);
+  const GlsuModel glsu(cfg);
+  const VrfMapping map(cfg.topo, cfg.effective_vlen());
+  for (const std::uint64_t vl : {1ull, 16ull, 100ull, 256ull}) {
+    const auto share = glsu.cluster_byte_share(vl, 8);
+    std::vector<std::uint64_t> expect(cfg.topo.clusters, 0);
+    for (std::uint64_t i = 0; i < vl; ++i) expect[map.cluster_of(i)] += 8;
+    EXPECT_EQ(share, expect) << "vl=" << vl;
+  }
+}
+
+TEST(Ring, HopLatencyWithRegisters) {
+  MachineConfig cfg = MachineConfig::araxl(64);
+  EXPECT_EQ(RingModel(cfg).hop_latency(), 1u);
+  cfg.ring_regs = 1;
+  EXPECT_EQ(RingModel(cfg).hop_latency(), 2u);
+}
+
+TEST(Ring, ReductionTreeUsesLogSteps) {
+  // Step s pays 2^s hops + one add: total (C-1)*hop + log2(C)*add.
+  MachineConfig cfg = MachineConfig::araxl(64);  // C=16
+  const RingModel ring(cfg);
+  const Cycle expected = (16 - 1) * 1 + 4 * cfg.red_add_latency;
+  EXPECT_EQ(ring.reduction_tree_cycles(), expected);
+  cfg.ring_regs = 1;
+  EXPECT_EQ(RingModel(cfg).reduction_tree_cycles(),
+            (16 - 1) * 2 + 4 * cfg.red_add_latency);
+}
+
+TEST(Ring, AbsentOnAra2) {
+  const MachineConfig cfg = MachineConfig::ara2(16);
+  const RingModel ring(cfg);
+  EXPECT_FALSE(ring.present());
+  EXPECT_EQ(ring.reduction_tree_cycles(), 0u);
+  EXPECT_EQ(ring.slide_start_penalty(1), 0u);
+}
+
+TEST(Ring, SlidePenaltiesGrowWithDistance) {
+  const MachineConfig cfg = MachineConfig::araxl(64);
+  const RingModel ring(cfg);
+  EXPECT_EQ(ring.slide_start_penalty(1), 1u);    // one hop for slide-by-1
+  EXPECT_EQ(ring.slide_start_penalty(-1), 1u);
+  EXPECT_EQ(ring.slide_start_penalty(8), 2u);    // ceil(8/4) hops
+  EXPECT_GE(ring.slide_start_penalty(1000), 15u);  // capped at C-1 hops
+  EXPECT_FALSE(ring.long_slide(1));
+  EXPECT_TRUE(ring.long_slide(5));
+}
+
+TEST(Ring, Slide1BoundaryTrafficFitsLinkBandwidth) {
+  // One boundary element per occupied row per cluster: the 64-bit/cycle
+  // neighbour links sustain slide-by-1 at full SLDU throughput (the design
+  // argument of paper §III-B.4).
+  const MachineConfig cfg = MachineConfig::araxl(64);
+  const RingModel ring(cfg);
+  const std::uint64_t vl = 4096;
+  const std::uint64_t transfers = ring.slide1_boundary_elems(vl);
+  const std::uint64_t local_cycles = vl / cfg.total_lanes();
+  EXPECT_LE(transfers, local_cycles);
+}
+
+TEST(LaneGroup, RatesScaleWithWidthAndLanes) {
+  const MachineConfig cfg = MachineConfig::araxl(16);
+  const LaneGroupModel lanes(cfg);
+  EXPECT_EQ(lanes.rate256(Op::kVfaddVV, 8), 16u * 256);
+  EXPECT_EQ(lanes.rate256(Op::kVfaddVV, 4), 32u * 256);  // SIMD packing
+  EXPECT_EQ(lanes.rate256(Op::kVaddVV, 8), 16u * 256);
+}
+
+TEST(LaneGroup, DividerIsSlow) {
+  const MachineConfig cfg = MachineConfig::araxl(16);
+  const LaneGroupModel lanes(cfg);
+  EXPECT_EQ(lanes.rate256(Op::kVfdivVV, 8),
+            16u * 256 / cfg.div_cycles_per_elem);
+}
+
+TEST(LaneGroup, ChainLagsPositiveAndOrdered) {
+  const MachineConfig cfg = MachineConfig::araxl(16);
+  const LaneGroupModel lanes(cfg);
+  EXPECT_GT(lanes.chain_lag(Unit::kFpu), lanes.chain_lag(Unit::kAlu));
+  EXPECT_GT(lanes.chain_lag(Unit::kFpu), 0u);
+  EXPECT_EQ(lanes.chain_lag(Unit::kNone), 0u);
+}
+
+TEST(SequencerRules, WriteGroups) {
+  VInstr in;
+  in.op = Op::kVfaddVV;
+  in.vd = 8;
+  EXPECT_EQ(write_group(in, 4), (std::pair<unsigned, unsigned>{8, 4}));
+  in.op = Op::kVmfltVV;  // mask destination: single register
+  EXPECT_EQ(write_group(in, 4), (std::pair<unsigned, unsigned>{8, 1}));
+  in.op = Op::kVfredusum;
+  EXPECT_EQ(write_group(in, 8), (std::pair<unsigned, unsigned>{8, 1}));
+  in.op = Op::kVse;  // stores write no register
+  EXPECT_EQ(write_group(in, 4).second, 0u);
+}
+
+TEST(SequencerRules, ReadGroupsIncludeMaskAndVdSource) {
+  VInstr in;
+  in.op = Op::kVfmaccVV;
+  in.vd = 16;
+  in.vs1 = 4;
+  in.vs2 = 8;
+  in.masked = true;
+  const ReadGroups g = read_groups(in, 2);
+  ASSERT_EQ(g.n, 4u);  // vs1, vs2, vd-as-source, v0
+  EXPECT_EQ(g.base[0], 4u);
+  EXPECT_EQ(g.base[1], 8u);
+  EXPECT_EQ(g.base[2], 16u);
+  EXPECT_EQ(g.base[3], 0u);
+  EXPECT_EQ(g.count[3], 1u);
+}
+
+TEST(SequencerRules, SlideOffsets) {
+  VInstr in;
+  in.op = Op::kVfslide1down;
+  EXPECT_EQ(slide_offset(in), 1);
+  in.op = Op::kVfslide1up;
+  EXPECT_EQ(slide_offset(in), -1);
+  in.op = Op::kVslidedownVX;
+  in.xs = 7;
+  EXPECT_EQ(slide_offset(in), 7);
+  in.op = Op::kVslideupVX;
+  EXPECT_EQ(slide_offset(in), -7);
+}
+
+TEST(Vlsu, ElementwisePredicate) {
+  EXPECT_FALSE(elementwise_mem_op(Op::kVle));
+  EXPECT_FALSE(elementwise_mem_op(Op::kVse));
+  EXPECT_TRUE(elementwise_mem_op(Op::kVlse));
+  EXPECT_TRUE(elementwise_mem_op(Op::kVluxei));
+}
+
+TEST(Vlsu, LaneSharesBalanced) {
+  const VrfMapping map(Topology{4, 4}, 16384);
+  const std::uint64_t vl = 256;
+  // Every lane of every cluster receives exactly vl/(L*C) elements when vl
+  // is a multiple of the machine width.
+  for (unsigned c = 0; c < 4; ++c) {
+    for (unsigned l = 0; l < 4; ++l) {
+      EXPECT_EQ(vlsu_lane_byte_share(map, vl, 8, c, l), vl / 16 * 8);
+    }
+  }
+}
+
+TEST(Sldu, Slide1RemoteFraction) {
+  // For slide-by-1 down, element i sources i+1, which lives in another
+  // cluster exactly when i is the last lane of a cluster row: 1/L of all
+  // elements.
+  const VrfMapping map(Topology{4, 4}, 16384);
+  const std::uint64_t vl = 256;
+  EXPECT_EQ(slide_remote_elems(map, 1, vl), vl / 4 - 1);  // minus final fill
+}
+
+TEST(Sldu, IntraClusterSlideHasNoRemote) {
+  // With a single cluster (Ara2 topology) nothing is remote.
+  const VrfMapping map(Topology{1, 8}, 8192);
+  EXPECT_EQ(slide_remote_elems(map, 1, 256), 0u);
+  EXPECT_EQ(slide_remote_elems(map, 5, 256), 0u);
+}
+
+TEST(Masku, LaneLocalLayoutMovesNothing) {
+  const VrfMapping map(Topology{4, 4}, 16384);
+  EXPECT_EQ(masku_bits_to_move(map, MaskLayout::kLaneLocal, 256), 0u);
+  const std::uint64_t moved = masku_bits_to_move(map, MaskLayout::kStandard, 256);
+  EXPECT_GT(moved, 200u);  // nearly all bits cross lanes in the RVV layout
+  EXPECT_EQ(masku_distribution_cycles(moved), (moved + 63) / 64);
+}
+
+TEST(Cva6, ScalarCosts) {
+  const MachineConfig cfg = MachineConfig::araxl(16);
+  const Cva6Model cva6(cfg);
+  EXPECT_EQ(cva6.scalar_cost({ScalarOp::Kind::kCycles, 5}), 5u);
+  EXPECT_EQ(cva6.scalar_cost({ScalarOp::Kind::kLoad, 1}), cfg.dcache_load_latency);
+  EXPECT_EQ(cva6.scalar_cost({ScalarOp::Kind::kStore, 1}), 1u);
+}
+
+}  // namespace
+}  // namespace araxl

@@ -1,0 +1,243 @@
+// PPA model tests: area anchors against the paper's published numbers
+// (Fig. 9, Table II), frequency rules, power-model anchors (Table III),
+// SoA data sanity, and floorplan invariants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "isa/vtype.hpp"  // kMaxVlenBits
+#include "ppa/area_model.hpp"
+#include "ppa/floorplan.hpp"
+#include "ppa/freq_model.hpp"
+#include "ppa/power_model.hpp"
+#include "ppa/soa.hpp"
+
+namespace araxl {
+namespace {
+
+const AreaModel kArea;
+const FreqModel kFreq;
+const PowerModel kPower;
+
+TEST(Area, TableIIAnchors) {
+  // Paper Table II, kGE within 0.1%.
+  const struct {
+    unsigned lanes;
+    double clusters, cva6, glsu, ringi, reqi, total;
+  } rows[] = {
+      {16, 11354, 936, 291, 25, 34, 12641},
+      {32, 22708, 901, 618, 44, 81, 24352},
+      {64, 45415, 931, 1385, 76, 144, 47950},
+  };
+  for (const auto& r : rows) {
+    const AreaBreakdown bd = kArea.breakdown(MachineConfig::araxl(r.lanes));
+    EXPECT_NEAR(bd.block_kge("Clusters"), r.clusters, r.clusters * 0.001);
+    EXPECT_NEAR(bd.block_kge("CVA6"), r.cva6, 1.0);
+    EXPECT_NEAR(bd.block_kge("GLSU"), r.glsu, r.glsu * 0.01);
+    EXPECT_NEAR(bd.block_kge("RINGI"), r.ringi, 2.0);
+    EXPECT_NEAR(bd.block_kge("REQI"), r.reqi, 1.0);
+    EXPECT_NEAR(bd.total_kge(), r.total, r.total * 0.002);
+  }
+}
+
+TEST(Area, LinearScalingClaim) {
+  // Paper: "almost perfect area scaling (2x when doubling the lane count)"
+  // and 64L total = 3.8x the 16L total.
+  const double t16 = kArea.total_kge(MachineConfig::araxl(16));
+  const double t32 = kArea.total_kge(MachineConfig::araxl(32));
+  const double t64 = kArea.total_kge(MachineConfig::araxl(64));
+  EXPECT_NEAR(t32 / t16, 1.93, 0.05);
+  EXPECT_NEAR(t64 / t32, 1.97, 0.05);
+  EXPECT_NEAR(t64 / t16, 3.79, 0.05);
+}
+
+TEST(Area, Fig9Anchors) {
+  const AreaBreakdown ara2 = kArea.breakdown(MachineConfig::ara2(16));
+  EXPECT_NEAR(ara2.block_kge("LANES"), 10048, 1);
+  EXPECT_NEAR(ara2.block_kge("MASKU"), 1105, 1);
+  EXPECT_NEAR(ara2.block_kge("SLDU"), 196, 1);
+  EXPECT_NEAR(ara2.block_kge("VLSU"), 1677, 1);
+  EXPECT_NEAR(ara2.block_kge("SEQ+DISP"), 52, 1);
+  EXPECT_NEAR(ara2.total_kge(), 14773, 5);
+
+  const AreaBreakdown araxl = kArea.fig9_breakdown(MachineConfig::araxl(16));
+  EXPECT_NEAR(araxl.block_kge("LANES"), 10032, 1);
+  EXPECT_NEAR(araxl.block_kge("MASKU"), 328, 1);
+  EXPECT_NEAR(araxl.block_kge("SLDU"), 425, 1);
+  EXPECT_NEAR(araxl.block_kge("VLSU"), 507, 3);
+  EXPECT_NEAR(araxl.block_kge("SEQ+DISP"), 134, 1);
+}
+
+TEST(Area, A2AReductionClaims) {
+  // Paper Fig. 9 headline: A2A units -58%, total -14%.
+  const AreaBreakdown ara2 = kArea.breakdown(MachineConfig::ara2(16));
+  const AreaBreakdown araxl = kArea.fig9_breakdown(MachineConfig::araxl(16));
+  const double a2a2 = ara2.block_kge("MASKU") + ara2.block_kge("SLDU") +
+                      ara2.block_kge("VLSU");
+  const double a2ax = araxl.block_kge("MASKU") + araxl.block_kge("SLDU") +
+                      araxl.block_kge("VLSU");
+  EXPECT_NEAR(a2ax / a2a2, 0.42, 0.02);
+  EXPECT_NEAR(araxl.total_kge() / ara2.total_kge(), 0.86, 0.01);
+}
+
+TEST(Area, InterfacesAreSmallFraction) {
+  // Paper: GLSU+RINGI+REQI account for only ~3% of the total.
+  for (unsigned lanes : {16u, 32u, 64u}) {
+    const AreaBreakdown bd = kArea.breakdown(MachineConfig::araxl(lanes));
+    const double ifc = bd.block_kge("GLSU") + bd.block_kge("RINGI") +
+                       bd.block_kge("REQI");
+    EXPECT_LT(ifc / bd.total_kge(), 0.04) << lanes;
+  }
+}
+
+TEST(Area, QuadraticA2ATermsDominateAra2Growth) {
+  // Ara2's VLSU/MASKU grow ~4x when doubling lanes (the scalability
+  // problem AraXL removes).
+  const AreaBreakdown a8 = kArea.breakdown(MachineConfig::ara2(8));
+  const AreaBreakdown a16 = kArea.breakdown(MachineConfig::ara2(16));
+  EXPECT_NEAR(a16.block_kge("VLSU") / a8.block_kge("VLSU"), 4.0, 0.01);
+  EXPECT_NEAR(a16.block_kge("MASKU") / a8.block_kge("MASKU"), 4.0, 0.01);
+}
+
+TEST(Area, GeToMm2MatchesTableIII) {
+  // 0.201 um^2/GE reproduces the paper's GFLOPS/mm^2 denominators.
+  EXPECT_NEAR(kArea.total_mm2(MachineConfig::araxl(16)), 2.54, 0.03);
+  EXPECT_NEAR(kArea.total_mm2(MachineConfig::araxl(64)), 9.64, 0.1);
+  EXPECT_NEAR(kArea.total_mm2(MachineConfig::ara2(16)), 2.97, 0.03);
+}
+
+TEST(Freq, PaperValues) {
+  EXPECT_DOUBLE_EQ(kFreq.freq_ghz(MachineConfig::araxl(16)), 1.40);
+  EXPECT_DOUBLE_EQ(kFreq.freq_ghz(MachineConfig::araxl(32)), 1.40);
+  EXPECT_DOUBLE_EQ(kFreq.freq_ghz(MachineConfig::araxl(64)), 1.15);
+  EXPECT_NEAR(kFreq.freq_ghz(MachineConfig::ara2(16)), 1.08, 1e-9);
+}
+
+TEST(Freq, AraXLFasterThanAra2AtSameLanes) {
+  // Paper: +30% maximum frequency at 16 lanes.
+  const double xl = kFreq.freq_ghz(MachineConfig::araxl(16));
+  const double a2 = kFreq.freq_ghz(MachineConfig::ara2(16));
+  EXPECT_NEAR(xl / a2, 1.30, 0.01);
+}
+
+TEST(Power, TableIIIEfficiencyAnchors) {
+  // Evaluate at the paper's operating points (fmatmul, ~99% utilization).
+  const struct {
+    MachineConfig cfg;
+    double gflops, eff;
+  } rows[] = {
+      {MachineConfig::araxl(16), 44.3, 39.6},
+      {MachineConfig::araxl(32), 87.2, 40.4},
+      {MachineConfig::araxl(64), 146.0, 40.1},
+      {MachineConfig::ara2(16), 34.2, 30.3},
+  };
+  for (const auto& r : rows) {
+    const double f = kFreq.freq_ghz(r.cfg);
+    const double eff = kPower.gflops_per_w(r.cfg, f, r.gflops / f, 0.99);
+    EXPECT_NEAR(eff, r.eff, r.eff * 0.03) << r.cfg.name();
+  }
+}
+
+TEST(Power, IdlePowerIsLowerButNonzero) {
+  const MachineConfig cfg = MachineConfig::araxl(64);
+  const double busy = kPower.power_w(cfg, 1.15, 1.0);
+  const double idle = kPower.power_w(cfg, 1.15, 0.0);
+  EXPECT_LT(idle, busy);
+  EXPECT_GT(idle, 0.2 * busy);  // clock tree + static share
+}
+
+TEST(Soa, VitruviusRowMatchesPaper) {
+  const SoaPpaRow v = vitruvius_row();
+  EXPECT_EQ(v.lanes, 8u);
+  EXPECT_DOUBLE_EQ(v.max_perf_gflops, 22.4);
+  EXPECT_DOUBLE_EQ(v.energy_eff_gflops_w, 47.3);
+}
+
+TEST(Soa, LandscapeContainsHeadliners) {
+  const auto procs = fig1_landscape();
+  const auto find = [&](std::string_view name) {
+    return std::find_if(procs.begin(), procs.end(),
+                        [&](const SoaProcessor& p) { return p.name == name; });
+  };
+  auto araxl = find("64L-AraXL");
+  ASSERT_NE(araxl, procs.end());
+  EXPECT_EQ(araxl->vlen_bits, kMaxVlenBits);  // the RVV ceiling
+  EXPECT_EQ(araxl->fpus, 64u);
+  // AraXL is the max along both axes among RISC-V entries.
+  for (const SoaProcessor& p : procs) {
+    if (p.riscv) {
+      EXPECT_LE(p.vlen_bits, araxl->vlen_bits);
+      EXPECT_LE(p.fpus, araxl->fpus);
+    }
+  }
+  EXPECT_NE(find("Vitruvius+"), procs.end());
+  EXPECT_NE(find("NEC VE30"), procs.end());
+}
+
+TEST(Soa, AreaEffBeatsOldNecVeByPaperMargin) {
+  // §IV-E: 64L AraXL >= +45% area efficiency vs the older NEC VE unit.
+  const MachineConfig cfg = MachineConfig::araxl(64);
+  const double gflops = 146.0;
+  const double area_eff = gflops / kArea.total_mm2(cfg);
+  EXPECT_GT(area_eff, nec_ve_area_eff_gflops_mm2() * 1.45);
+}
+
+TEST(Floorplan, BlocksInsideDieAndNonOverlapping) {
+  const Floorplan fp = machine_floorplan(MachineConfig::araxl(16));
+  for (const PlacedBlock& b : fp.blocks) {
+    EXPECT_GE(b.x, -1e-9);
+    EXPECT_GE(b.y, -1e-9);
+    EXPECT_LE(b.x + b.w, fp.die_w + 1e-9);
+    EXPECT_LE(b.y + b.h, fp.die_h + 1e-9);
+    EXPECT_GT(b.area(), 0.0);
+  }
+  for (std::size_t i = 0; i < fp.blocks.size(); ++i) {
+    for (std::size_t j = i + 1; j < fp.blocks.size(); ++j) {
+      const PlacedBlock& a = fp.blocks[i];
+      const PlacedBlock& b = fp.blocks[j];
+      const double ox = std::min(a.x + a.w, b.x + b.w) - std::max(a.x, b.x);
+      const double oy = std::min(a.y + a.h, b.y + b.h) - std::max(a.y, b.y);
+      EXPECT_FALSE(ox > 1e-9 && oy > 1e-9)
+          << a.name << " overlaps " << b.name;
+    }
+  }
+}
+
+TEST(Floorplan, AreasProportionalToModel) {
+  const MachineConfig cfg = MachineConfig::araxl(16);
+  const Floorplan fp = machine_floorplan(cfg);
+  const AreaModel model;
+  // Each cluster block's share of placed area equals its share of kGE.
+  double placed_total = 0.0;
+  for (const PlacedBlock& b : fp.blocks) placed_total += b.area();
+  const double model_total = model.total_kge(cfg);
+  for (const PlacedBlock& b : fp.blocks) {
+    if (b.name.rfind("cluster", 0) == 0) {
+      EXPECT_NEAR(b.area() / placed_total, model.cluster_kge() / model_total,
+                  1e-6);
+    }
+  }
+}
+
+TEST(Floorplan, CoversConfiguredUtilization) {
+  const Floorplan fp = machine_floorplan(MachineConfig::araxl(64));
+  double placed = 0.0;
+  for (const PlacedBlock& b : fp.blocks) placed += b.area();
+  EXPECT_NEAR(placed / (fp.die_w * fp.die_h), 0.8, 0.01);
+}
+
+TEST(Floorplan, RenderShowsClusters) {
+  const Floorplan fp = machine_floorplan(MachineConfig::araxl(16));
+  const std::string art = fp.render(60);
+  EXPECT_NE(art.find("cluster0"), std::string::npos);
+  EXPECT_NE(art.find("CVA6"), std::string::npos);
+}
+
+TEST(Floorplan, RejectsBadInput) {
+  EXPECT_THROW(slice_floorplan({}, 0.8), ContractViolation);
+  EXPECT_THROW(slice_floorplan({{"x", 1.0}}, 0.0), ContractViolation);
+  EXPECT_THROW(slice_floorplan({{"x", -1.0}}, 0.8), ContractViolation);
+}
+
+}  // namespace
+}  // namespace araxl

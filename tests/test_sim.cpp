@@ -1,0 +1,141 @@
+// Unit tests: simulation primitives (DelayLine, BoundedQueue, LaggedCounter,
+// RunStats metrics).
+#include <gtest/gtest.h>
+
+#include "sim/pipe.hpp"
+#include "sim/stats.hpp"
+
+namespace araxl {
+namespace {
+
+TEST(DelayLine, DelaysByLatency) {
+  DelayLine<int> dl(3);
+  dl.push(10, 42);
+  EXPECT_FALSE(dl.ready(10));
+  EXPECT_FALSE(dl.ready(12));
+  EXPECT_TRUE(dl.ready(13));
+  EXPECT_EQ(dl.pop(13), 42);
+  EXPECT_TRUE(dl.empty());
+}
+
+TEST(DelayLine, PreservesOrder) {
+  DelayLine<int> dl(2);
+  dl.push(0, 1);
+  dl.push(1, 2);
+  dl.push(2, 3);
+  EXPECT_EQ(dl.pop(5), 1);
+  EXPECT_EQ(dl.pop(5), 2);
+  EXPECT_EQ(dl.pop(5), 3);
+}
+
+TEST(DelayLine, ZeroLatency) {
+  DelayLine<int> dl(0);
+  dl.push(7, 9);
+  EXPECT_TRUE(dl.ready(7));
+  EXPECT_EQ(dl.pop(7), 9);
+}
+
+TEST(DelayLine, PopNotReadyThrows) {
+  DelayLine<int> dl(5);
+  dl.push(0, 1);
+  EXPECT_THROW(dl.pop(3), ContractViolation);
+}
+
+TEST(BoundedQueue, Backpressure) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_TRUE(q.full());
+  q.pop();
+  EXPECT_TRUE(q.try_push(3));
+  EXPECT_EQ(q.front(), 2);
+}
+
+TEST(BoundedQueue, EmptyAccessThrows) {
+  BoundedQueue<int> q(1);
+  EXPECT_THROW(static_cast<void>(q.front()), ContractViolation);
+  EXPECT_THROW(q.pop(), ContractViolation);
+}
+
+TEST(BoundedQueue, ZeroCapacityRejected) {
+  EXPECT_THROW(BoundedQueue<int>(0), ContractViolation);
+}
+
+TEST(LaggedCounter, ZeroLagReturnsLatest) {
+  LaggedCounter c;
+  c.record(10, 5);
+  c.record(11, 8);
+  EXPECT_EQ(c.value_at_lag(11, 0), 8u);
+  EXPECT_EQ(c.latest(), 8u);
+}
+
+TEST(LaggedCounter, LagLooksBack) {
+  LaggedCounter c;
+  c.record(10, 5);
+  c.record(12, 9);
+  c.record(13, 12);
+  EXPECT_EQ(c.value_at_lag(13, 1), 9u);   // value at cycle 12
+  EXPECT_EQ(c.value_at_lag(13, 2), 5u);   // value at cycle 11 (still 5)
+  EXPECT_EQ(c.value_at_lag(13, 3), 5u);   // value at cycle 10
+  EXPECT_EQ(c.value_at_lag(13, 4), 0u);   // before any record
+}
+
+TEST(LaggedCounter, BeforeHistoryIsZero) {
+  LaggedCounter c;
+  EXPECT_EQ(c.value_at_lag(100, 5), 0u);
+  c.record(100, 7);
+  EXPECT_EQ(c.value_at_lag(100, 50), 0u);
+}
+
+TEST(LaggedCounter, SameCycleOverwrite) {
+  LaggedCounter c;
+  c.record(5, 1);
+  c.record(5, 3);
+  EXPECT_EQ(c.value_at_lag(5, 0), 3u);
+}
+
+TEST(LaggedCounter, LongHistoryStaysCorrectWithinDepth) {
+  LaggedCounter c;
+  for (Cycle t = 0; t < 200; ++t) c.record(t, t * 2);
+  // lag within the retained window (64 entries at 1/cycle).
+  EXPECT_EQ(c.value_at_lag(199, 10), (199u - 10) * 2);
+  EXPECT_EQ(c.value_at_lag(199, 63), (199u - 63) * 2);
+}
+
+TEST(RunStats, UtilAndFlops) {
+  RunStats s;
+  s.cycles = 100;
+  s.total_lanes = 16;
+  s.fpu_result_elems = 800;
+  s.flops = 1600;
+  EXPECT_DOUBLE_EQ(s.fpu_util(), 0.5);
+  EXPECT_DOUBLE_EQ(s.flop_per_cycle(), 16.0);
+  EXPECT_DOUBLE_EQ(s.gflops(1.25), 20.0);
+}
+
+TEST(RunStats, EmptyIsSafe) {
+  RunStats s;
+  EXPECT_DOUBLE_EQ(s.fpu_util(), 0.0);
+  EXPECT_DOUBLE_EQ(s.flop_per_cycle(), 0.0);
+}
+
+TEST(RunStats, SummaryMentionsKeyFields) {
+  RunStats s;
+  s.cycles = 1234;
+  s.total_lanes = 8;
+  const std::string out = s.summary();
+  EXPECT_NE(out.find("1,234"), std::string::npos);
+  EXPECT_NE(out.find("FPU utilization"), std::string::npos);
+}
+
+TEST(UnitNames, AllDistinct) {
+  for (std::size_t a = 0; a < kNumUnits; ++a) {
+    for (std::size_t b = a + 1; b < kNumUnits; ++b) {
+      EXPECT_NE(unit_name(static_cast<Unit>(a)), unit_name(static_cast<Unit>(b)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace araxl

@@ -1,0 +1,333 @@
+// Timing-model tests: chaining, hazards, issue serialization, interface
+// latency knobs, reduction scheduling, bandwidth and misalignment — each
+// checked through observable cycle counts of small programs.
+#include <gtest/gtest.h>
+
+#include "kernels/common.hpp"
+#include "machine/machine.hpp"
+
+namespace araxl {
+namespace {
+
+constexpr std::uint64_t kA = 0x10000;
+constexpr std::uint64_t kB = 0x40000;
+constexpr std::uint64_t kC = 0x80000;
+
+RunStats run_prog(const MachineConfig& cfg, const std::function<void(ProgramBuilder&)>& body) {
+  Machine m(cfg);
+  m.mem().store_doubles(kA, random_doubles(8192, -1, 1, 1));
+  m.mem().store_doubles(kB, random_doubles(8192, -1, 1, 2));
+  ProgramBuilder pb(cfg.effective_vlen(), "t");
+  body(pb);
+  return m.run(pb.take());
+}
+
+TEST(Timing, ChainingOverlapsLoadAndCompute) {
+  // A dependent vfmul chained onto a vle must finish far earlier than the
+  // sum of both operations run back-to-back (two independent programs).
+  const MachineConfig cfg = MachineConfig::araxl(16);
+  const std::uint64_t vl = 1024;
+  const RunStats both = run_prog(cfg, [&](ProgramBuilder& pb) {
+    pb.vsetvli(vl, Sew::k64, kLmul4);
+    pb.vle(8, kA);
+    pb.vfmul_vv(16, 8, 8);
+  });
+  const RunStats load_only = run_prog(cfg, [&](ProgramBuilder& pb) {
+    pb.vsetvli(vl, Sew::k64, kLmul4);
+    pb.vle(8, kA);
+  });
+  const RunStats mul_only = run_prog(cfg, [&](ProgramBuilder& pb) {
+    pb.vsetvli(vl, Sew::k64, kLmul4);
+    pb.vfmul_vv(16, 8, 8);
+  });
+  // Chaining: total < load + mul (minus the shared setup, conservatively).
+  EXPECT_LT(both.cycles, load_only.cycles + mul_only.cycles - 20);
+}
+
+TEST(Timing, SameUnitOpsSerialize) {
+  // Two independent FPU ops occupy the same unit: their element slots
+  // cannot overlap, so time grows by ~vl/lanes. (vl = VLMAX at m4.)
+  const MachineConfig cfg = MachineConfig::araxl(16);
+  const std::uint64_t vl = 1024;
+  const RunStats one = run_prog(cfg, [&](ProgramBuilder& pb) {
+    pb.vsetvli(vl, Sew::k64, kLmul4);
+    pb.vfadd_vv(8, 4, 4);
+  });
+  const RunStats two = run_prog(cfg, [&](ProgramBuilder& pb) {
+    pb.vsetvli(vl, Sew::k64, kLmul4);
+    pb.vfadd_vv(8, 4, 4);
+    pb.vfadd_vv(16, 12, 12);
+  });
+  EXPECT_GE(two.cycles, one.cycles + vl / cfg.total_lanes() - 5);
+}
+
+TEST(Timing, DifferentUnitsOverlap) {
+  // An FPU op and an ALU op run concurrently: two ops cost barely more
+  // than one.
+  const MachineConfig cfg = MachineConfig::araxl(16);
+  const std::uint64_t vl = 1024;
+  const RunStats fpu_only = run_prog(cfg, [&](ProgramBuilder& pb) {
+    pb.vsetvli(vl, Sew::k64, kLmul4);
+    pb.vfadd_vv(8, 4, 4);
+  });
+  const RunStats fpu_alu = run_prog(cfg, [&](ProgramBuilder& pb) {
+    pb.vsetvli(vl, Sew::k64, kLmul4);
+    pb.vfadd_vv(8, 4, 4);
+    pb.vadd_vv(16, 12, 12);
+  });
+  EXPECT_LT(fpu_alu.cycles, fpu_only.cycles + 32);
+}
+
+TEST(Timing, WarHazardStallsCrossUnitWriter) {
+  // vse reads v8 while a later vle wants to overwrite it: the load must
+  // wait, and the stored values must be the OLD contents.
+  const MachineConfig cfg = MachineConfig::araxl(16);
+  Machine m(cfg);
+  const std::uint64_t vl = 512;
+  const auto a = random_doubles(vl, -1, 1, 3);
+  const auto b = random_doubles(vl, -1, 1, 4);
+  m.mem().store_doubles(kA, a);
+  m.mem().store_doubles(kB, b);
+  ProgramBuilder pb(cfg.effective_vlen(), "war");
+  pb.vsetvli(vl, Sew::k64, kLmul2);
+  pb.vle(8, kA);
+  pb.vse(8, kC);   // store old v8 = A
+  pb.vle(8, kB);   // overwrite v8 with B
+  const Program prog = pb.take();
+  m.run(prog);
+  EXPECT_EQ(m.mem().load_doubles(kC, vl), a);
+  for (std::uint64_t i = 0; i < vl; ++i) {
+    EXPECT_DOUBLE_EQ(m.vrf().read_f64(8, i), b[i]);
+  }
+}
+
+TEST(Timing, MemoryRawConflictOrdersLoadAfterStore) {
+  // vse to a range followed by vle from the same range must return the
+  // stored data (the dispatcher holds the load until the store retires).
+  const MachineConfig cfg = MachineConfig::araxl(16);
+  Machine m(cfg);
+  const std::uint64_t vl = 256;
+  const auto a = random_doubles(vl, -1, 1, 5);
+  m.mem().store_doubles(kA, a);
+  ProgramBuilder pb(cfg.effective_vlen(), "raw");
+  pb.vsetvli(vl, Sew::k64, kLmul1);
+  pb.vle(8, kA);
+  pb.vfadd_vf(12, 8, 1.0);
+  pb.vse(12, kC);
+  pb.vle(16, kC);  // must see a[i] + 1
+  const Program prog = pb.take();
+  m.run(prog);
+  for (std::uint64_t i = 0; i < vl; ++i) {
+    EXPECT_DOUBLE_EQ(m.vrf().read_f64(16, i), a[i] + 1.0) << i;
+  }
+}
+
+TEST(Timing, ReqiRegistersDelayIssue) {
+  // A back-to-back issue-bound instruction stream slows by ~2 cycles per
+  // instruction with +1 REQI register.
+  MachineConfig base = MachineConfig::araxl(16);
+  MachineConfig mod = base;
+  mod.reqi_regs = 1;
+  const auto body = [&](ProgramBuilder& pb) {
+    pb.vsetvli(16, Sew::k64, kLmul1);  // one element per lane: issue-bound
+    for (int i = 0; i < 50; ++i) pb.vfadd_vv(8, 4, 4);
+  };
+  const RunStats s0 = run_prog(base, body);
+  const RunStats s1 = run_prog(mod, body);
+  EXPECT_GE(s1.cycles, s0.cycles + 2 * 50 - 10);
+}
+
+TEST(Timing, GlsuRegistersDelayLoadsEndToEnd) {
+  MachineConfig base = MachineConfig::araxl(16);
+  MachineConfig mod = base;
+  mod.glsu_regs = 4;
+  const auto body = [&](ProgramBuilder& pb) {
+    pb.vsetvli(64, Sew::k64, kLmul1);
+    pb.vle(8, kA);
+  };
+  const RunStats s0 = run_prog(base, body);
+  const RunStats s1 = run_prog(mod, body);
+  EXPECT_EQ(s1.cycles, s0.cycles + 8);  // paper: +4 registers => +8 cycles
+}
+
+TEST(Timing, RingRegistersDelayReductions) {
+  MachineConfig base = MachineConfig::araxl(64);  // C=16
+  MachineConfig mod = base;
+  mod.ring_regs = 1;
+  const auto body = [&](ProgramBuilder& pb) {
+    pb.vsetvli(1024, Sew::k64, kLmul1);
+    pb.vfredusum(12, 8, 4);
+  };
+  const RunStats s0 = run_prog(base, body);
+  const RunStats s1 = run_prog(mod, body);
+  EXPECT_EQ(s1.cycles, s0.cycles + 15);  // (C-1) extra hop cycles
+}
+
+TEST(Timing, ReductionCostGrowsWithClusters) {
+  // Same per-lane work, more clusters: the inter-cluster log-tree adds
+  // latency (the mechanism behind fdotproduct's 6.1x scaling).
+  const auto red_cycles = [&](unsigned lanes) {
+    const MachineConfig cfg = MachineConfig::araxl(lanes);
+    return run_prog(cfg, [&](ProgramBuilder& pb) {
+      pb.vsetvli(16ull * lanes, Sew::k64, kLmul1);  // fixed work per lane
+      pb.vfredusum(12, 8, 4);
+    }).cycles;
+  };
+  EXPECT_GT(red_cycles(64), red_cycles(16));
+  EXPECT_GT(red_cycles(16), red_cycles(8));
+}
+
+TEST(Timing, Ara2ReductionHasNoClusterTree) {
+  const RunStats a2 = run_prog(MachineConfig::ara2(16), [&](ProgramBuilder& pb) {
+    pb.vsetvli(256, Sew::k64, kLmul1);
+    pb.vfredusum(12, 8, 4);
+  });
+  const RunStats xl = run_prog(MachineConfig::araxl(16), [&](ProgramBuilder& pb) {
+    pb.vsetvli(256, Sew::k64, kLmul1);
+    pb.vfredusum(12, 8, 4);
+  });
+  EXPECT_LT(a2.cycles, xl.cycles);
+}
+
+TEST(Timing, DividerMuchSlowerThanMultiplier) {
+  const MachineConfig cfg = MachineConfig::araxl(16);
+  const std::uint64_t vl = 1024;
+  const RunStats mul = run_prog(cfg, [&](ProgramBuilder& pb) {
+    pb.vsetvli(vl, Sew::k64, kLmul4);
+    pb.vfmul_vv(8, 4, 4);
+  });
+  const RunStats div = run_prog(cfg, [&](ProgramBuilder& pb) {
+    pb.vsetvli(vl, Sew::k64, kLmul4);
+    pb.vfdiv_vv(8, 4, 4);
+  });
+  EXPECT_GT(div.cycles, mul.cycles * 5);
+}
+
+TEST(Timing, StridedSlowerThanUnitStride) {
+  const MachineConfig cfg = MachineConfig::araxl(16);
+  const std::uint64_t vl = 512;
+  const RunStats unit = run_prog(cfg, [&](ProgramBuilder& pb) {
+    pb.vsetvli(vl, Sew::k64, kLmul2);
+    pb.vle(8, kA);
+  });
+  const RunStats strided = run_prog(cfg, [&](ProgramBuilder& pb) {
+    pb.vsetvli(vl, Sew::k64, kLmul2);
+    pb.vlse(8, kA, 16);
+  });
+  EXPECT_GT(strided.cycles, unit.cycles * 2);
+}
+
+TEST(Timing, MisalignedLoadCostsExtra) {
+  const MachineConfig cfg = MachineConfig::araxl(16);
+  const std::uint64_t vl = 1024;
+  const RunStats aligned = run_prog(cfg, [&](ProgramBuilder& pb) {
+    pb.vsetvli(vl, Sew::k64, kLmul4);
+    pb.vle(8, kA);
+  });
+  const RunStats misaligned = run_prog(cfg, [&](ProgramBuilder& pb) {
+    pb.vsetvli(vl, Sew::k64, kLmul4);
+    pb.vle(8, kA + 8);
+  });
+  EXPECT_GT(misaligned.cycles, aligned.cycles);
+  EXPECT_LE(misaligned.cycles, aligned.cycles + 4);
+}
+
+TEST(Timing, LoadBandwidthIsEightBytesPerLane) {
+  // A long unit-stride load streams at 8 B/lane/cycle: doubling vl adds
+  // vl/lanes cycles.
+  const MachineConfig cfg = MachineConfig::araxl(16);
+  const RunStats short_load = run_prog(cfg, [&](ProgramBuilder& pb) {
+    pb.vsetvli(1024, Sew::k64, kLmul4);
+    pb.vle(8, kA);
+  });
+  const RunStats long_load = run_prog(cfg, [&](ProgramBuilder& pb) {
+    pb.vsetvli(2048, Sew::k64, kLmul8);
+    pb.vle(8, kA);
+  });
+  EXPECT_NEAR(static_cast<double>(long_load.cycles - short_load.cycles),
+              1024.0 / 16, 8.0);
+}
+
+TEST(Timing, BusyAccountingMatchesWork) {
+  const MachineConfig cfg = MachineConfig::araxl(16);
+  const std::uint64_t vl = 777;
+  const RunStats s = run_prog(cfg, [&](ProgramBuilder& pb) {
+    pb.vsetvli(vl, Sew::k64, kLmul4);
+    pb.vfmacc_vv(16, 8, 12);
+    pb.vfadd_vv(20, 8, 12);
+    pb.vadd_vv(24, 8, 12);
+    pb.vle(28, kA);
+  });
+  EXPECT_EQ(s.unit_busy_elems[static_cast<std::size_t>(Unit::kFpu)], 2 * vl);
+  EXPECT_EQ(s.unit_busy_elems[static_cast<std::size_t>(Unit::kAlu)], vl);
+  EXPECT_EQ(s.unit_busy_elems[static_cast<std::size_t>(Unit::kLoad)], vl);
+  EXPECT_EQ(s.fpu_result_elems, 2 * vl);
+  EXPECT_EQ(s.flops, 3 * vl);  // FMA(2) + add(1)
+  EXPECT_EQ(s.mem_read_bytes, vl * 8);
+}
+
+TEST(Timing, ScalarReadBlocksOnProducer) {
+  // vfmv.f.s after a reduction stalls CVA6 until the result exists.
+  const MachineConfig cfg = MachineConfig::araxl(64);
+  const RunStats s = run_prog(cfg, [&](ProgramBuilder& pb) {
+    pb.vsetvli(4096, Sew::k64, kLmul8);
+    pb.vle(8, kA);
+    pb.vfredusum(24, 8, 25);
+    pb.vfmv_f_s(24);
+  });
+  EXPECT_GT(s.scalar_wait_cycles, 50u);  // waited out the reduction
+}
+
+TEST(Timing, Vl0InstructionsCostOnlyIssue) {
+  const MachineConfig cfg = MachineConfig::araxl(16);
+  const RunStats s = run_prog(cfg, [&](ProgramBuilder& pb) {
+    pb.vsetvli(0, Sew::k64, kLmul1);
+    for (int i = 0; i < 10; ++i) pb.vfadd_vv(8, 4, 4);
+  });
+  EXPECT_LT(s.cycles, 120u);
+  EXPECT_EQ(s.fpu_result_elems, 0u);
+}
+
+TEST(Timing, DeterministicAcrossRuns) {
+  const MachineConfig cfg = MachineConfig::araxl(16);
+  auto kernel = make_kernel("jacobi2d");
+  Machine m(cfg);
+  const Program prog = kernel->build(m, 64);
+  const RunStats s1 = m.run(prog);
+  const RunStats s2 = m.run(prog);
+  EXPECT_EQ(s1.cycles, s2.cycles);
+  EXPECT_EQ(s1.fpu_result_elems, s2.fpu_result_elems);
+}
+
+TEST(Timing, LongSlideSlowerThanSlide1) {
+  const MachineConfig cfg = MachineConfig::araxl(64);
+  const std::uint64_t vl = 4096;
+  const RunStats s1 = run_prog(cfg, [&](ProgramBuilder& pb) {
+    pb.vsetvli(vl, Sew::k64, kLmul4);
+    pb.vfslide1down(16, 8, 0.0);
+  });
+  const RunStats sk = run_prog(cfg, [&](ProgramBuilder& pb) {
+    pb.vsetvli(vl, Sew::k64, kLmul4);
+    pb.vslidedown_vx(16, 8, 37);
+  });
+  // The long slide funnels through the ring at one element per cluster per
+  // cycle (paper §III-B.4).
+  EXPECT_GT(sk.cycles, s1.cycles * 2);
+}
+
+TEST(Timing, Ara2LongSlideNotPenalized) {
+  const MachineConfig cfg = MachineConfig::ara2(16);
+  const std::uint64_t vl = 1024;
+  const RunStats s1 = run_prog(cfg, [&](ProgramBuilder& pb) {
+    pb.vsetvli(vl, Sew::k64, kLmul4);
+    pb.vfslide1down(16, 8, 0.0);
+  });
+  const RunStats sk = run_prog(cfg, [&](ProgramBuilder& pb) {
+    pb.vsetvli(vl, Sew::k64, kLmul4);
+    pb.vslidedown_vx(16, 8, 37);
+  });
+  EXPECT_LT(sk.cycles, s1.cycles + 16);  // lumped SLDU crossbar
+}
+
+}  // namespace
+}  // namespace araxl
