@@ -1,6 +1,11 @@
-// google-benchmark microbenchmarks of the simulator itself: how fast the
-// cycle-level engine retires simulated cycles and instructions. Not a
-// paper figure — a development aid for keeping the reproduction usable.
+// google-benchmark microbenchmarks of the simulator itself: how fast each
+// engine retires simulated cycles and instructions. Not a paper figure — a
+// development aid for keeping the reproduction usable, and the measurement
+// behind the event-driven engine's speedup claims (see README.md).
+//
+// BM_AxpyCycles runs the default (event-driven) engine; the *Oracle
+// variants pin the cycle-stepped reference so the sim_cycles/s counters of
+// the two can be compared directly.
 #include <benchmark/benchmark.h>
 
 #include "kernels/common.hpp"
@@ -9,14 +14,10 @@
 namespace araxl {
 namespace {
 
-void BM_AxpyCycles(benchmark::State& state) {
-  const MachineConfig cfg = MachineConfig::araxl(static_cast<unsigned>(state.range(0)));
-  Machine m(cfg);
-  const std::uint64_t n = 16384;
+Program build_axpy(const MachineConfig& cfg, std::uint64_t n) {
   MemLayout layout;
   const std::uint64_t x_addr = layout.alloc(n * 8);
   const std::uint64_t y_addr = layout.alloc(n * 8);
-
   ProgramBuilder pb(cfg.effective_vlen(), "axpy");
   std::uint64_t done = 0;
   while (done < n) {
@@ -27,7 +28,14 @@ void BM_AxpyCycles(benchmark::State& state) {
     pb.vse(16, y_addr + done * 8);
     done += vl;
   }
-  const Program prog = pb.take();
+  return pb.take();
+}
+
+void axpy_cycles(benchmark::State& state, TimingMode mode) {
+  MachineConfig cfg = MachineConfig::araxl(static_cast<unsigned>(state.range(0)));
+  cfg.timing_mode = mode;
+  Machine m(cfg);
+  const Program prog = build_axpy(cfg, 16384);
 
   std::uint64_t cycles = 0;
   for (auto _ : state) {
@@ -38,7 +46,16 @@ void BM_AxpyCycles(benchmark::State& state) {
   state.counters["sim_cycles/s"] = benchmark::Counter(
       static_cast<double>(cycles), benchmark::Counter::kIsRate);
 }
+
+void BM_AxpyCycles(benchmark::State& state) {
+  axpy_cycles(state, TimingMode::kEventDriven);
+}
 BENCHMARK(BM_AxpyCycles)->Arg(8)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_AxpyCyclesOracle(benchmark::State& state) {
+  axpy_cycles(state, TimingMode::kCycleStepped);
+}
+BENCHMARK(BM_AxpyCyclesOracle)->Arg(8)->Arg(64)->Unit(benchmark::kMillisecond);
 
 void BM_KernelBuild(benchmark::State& state) {
   const MachineConfig cfg = MachineConfig::araxl(16);
@@ -51,17 +68,31 @@ void BM_KernelBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_KernelBuild)->Unit(benchmark::kMillisecond);
 
-void BM_FmatmulSim(benchmark::State& state) {
-  const MachineConfig cfg = MachineConfig::araxl(16);
+void fmatmul_sim(benchmark::State& state, TimingMode mode) {
+  MachineConfig cfg = MachineConfig::araxl(16);
+  cfg.timing_mode = mode;
   Machine m(cfg);
   auto kernel = make_kernel("fmatmul");
   const Program prog = kernel->build(m, 64);
+  std::uint64_t cycles = 0;
   for (auto _ : state) {
     const RunStats stats = m.run(prog);
+    cycles += stats.cycles;
     benchmark::DoNotOptimize(stats.cycles);
   }
+  state.counters["sim_cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+
+void BM_FmatmulSim(benchmark::State& state) {
+  fmatmul_sim(state, TimingMode::kEventDriven);
 }
 BENCHMARK(BM_FmatmulSim)->Unit(benchmark::kMillisecond);
+
+void BM_FmatmulSimOracle(benchmark::State& state) {
+  fmatmul_sim(state, TimingMode::kCycleStepped);
+}
+BENCHMARK(BM_FmatmulSimOracle)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace araxl

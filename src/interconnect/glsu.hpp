@@ -21,6 +21,7 @@
 
 #include "machine/config.hpp"
 #include "mem/axi.hpp"
+#include "sim/cycle.hpp"
 
 namespace araxl {
 
@@ -57,6 +58,19 @@ class GlsuModel {
   [[nodiscard]] std::uint64_t transfer_beats(std::uint64_t addr,
                                              std::uint64_t len_bytes) const {
     return total_beats(addr, len_bytes, bus_bytes());
+  }
+
+  /// Bytes granted to the bus owner in one cycle (per-cycle engine).
+  [[nodiscard]] std::uint64_t grant_bytes(std::uint64_t remaining) const {
+    const std::uint64_t bus = bus_bytes();
+    return remaining < bus ? remaining : bus;
+  }
+
+  /// Cycles a full-bandwidth owner needs to move `bytes` (bulk grant for
+  /// the event-driven engine's closed-form advancement).
+  [[nodiscard]] Cycle cycles_for_bytes(std::uint64_t bytes) const {
+    const std::uint64_t bus = bus_bytes();
+    return bytes == 0 ? 0 : (bytes + bus - 1) / bus;
   }
 
   /// Shuffle-stage distribution: how many bytes of a unit-stride access of

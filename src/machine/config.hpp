@@ -22,9 +22,18 @@ namespace araxl {
 
 enum class MachineKind : std::uint8_t { kAraXL, kAra2 };
 
+/// Simulation-kernel selection. `kEventDriven` is the production engine: it
+/// jumps simulated time to the next cycle where machine state can change
+/// and advances in-flight work in closed form (bit-identical RunStats to
+/// the oracle). `kCycleStepped` is the reference oracle that ticks every
+/// cycle; keep it for calibration, differential testing, and debugging.
+enum class TimingMode : std::uint8_t { kEventDriven, kCycleStepped };
+
 struct MachineConfig {
   MachineKind kind = MachineKind::kAraXL;
   Topology topo{4, 4};  ///< default: 16-lane AraXL (4 clusters x 4 lanes)
+
+  TimingMode timing_mode = TimingMode::kEventDriven;
 
   /// Bits per vector register; 0 selects the paper's configuration rule
   /// VLEN = 1024 x total lanes (64 Kibit at 64 lanes).

@@ -176,6 +176,17 @@ void FunctionalEngine::exec_mask_population(const VInstr& in) {
 
 void FunctionalEngine::exec_memory(const VInstr& in) {
   const unsigned ew = ew_bytes();
+  // Unit-stride, unmasked accesses (the overwhelmingly common case) move
+  // as one bounds-checked stream between memory and the mapped VRF.
+  if ((in.op == Op::kVle || in.op == Op::kVse) && !in.masked) {
+    const std::uint64_t total = vl_ * ew;
+    if (in.op == Op::kVle) {
+      vrf_.write_stream(in.vd, vl_, ew, mem_.raw(in.addr, total));
+    } else {
+      vrf_.read_stream(in.vd, vl_, ew, mem_.raw(in.addr, total));
+    }
+    return;
+  }
   const auto elem_addr = [&](std::uint64_t i) -> std::uint64_t {
     switch (in.op) {
       case Op::kVle:
@@ -217,7 +228,90 @@ void FunctionalEngine::exec_memory(const VInstr& in) {
   }
 }
 
+bool FunctionalEngine::exec_fp_bulk64(const VInstr& in) {
+  if (vtype_.sew != Sew::k64 || in.masked) return false;
+  const OpSpec& spec = op_spec(in.op);
+  const std::uint64_t n = vl_;
+  const auto as_bytes = [](std::vector<double>& v) {
+    return reinterpret_cast<std::uint8_t*>(v.data());
+  };
+
+  // Gather the operand streams this opcode needs.
+  buf_s2_.resize(n);
+  vrf_.read_stream(in.vs2, n, 8, as_bytes(buf_s2_));
+  const double* a = buf_s2_.data();
+  const double* b = nullptr;
+  if (spec.reads_vs1) {
+    buf_s1_.resize(n);
+    vrf_.read_stream(in.vs1, n, 8, as_bytes(buf_s1_));
+    b = buf_s1_.data();
+  }
+  buf_d_.resize(n);
+  double* d = buf_d_.data();
+  if (spec.reads_vd) vrf_.read_stream(in.vd, n, 8, as_bytes(buf_d_));
+  const double fs = scalar_of(in);
+
+  switch (in.op) {
+    case Op::kVfaddVV: for (std::uint64_t i = 0; i < n; ++i) d[i] = a[i] + b[i]; break;
+    case Op::kVfaddVF: for (std::uint64_t i = 0; i < n; ++i) d[i] = a[i] + fs; break;
+    case Op::kVfsubVV: for (std::uint64_t i = 0; i < n; ++i) d[i] = a[i] - b[i]; break;
+    case Op::kVfsubVF: for (std::uint64_t i = 0; i < n; ++i) d[i] = a[i] - fs; break;
+    case Op::kVfrsubVF: for (std::uint64_t i = 0; i < n; ++i) d[i] = fs - a[i]; break;
+    case Op::kVfmulVV: for (std::uint64_t i = 0; i < n; ++i) d[i] = a[i] * b[i]; break;
+    case Op::kVfmulVF: for (std::uint64_t i = 0; i < n; ++i) d[i] = a[i] * fs; break;
+    case Op::kVfdivVV: for (std::uint64_t i = 0; i < n; ++i) d[i] = a[i] / b[i]; break;
+    case Op::kVfdivVF: for (std::uint64_t i = 0; i < n; ++i) d[i] = a[i] / fs; break;
+    case Op::kVfrdivVF: for (std::uint64_t i = 0; i < n; ++i) d[i] = fs / a[i]; break;
+    case Op::kVfmaccVV:
+      for (std::uint64_t i = 0; i < n; ++i) d[i] = std::fma(b[i], a[i], d[i]);
+      break;
+    case Op::kVfmaccVF:
+      for (std::uint64_t i = 0; i < n; ++i) d[i] = std::fma(fs, a[i], d[i]);
+      break;
+    case Op::kVfnmsacVV:
+      for (std::uint64_t i = 0; i < n; ++i) d[i] = std::fma(-b[i], a[i], d[i]);
+      break;
+    case Op::kVfnmsacVF:
+      for (std::uint64_t i = 0; i < n; ++i) d[i] = std::fma(-fs, a[i], d[i]);
+      break;
+    case Op::kVfmaddVF:
+      for (std::uint64_t i = 0; i < n; ++i) d[i] = std::fma(d[i], fs, a[i]);
+      break;
+    case Op::kVfmaddVV:
+      for (std::uint64_t i = 0; i < n; ++i) d[i] = std::fma(d[i], b[i], a[i]);
+      break;
+    case Op::kVfmsacVF:
+      for (std::uint64_t i = 0; i < n; ++i) d[i] = std::fma(fs, a[i], -d[i]);
+      break;
+    case Op::kVfminVV:
+      for (std::uint64_t i = 0; i < n; ++i) d[i] = std::fmin(a[i], b[i]);
+      break;
+    case Op::kVfminVF:
+      for (std::uint64_t i = 0; i < n; ++i) d[i] = std::fmin(a[i], fs);
+      break;
+    case Op::kVfmaxVV:
+      for (std::uint64_t i = 0; i < n; ++i) d[i] = std::fmax(a[i], b[i]);
+      break;
+    case Op::kVfmaxVF:
+      for (std::uint64_t i = 0; i < n; ++i) d[i] = std::fmax(a[i], fs);
+      break;
+    case Op::kVfsgnjVV:
+      for (std::uint64_t i = 0; i < n; ++i) d[i] = std::copysign(a[i], b[i]);
+      break;
+    case Op::kVfsgnjnVV:
+      for (std::uint64_t i = 0; i < n; ++i) d[i] = std::copysign(a[i], -b[i]);
+      break;
+    case Op::kVfsqrtV:
+      for (std::uint64_t i = 0; i < n; ++i) d[i] = std::sqrt(a[i]);
+      break;
+    default: return false;  // conversions etc. take the per-element path
+  }
+  vrf_.write_stream(in.vd, n, 8, as_bytes(buf_d_));
+  return true;
+}
+
 void FunctionalEngine::exec_fp(const VInstr& in) {
+  if (exec_fp_bulk64(in)) return;
   const double fs = scalar_of(in);
   for (std::uint64_t i = 0; i < vl_; ++i) {
     if (!active(in, i)) continue;
@@ -345,6 +439,27 @@ void FunctionalEngine::exec_int(const VInstr& in) {
 
 void FunctionalEngine::exec_reduction(const VInstr& in) {
   double acc = read_f(in.vs1, 0);
+  if (vtype_.sew == Sew::k64 && !in.masked) {
+    // Bulk path: one stream read, then a pure accumulate loop.
+    buf_s2_.resize(vl_);
+    vrf_.read_stream(in.vs2, vl_, 8,
+                     reinterpret_cast<std::uint8_t*>(buf_s2_.data()));
+    const double* v = buf_s2_.data();
+    switch (in.op) {
+      case Op::kVfredusum:
+        for (std::uint64_t i = 0; i < vl_; ++i) acc += v[i];
+        break;
+      case Op::kVfredmax:
+        for (std::uint64_t i = 0; i < vl_; ++i) acc = std::fmax(acc, v[i]);
+        break;
+      case Op::kVfredmin:
+        for (std::uint64_t i = 0; i < vl_; ++i) acc = std::fmin(acc, v[i]);
+        break;
+      default: fail("unhandled reduction");
+    }
+    write_f(in.vd, 0, acc);
+    return;
+  }
   for (std::uint64_t i = 0; i < vl_; ++i) {
     if (!active(in, i)) continue;
     const double v = read_f(in.vs2, i);

@@ -10,6 +10,7 @@
 #define ARAXL_MACHINE_FUNCTIONAL_HPP
 
 #include <cstdint>
+#include <vector>
 
 #include "isa/program.hpp"
 #include "machine/config.hpp"
@@ -46,6 +47,10 @@ class FunctionalEngine {
 
   void exec_memory(const VInstr& in);
   void exec_fp(const VInstr& in);
+  /// Bulk SEW=64 unmasked FP path: operands streamed into contiguous
+  /// scratch, one tight loop per opcode, result streamed back. Returns
+  /// false when the op/shape needs the per-element fallback.
+  bool exec_fp_bulk64(const VInstr& in);
   void exec_int(const VInstr& in);
   void exec_reduction(const VInstr& in);
   void exec_slide(const VInstr& in);
@@ -61,6 +66,11 @@ class FunctionalEngine {
   std::uint64_t vl_ = 0;
   double scalar_acc_ = 0.0;
   std::int64_t scalar_iacc_ = 0;
+
+  // Scratch for the bulk FP path (capacity persists across instructions).
+  std::vector<double> buf_s2_;
+  std::vector<double> buf_s1_;
+  std::vector<double> buf_d_;
 };
 
 }  // namespace araxl

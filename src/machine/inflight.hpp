@@ -1,10 +1,13 @@
-// In-flight vector instruction state tracked by the timing engine.
+// In-flight vector instruction state tracked by the timing engine, plus
+// the slab pool that owns it.
 #ifndef ARAXL_MACHINE_INFLIGHT_HPP
 #define ARAXL_MACHINE_INFLIGHT_HPP
 
 #include <cstdint>
+#include <deque>
 #include <vector>
 
+#include "common/contracts.hpp"
 #include "isa/instr.hpp"
 #include "sim/cycle.hpp"
 #include "sim/pipe.hpp"
@@ -18,10 +21,14 @@ namespace araxl {
 /// latency). `full` marks scalar-style dependencies (e.g. the vs1 seed of a
 /// reduction) that require the producer to have finished entirely.
 struct Dep {
-  std::uint64_t producer = 0;
+  std::uint64_t producer = 0;   ///< producer instruction id
+  std::uint32_t slot = 0;       ///< producer slot in the InflightPool
   std::int64_t offset = 0;
   unsigned lag = 0;
   bool full = false;
+  /// Producer's unit ticks before the consumer's within a cycle; decides
+  /// whether a same-cycle finish is already visible to `full` consumers.
+  bool producer_ticks_first = false;
 };
 
 /// Progress phases of a reduction (paper §III-B.4): accumulate in the
@@ -49,6 +56,9 @@ struct Inflight {
   Cycle start_at = 0;          ///< earliest cycle the first result can appear
   Cycle first_result_at = kNeverCycle;  ///< first element produced (trace)
   Cycle completed_at = kNeverCycle;
+  Cycle finished_at = kNeverCycle;  ///< cycle `produced` reached vl
+  Cycle advanced_until = 0;    ///< cycles <= this are already simulated
+  Cycle projected_done = kNeverCycle;  ///< reduction end-of-phases forecast
 
   std::uint64_t produced = 0;  ///< element results produced so far
   LaggedCounter hist;          ///< produced-count history for consumers
@@ -65,14 +75,111 @@ struct Inflight {
 
   std::vector<Dep> deps;
 
-  // Register claims (released at retirement).
+  // Register claims (released at retirement). Up to four source groups:
+  // vs1, vs2, vd-as-source, and the v0 mask.
   unsigned write_base = 0;
   unsigned write_count = 0;  ///< 0 when the op writes no register
-  unsigned read_base[3] = {0, 0, 0};
-  unsigned read_count[3] = {0, 0, 0};
+  unsigned read_base[4] = {0, 0, 0, 0};
+  unsigned read_count[4] = {0, 0, 0, 0};
   unsigned read_groups = 0;
 
   [[nodiscard]] bool finished_producing() const noexcept { return produced >= vl; }
+
+  /// Returns the slot to dispatch-time defaults, keeping the deps capacity
+  /// and hist storage so recycled slots allocate nothing.
+  void reset() noexcept {
+    id = 0;
+    in = VInstr{};
+    spec = nullptr;
+    vl = 0;
+    ew = 8;
+    unit = Unit::kNone;
+    issued_at = dispatched_at = start_at = 0;
+    first_result_at = completed_at = finished_at = kNeverCycle;
+    advanced_until = 0;
+    projected_done = kNeverCycle;
+    produced = 0;
+    hist.clear();
+    rate_acc = 0;
+    bytes_total = bytes_done = head_skew = 0;
+    red_phase = RedPhase::kIntraLane;
+    red_phase_end = kNeverCycle;
+    deps.clear();
+    write_base = write_count = 0;
+    for (unsigned g = 0; g < 4; ++g) read_base[g] = read_count[g] = 0;
+    read_groups = 0;
+  }
+};
+
+/// Slab allocator for Inflight records, keyed by dense slot ids.
+///
+/// The dispatch path used to heap-allocate one Inflight (plus an
+/// unordered_map node) per vector instruction; for event-driven sweeps that
+/// allocator traffic dominates.  The pool recycles slots through a free
+/// list, so steady-state dispatch touches no allocator at all, and `get`
+/// resolves a (slot, id) reference in O(1) — a stale id (the producer
+/// retired and the slot was recycled) resolves to nullptr, which is exactly
+/// the "retired producers are fully available" contract `find` had.
+class InflightPool {
+ public:
+  Inflight& alloc(std::uint64_t id, std::uint32_t* slot_out) {
+    std::uint32_t slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    Inflight& instr = slots_[slot];
+    instr.reset();
+    instr.id = id;
+    ++active_;
+    *slot_out = slot;
+    return instr;
+  }
+
+  void release(std::uint32_t slot) {
+    debug_check(slot < slots_.size() && slots_[slot].id != 0,
+                "releasing an empty inflight slot");
+    slots_[slot].id = 0;
+    free_.push_back(slot);
+    --active_;
+  }
+
+  /// Slot contents when it still holds instruction `id`, else nullptr.
+  [[nodiscard]] Inflight* get(std::uint32_t slot, std::uint64_t id) noexcept {
+    Inflight& instr = slots_[slot];
+    return instr.id == id ? &instr : nullptr;
+  }
+  [[nodiscard]] const Inflight* get(std::uint32_t slot,
+                                    std::uint64_t id) const noexcept {
+    const Inflight& instr = slots_[slot];
+    return instr.id == id ? &instr : nullptr;
+  }
+
+  /// Occupied slot (unchecked id); precondition: slot is live.
+  [[nodiscard]] Inflight& at(std::uint32_t slot) noexcept { return slots_[slot]; }
+  [[nodiscard]] const Inflight& at(std::uint32_t slot) const noexcept {
+    return slots_[slot];
+  }
+
+  [[nodiscard]] std::size_t active() const noexcept { return active_; }
+
+  void clear() {
+    // Keep the slabs; just mark every slot free.
+    free_.clear();
+    for (std::size_t s = slots_.size(); s-- > 0;) {
+      slots_[s].id = 0;
+      free_.push_back(static_cast<std::uint32_t>(s));
+    }
+    active_ = 0;
+  }
+
+ private:
+  std::deque<Inflight> slots_;  ///< deque: stable addresses across growth
+  std::vector<std::uint32_t> free_;
+  std::size_t active_ = 0;
 };
 
 }  // namespace araxl

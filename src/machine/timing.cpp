@@ -9,21 +9,25 @@
 #include "isa/disasm.hpp"
 
 namespace araxl {
-namespace {
 
-/// Conservative address range touched by a vector memory op. Indexed
-/// accesses are unbounded (returns false).
 bool mem_range(const VInstr& in, std::uint64_t vl, unsigned ew, std::uint64_t* lo,
                std::uint64_t* hi) {
   switch (in.op) {
     case Op::kVle:
     case Op::kVse:
-      *lo = in.addr;
-      *hi = in.addr + vl * ew;
-      return true;
     case Op::kVlse:
     case Op::kVsse: {
-      const std::int64_t span = in.stride * static_cast<std::int64_t>(vl ? vl - 1 : 0);
+      if (vl == 0) {  // zero-element ops touch no memory at all
+        *lo = in.addr;
+        *hi = in.addr;
+        return true;
+      }
+      if (in.op == Op::kVle || in.op == Op::kVse) {
+        *lo = in.addr;
+        *hi = in.addr + vl * ew;
+        return true;
+      }
+      const std::int64_t span = in.stride * static_cast<std::int64_t>(vl - 1);
       const std::int64_t a = static_cast<std::int64_t>(in.addr);
       *lo = static_cast<std::uint64_t>(std::min(a, a + span));
       *hi = static_cast<std::uint64_t>(std::max(a, a + span)) + ew;
@@ -33,6 +37,11 @@ bool mem_range(const VInstr& in, std::uint64_t vl, unsigned ew, std::uint64_t* l
   }
 }
 
+namespace {
+
+/// Unit tick order within a cycle (tick_units walks units in enum order).
+constexpr unsigned unit_order(Unit u) { return static_cast<unsigned>(u); }
+
 }  // namespace
 
 TimingEngine::TimingEngine(const MachineConfig& cfg, FunctionalEngine& fn,
@@ -40,19 +49,24 @@ TimingEngine::TimingEngine(const MachineConfig& cfg, FunctionalEngine& fn,
     : cfg_(cfg), fn_(fn), trace_(trace), reqi_(cfg), glsu_(cfg), ring_(cfg),
       lanes_(cfg), cva6_(cfg) {}
 
-const Inflight* TimingEngine::find(std::uint64_t id) const {
-  const auto it = active_.find(id);
-  return it == active_.end() ? nullptr : it->second.get();
+const Inflight* TimingEngine::find(const RegRef& ref) const {
+  return ref.id == 0 ? nullptr : pool_.get(ref.slot, ref.id);
+}
+
+bool TimingEngine::full_dep_visible(Cycle t, const Dep& d,
+                                    const Inflight& p) const {
+  if (p.finished_at == kNeverCycle) return false;
+  return t > p.finished_at || (t == p.finished_at && d.producer_ticks_first);
 }
 
 std::uint64_t TimingEngine::avail_elems(Cycle t, const Inflight& instr) const {
   std::uint64_t avail = instr.vl;
   for (const Dep& d : instr.deps) {
-    const Inflight* p = find(d.producer);
+    const Inflight* p = pool_.get(d.slot, d.producer);
     if (p == nullptr) continue;  // retired: fully available
     std::uint64_t pa;
     if (d.full) {
-      pa = p->finished_producing() ? instr.vl : 0;
+      pa = full_dep_visible(t, d, *p) ? instr.vl : 0;
     } else {
       const std::uint64_t raw = p->hist.value_at_lag(t, d.lag);
       const std::int64_t adj = static_cast<std::int64_t>(raw) - d.offset;
@@ -67,14 +81,31 @@ void TimingEngine::account(Unit u, const Inflight& instr, std::uint64_t adv) {
   stats_.unit_busy_elems[static_cast<std::size_t>(u)] += adv;
   if (u == Unit::kFpu) stats_.fpu_result_elems += adv;
   stats_.flops += adv * instr.spec->flops_per_elem;
+  ++progress_events_;
+  watchdog_.note_progress();
+}
+
+Cycle TimingEngine::reduction_done_at(const Inflight& instr, Cycle finish) const {
+  // Mirror of the advance_red_phases chain: inter-lane log-tree, ring
+  // log-tree across clusters, SIMD-word reduce, scalar writeback.
+  Cycle done = finish +
+               static_cast<Cycle>(log2_ceil(cfg_.topo.lanes)) * cfg_.red_step_latency;
+  done += ring_.reduction_tree_cycles();
+  if (instr.ew < 8) {
+    done += static_cast<Cycle>(log2_ceil(8 / instr.ew)) * cfg_.red_step_latency;
+  }
+  done += cfg_.writeback_latency;
+  return done;
 }
 
 void TimingEngine::finish_producing(Cycle t, Inflight& instr) {
+  instr.finished_at = t;
   if (instr.spec->is_reduction) {
     // Enter the inter-lane phase; advance_red_phases() walks the rest.
     instr.red_phase = RedPhase::kInterLane;
     instr.red_phase_end =
         t + static_cast<Cycle>(log2_ceil(cfg_.topo.lanes)) * cfg_.red_step_latency;
+    instr.projected_done = reduction_done_at(instr, t);
     return;
   }
   instr.completed_at = t + lanes_.chain_lag(instr.unit);
@@ -114,8 +145,7 @@ void TimingEngine::advance_red_phases(Cycle t, Inflight& instr) {
   }
 }
 
-void TimingEngine::advance_arith(Cycle t, Inflight& instr) {
-  if (t < instr.start_at) return;
+std::uint64_t TimingEngine::head_rate256(const Inflight& instr) const {
   std::uint64_t r256 = lanes_.rate256(instr.in.op, instr.ew);
   if (instr.unit == Unit::kSldu &&
       (ring_.long_slide(slide_offset(instr.in)) ||
@@ -128,7 +158,12 @@ void TimingEngine::advance_arith(Cycle t, Inflight& instr) {
     // Element-granular strided/indexed beats from the per-cluster addrgens.
     r256 = std::uint64_t{cfg_.topo.clusters} * 256;
   }
-  instr.rate_acc += r256;
+  return r256;
+}
+
+void TimingEngine::advance_arith(Cycle t, Inflight& instr) {
+  if (t < instr.start_at) return;
+  instr.rate_acc += head_rate256(instr);
   const std::uint64_t quota = instr.rate_acc >> 8;
   instr.rate_acc &= 0xFF;  // unused whole-element slots are lost, not banked
   if (quota == 0) return;
@@ -151,8 +186,7 @@ void TimingEngine::advance_load(Cycle t, Inflight& instr) {
     return;
   }
   const std::uint64_t raw_total = instr.head_skew + instr.bytes_total;
-  const std::uint64_t grant =
-      std::min(glsu_.bus_bytes(), raw_total - instr.bytes_done);
+  const std::uint64_t grant = glsu_.grant_bytes(raw_total - instr.bytes_done);
   if (grant == 0) return;
   instr.bytes_done += grant;
   const std::uint64_t useful =
@@ -164,6 +198,7 @@ void TimingEngine::advance_load(Cycle t, Inflight& instr) {
     account(instr.unit, instr, new_produced - instr.produced);
     instr.produced = new_produced;
     instr.hist.record(t, instr.produced);
+    if (instr.finished_producing()) instr.finished_at = t;
   }
   if (instr.bytes_done >= raw_total && instr.finished_producing()) {
     instr.completed_at = t + lanes_.chain_lag(Unit::kLoad);
@@ -181,8 +216,7 @@ void TimingEngine::advance_store(Cycle t, Inflight& instr) {
   const std::uint64_t sendable =
       std::min(raw_total, instr.head_skew + avail * instr.ew);
   if (sendable <= instr.bytes_done) return;
-  const std::uint64_t grant =
-      std::min(glsu_.bus_bytes(), sendable - instr.bytes_done);
+  const std::uint64_t grant = glsu_.grant_bytes(sendable - instr.bytes_done);
   instr.bytes_done += grant;
   const std::uint64_t useful =
       instr.bytes_done > instr.head_skew ? instr.bytes_done - instr.head_skew : 0;
@@ -193,6 +227,7 @@ void TimingEngine::advance_store(Cycle t, Inflight& instr) {
     account(instr.unit, instr, new_produced - instr.produced);
     instr.produced = new_produced;
     instr.hist.record(t, instr.produced);
+    if (instr.finished_producing()) instr.finished_at = t;
   }
   if (instr.bytes_done >= raw_total) {
     instr.completed_at = t + lanes_.chain_lag(Unit::kStore);
@@ -200,6 +235,8 @@ void TimingEngine::advance_store(Cycle t, Inflight& instr) {
 }
 
 void TimingEngine::advance_head(Cycle t, Inflight& instr) {
+  if (instr.advanced_until >= t) return;  // fast-forwarded past this cycle
+  instr.advanced_until = t;
   switch (instr.unit) {
     case Unit::kLoad: advance_load(t, instr); break;
     case Unit::kStore: advance_store(t, instr); break;
@@ -210,13 +247,21 @@ void TimingEngine::advance_head(Cycle t, Inflight& instr) {
 void TimingEngine::tick_unit(Cycle t, Unit u) {
   auto& q = unitq_[static_cast<std::size_t>(u)];
   bool head_found = false;
-  for (const std::uint64_t id : q) {
-    Inflight& instr = *active_.at(id);
+  for (const std::uint32_t slot : q) {
+    Inflight& instr = pool_.at(slot);
     if (instr.spec->is_reduction && instr.finished_producing() &&
         instr.red_phase != RedPhase::kDone) {
       advance_red_phases(t, instr);
     }
-    if (!head_found && !instr.finished_producing()) {
+    // Head = first instruction still producing *as of cycle t*. A
+    // fast-forwarded instruction may already hold produced == vl with a
+    // finished_at in the future; its successor must not advance before
+    // that cycle. Strictly before: in the finishing cycle itself the
+    // instruction still occupies the head slot (the oracle's scan reads
+    // finished_producing() before the advance that completes it).
+    const bool done_by_t =
+        instr.finished_at != kNeverCycle && instr.finished_at < t;
+    if (!head_found && !done_by_t) {
       head_found = true;
       advance_head(t, instr);
     }
@@ -232,13 +277,14 @@ void TimingEngine::tick_units(Cycle t) {
 void TimingEngine::release_claims(const Inflight& instr) {
   for (unsigned r = instr.write_base; r < instr.write_base + instr.write_count;
        ++r) {
-    if (regs_[r].writer == instr.id) regs_[r].writer = 0;
+    if (regs_[r].writer.id == instr.id) regs_[r].writer = RegRef{};
   }
   for (unsigned g = 0; g < instr.read_groups; ++g) {
     for (unsigned r = instr.read_base[g]; r < instr.read_base[g] + instr.read_count[g];
          ++r) {
       auto& readers = regs_[r].readers;
-      readers.erase(std::remove(readers.begin(), readers.end(), instr.id),
+      readers.erase(std::remove_if(readers.begin(), readers.end(),
+                                   [&](const RegRef& e) { return e.id == instr.id; }),
                     readers.end());
     }
   }
@@ -247,9 +293,8 @@ void TimingEngine::release_claims(const Inflight& instr) {
 void TimingEngine::retire(Cycle t) {
   for (auto& q : unitq_) {
     while (!q.empty()) {
-      const auto it = active_.find(q.front());
-      debug_check(it != active_.end(), "queued instruction missing from active set");
-      Inflight& instr = *it->second;
+      Inflight& instr = pool_.at(q.front());
+      debug_check(instr.id != 0, "queued instruction missing from pool");
       if (instr.completed_at > t) break;
       if (trace_ != nullptr) {
         TraceRecord rec;
@@ -265,8 +310,10 @@ void TimingEngine::retire(Cycle t) {
         trace_->add(rec);
       }
       release_claims(instr);
-      active_.erase(it);
+      pool_.release(q.front());
       q.pop_front();
+      ++progress_events_;
+      watchdog_.note_progress();
     }
   }
 }
@@ -280,8 +327,8 @@ bool TimingEngine::mem_conflict(const Pending& p) const {
   // A load must not race an in-flight store over the same bytes (and vice
   // versa). Same-kind ops are ordered by their in-order unit queue.
   const Unit other = spec.reads_mem ? Unit::kStore : Unit::kLoad;
-  for (const std::uint64_t id : unitq_[static_cast<std::size_t>(other)]) {
-    const Inflight& o = *active_.at(id);
+  for (const std::uint32_t slot : unitq_[static_cast<std::size_t>(other)]) {
+    const Inflight& o = pool_.at(slot);
     std::uint64_t olo = 0;
     std::uint64_t ohi = 0;
     if (!bounded || !mem_range(o.in, o.vl, o.ew, &olo, &ohi)) return true;
@@ -308,20 +355,21 @@ void TimingEngine::tick_dispatch(Cycle t) {
     if (const Inflight* w = find(regs_[r].writer); w != nullptr && w->unit != unit) {
       return;
     }
-    for (const std::uint64_t rid : regs_[r].readers) {
+    for (const RegRef& rid : regs_[r].readers) {
       if (const Inflight* rd = find(rid); rd != nullptr && rd->unit != unit) return;
     }
   }
 
-  auto instr = std::make_unique<Inflight>();
-  instr->id = next_id_++;
-  instr->in = p.in;
-  instr->spec = &spec;
-  instr->vl = p.vl;
-  instr->ew = p.ew;
-  instr->unit = unit;
-  instr->issued_at = p.issued_at;
-  instr->dispatched_at = t;
+  std::uint32_t slot = 0;
+  Inflight& instr = pool_.alloc(next_id_++, &slot);
+  instr.in = p.in;
+  instr.spec = &spec;
+  instr.vl = p.vl;
+  instr.ew = p.ew;
+  instr.unit = unit;
+  instr.issued_at = p.issued_at;
+  instr.dispatched_at = t;
+  instr.advanced_until = t;  // first advance opportunity is t + 1
 
   // RAW chaining dependencies on in-flight producers of the source groups.
   const std::int64_t offset = spec.is_slide ? slide_offset(p.in) : 0;
@@ -332,58 +380,62 @@ void TimingEngine::tick_dispatch(Cycle t) {
       if (w == nullptr) continue;
       Dep d;
       d.producer = w->id;
+      d.slot = regs_[r].writer.slot;
       d.lag = lanes_.chain_lag(w->unit);
       d.offset = (spec.is_slide && !is_vd_source) ? offset : 0;
       // Reduction seeds need the producer finished; gathers read arbitrary
       // source elements, so they cannot chain either.
       d.full = (spec.is_reduction && rgs.base[g] == p.in.vs1 && rgs.count[g] == 1) ||
                spec.is_gather;
+      d.producer_ticks_first = unit_order(w->unit) < unit_order(unit);
       const bool dup =
-          std::any_of(instr->deps.begin(), instr->deps.end(),
+          std::any_of(instr.deps.begin(), instr.deps.end(),
                       [&](const Dep& e) { return e.producer == d.producer; });
-      if (!dup) instr->deps.push_back(d);
+      if (!dup) instr.deps.push_back(d);
     }
   }
 
   // Claim registers.
-  instr->write_base = wb;
-  instr->write_count = wc;
-  for (unsigned r = wb; r < wb + wc; ++r) regs_[r].writer = instr->id;
-  instr->read_groups = rgs.n;
+  instr.write_base = wb;
+  instr.write_count = wc;
+  for (unsigned r = wb; r < wb + wc; ++r) regs_[r].writer = RegRef{slot, instr.id};
+  instr.read_groups = rgs.n;
   for (unsigned g = 0; g < rgs.n; ++g) {
-    instr->read_base[g] = rgs.base[g];
-    instr->read_count[g] = rgs.count[g];
+    instr.read_base[g] = rgs.base[g];
+    instr.read_count[g] = rgs.count[g];
     for (unsigned r = rgs.base[g]; r < rgs.base[g] + rgs.count[g]; ++r) {
-      regs_[r].readers.push_back(instr->id);
+      regs_[r].readers.push_back(RegRef{slot, instr.id});
     }
   }
 
   // Start latency and memory setup.
   switch (unit) {
     case Unit::kLoad:
-      instr->start_at = t + glsu_.load_latency();
-      instr->bytes_total = p.vl * p.ew;
-      if (!elementwise_mem_op(p.in.op)) instr->head_skew = glsu_.head_skew(p.in.addr);
-      stats_.mem_read_bytes += instr->bytes_total;
+      instr.start_at = t + glsu_.load_latency();
+      instr.bytes_total = p.vl * p.ew;
+      if (!elementwise_mem_op(p.in.op)) instr.head_skew = glsu_.head_skew(p.in.addr);
+      stats_.mem_read_bytes += instr.bytes_total;
       break;
     case Unit::kStore:
-      instr->start_at = t + glsu_.store_latency();
-      instr->bytes_total = p.vl * p.ew;
-      if (!elementwise_mem_op(p.in.op)) instr->head_skew = glsu_.head_skew(p.in.addr);
-      stats_.mem_write_bytes += instr->bytes_total;
+      instr.start_at = t + glsu_.store_latency();
+      instr.bytes_total = p.vl * p.ew;
+      if (!elementwise_mem_op(p.in.op)) instr.head_skew = glsu_.head_skew(p.in.addr);
+      stats_.mem_write_bytes += instr.bytes_total;
       break;
     case Unit::kSldu:
-      instr->start_at =
+      instr.start_at =
           t + lanes_.start_latency() + ring_.slide_start_penalty(slide_offset(p.in));
       break;
     default:
-      instr->start_at = t + lanes_.start_latency();
+      instr.start_at = t + lanes_.start_latency();
       break;
   }
 
-  q.push_back(instr->id);
-  active_.emplace(instr->id, std::move(instr));
+  q.push_back(slot);
   seq_.pop_front();
+  dispatched_this_cycle_ = true;
+  ++progress_events_;
+  watchdog_.note_progress();
 }
 
 bool TimingEngine::reg_pending_write(unsigned reg) const {
@@ -403,6 +455,8 @@ void TimingEngine::tick_cva6(Cycle t) {
     cva6_free_ = t + cva6_.scalar_cost(*s);
     ++stats_.scalar_ops;
     ++pc_;
+    ++progress_events_;
+    watchdog_.note_progress();
     return;
   }
 
@@ -412,6 +466,8 @@ void TimingEngine::tick_cva6(Cycle t) {
     cva6_free_ = t + reqi_.ack_latency() + 1;
     ++stats_.vinstrs;
     ++pc_;
+    ++progress_events_;
+    watchdog_.note_progress();
     return;
   }
   const OpSpec& spec = op_spec(in.op);
@@ -421,17 +477,21 @@ void TimingEngine::tick_cva6(Cycle t) {
     // response path.
     if (reg_pending_write(in.vs2)) {
       ++stats_.scalar_wait_cycles;
+      cva6_stall_ = Cva6Stall::kScalarWait;
       return;
     }
     fn_.exec(in);
     cva6_free_ = t + reqi_.ack_latency();
     ++stats_.vinstrs;
     ++pc_;
+    ++progress_events_;
+    watchdog_.note_progress();
     return;
   }
 
   if (seq_.size() >= cfg_.seq_queue_depth) {
     ++stats_.issue_stall_cycles;
+    cva6_stall_ = Cva6Stall::kSeqFull;
     return;
   }
 
@@ -445,60 +505,80 @@ void TimingEngine::tick_cva6(Cycle t) {
   fn_.exec(in);  // architectural effects in program order
   ++stats_.vinstrs;
   ++pc_;
+  ++progress_events_;
+  watchdog_.note_progress();
   cva6_free_ = t + reqi_.ack_latency();
   if (p.vl == 0) return;  // nothing to execute
   seq_.push_back(p);
 }
 
 bool TimingEngine::drained() const {
-  return pc_ >= prog_->ops.size() && seq_.empty() && active_.empty();
+  return pc_ >= prog_->ops.size() && seq_.empty() && pool_.active() == 0;
 }
 
-void TimingEngine::progress_watchdog(Cycle t) {
-  std::uint64_t sig = pc_ * 1315423911ull + seq_.size() * 2654435761ull +
-                      active_.size() * 40503ull;
-  for (const auto& [id, instr] : active_) {
-    sig += id * 31 + instr->produced * 7 + instr->bytes_done * 3 +
-           static_cast<std::uint64_t>(instr->red_phase);
-  }
-  if (sig != last_progress_sig_) {
-    last_progress_sig_ = sig;
-    last_progress_cycle_ = t;
-    return;
-  }
-  if (t - last_progress_cycle_ > 500000) {
-    std::string diag = "timing engine deadlock at pc " + std::to_string(pc_);
-    for (const auto& [id, instr] : active_) {
-      diag += "; #" + std::to_string(id) + " " + disasm(instr->in) + " produced " +
-              std::to_string(instr->produced) + "/" + std::to_string(instr->vl);
+void TimingEngine::step_cycle(Cycle t) {
+  tick_units(t);
+  retire(t);
+  dispatched_this_cycle_ = false;
+  cva6_stall_ = Cva6Stall::kNone;
+  tick_dispatch(t);
+  tick_cva6(t);
+}
+
+void TimingEngine::fail_deadlock(Cycle t) const {
+  std::string diag = "timing engine deadlock at pc " + std::to_string(pc_) +
+                     ", cycle " + std::to_string(t);
+  for (const auto& q : unitq_) {
+    for (const std::uint32_t slot : q) {
+      const Inflight& instr = pool_.at(slot);
+      diag += "; #" + std::to_string(instr.id) + " " + disasm(instr.in) +
+              " produced " + std::to_string(instr.produced) + "/" +
+              std::to_string(instr.vl);
     }
-    fail(diag);
   }
+  fail(diag);
 }
 
-RunStats TimingEngine::run(const Program& prog) {
+void TimingEngine::reset_run(const Program& prog) {
   prog_ = &prog;
   pc_ = 0;
   cva6_free_ = 0;
   stats_ = RunStats{};
   stats_.total_lanes = cfg_.total_lanes();
-  active_.clear();
+  next_id_ = 1;
+  pool_.clear();
   seq_.clear();
   for (auto& q : unitq_) q.clear();
   for (auto& r : regs_) {
-    r.writer = 0;
+    r.writer = RegRef{};
     r.readers.clear();
   }
-  last_progress_sig_ = ~std::uint64_t{0};
+  dispatched_this_cycle_ = false;
+  cva6_stall_ = Cva6Stall::kNone;
+  watchdog_.reset();
+  progress_events_ = 0;
+  last_progress_events_ = 0;
   last_progress_cycle_ = 0;
+}
 
+RunStats TimingEngine::run(const Program& prog) {
+  return cfg_.timing_mode == TimingMode::kCycleStepped ? run_cycle_stepped(prog)
+                                                       : run_event_driven(prog);
+}
+
+RunStats TimingEngine::run_cycle_stepped(const Program& prog) {
+  reset_run(prog);
   Cycle t = 0;
   while (!drained()) {
-    tick_units(t);
-    retire(t);
-    tick_dispatch(t);
-    tick_cva6(t);
-    if ((t & 0xFFF) == 0) progress_watchdog(t);
+    step_cycle(t);
+    if ((t & 0xFFF) == 0) {
+      if (progress_events_ != last_progress_events_) {
+        last_progress_events_ = progress_events_;
+        last_progress_cycle_ = t;
+      } else if (t - last_progress_cycle_ > 500000) {
+        fail_deadlock(t);
+      }
+    }
     ++t;
   }
   stats_.cycles = t;

@@ -1,4 +1,4 @@
-// Cycle-stepped timing engine.
+// Machine-level timing engine, in two interchangeable flavours.
 //
 // Composes the component models (REQI, GLSU, RINGI, lane group, sequencer
 // rules, CVA6) into the machine-level schedule: the issue path (CVA6 ->
@@ -8,14 +8,24 @@
 // multi-phase reduction schedule. Functional execution happens in program
 // order at issue time (see machine/functional.hpp for why the split is
 // sound).
+//
+// Two simulation kernels share the identical per-cycle semantics
+// (MachineConfig::timing_mode selects one):
+//
+//  * cycle-stepped — the reference oracle: ticks t one cycle at a time and
+//    walks every unit queue each cycle.
+//  * event-driven  — the production engine: processes one wakeup cycle
+//    exactly, then uses an EventHorizon (sim/scheduler.hpp) to jump t to
+//    the next cycle where state can change, fast-forwarding unit heads
+//    across the gap with closed-form multi-cycle advancement (piecewise-
+//    linear segments in each LaggedCounter). Its RunStats are bit-for-bit
+//    identical to the oracle's; tests/test_properties.cpp fuzzes that.
 #ifndef ARAXL_MACHINE_TIMING_HPP
 #define ARAXL_MACHINE_TIMING_HPP
 
 #include <array>
 #include <cstdint>
 #include <deque>
-#include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "interconnect/glsu.hpp"
@@ -26,23 +36,41 @@
 #include "machine/functional.hpp"
 #include "machine/inflight.hpp"
 #include "scalar/cva6.hpp"
+#include "sim/scheduler.hpp"
 #include "sim/stats.hpp"
 #include "trace/trace.hpp"
 
 namespace araxl {
+
+/// Conservative address range [lo, hi) touched by a vector memory op with
+/// `vl` elements of `ew` bytes. Returns false for indexed accesses (their
+/// footprint depends on runtime index values). A vl of 0 yields an empty
+/// range — zero-element ops touch no memory and must not stall dispatch.
+bool mem_range(const VInstr& in, std::uint64_t vl, unsigned ew, std::uint64_t* lo,
+               std::uint64_t* hi);
 
 class TimingEngine {
  public:
   TimingEngine(const MachineConfig& cfg, FunctionalEngine& fn,
                InstrTrace* trace = nullptr);
 
-  /// Simulates `prog` to completion and returns the run statistics.
+  /// Simulates `prog` to completion with the engine selected by
+  /// cfg.timing_mode and returns the run statistics.
   RunStats run(const Program& prog);
 
+  /// Explicit-kernel entry points (differential tests, benchmarks).
+  RunStats run_cycle_stepped(const Program& prog);
+  RunStats run_event_driven(const Program& prog);
+
  private:
+  struct RegRef {
+    std::uint32_t slot = 0;
+    std::uint64_t id = 0;  ///< 0 = none
+  };
+
   struct RegState {
-    std::uint64_t writer = 0;           ///< active in-flight writer (0 = none)
-    std::vector<std::uint64_t> readers; ///< active in-flight readers
+    RegRef writer;                 ///< active in-flight writer
+    std::vector<RegRef> readers;   ///< active in-flight readers
   };
 
   /// Instruction accepted by CVA6, travelling to / waiting in the sequencer.
@@ -57,7 +85,13 @@ class TimingEngine {
     Cycle arrive_at = 0;
   };
 
-  // -- per-cycle phases -------------------------------------------------------
+  /// Why CVA6 made no forward progress in the cycle just processed; the
+  /// event engine accrues the matching stall counter across skipped cycles
+  /// (the condition can only change at a wakeup).
+  enum class Cva6Stall : std::uint8_t { kNone, kScalarWait, kSeqFull };
+
+  // -- per-cycle phases (exact semantics, shared by both kernels) -------------
+  void step_cycle(Cycle t);
   void tick_units(Cycle t);
   void tick_unit(Cycle t, Unit u);
   void advance_head(Cycle t, Inflight& instr);
@@ -69,16 +103,44 @@ class TimingEngine {
   void tick_dispatch(Cycle t);
   void tick_cva6(Cycle t);
 
+  // -- event-driven fast-forward ----------------------------------------------
+  /// Proposes every statically-known future event after cycle `t`.
+  void propose_discrete_events(Cycle t, EventHorizon* horizon);
+  /// Fast-forwards all unit heads through (t, *wend_excl); completions and
+  /// reduction forecasts discovered on queue fronts shrink *wend_excl.
+  void fast_forward_heads(Cycle t, Cycle* wend_excl);
+  /// Closed-form / replay advancement of one head over [from, to]
+  /// (to == kNeverCycle means "until it stalls or finishes").
+  void advance_span(Inflight& instr, Cycle from, Cycle to);
+  void advance_span_arith(Inflight& instr, Cycle from, Cycle to);
+  void advance_span_load(Inflight& instr, Cycle from, Cycle to);
+  void advance_span_store(Inflight& instr, Cycle from, Cycle to);
+
+  /// Effective element cap from one dependency over [u, ...], linearised.
+  struct CapLine {
+    std::uint64_t value = 0;   ///< cap at cycle u
+    std::uint64_t slope = 0;   ///< per-cycle growth (integer)
+    Cycle until = kNeverCycle; ///< last cycle this linearisation holds
+    bool fractional = false;   ///< producer segment has a non-integer slope
+  };
+  [[nodiscard]] CapLine dep_cap(const Dep& d, const Inflight& c, Cycle u) const;
+  [[nodiscard]] CapLine combined_cap(const Inflight& c, Cycle u, Cycle to) const;
+
   // -- helpers ----------------------------------------------------------------
+  void reset_run(const Program& prog);
   [[nodiscard]] bool drained() const;
-  [[nodiscard]] const Inflight* find(std::uint64_t id) const;
+  [[nodiscard]] const Inflight* find(const RegRef& ref) const;
   [[nodiscard]] std::uint64_t avail_elems(Cycle t, const Inflight& instr) const;
+  [[nodiscard]] bool full_dep_visible(Cycle t, const Dep& d,
+                                      const Inflight& p) const;
   [[nodiscard]] bool reg_pending_write(unsigned reg) const;
   [[nodiscard]] bool mem_conflict(const Pending& p) const;
+  [[nodiscard]] std::uint64_t head_rate256(const Inflight& instr) const;
+  [[nodiscard]] Cycle reduction_done_at(const Inflight& instr, Cycle finish) const;
   void account(Unit u, const Inflight& instr, std::uint64_t adv);
   void finish_producing(Cycle t, Inflight& instr);
   void release_claims(const Inflight& instr);
-  void progress_watchdog(Cycle t);
+  [[noreturn]] void fail_deadlock(Cycle t) const;
 
   const MachineConfig& cfg_;
   FunctionalEngine& fn_;
@@ -95,14 +157,23 @@ class TimingEngine {
   Cycle cva6_free_ = 0;
 
   std::uint64_t next_id_ = 1;
-  std::unordered_map<std::uint64_t, std::unique_ptr<Inflight>> active_;
-  std::array<std::deque<std::uint64_t>, kNumUnits> unitq_;
+  InflightPool pool_;
+  std::array<std::deque<std::uint32_t>, kNumUnits> unitq_;  ///< slot ids
   std::deque<Pending> seq_;
   std::array<RegState, kNumVregs> regs_;
 
-  // watchdog
-  std::uint64_t last_progress_sig_ = ~std::uint64_t{0};
+  // Per-wakeup outcome flags consumed by the event loop.
+  bool dispatched_this_cycle_ = false;
+  Cva6Stall cva6_stall_ = Cva6Stall::kNone;
+
+  // Liveness tracking (wakeup-counting watchdog; see sim/scheduler.hpp).
+  WakeupWatchdog watchdog_;
+  std::uint64_t progress_events_ = 0;
+  std::uint64_t last_progress_events_ = 0;
   Cycle last_progress_cycle_ = 0;
+
+  // Scratch for fast_forward_heads (kept to avoid per-wakeup allocation).
+  std::vector<std::uint32_t> ff_processed_;
 };
 
 }  // namespace araxl

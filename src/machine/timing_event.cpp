@@ -1,0 +1,613 @@
+// Event-driven simulation kernel of the TimingEngine.
+//
+// The loop processes one wakeup cycle with the exact per-cycle semantics
+// shared with the cycle-stepped oracle (step_cycle), then
+//
+//   1. proposes every statically-known future event into an EventHorizon:
+//      CVA6 becoming free, the sequencer front's REQI arrival, queue-front
+//      completion times, reduction end-of-phase forecasts, and unit-head
+//      start latencies;
+//   2. fast-forwards every unit head across the gap with closed-form
+//      multi-cycle advancement (piecewise-linear pursuit of the chaining
+//      caps), recording compressed segments in each LaggedCounter;
+//      completions discovered on queue fronts shrink the window;
+//   3. accrues CVA6 stall counters in bulk (the stall cause can only
+//      change at a wakeup) and jumps t to the horizon.
+//
+// Exactness argument, in brief: between wakeups no instruction can be
+// issued, dispatched, or retired (all three are gated on events the
+// horizon knows), so the only evolving state is the per-head produced /
+// bytes_done counters, whose per-cycle recurrence
+//
+//   produced(u) = min(cap(u), produced(u-1) + quota(u))
+//
+// with a non-decreasing cap has the closed form min(own-line, cap) inside
+// any span where both sides are linear. Heads are advanced in ascending
+// instruction id, so every producer's history is fully extended before a
+// consumer linearises its cap from it. Fractional-rate corners (the
+// unpipelined divider chained onto live producers) fall back to per-cycle
+// replay of the shared advance functions, which is slower but identical
+// by construction.
+#include <algorithm>
+
+#include "cluster/vlsu.hpp"
+#include "common/contracts.hpp"
+#include "machine/timing.hpp"
+
+namespace araxl {
+namespace {
+
+/// ceil(a / b) for positive b.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// First k >= 1 with vx + sx*k < vb + sb*k given vx >= vb and sx < sb
+/// (the cycle offset at which line x dips below line b).
+constexpr std::uint64_t cross_after(std::uint64_t vb, std::uint64_t sb,
+                                    std::uint64_t vx, std::uint64_t sx) {
+  return (vx - vb) / (sb - sx) + 1;
+}
+
+}  // namespace
+
+RunStats TimingEngine::run_event_driven(const Program& prog) {
+  reset_run(prog);
+  Cycle t = 0;
+  while (!drained()) {
+    step_cycle(t);
+    watchdog_.note_wakeup();
+    if (drained()) {
+      ++t;
+      break;
+    }
+    if (watchdog_.stuck()) fail_deadlock(t);
+
+    EventHorizon horizon;
+    horizon.reset(t);
+    propose_discrete_events(t, &horizon);
+    Cycle wend_excl = horizon.next();
+    if (wend_excl == t + 1) {
+      // Empty window: the very next cycle is already an event, so there is
+      // nothing to fast-forward (heads advance inside step_cycle).
+      t = wend_excl;
+      continue;
+    }
+    fast_forward_heads(t, &wend_excl);
+    if (wend_excl == kNeverCycle) fail_deadlock(t);
+
+    if (wend_excl > t + 1) {
+      // The oracle would have re-evaluated CVA6 on every skipped cycle and
+      // hit the same stall (its cause can only clear at a wakeup).
+      const Cycle skipped = wend_excl - t - 1;
+      if (cva6_stall_ == Cva6Stall::kScalarWait) {
+        stats_.scalar_wait_cycles += skipped;
+      } else if (cva6_stall_ == Cva6Stall::kSeqFull) {
+        stats_.issue_stall_cycles += skipped;
+      }
+    }
+    t = wend_excl;
+  }
+  stats_.cycles = t;
+  return stats_;
+}
+
+void TimingEngine::propose_discrete_events(Cycle t, EventHorizon* horizon) {
+  // CVA6's next action, unless it is blocked on machine state (then the
+  // unblocking retire/dispatch below is the event).
+  if (pc_ < prog_->ops.size() && cva6_stall_ == Cva6Stall::kNone) {
+    horizon->propose(std::max(cva6_free_, t + 1));
+  }
+  // Sequencer front: REQI arrival, or the next dispatch attempt right
+  // after a successful one (back-to-back dispatch).
+  if (!seq_.empty()) {
+    const Cycle arrive = seq_.front().arrive_at;
+    if (arrive > t) {
+      horizon->propose(arrive);
+    } else if (dispatched_this_cycle_) {
+      horizon->propose(t + 1);
+    }
+  }
+  for (std::size_t u = 1; u < kNumUnits; ++u) {
+    const auto& q = unitq_[u];
+    if (q.empty()) continue;
+    const Inflight& front = pool_.at(q.front());
+    if (front.completed_at != kNeverCycle) {
+      horizon->propose(front.completed_at);
+    } else if (front.spec->is_reduction && front.finished_producing()) {
+      // Phases walk lazily; the forecast pins the retire cycle.
+      horizon->propose(front.projected_done);
+    }
+    for (const std::uint32_t slot : q) {
+      const Inflight& instr = pool_.at(slot);
+      if (instr.finished_producing()) continue;
+      if (instr.start_at > t) horizon->propose(instr.start_at);
+      break;  // only the first unfinished instruction (the head) executes
+    }
+  }
+}
+
+void TimingEngine::fast_forward_heads(Cycle t, Cycle* wend_excl) {
+  ff_processed_.clear();
+  const auto processed = [&](std::uint32_t slot) {
+    return std::find(ff_processed_.begin(), ff_processed_.end(), slot) !=
+           ff_processed_.end();
+  };
+
+  // Advance heads in ascending instruction id so every producer's history
+  // is fully extended before any consumer linearises a cap from it.
+  // Cascades (a head finishing mid-window promotes its queue successor)
+  // only ever introduce larger ids, so the scan order stays ascending.
+  for (;;) {
+    Inflight* best = nullptr;
+    std::uint32_t best_slot = 0;
+    std::size_t best_unit = 0;
+    Cycle best_from = 0;
+    for (std::size_t u = 1; u < kNumUnits; ++u) {
+      const Inflight* prev = nullptr;
+      for (const std::uint32_t slot : unitq_[u]) {
+        Inflight& instr = pool_.at(slot);
+        if (instr.finished_producing()) {
+          prev = &instr;
+          continue;
+        }
+        if (!processed(slot) && (best == nullptr || instr.id < best->id)) {
+          // A head only starts executing the cycle after its predecessor
+          // finished producing (tick_unit picks the first unfinished).
+          Cycle eligible = t + 1;
+          if (prev != nullptr && prev->finished_at != kNeverCycle &&
+              prev->finished_at + 1 > eligible) {
+            eligible = prev->finished_at + 1;
+          }
+          best = &instr;
+          best_slot = slot;
+          best_unit = u;
+          best_from = std::max(eligible, instr.advanced_until + 1);
+        }
+        break;  // only the first unfinished instruction per queue
+      }
+    }
+    if (best == nullptr) break;
+    ff_processed_.push_back(best_slot);
+
+    const Cycle to = *wend_excl == kNeverCycle ? kNeverCycle : *wend_excl - 1;
+    if (to != kNeverCycle && best_from > to) continue;
+    advance_span(*best, best_from, to);
+
+    if (best->finished_producing() &&
+        unitq_[best_unit].front() == best_slot) {
+      // A front completion retires (and unblocks dispatch / hazards /
+      // CVA6), so the window must not skip past it. Non-front completions
+      // stay gated behind their queue front, which is already an event.
+      const Cycle ev = best->spec->is_reduction ? best->projected_done
+                                                : best->completed_at;
+      if (ev < *wend_excl) *wend_excl = ev;
+    }
+  }
+}
+
+void TimingEngine::advance_span(Inflight& instr, Cycle from, Cycle to) {
+  if (from < instr.start_at) from = instr.start_at;
+  if (to != kNeverCycle && from > to) {
+    if (to > instr.advanced_until) instr.advanced_until = to;
+    return;
+  }
+  switch (instr.unit) {
+    case Unit::kLoad:
+      if (elementwise_mem_op(instr.in.op)) advance_span_arith(instr, from, to);
+      else advance_span_load(instr, from, to);
+      break;
+    case Unit::kStore:
+      if (elementwise_mem_op(instr.in.op)) advance_span_arith(instr, from, to);
+      else advance_span_store(instr, from, to);
+      break;
+    default: advance_span_arith(instr, from, to); break;
+  }
+}
+
+TimingEngine::CapLine TimingEngine::dep_cap(const Dep& d, const Inflight& c,
+                                            Cycle u) const {
+  const Inflight* p = pool_.get(d.slot, d.producer);
+  if (p == nullptr) return CapLine{c.vl, 0, kNeverCycle, false};
+  if (d.full) {
+    if (p->finished_at == kNeverCycle) {
+      // The producer was fast-forwarded first (smaller id); if it did not
+      // finish, it cannot finish anywhere inside this window either.
+      return CapLine{0, 0, kNeverCycle, false};
+    }
+    const Cycle vis = p->finished_at + (d.producer_ticks_first ? 0 : 1);
+    if (u >= vis) return CapLine{c.vl, 0, kNeverCycle, false};
+    return CapLine{0, 0, vis - 1, false};
+  }
+  if (u < d.lag) {
+    // Before any lagged history exists the raw count reads zero.
+    const std::int64_t adj = -d.offset;
+    return CapLine{adj > 0 ? static_cast<std::uint64_t>(adj) : 0, 0,
+                   d.lag - 1, false};
+  }
+  const LaggedCounter::Piece piece = p->hist.piece_at(u - d.lag);
+  if (piece.num > 0 && piece.den != 1) return CapLine{0, 0, 0, true};
+  std::uint64_t val = piece.value;
+  std::uint64_t slope = 0;
+  Cycle until = kNeverCycle;
+  if (piece.num > 0) {
+    slope = piece.num;
+    until = piece.grow_until + d.lag;
+  } else if (piece.change_at != kNeverCycle) {
+    until = piece.change_at + d.lag - 1;
+  }
+  if (d.offset != 0) {
+    const std::int64_t adj = static_cast<std::int64_t>(val) - d.offset;
+    if (adj >= 0) {
+      val = static_cast<std::uint64_t>(adj);
+    } else {
+      // Clamped at zero until the producer count exceeds the offset.
+      const std::uint64_t deficit = static_cast<std::uint64_t>(-adj);
+      if (slope == 0) return CapLine{0, 0, until, false};
+      const Cycle cross = u + ceil_div(deficit + 1, slope);
+      return CapLine{0, 0, std::min(until, cross - 1), false};
+    }
+  }
+  return CapLine{val, slope, until, false};
+}
+
+TimingEngine::CapLine TimingEngine::combined_cap(const Inflight& c, Cycle u,
+                                                 Cycle /*to*/) const {
+  // Pass 1: binding line — minimum value at u, ties broken towards the
+  // smaller slope (that line stays the minimum going forward) — plus the
+  // earliest expiry of any contributing linearisation. Folding keeps the
+  // dep count unbounded (LMUL groups can fan out to many live producers).
+  CapLine out{c.vl, 0, kNeverCycle, false};  // vl ceiling
+  for (const Dep& d : c.deps) {
+    const CapLine l = dep_cap(d, c, u);
+    if (l.fractional) return l;
+    if (l.until < out.until) out.until = l.until;
+    if (l.value < out.value ||
+        (l.value == out.value && l.slope < out.slope)) {
+      out.value = l.value;
+      out.slope = l.slope;
+    }
+  }
+  if (out.slope == 0) return out;  // nothing can dip below a flat minimum
+  // Pass 2: slower-growing lines may dip below the binding one later in
+  // the span. (A tie in value with a smaller slope would have won pass 1,
+  // so every remaining slower line sits strictly above the binding at u.)
+  {
+    const Cycle cross = u + cross_after(out.value, out.slope, c.vl, 0);
+    if (cross - 1 < out.until) out.until = cross - 1;
+  }
+  for (const Dep& d : c.deps) {
+    const CapLine l = dep_cap(d, c, u);
+    if (l.slope >= out.slope) continue;
+    const Cycle cross = u + cross_after(out.value, out.slope, l.value, l.slope);
+    if (cross - 1 < out.until) out.until = cross - 1;
+  }
+  return out;
+}
+
+void TimingEngine::advance_span_arith(Inflight& instr, Cycle from, Cycle to) {
+  const std::uint64_t r256 = head_rate256(instr);
+
+  if ((r256 & 0xFF) != 0) {
+    bool live_deps = false;
+    for (const Dep& d : instr.deps) {
+      if (pool_.get(d.slot, d.producer) != nullptr) live_deps = true;
+    }
+    if (!live_deps) {
+      // Unthrottled fractional rate (divider/sqrt with no in-flight
+      // producers): pure accumulator line.
+      const Cycle cur = from - 1;
+      const std::uint64_t p0 = instr.produced;
+      const std::uint64_t acc0 = instr.rate_acc;
+      const std::uint64_t need = 256 * (instr.vl - p0);
+      const Cycle t_fin =
+          cur + (need > acc0 ? ceil_div(need - acc0, r256) : 1);
+      const Cycle end = to == kNeverCycle ? t_fin : std::min(t_fin, to);
+      if (end < from) return;
+      const std::uint64_t total =
+          std::min(instr.vl, p0 + ((acc0 + (end - cur) * r256) >> 8));
+      if (total > p0) {
+        if (p0 == 0) {
+          instr.first_result_at =
+              cur + (256 > acc0 ? ceil_div(256 - acc0, r256) : 1);
+        }
+        const std::uint64_t v1 = p0 + ((acc0 + r256) >> 8);
+        const Cycle hold = end == t_fin ? end - 1 : end;
+        if (hold >= from) {
+          instr.hist.record_ramp(from, v1, r256, 256, (acc0 + r256) & 0xFF,
+                                 hold);
+        }
+        if (end == t_fin) instr.hist.record(t_fin, instr.vl);
+        account(instr.unit, instr, total - p0);
+        instr.produced = total;
+      }
+      instr.rate_acc = (acc0 + (end - cur) * r256) & 0xFF;
+      instr.advanced_until = std::max(instr.advanced_until, end);
+      if (instr.finished_producing()) finish_producing(end, instr);
+      return;
+    }
+    // Fractional rate chained onto live producers: exact per-cycle replay
+    // of the shared advance function (rare: divider consuming in-flight
+    // results).
+    Cycle idle_since = from;
+    for (Cycle u = from; to == kNeverCycle || u <= to; ++u) {
+      const std::uint64_t before = instr.produced;
+      advance_arith(u, instr);
+      instr.advanced_until = u;
+      if (instr.finished_producing()) return;
+      if (instr.produced != before) idle_since = u;
+      // In an unbounded window every producer history has already been
+      // extended to its end; after a long idle stretch (far beyond any
+      // accumulator period or chaining lag) no further progress can come
+      // from inside the window — park until an outside event.
+      if (to == kNeverCycle && u - idle_since > 4096) return;
+    }
+    return;
+  }
+
+  // Integer-rate fast path: piecewise-linear pursuit of the chaining caps.
+  const std::uint64_t r_el = r256 >> 8;
+  Cycle cur = from - 1;
+  while ((to == kNeverCycle || cur < to) && !instr.finished_producing()) {
+    const Cycle u1 = cur + 1;
+    const CapLine cap = combined_cap(instr, u1, to);
+    if (cap.fractional) {
+      // Producer history with a fractional segment: replay the remainder.
+      Cycle idle_since = u1;
+      for (Cycle u = u1; to == kNeverCycle || u <= to; ++u) {
+        const std::uint64_t before = instr.produced;
+        advance_arith(u, instr);
+        instr.advanced_until = u;
+        if (instr.finished_producing()) return;
+        if (instr.produced != before) idle_since = u;
+        if (to == kNeverCycle && u - idle_since > 4096) return;
+      }
+      return;
+    }
+
+    // Binding line over [u1, seg_end]: min(own pursuit line, cap).
+    const std::uint64_t vo = instr.produced + r_el;
+    std::uint64_t vb;
+    std::uint64_t sb;
+    Cycle seg_end = cap.until;
+    if (to != kNeverCycle && (seg_end == kNeverCycle || to < seg_end)) {
+      seg_end = to;
+    }
+    if (vo < cap.value || (vo == cap.value && r_el <= cap.slope)) {
+      vb = vo;
+      sb = r_el;
+      if (cap.slope < sb) {
+        const Cycle cross = u1 + cross_after(vb, sb, cap.value, cap.slope);
+        if (cross - 1 < seg_end) seg_end = cross - 1;
+      }
+    } else {
+      vb = cap.value;
+      sb = cap.slope;
+      if (r_el < sb) {
+        const Cycle cross = u1 + cross_after(vb, sb, vo, r_el);
+        if (cross - 1 < seg_end) seg_end = cross - 1;
+      }
+    }
+
+    if (sb == 0 && vb <= instr.produced) {
+      // Stalled at the cap for the whole sub-span.
+      if (seg_end == kNeverCycle) return;  // parked until an outside event
+      cur = seg_end;
+      continue;
+    }
+
+    bool finished = false;
+    Cycle fin_at = 0;
+    if (sb > 0) {
+      const Cycle t_fin =
+          vb >= instr.vl ? u1 : u1 + ceil_div(instr.vl - vb, sb);
+      if (seg_end == kNeverCycle || t_fin <= seg_end) {
+        seg_end = t_fin;
+        finished = true;
+        fin_at = t_fin;
+      }
+    } else if (vb >= instr.vl) {
+      finished = true;
+      fin_at = u1;
+      seg_end = u1;
+    }
+    debug_check(seg_end != kNeverCycle, "unbounded growing segment");
+
+    const std::uint64_t total =
+        finished ? instr.vl : vb + sb * (seg_end - u1);
+    if (total > instr.produced) {
+      if (instr.produced == 0) {
+        instr.first_result_at =
+            vb >= 1 ? u1 : u1 + ceil_div(1 - vb, sb);
+      }
+      if (sb == 0) {
+        instr.hist.record(u1, total);
+      } else {
+        const Cycle hold = finished ? fin_at - 1 : seg_end;
+        if (hold >= u1 && vb + sb * (hold - u1) > instr.produced) {
+          instr.hist.record_ramp(u1, vb, sb, 1, 0, hold);
+        }
+        if (finished) instr.hist.record(fin_at, instr.vl);
+      }
+      account(instr.unit, instr, total - instr.produced);
+      instr.produced = total;
+    }
+    cur = seg_end;
+    if (finished) {
+      instr.advanced_until = std::max(instr.advanced_until, fin_at);
+      finish_producing(fin_at, instr);
+      return;
+    }
+  }
+  if (to != kNeverCycle && to > instr.advanced_until) instr.advanced_until = to;
+}
+
+void TimingEngine::advance_span_load(Inflight& instr, Cycle from, Cycle to) {
+  const std::uint64_t raw = instr.head_skew + instr.bytes_total;
+  const std::uint64_t bus = glsu_.bus_bytes();
+  const Cycle cur = from - 1;
+  const std::uint64_t bd0 = instr.bytes_done;
+  debug_check(bd0 < raw, "load span on a drained transfer");
+
+  const Cycle t_full = cur + glsu_.cycles_for_bytes(raw - bd0);
+  const Cycle end = to == kNeverCycle ? t_full : std::min(t_full, to);
+  if (end < from) return;
+
+  const std::uint64_t bytes_end =
+      end >= t_full ? raw : bd0 + (end - cur) * bus;
+  const std::uint64_t useful =
+      bytes_end > instr.head_skew ? bytes_end - instr.head_skew : 0;
+  const std::uint64_t new_produced =
+      std::min<std::uint64_t>(instr.vl, useful / instr.ew);
+
+  if (new_produced > instr.produced) {
+    const std::uint64_t spc = bus / instr.ew;  // elements per full beat
+    // First cycle with at least one whole useful element.
+    Cycle fr = instr.produced == 0
+                   ? cur + ceil_div(instr.head_skew + instr.ew - bd0, bus)
+                   : from;
+    if (instr.produced == 0) instr.first_result_at = fr;
+    const Cycle hold = std::min(end, t_full - 1);
+    if (hold >= fr) {
+      const std::uint64_t v_fr =
+          std::min<std::uint64_t>(instr.vl,
+                                  (bd0 + (fr - cur) * bus - instr.head_skew) /
+                                      instr.ew);
+      instr.hist.record_ramp(fr, v_fr, spc, 1, 0, hold);
+    }
+    if (end >= t_full) instr.hist.record(t_full, new_produced);
+    account(instr.unit, instr, new_produced - instr.produced);
+    instr.produced = new_produced;
+    if (instr.finished_producing()) instr.finished_at = t_full;
+  }
+  instr.bytes_done = bytes_end;
+  if (instr.bytes_done >= raw && instr.finished_producing()) {
+    instr.completed_at = t_full + lanes_.chain_lag(Unit::kLoad);
+  }
+  instr.advanced_until = std::max(instr.advanced_until, end);
+}
+
+void TimingEngine::advance_span_store(Inflight& instr, Cycle from, Cycle to) {
+  const std::uint64_t raw = instr.head_skew + instr.bytes_total;
+  const std::uint64_t bus = glsu_.bus_bytes();
+  const std::uint64_t ew = instr.ew;
+  Cycle cur = from - 1;
+
+  while ((to == kNeverCycle || cur < to) && instr.bytes_done < raw) {
+    const Cycle u1 = cur + 1;
+    const CapLine cap = combined_cap(instr, u1, to);
+    if (cap.fractional) {
+      Cycle idle_since = u1;
+      for (Cycle u = u1; to == kNeverCycle || u <= to; ++u) {
+        const std::uint64_t before = instr.bytes_done;
+        advance_store(u, instr);
+        instr.advanced_until = u;
+        if (instr.bytes_done >= raw) return;
+        if (instr.bytes_done != before) idle_since = u;
+        if (to == kNeverCycle && u - idle_since > 4096) return;
+      }
+      return;
+    }
+
+    // Lines in bytes at u1: own full-bandwidth pursuit, the sendable limit
+    // from operand availability, and the raw-total ceiling. bytes_done
+    // follows min(own, sendable, raw) inside a span where all are linear.
+    struct Line {
+      std::uint64_t v;
+      std::uint64_t s;
+    };
+    const std::uint64_t snd_cap = instr.head_skew + cap.value * ew;
+    const Line lines[3] = {
+        {instr.bytes_done + bus, bus},
+        {snd_cap < raw ? snd_cap : raw, snd_cap < raw ? cap.slope * ew : 0},
+        {raw, 0},
+    };
+    std::size_t b = 0;
+    for (std::size_t i = 1; i < 3; ++i) {
+      if (lines[i].v < lines[b].v ||
+          (lines[i].v == lines[b].v && lines[i].s < lines[b].s)) {
+        b = i;
+      }
+    }
+    const std::uint64_t vb = lines[b].v;
+    const std::uint64_t sb = lines[b].s;
+    Cycle seg_end = cap.until;
+    if (to != kNeverCycle && (seg_end == kNeverCycle || to < seg_end)) {
+      seg_end = to;
+    }
+    for (std::size_t i = 0; i < 3; ++i) {
+      if (i == b || lines[i].s >= sb) continue;
+      const Cycle cross = u1 + cross_after(vb, sb, lines[i].v, lines[i].s);
+      if (cross - 1 < seg_end) seg_end = cross - 1;
+    }
+
+    if (sb == 0 && vb <= instr.bytes_done) {
+      // Stalled on operand availability for the whole sub-span.
+      if (seg_end == kNeverCycle) return;  // parked until an outside event
+      cur = seg_end;
+      continue;
+    }
+
+    bool done = false;
+    Cycle done_at = 0;
+    if (vb >= raw) {
+      done = true;
+      done_at = u1;
+      seg_end = u1;
+    } else if (sb > 0) {
+      const Cycle t_raw = u1 + ceil_div(raw - vb, sb);
+      if (seg_end == kNeverCycle || t_raw <= seg_end) {
+        seg_end = t_raw;
+        done = true;
+        done_at = t_raw;
+      }
+    }
+    debug_check(seg_end != kNeverCycle, "unbounded growing store segment");
+
+    const std::uint64_t bytes_end = done ? raw : vb + sb * (seg_end - u1);
+    const std::uint64_t useful =
+        bytes_end > instr.head_skew ? bytes_end - instr.head_skew : 0;
+    const std::uint64_t new_produced =
+        std::min<std::uint64_t>(instr.vl, useful / ew);
+    if (new_produced > instr.produced) {
+      const std::uint64_t spc = sb / ew;  // bus and cap byte slopes divide ew
+      if (instr.produced == 0) {
+        instr.first_result_at =
+            vb >= instr.head_skew + ew
+                ? u1
+                : u1 + ceil_div(instr.head_skew + ew - vb, sb);
+      }
+      if (spc == 0) {
+        // Single jump to a higher constant line (sb == 0 with vb above the
+        // current bytes_done, or a slope smaller than one element/cycle is
+        // impossible here since byte slopes are multiples of ew).
+        instr.hist.record(u1, new_produced);
+      } else {
+        // Ramp anchored at the first cycle whose bytes cover the skew.
+        const Cycle anchor =
+            vb >= instr.head_skew ? u1
+                                  : u1 + ceil_div(instr.head_skew - vb, sb);
+        const Cycle hold = done ? done_at - 1 : seg_end;
+        if (hold >= anchor) {
+          const std::uint64_t v_anchor =
+              (vb + sb * (anchor - u1) - instr.head_skew) / ew;
+          instr.hist.record_ramp(anchor, v_anchor, spc, 1, 0, hold);
+        }
+        if (done) instr.hist.record(done_at, new_produced);
+      }
+      account(instr.unit, instr, new_produced - instr.produced);
+      instr.produced = new_produced;
+    }
+    instr.bytes_done = bytes_end;
+    cur = seg_end;
+    if (done) {
+      if (instr.finished_producing()) instr.finished_at = done_at;
+      instr.completed_at = done_at + lanes_.chain_lag(Unit::kStore);
+      instr.advanced_until = std::max(instr.advanced_until, done_at);
+      return;
+    }
+  }
+  if (to != kNeverCycle && to > instr.advanced_until) instr.advanced_until = to;
+}
+
+}  // namespace araxl

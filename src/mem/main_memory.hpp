@@ -44,6 +44,17 @@ class MainMemory {
     std::memcpy(bytes_.data() + addr, &v, sizeof(T));
   }
 
+  /// Bounds-checked raw window (single check for a whole bulk transfer).
+  [[nodiscard]] const std::uint8_t* raw(std::uint64_t addr,
+                                        std::uint64_t len) const {
+    bounds(addr, len);
+    return bytes_.data() + addr;
+  }
+  [[nodiscard]] std::uint8_t* raw(std::uint64_t addr, std::uint64_t len) {
+    bounds(addr, len);
+    return bytes_.data() + addr;
+  }
+
   /// Bulk helpers for workload setup/verification.
   void store_doubles(std::uint64_t addr, std::span<const double> values);
   [[nodiscard]] std::vector<double> load_doubles(std::uint64_t addr,

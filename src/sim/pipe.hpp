@@ -101,51 +101,135 @@ class BoundedQueue {
 /// consumer can ask "what was the producer's count `lag` cycles ago?" —
 /// the mechanism behind result-latency-aware operand chaining.
 ///
-/// Stores up to kDepth (cycle, value) change points; since the producer
-/// records at most once per cycle and chaining lags are single-digit
-/// cycles, the answer is always within the retained history.
+/// The cycle-stepped engine records one (cycle, value) change point per
+/// advancing cycle.  The event-driven engine instead records *piecewise-
+/// linear segments*: one entry describes a whole run of cycles over which
+/// the counter grew at a constant (possibly fractional num/den) rate, and
+/// `value_at_lag` interpolates inside the segment with the same integer
+/// floor arithmetic the per-cycle path would have produced.  Both entry
+/// kinds coexist in one ring of up to kDepth entries; since segments
+/// compress long runs, the retained history always covers the single-digit
+/// chaining lags consumers ask about.
 class LaggedCounter {
  public:
   static constexpr std::size_t kDepth = 64;
 
+  /// Normalized view of the segment covering one query cycle, for
+  /// closed-form consumers (the event engine's bulk advancement).
+  struct Piece {
+    std::uint64_t value = 0;   ///< counter value at the query cycle
+    std::uint64_t num = 0;     ///< per-cycle growth numerator (0 = constant)
+    std::uint64_t den = 1;     ///< growth denominator
+    std::uint64_t acc = 0;     ///< accumulator phase at the query cycle
+    Cycle grow_until = 0;      ///< last cycle this growth persists (if num > 0)
+    Cycle change_at = kNeverCycle;  ///< first cycle a newer entry takes over
+  };
+
+  void clear() noexcept {
+    head_ = 0;
+    count_ = 0;
+  }
+
   /// Records the counter value at cycle `now` (non-decreasing in both).
   void record(Cycle now, std::uint64_t value) {
-    debug_check(count_ == 0 || value >= newest().value, "counter must be monotonic");
-    debug_check(count_ == 0 || now >= newest().cycle, "time must be monotonic");
-    if (count_ > 0 && newest().cycle == now) {
-      newest().value = value;
+    debug_check(count_ == 0 || value >= latest(), "counter must be monotonic");
+    debug_check(count_ == 0 || now >= newest().hold, "time must be monotonic");
+    if (count_ > 0 && newest().start == now && newest().hold == now) {
+      newest() = Entry{now, value, 0, 1, 0, now};
       return;
     }
-    if (count_ == kDepth) {
-      head_ = (head_ + 1) % kDepth;
-      --count_;
+    push(Entry{now, value, 0, 1, 0, now});
+  }
+
+  /// Records a linear segment: for cycles w in [start, hold] the counter
+  /// reads v0 + (acc + (w - start) * num) / den, constant afterwards until
+  /// the next entry.  `v0` is the value after cycle `start`; acc < den.
+  void record_ramp(Cycle start, std::uint64_t v0, std::uint64_t num,
+                   std::uint64_t den, std::uint64_t acc, Cycle hold) {
+    debug_check(den > 0 && acc < den, "ramp accumulator out of range");
+    debug_check(hold >= start, "ramp must cover at least one cycle");
+    debug_check(count_ == 0 || v0 >= latest(), "counter must be monotonic");
+    debug_check(count_ == 0 || start > newest().hold, "time must be monotonic");
+    if (count_ > 0) {
+      // Extend a contiguous integer-slope run in place (keeps the ring
+      // compact across fast-forward windows).
+      Entry& n = newest();
+      if (n.den == 1 && den == 1 && n.num == num && start == n.hold + 1 &&
+          v0 == eval(n, n.hold) + num) {
+        n.hold = hold;
+        return;
+      }
     }
-    ring_[(head_ + count_) % kDepth] = Entry{now, value};
-    ++count_;
+    push(Entry{start, v0, num, den, acc, hold});
+  }
+
+  /// Value the counter had at (absolute) cycle `when`; 0 before history.
+  [[nodiscard]] std::uint64_t value_at(Cycle when) const {
+    for (std::size_t k = count_; k-- > 0;) {
+      const Entry& e = ring_[(head_ + k) % kDepth];
+      if (e.start <= when) return eval(e, when);
+    }
+    return 0;
   }
 
   /// Value the counter had at cycle `now - lag`; 0 before any history.
   [[nodiscard]] std::uint64_t value_at_lag(Cycle now, Cycle lag) const {
     if (lag > now) return 0;
-    const Cycle when = now - lag;
+    return value_at(now - lag);
+  }
+
+  /// Segment view at `when` for closed-form consumers.
+  [[nodiscard]] Piece piece_at(Cycle when) const {
     for (std::size_t k = count_; k-- > 0;) {
       const Entry& e = ring_[(head_ + k) % kDepth];
-      if (e.cycle <= when) return e.value;
+      if (e.start > when) continue;
+      Piece p;
+      p.change_at = k + 1 < count_ ? ring_[(head_ + k + 1) % kDepth].start
+                                   : kNeverCycle;
+      p.value = eval(e, when);
+      if (when < e.hold) {
+        p.num = e.num;
+        p.den = e.den;
+        p.acc = (e.acc + (when - e.start) * e.num) % e.den;
+        p.grow_until = e.hold;
+      }
+      return p;
     }
-    return 0;
+    Piece p;  // before any history: constant zero until the first entry
+    p.change_at = count_ > 0 ? ring_[head_ % kDepth].start : kNeverCycle;
+    return p;
   }
 
   [[nodiscard]] std::uint64_t latest() const noexcept {
-    return count_ == 0 ? 0 : ring_[(head_ + count_ - 1) % kDepth].value;
+    return count_ == 0 ? 0 : eval(ring_[(head_ + count_ - 1) % kDepth],
+                                  ring_[(head_ + count_ - 1) % kDepth].hold);
   }
 
  private:
   struct Entry {
-    Cycle cycle = 0;
-    std::uint64_t value = 0;
+    Cycle start = 0;           ///< first cycle of the segment
+    std::uint64_t value = 0;   ///< counter value after cycle `start`
+    std::uint64_t num = 0;     ///< per-cycle increment numerator
+    std::uint64_t den = 1;     ///< denominator (1 = integer slope)
+    std::uint64_t acc = 0;     ///< accumulator phase at `start` (< den)
+    Cycle hold = 0;            ///< last growing cycle; constant afterwards
   };
 
+  [[nodiscard]] static std::uint64_t eval(const Entry& e, Cycle w) noexcept {
+    const Cycle cw = w < e.hold ? w : e.hold;
+    return e.value + (e.acc + (cw - e.start) * e.num) / e.den;
+  }
+
   [[nodiscard]] Entry& newest() { return ring_[(head_ + count_ - 1) % kDepth]; }
+
+  void push(const Entry& e) {
+    if (count_ == kDepth) {
+      head_ = (head_ + 1) % kDepth;
+      --count_;
+    }
+    ring_[(head_ + count_) % kDepth] = e;
+    ++count_;
+  }
 
   Entry ring_[kDepth] = {};
   std::size_t head_ = 0;

@@ -1,0 +1,4 @@
+#include "sim/scheduler.hpp"
+
+// EventHorizon and WakeupWatchdog are header-only value types; this
+// translation unit anchors the module.

@@ -1,0 +1,96 @@
+// Event-scheduling primitives for the time-skipping simulation kernel.
+//
+// The event-driven timing engine does not tick every cycle; it processes
+// one "wakeup" cycle exactly, collects the earliest future cycle at which
+// machine state can change (instruction arrival, unit start, retirement,
+// reduction phase boundary, CVA6 becoming free, ...), fast-forwards the
+// in-flight work across the gap in closed form, and jumps there.
+//
+// `EventHorizon` is the sorted-horizon flavour of that scheduler: a
+// running minimum over proposed wake cycles, anchored at the current
+// cycle so stale proposals (<= now) are ignored.  `WakeupWatchdog` is the
+// companion liveness check: instead of hashing all in-flight state every
+// few thousand simulated cycles (the cycle-stepped engine's old scheme),
+// it counts scheduler wakeups between progress notifications, which is
+// O(1) per wakeup and trips immediately when the horizon goes empty.
+#ifndef ARAXL_SIM_SCHEDULER_HPP
+#define ARAXL_SIM_SCHEDULER_HPP
+
+#include <cstdint>
+
+#include "sim/cycle.hpp"
+
+namespace araxl {
+
+/// Running minimum of proposed future wake cycles.
+class EventHorizon {
+ public:
+  /// Starts a fresh horizon; proposals at or before `now` are ignored.
+  void reset(Cycle now) noexcept {
+    now_ = now;
+    next_ = kNeverCycle;
+  }
+
+  /// Proposes a wake at `at`; keeps the earliest strictly-future proposal.
+  void propose(Cycle at) noexcept {
+    if (at > now_ && at < next_) next_ = at;
+  }
+
+  /// True when no future wake has been proposed (quiescent machine).
+  [[nodiscard]] bool empty() const noexcept { return next_ == kNeverCycle; }
+
+  /// Earliest proposed wake cycle (kNeverCycle when empty()).
+  [[nodiscard]] Cycle next() const noexcept { return next_; }
+
+  /// Cycle the horizon was anchored at.
+  [[nodiscard]] Cycle now() const noexcept { return now_; }
+
+ private:
+  Cycle now_ = 0;
+  Cycle next_ = kNeverCycle;
+};
+
+/// Liveness watchdog counting scheduler wakeups instead of hashing state.
+///
+/// The engine calls `note_progress()` whenever observable work happens
+/// (elements produced, bytes moved, an instruction issued/dispatched/
+/// retired) and `note_wakeup()` once per scheduler wakeup; `stuck()`
+/// reports when the wakeup budget since the last progress is exhausted.
+class WakeupWatchdog {
+ public:
+  explicit WakeupWatchdog(std::uint64_t budget = kDefaultBudget) noexcept
+      : budget_(budget) {}
+
+  void reset() noexcept {
+    wakeups_total_ = 0;
+    wakeups_since_progress_ = 0;
+  }
+
+  void note_progress() noexcept { wakeups_since_progress_ = 0; }
+
+  void note_wakeup() noexcept {
+    ++wakeups_total_;
+    ++wakeups_since_progress_;
+  }
+
+  [[nodiscard]] bool stuck() const noexcept {
+    return wakeups_since_progress_ > budget_;
+  }
+
+  [[nodiscard]] std::uint64_t wakeups_total() const noexcept {
+    return wakeups_total_;
+  }
+
+  /// Default wakeup budget: a healthy machine retires work every handful
+  /// of wakeups; even pathological-but-live schedules stay well below this.
+  static constexpr std::uint64_t kDefaultBudget = 1u << 20;
+
+ private:
+  std::uint64_t budget_;
+  std::uint64_t wakeups_total_ = 0;
+  std::uint64_t wakeups_since_progress_ = 0;
+};
+
+}  // namespace araxl
+
+#endif  // ARAXL_SIM_SCHEDULER_HPP

@@ -63,6 +63,22 @@ struct RunStats {
 
   /// Multi-line human-readable dump (used by examples).
   [[nodiscard]] std::string summary() const;
+
+  /// Field-wise equality: the event-driven engine must reproduce the
+  /// cycle-stepped oracle's counters bit for bit (differential tests).
+  friend bool operator==(const RunStats& a, const RunStats& b) {
+    return a.cycles == b.cycles && a.total_lanes == b.total_lanes &&
+           a.vinstrs == b.vinstrs && a.scalar_ops == b.scalar_ops &&
+           a.flops == b.flops && a.fpu_result_elems == b.fpu_result_elems &&
+           a.mem_read_bytes == b.mem_read_bytes &&
+           a.mem_write_bytes == b.mem_write_bytes &&
+           a.issue_stall_cycles == b.issue_stall_cycles &&
+           a.scalar_wait_cycles == b.scalar_wait_cycles &&
+           a.unit_busy_elems == b.unit_busy_elems;
+  }
+  friend bool operator!=(const RunStats& a, const RunStats& b) {
+    return !(a == b);
+  }
 };
 
 }  // namespace araxl

@@ -1,7 +1,8 @@
 #include "vrf/mapping.hpp"
 
+#include <bit>
+
 #include "common/bits.hpp"
-#include "isa/vtype.hpp"  // kMaxVlenBits, kNumVregs
 
 namespace araxl {
 
@@ -15,23 +16,12 @@ VrfMapping::VrfMapping(Topology topo, std::uint64_t vlen_bits)
   check(vlen_bits % (64ull * topo.total_lanes()) == 0,
         "each lane must hold whole 64-bit words of every register");
   slice_bytes_ = vlen_bits_ / 8 / topo_.total_lanes();
-}
-
-VregLoc VrfMapping::element_loc(unsigned base_vreg, std::uint64_t idx,
-                                unsigned ew_bytes) const {
-  debug_check(ew_bytes == 1 || ew_bytes == 2 || ew_bytes == 4 || ew_bytes == 8,
-              "invalid element width");
-  const std::uint64_t epr = elems_per_reg(ew_bytes);
-  const unsigned vreg = base_vreg + static_cast<unsigned>(idx / epr);
-  check(vreg < kNumVregs, "element index spills past v31");
-  const std::uint64_t j = idx % epr;
-  VregLoc loc;
-  loc.vreg = vreg;
-  loc.cluster = cluster_of(j);
-  loc.lane = lane_of(j);
-  loc.byte_offset = row_of(j) * ew_bytes;
-  debug_check(loc.byte_offset + ew_bytes <= slice_bytes_, "slice overflow");
-  return loc;
+  lanes_shift_ = static_cast<unsigned>(std::countr_zero(topo_.lanes));
+  total_shift_ =
+      lanes_shift_ + static_cast<unsigned>(std::countr_zero(topo_.clusters));
+  vlen_bytes_shift_ = static_cast<unsigned>(std::countr_zero(vlen_bits_ >> 3));
+  lanes_mask_ = topo_.lanes - 1;
+  clusters_mask_ = topo_.clusters - 1;
 }
 
 }  // namespace araxl

@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "common/contracts.hpp"
+#include "isa/vtype.hpp"  // kNumVregs
 
 namespace araxl {
 
@@ -34,6 +35,11 @@ struct VregLoc {
 
 /// Pure mapping math shared by the VRF, the VLSU shuffle logic, and the
 /// layout tests.
+///
+/// Every shape parameter (clusters, lanes, VLEN, element width) is a power
+/// of two by contract, so the whole mapping reduces to shifts and masks —
+/// this is the innermost loop of the functional engine (several accesses
+/// per element per instruction), where hardware division is measurable.
 class VrfMapping {
  public:
   VrfMapping(Topology topo, std::uint64_t vlen_bits);
@@ -46,32 +52,59 @@ class VrfMapping {
 
   /// Elements of width `ew_bytes` held by one architectural register.
   [[nodiscard]] std::uint64_t elems_per_reg(unsigned ew_bytes) const {
-    return vlen_bits_ / 8 / ew_bytes;
+    return (vlen_bits_ >> 3) >> ew_shift(ew_bytes);
   }
 
   /// Physical home of element `idx` of the group starting at `base_vreg`
-  /// (idx may exceed one register under LMUL > 1).
+  /// (idx may exceed one register under LMUL > 1). Inline: this sits in
+  /// the innermost functional-execution loop.
   [[nodiscard]] VregLoc element_loc(unsigned base_vreg, std::uint64_t idx,
-                                    unsigned ew_bytes) const;
+                                    unsigned ew_bytes) const {
+    debug_check(ew_bytes == 1 || ew_bytes == 2 || ew_bytes == 4 || ew_bytes == 8,
+                "invalid element width");
+    const unsigned ews = ew_shift(ew_bytes);
+    const unsigned epr_shift = vlen_bytes_shift_ - ews;
+    const unsigned vreg = base_vreg + static_cast<unsigned>(idx >> epr_shift);
+    check(vreg < kNumVregs, "element index spills past v31");
+    const std::uint64_t j = idx & ((std::uint64_t{1} << epr_shift) - 1);
+    VregLoc loc;
+    loc.vreg = vreg;
+    loc.cluster = cluster_of(j);
+    loc.lane = lane_of(j);
+    loc.byte_offset = row_of(j) << ews;
+    debug_check(loc.byte_offset + ew_bytes <= slice_bytes_, "slice overflow");
+    return loc;
+  }
 
   /// Cluster that owns element `idx` (EW-independent, the key property of
   /// the Ara2/AraXL mapping).
   [[nodiscard]] unsigned cluster_of(std::uint64_t idx) const noexcept {
-    return static_cast<unsigned>((idx / topo_.lanes) % topo_.clusters);
+    return static_cast<unsigned>((idx >> lanes_shift_) & clusters_mask_);
   }
   /// Lane (within its cluster) that owns element `idx`.
   [[nodiscard]] unsigned lane_of(std::uint64_t idx) const noexcept {
-    return static_cast<unsigned>(idx % topo_.lanes);
+    return static_cast<unsigned>(idx & lanes_mask_);
   }
   /// Row of element `idx` within its lane's slice.
   [[nodiscard]] std::uint64_t row_of(std::uint64_t idx) const noexcept {
-    return idx / topo_.total_lanes();
+    return idx >> total_shift_;
+  }
+
+  /// log2 of a (power-of-two) element width in bytes.
+  [[nodiscard]] static unsigned ew_shift(unsigned ew_bytes) noexcept {
+    // 1, 2, 4, 8 -> 0, 1, 2, 3 without a branch or count instruction.
+    return (0x30210u >> (ew_bytes * 2)) & 0x3u;
   }
 
  private:
   Topology topo_;
   std::uint64_t vlen_bits_;
   std::uint64_t slice_bytes_;
+  unsigned lanes_shift_ = 0;     ///< log2(lanes)
+  unsigned total_shift_ = 0;     ///< log2(clusters * lanes)
+  unsigned vlen_bytes_shift_ = 0;  ///< log2(VLEN / 8)
+  std::uint64_t lanes_mask_ = 0;
+  std::uint64_t clusters_mask_ = 0;
 };
 
 }  // namespace araxl

@@ -14,58 +14,77 @@ Vrf::Vrf(Topology topo, std::uint64_t vlen_bits, MaskLayout mask_layout)
                 0);
 }
 
-std::size_t Vrf::chunk_index(unsigned cluster, unsigned lane, unsigned vreg,
-                             std::uint64_t offset) const {
-  debug_check(cluster < map_.topology().clusters && lane < map_.topology().lanes &&
-                  vreg < kNumVregs && offset < map_.slice_bytes(),
-              "VRF index out of range");
-  const std::size_t lane_flat = cluster * map_.topology().lanes + lane;
-  return (lane_flat * kNumVregs + vreg) * map_.slice_bytes() + offset;
-}
-
-std::uint64_t Vrf::read_elem(unsigned base_vreg, std::uint64_t idx,
-                             unsigned ew_bytes) const {
-  const VregLoc loc = map_.element_loc(base_vreg, idx, ew_bytes);
-  std::uint64_t bits = 0;
-  std::memcpy(&bits, &bytes_[chunk_index(loc.cluster, loc.lane, loc.vreg,
-                                         loc.byte_offset)],
-              ew_bytes);
-  return bits;
-}
-
-void Vrf::write_elem(unsigned base_vreg, std::uint64_t idx, unsigned ew_bytes,
-                     std::uint64_t bits) {
-  const VregLoc loc = map_.element_loc(base_vreg, idx, ew_bytes);
-  std::memcpy(&bytes_[chunk_index(loc.cluster, loc.lane, loc.vreg, loc.byte_offset)],
-              &bits, ew_bytes);
-}
-
-double Vrf::read_f64(unsigned base_vreg, std::uint64_t idx) const {
-  return std::bit_cast<double>(read_elem(base_vreg, idx, 8));
-}
-void Vrf::write_f64(unsigned base_vreg, std::uint64_t idx, double v) {
-  write_elem(base_vreg, idx, 8, std::bit_cast<std::uint64_t>(v));
-}
-float Vrf::read_f32(unsigned base_vreg, std::uint64_t idx) const {
-  return std::bit_cast<float>(
-      static_cast<std::uint32_t>(read_elem(base_vreg, idx, 4)));
-}
-void Vrf::write_f32(unsigned base_vreg, std::uint64_t idx, float v) {
-  write_elem(base_vreg, idx, 4, std::bit_cast<std::uint32_t>(v));
-}
-std::int64_t Vrf::read_i64(unsigned base_vreg, std::uint64_t idx) const {
-  return static_cast<std::int64_t>(read_elem(base_vreg, idx, 8));
-}
-void Vrf::write_i64(unsigned base_vreg, std::uint64_t idx, std::int64_t v) {
-  write_elem(base_vreg, idx, 8, static_cast<std::uint64_t>(v));
-}
-
 std::vector<double> Vrf::read_f64_slice(unsigned base_vreg,
                                         std::uint64_t count) const {
   std::vector<double> out;
   out.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) out.push_back(read_f64(base_vreg, i));
   return out;
+}
+
+namespace {
+
+/// Streams `vl` packed elements to/from the mapped register file. The
+/// mapping sends element j to flat lane (j mod TL) at row (j div TL), so
+/// the walk is a register/row/lane loop with a compile-time element width —
+/// the same order read_elem/write_elem would visit, minus all per-element
+/// index math.
+template <unsigned kEw, bool kWrite, typename Bytes, typename Buf>
+void stream_elems(const VrfMapping& map, Bytes* vrf_bytes, unsigned base_vreg,
+                  std::uint64_t vl, Buf* buf) {
+  const unsigned total_lanes = map.topology().total_lanes();
+  const std::uint64_t slice = map.slice_bytes();
+  const std::uint64_t lane_stride = kNumVregs * slice;  // next flat lane
+  const std::uint64_t epr = map.elems_per_reg(kEw);
+  std::uint64_t done = 0;
+  unsigned vreg = base_vreg;
+  while (done < vl) {
+    check(vreg < kNumVregs, "element index spills past v31");
+    const std::uint64_t in_reg = std::min<std::uint64_t>(vl - done, epr);
+    Bytes* reg_base = vrf_bytes + vreg * slice;
+    std::uint64_t row = 0;
+    for (std::uint64_t j = 0; j < in_reg; row += kEw) {
+      const std::uint64_t lanes =
+          std::min<std::uint64_t>(in_reg - j, total_lanes);
+      Bytes* p = reg_base + row;
+      for (std::uint64_t l = 0; l < lanes; ++l, p += lane_stride) {
+        if constexpr (kWrite) {
+          std::memcpy(p, buf, kEw);
+        } else {
+          std::memcpy(buf, p, kEw);
+        }
+        buf += kEw;
+      }
+      j += lanes;
+    }
+    done += in_reg;
+    ++vreg;
+  }
+}
+
+template <bool kWrite, typename Bytes, typename Buf>
+void stream_dispatch(const VrfMapping& map, Bytes* vrf_bytes,
+                     unsigned base_vreg, std::uint64_t vl, unsigned ew,
+                     Buf* buf) {
+  switch (ew) {
+    case 1: stream_elems<1, kWrite>(map, vrf_bytes, base_vreg, vl, buf); break;
+    case 2: stream_elems<2, kWrite>(map, vrf_bytes, base_vreg, vl, buf); break;
+    case 4: stream_elems<4, kWrite>(map, vrf_bytes, base_vreg, vl, buf); break;
+    case 8: stream_elems<8, kWrite>(map, vrf_bytes, base_vreg, vl, buf); break;
+    default: fail("invalid element width");
+  }
+}
+
+}  // namespace
+
+void Vrf::write_stream(unsigned base_vreg, std::uint64_t vl, unsigned ew_bytes,
+                       const std::uint8_t* src) {
+  stream_dispatch<true>(map_, bytes_.data(), base_vreg, vl, ew_bytes, src);
+}
+
+void Vrf::read_stream(unsigned base_vreg, std::uint64_t vl, unsigned ew_bytes,
+                      std::uint8_t* dst) const {
+  stream_dispatch<false>(map_, bytes_.data(), base_vreg, vl, ew_bytes, dst);
 }
 
 bool Vrf::mask_bit_in(unsigned vreg, std::uint64_t i, MaskLayout layout) const {

@@ -8,7 +8,9 @@
 #ifndef ARAXL_VRF_VRF_HPP
 #define ARAXL_VRF_VRF_HPP
 
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "vrf/layout.hpp"
@@ -24,22 +26,70 @@ class Vrf {
   [[nodiscard]] MaskLayout mask_layout() const noexcept { return mask_layout_; }
 
   // ---- raw element access (idx counts from base_vreg across LMUL) --------
+  // Inline, with fixed-size copies per element width: every functional
+  // element read/write funnels through these, and a variable-length memcpy
+  // would cost a libc call per element.
   [[nodiscard]] std::uint64_t read_elem(unsigned base_vreg, std::uint64_t idx,
-                                        unsigned ew_bytes) const;
+                                        unsigned ew_bytes) const {
+    const VregLoc loc = map_.element_loc(base_vreg, idx, ew_bytes);
+    const std::uint8_t* p =
+        &bytes_[chunk_index(loc.cluster, loc.lane, loc.vreg, loc.byte_offset)];
+    std::uint64_t bits = 0;
+    switch (ew_bytes) {
+      case 1: std::memcpy(&bits, p, 1); break;
+      case 2: std::memcpy(&bits, p, 2); break;
+      case 4: std::memcpy(&bits, p, 4); break;
+      default: std::memcpy(&bits, p, 8); break;
+    }
+    return bits;
+  }
   void write_elem(unsigned base_vreg, std::uint64_t idx, unsigned ew_bytes,
-                  std::uint64_t bits);
+                  std::uint64_t bits) {
+    const VregLoc loc = map_.element_loc(base_vreg, idx, ew_bytes);
+    std::uint8_t* p =
+        &bytes_[chunk_index(loc.cluster, loc.lane, loc.vreg, loc.byte_offset)];
+    switch (ew_bytes) {
+      case 1: std::memcpy(p, &bits, 1); break;
+      case 2: std::memcpy(p, &bits, 2); break;
+      case 4: std::memcpy(p, &bits, 4); break;
+      default: std::memcpy(p, &bits, 8); break;
+    }
+  }
 
-  // ---- typed convenience --------------------------------------------------
-  [[nodiscard]] double read_f64(unsigned base_vreg, std::uint64_t idx) const;
-  void write_f64(unsigned base_vreg, std::uint64_t idx, double v);
-  [[nodiscard]] float read_f32(unsigned base_vreg, std::uint64_t idx) const;
-  void write_f32(unsigned base_vreg, std::uint64_t idx, float v);
-  [[nodiscard]] std::int64_t read_i64(unsigned base_vreg, std::uint64_t idx) const;
-  void write_i64(unsigned base_vreg, std::uint64_t idx, std::int64_t v);
+  // ---- typed convenience (inline so the width constant-folds) -------------
+  [[nodiscard]] double read_f64(unsigned base_vreg, std::uint64_t idx) const {
+    return std::bit_cast<double>(read_elem(base_vreg, idx, 8));
+  }
+  void write_f64(unsigned base_vreg, std::uint64_t idx, double v) {
+    write_elem(base_vreg, idx, 8, std::bit_cast<std::uint64_t>(v));
+  }
+  [[nodiscard]] float read_f32(unsigned base_vreg, std::uint64_t idx) const {
+    return std::bit_cast<float>(
+        static_cast<std::uint32_t>(read_elem(base_vreg, idx, 4)));
+  }
+  void write_f32(unsigned base_vreg, std::uint64_t idx, float v) {
+    write_elem(base_vreg, idx, 4, std::bit_cast<std::uint32_t>(v));
+  }
+  [[nodiscard]] std::int64_t read_i64(unsigned base_vreg,
+                                      std::uint64_t idx) const {
+    return static_cast<std::int64_t>(read_elem(base_vreg, idx, 8));
+  }
+  void write_i64(unsigned base_vreg, std::uint64_t idx, std::int64_t v) {
+    write_elem(base_vreg, idx, 8, static_cast<std::uint64_t>(v));
+  }
 
   /// Reads `count` doubles starting at element 0 (test/verification aid).
   [[nodiscard]] std::vector<double> read_f64_slice(unsigned base_vreg,
                                                    std::uint64_t count) const;
+
+  // ---- bulk element streams (unit-stride memory fast path) ----------------
+  // Move `vl` elements of width `ew_bytes` between a packed buffer (element
+  // order) and the mapped register file, equivalent to element-by-element
+  // read_elem/write_elem but walking the (row, lane) structure directly.
+  void write_stream(unsigned base_vreg, std::uint64_t vl, unsigned ew_bytes,
+                    const std::uint8_t* src);
+  void read_stream(unsigned base_vreg, std::uint64_t vl, unsigned ew_bytes,
+                   std::uint8_t* dst) const;
 
   // ---- mask registers ------------------------------------------------------
   [[nodiscard]] bool mask_bit(unsigned vreg, std::uint64_t i) const;
@@ -61,7 +111,14 @@ class Vrf {
 
  private:
   [[nodiscard]] std::size_t chunk_index(unsigned cluster, unsigned lane,
-                                        unsigned vreg, std::uint64_t offset) const;
+                                        unsigned vreg, std::uint64_t offset) const {
+    debug_check(cluster < map_.topology().clusters &&
+                    lane < map_.topology().lanes && vreg < kNumVregs &&
+                    offset < map_.slice_bytes(),
+                "VRF index out of range");
+    const std::size_t lane_flat = cluster * map_.topology().lanes + lane;
+    return (lane_flat * kNumVregs + vreg) * map_.slice_bytes() + offset;
+  }
   [[nodiscard]] bool mask_bit_in(unsigned vreg, std::uint64_t i,
                                  MaskLayout layout) const;
   void set_mask_bit_in(unsigned vreg, std::uint64_t i, MaskLayout layout, bool value);

@@ -314,5 +314,148 @@ TEST_P(AlignmentSweep, LoadStoreRoundTripAtAnyOffset) {
 INSTANTIATE_TEST_SUITE_P(AllLaneOffsets, AlignmentSweep,
                          testing::Values(0u, 1u, 2u, 3u, 5u, 7u, 9u, 15u));
 
+// ---- 3. engine equivalence: event-driven vs cycle-stepped oracle ------------
+//
+// The event-driven kernel fast-forwards simulated time between wakeups;
+// its contract is that every RunStats counter — cycles, flops, stall
+// breakdowns, per-unit busy elements — is bit-for-bit identical to the
+// per-cycle oracle's. Randomized programs across topologies exercise
+// chaining, slides, gathers, reductions, divides (fractional rates), and
+// misaligned memory traffic through both kernels.
+
+void expect_same_stats(const RunStats& ev, const RunStats& oracle,
+                       const std::string& label) {
+  EXPECT_EQ(ev.cycles, oracle.cycles) << label;
+  EXPECT_EQ(ev.vinstrs, oracle.vinstrs) << label;
+  EXPECT_EQ(ev.scalar_ops, oracle.scalar_ops) << label;
+  EXPECT_EQ(ev.flops, oracle.flops) << label;
+  EXPECT_EQ(ev.fpu_result_elems, oracle.fpu_result_elems) << label;
+  EXPECT_EQ(ev.mem_read_bytes, oracle.mem_read_bytes) << label;
+  EXPECT_EQ(ev.mem_write_bytes, oracle.mem_write_bytes) << label;
+  EXPECT_EQ(ev.issue_stall_cycles, oracle.issue_stall_cycles) << label;
+  EXPECT_EQ(ev.scalar_wait_cycles, oracle.scalar_wait_cycles) << label;
+  for (std::size_t u = 0; u < kNumUnits; ++u) {
+    EXPECT_EQ(ev.unit_busy_elems[u], oracle.unit_busy_elems[u])
+        << label << " unit " << unit_name(static_cast<Unit>(u));
+  }
+  EXPECT_TRUE(ev == oracle) << label;
+}
+
+RunStats run_fuzz_with_mode(MachineConfig cfg, TimingMode mode,
+                            const Program& prog, std::uint64_t seed) {
+  cfg.timing_mode = mode;
+  Machine m(cfg);
+  init_machine(m, seed);
+  return m.run(prog);
+}
+
+class EngineEquivalence : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineEquivalence, RandomProgramsBitIdenticalStats) {
+  const std::uint64_t seed = GetParam();
+  MachineConfig shaped = MachineConfig::araxl_shaped(4, 2);
+  shaped.vlen_bits = 8192;
+  shaped.validate();
+  MachineConfig laggy = MachineConfig::araxl(16);
+  laggy.glsu_regs = 4;
+  laggy.reqi_regs = 1;
+  laggy.ring_regs = 1;
+  laggy.validate();
+  const MachineConfig configs[] = {
+      MachineConfig::araxl(8),
+      MachineConfig::ara2(8),
+      MachineConfig::araxl(64),
+      shaped,
+      laggy,
+  };
+  for (const MachineConfig& cfg : configs) {
+    const Program prog = random_program(cfg.effective_vlen(), seed);
+    const RunStats ev =
+        run_fuzz_with_mode(cfg, TimingMode::kEventDriven, prog, seed);
+    const RunStats oracle =
+        run_fuzz_with_mode(cfg, TimingMode::kCycleStepped, prog, seed);
+    expect_same_stats(ev, oracle, cfg.name() + " seed " + std::to_string(seed));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, EngineEquivalence,
+                         testing::Range<std::uint64_t>(0, 16));
+
+TEST(EngineEquivalence, KernelsBitIdenticalStats) {
+  for (const char* k : {"fmatmul", "fconv2d", "jacobi2d", "fdotproduct", "exp",
+                        "softmax"}) {
+    for (unsigned lanes : {8u, 64u}) {
+      MachineConfig cfg = MachineConfig::araxl(lanes);
+      cfg.timing_mode = TimingMode::kEventDriven;
+      Machine ev(cfg);
+      auto kernel = make_kernel(k);
+      const Program prog = kernel->build(ev, 256);
+      const RunStats s_ev = ev.run(prog);
+
+      cfg.timing_mode = TimingMode::kCycleStepped;
+      Machine oracle(cfg);
+      auto kernel2 = make_kernel(k);
+      const Program prog2 = kernel2->build(oracle, 256);
+      const RunStats s_or = oracle.run(prog2);
+      expect_same_stats(s_ev, s_or,
+                        std::string(k) + " " + std::to_string(lanes) + "L");
+    }
+  }
+}
+
+TEST(EngineEquivalence, ManyLiveChainingDepsBitIdentical) {
+  // Regression: a consumer can legitimately depend on six or more live
+  // producers (LMUL groups fan each source across several registers, each
+  // with its own in-flight writer). The event engine's cap combiner must
+  // handle an unbounded dep count, not a fixed-size line array.
+  MachineConfig cfg = MachineConfig::araxl(8);
+  ProgramBuilder pb(cfg.effective_vlen(), "manydeps");
+  const std::uint64_t vlmax1 = pb.vlmax(Sew::k64, kLmul1);
+  pb.vsetvli(vlmax1, Sew::k64, kLmul1);
+  pb.vfadd_vf(8, 4, 1.0);   // FPU writer of v8
+  pb.vfadd_vf(9, 5, 2.0);   // FPU writer of v9
+  pb.vle(0, kBase);          // load writers of v0..v3
+  pb.vle(1, kBase + 8 * vlmax1);
+  pb.vle(2, kBase + 16 * vlmax1);
+  pb.vle(3, kBase + 24 * vlmax1);
+  pb.vsetvli(2 * vlmax1, Sew::k64, kLmul2);
+  pb.vfmacc_vv(8, 0, 2);     // deps on v0,v1 (vs1), v2,v3 (vs2), v8,v9 (vd)
+  const Program prog = pb.take();
+
+  const RunStats ev = run_fuzz_with_mode(cfg, TimingMode::kEventDriven, prog, 1);
+  const RunStats oracle =
+      run_fuzz_with_mode(cfg, TimingMode::kCycleStepped, prog, 1);
+  expect_same_stats(ev, oracle, "many live chaining deps");
+}
+
+TEST(EngineEquivalence, TracesBitIdentical) {
+  // Retirement order and per-instruction trace timestamps must match too,
+  // not just the aggregate counters.
+  MachineConfig cfg = MachineConfig::araxl(16);
+  const Program prog = random_program(cfg.effective_vlen(), 7);
+
+  const auto traced = [&](TimingMode mode) {
+    MachineConfig c = cfg;
+    c.timing_mode = mode;
+    Machine m(c);
+    init_machine(m, 7);
+    InstrTrace trace;
+    m.run(prog, &trace);
+    return trace;
+  };
+  const InstrTrace ev = traced(TimingMode::kEventDriven);
+  const InstrTrace oracle = traced(TimingMode::kCycleStepped);
+  ASSERT_EQ(ev.records().size(), oracle.records().size());
+  for (std::size_t i = 0; i < ev.records().size(); ++i) {
+    const TraceRecord& a = ev.records()[i];
+    const TraceRecord& b = oracle.records()[i];
+    EXPECT_EQ(a.id, b.id) << i;
+    EXPECT_EQ(a.issued, b.issued) << i << " " << a.text;
+    EXPECT_EQ(a.dispatched, b.dispatched) << i << " " << a.text;
+    EXPECT_EQ(a.first_result, b.first_result) << i << " " << a.text;
+    EXPECT_EQ(a.completed, b.completed) << i << " " << a.text;
+  }
+}
+
 }  // namespace
 }  // namespace araxl

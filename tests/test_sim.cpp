@@ -1,8 +1,9 @@
 // Unit tests: simulation primitives (DelayLine, BoundedQueue, LaggedCounter,
-// RunStats metrics).
+// EventHorizon/WakeupWatchdog, RunStats metrics).
 #include <gtest/gtest.h>
 
 #include "sim/pipe.hpp"
+#include "sim/scheduler.hpp"
 #include "sim/stats.hpp"
 
 namespace araxl {
@@ -101,6 +102,112 @@ TEST(LaggedCounter, LongHistoryStaysCorrectWithinDepth) {
   // lag within the retained window (64 entries at 1/cycle).
   EXPECT_EQ(c.value_at_lag(199, 10), (199u - 10) * 2);
   EXPECT_EQ(c.value_at_lag(199, 63), (199u - 63) * 2);
+}
+
+TEST(LaggedCounter, RampInterpolatesLikePerCycleRecords) {
+  // A segment entry must answer value_at_lag exactly as the equivalent
+  // per-cycle point records would (the event engine's compression contract).
+  LaggedCounter ramp;
+  LaggedCounter points;
+  // 5 elements per cycle over cycles [10, 19], i.e. value 5..50.
+  ramp.record_ramp(10, 5, 5, 1, 0, 19);
+  for (Cycle t = 10; t <= 19; ++t) points.record(t, (t - 9) * 5);
+  for (Cycle now = 10; now <= 30; ++now) {
+    for (Cycle lag = 0; lag <= 12; ++lag) {
+      EXPECT_EQ(ramp.value_at_lag(now, lag), points.value_at_lag(now, lag))
+          << "now " << now << " lag " << lag;
+    }
+  }
+  EXPECT_EQ(ramp.latest(), 50u);
+}
+
+TEST(LaggedCounter, FractionalRampMatchesAccumulator) {
+  // Rate 170/256 elements per cycle — the unpipelined-divider pattern.
+  // One ramp entry must reproduce the per-cycle quota recurrence exactly.
+  LaggedCounter ramp;
+  LaggedCounter points;
+  std::uint64_t acc = 0;
+  std::uint64_t produced = 0;
+  for (Cycle t = 100; t <= 140; ++t) {
+    acc += 170;
+    produced += acc >> 8;
+    acc &= 0xFF;
+    points.record(t, produced);
+    if (t == 100) ramp.record_ramp(100, produced, 170, 256, acc, 140);
+  }
+  for (Cycle now = 100; now <= 150; ++now) {
+    EXPECT_EQ(ramp.value_at_lag(now, 3), points.value_at_lag(now, 3)) << now;
+  }
+}
+
+TEST(LaggedCounter, ContiguousIntegerRampsMerge) {
+  LaggedCounter c;
+  c.record_ramp(10, 4, 4, 1, 0, 14);   // 4/cycle through cycle 14 (value 20)
+  c.record_ramp(15, 24, 4, 1, 0, 19);  // seamless continuation to 40
+  EXPECT_EQ(c.value_at(12), 12u);
+  EXPECT_EQ(c.value_at(17), 32u);
+  EXPECT_EQ(c.latest(), 40u);
+}
+
+TEST(LaggedCounter, PieceAtDescribesSegments) {
+  LaggedCounter c;
+  c.record(5, 2);
+  c.record_ramp(10, 4, 2, 1, 0, 14);
+  const auto before = c.piece_at(3);
+  EXPECT_EQ(before.value, 0u);
+  EXPECT_EQ(before.num, 0u);
+  EXPECT_EQ(before.change_at, 5u);
+  const auto flat = c.piece_at(7);
+  EXPECT_EQ(flat.value, 2u);
+  EXPECT_EQ(flat.num, 0u);
+  EXPECT_EQ(flat.change_at, 10u);
+  const auto growing = c.piece_at(11);
+  EXPECT_EQ(growing.value, 6u);
+  EXPECT_EQ(growing.num, 2u);
+  EXPECT_EQ(growing.grow_until, 14u);
+  const auto held = c.piece_at(20);
+  EXPECT_EQ(held.value, 12u);
+  EXPECT_EQ(held.num, 0u);
+  EXPECT_EQ(held.change_at, kNeverCycle);
+}
+
+TEST(EventHorizon, KeepsEarliestFutureProposal) {
+  EventHorizon h;
+  h.reset(100);
+  EXPECT_TRUE(h.empty());
+  h.propose(99);   // past: ignored
+  h.propose(100);  // present: ignored
+  EXPECT_TRUE(h.empty());
+  h.propose(140);
+  h.propose(120);
+  h.propose(130);
+  EXPECT_EQ(h.next(), 120u);
+  h.reset(120);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(WakeupWatchdog, TripsAfterBudgetWithoutProgress) {
+  WakeupWatchdog wd(3);
+  for (int i = 0; i < 3; ++i) wd.note_wakeup();
+  EXPECT_FALSE(wd.stuck());
+  wd.note_wakeup();
+  EXPECT_TRUE(wd.stuck());
+  wd.note_progress();
+  EXPECT_FALSE(wd.stuck());
+  EXPECT_EQ(wd.wakeups_total(), 4u);
+}
+
+TEST(RunStats, EqualityComparesAllCounters) {
+  RunStats a;
+  a.cycles = 10;
+  a.flops = 5;
+  RunStats b = a;
+  EXPECT_TRUE(a == b);
+  b.issue_stall_cycles = 1;
+  EXPECT_TRUE(a != b);
+  b = a;
+  b.unit_busy_elems[2] = 7;
+  EXPECT_TRUE(a != b);
 }
 
 TEST(RunStats, UtilAndFlops) {

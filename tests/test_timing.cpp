@@ -5,6 +5,7 @@
 
 #include "kernels/common.hpp"
 #include "machine/machine.hpp"
+#include "machine/timing.hpp"
 
 namespace araxl {
 namespace {
@@ -286,6 +287,43 @@ TEST(Timing, Vl0InstructionsCostOnlyIssue) {
   });
   EXPECT_LT(s.cycles, 120u);
   EXPECT_EQ(s.fpu_result_elems, 0u);
+}
+
+TEST(MemRange, ZeroVlYieldsEmptyRange) {
+  // Regression: strided ops with vl == 0 used to report [addr, addr + ew),
+  // so a zero-element vlse/vsse could spuriously conflict with (and stall)
+  // an overlapping access of the other kind at dispatch.
+  for (const Op op : {Op::kVle, Op::kVse, Op::kVlse, Op::kVsse}) {
+    VInstr in;
+    in.op = op;
+    in.addr = 0x1000;
+    in.stride = -64;  // negative stride must not underflow the range either
+    std::uint64_t lo = 1;
+    std::uint64_t hi = 2;
+    ASSERT_TRUE(mem_range(in, 0, 8, &lo, &hi)) << static_cast<int>(op);
+    EXPECT_EQ(lo, hi) << "vl==0 must touch no bytes, op "
+                      << static_cast<int>(op);
+  }
+}
+
+TEST(MemRange, StridedCoversNegativeStrides) {
+  VInstr in;
+  in.op = Op::kVlse;
+  in.addr = 0x2000;
+  in.stride = -16;
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  ASSERT_TRUE(mem_range(in, 4, 8, &lo, &hi));
+  EXPECT_EQ(lo, 0x2000u - 48);
+  EXPECT_EQ(hi, 0x2000u + 8);
+}
+
+TEST(MemRange, IndexedIsUnbounded) {
+  VInstr in;
+  in.op = Op::kVluxei;
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  EXPECT_FALSE(mem_range(in, 16, 8, &lo, &hi));
 }
 
 TEST(Timing, DeterministicAcrossRuns) {

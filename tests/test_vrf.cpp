@@ -54,7 +54,8 @@ TEST(Mapping, LmulSpillsToNextRegister) {
 
 TEST(Mapping, SpillPastV31Throws) {
   const VrfMapping map(Topology{2, 4}, 8192);
-  EXPECT_THROW(map.element_loc(31, map.elems_per_reg(8), 8), ContractViolation);
+  EXPECT_THROW(static_cast<void>(map.element_loc(31, map.elems_per_reg(8), 8)),
+               ContractViolation);
 }
 
 TEST(Mapping, RejectsBadGeometry) {
