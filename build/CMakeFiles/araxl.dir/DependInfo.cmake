@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/masku.cpp" "CMakeFiles/araxl.dir/src/cluster/masku.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/cluster/masku.cpp.o.d"
+  "/root/repo/src/cluster/sequencer.cpp" "CMakeFiles/araxl.dir/src/cluster/sequencer.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/cluster/sequencer.cpp.o.d"
+  "/root/repo/src/cluster/sldu.cpp" "CMakeFiles/araxl.dir/src/cluster/sldu.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/cluster/sldu.cpp.o.d"
+  "/root/repo/src/cluster/vlsu.cpp" "CMakeFiles/araxl.dir/src/cluster/vlsu.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/cluster/vlsu.cpp.o.d"
+  "/root/repo/src/common/contracts.cpp" "CMakeFiles/araxl.dir/src/common/contracts.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/common/contracts.cpp.o.d"
+  "/root/repo/src/common/fmt.cpp" "CMakeFiles/araxl.dir/src/common/fmt.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/common/fmt.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "CMakeFiles/araxl.dir/src/common/table.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/common/table.cpp.o.d"
+  "/root/repo/src/interconnect/glsu.cpp" "CMakeFiles/araxl.dir/src/interconnect/glsu.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/interconnect/glsu.cpp.o.d"
+  "/root/repo/src/interconnect/reqi.cpp" "CMakeFiles/araxl.dir/src/interconnect/reqi.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/interconnect/reqi.cpp.o.d"
+  "/root/repo/src/interconnect/ring.cpp" "CMakeFiles/araxl.dir/src/interconnect/ring.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/interconnect/ring.cpp.o.d"
+  "/root/repo/src/isa/disasm.cpp" "CMakeFiles/araxl.dir/src/isa/disasm.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/isa/disasm.cpp.o.d"
+  "/root/repo/src/isa/ew.cpp" "CMakeFiles/araxl.dir/src/isa/ew.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/isa/ew.cpp.o.d"
+  "/root/repo/src/isa/instr.cpp" "CMakeFiles/araxl.dir/src/isa/instr.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/isa/instr.cpp.o.d"
+  "/root/repo/src/isa/program.cpp" "CMakeFiles/araxl.dir/src/isa/program.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/isa/program.cpp.o.d"
+  "/root/repo/src/isa/vtype.cpp" "CMakeFiles/araxl.dir/src/isa/vtype.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/isa/vtype.cpp.o.d"
+  "/root/repo/src/kernels/common.cpp" "CMakeFiles/araxl.dir/src/kernels/common.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/kernels/common.cpp.o.d"
+  "/root/repo/src/kernels/fconv2d.cpp" "CMakeFiles/araxl.dir/src/kernels/fconv2d.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/kernels/fconv2d.cpp.o.d"
+  "/root/repo/src/kernels/fdotproduct.cpp" "CMakeFiles/araxl.dir/src/kernels/fdotproduct.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/kernels/fdotproduct.cpp.o.d"
+  "/root/repo/src/kernels/fexp.cpp" "CMakeFiles/araxl.dir/src/kernels/fexp.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/kernels/fexp.cpp.o.d"
+  "/root/repo/src/kernels/fmatmul.cpp" "CMakeFiles/araxl.dir/src/kernels/fmatmul.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/kernels/fmatmul.cpp.o.d"
+  "/root/repo/src/kernels/fsoftmax.cpp" "CMakeFiles/araxl.dir/src/kernels/fsoftmax.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/kernels/fsoftmax.cpp.o.d"
+  "/root/repo/src/kernels/jacobi2d.cpp" "CMakeFiles/araxl.dir/src/kernels/jacobi2d.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/kernels/jacobi2d.cpp.o.d"
+  "/root/repo/src/kernels/spmv.cpp" "CMakeFiles/araxl.dir/src/kernels/spmv.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/kernels/spmv.cpp.o.d"
+  "/root/repo/src/kernels/stream_triad.cpp" "CMakeFiles/araxl.dir/src/kernels/stream_triad.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/kernels/stream_triad.cpp.o.d"
+  "/root/repo/src/lane/lane_group.cpp" "CMakeFiles/araxl.dir/src/lane/lane_group.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/lane/lane_group.cpp.o.d"
+  "/root/repo/src/machine/config.cpp" "CMakeFiles/araxl.dir/src/machine/config.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/machine/config.cpp.o.d"
+  "/root/repo/src/machine/functional.cpp" "CMakeFiles/araxl.dir/src/machine/functional.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/machine/functional.cpp.o.d"
+  "/root/repo/src/machine/inflight.cpp" "CMakeFiles/araxl.dir/src/machine/inflight.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/machine/inflight.cpp.o.d"
+  "/root/repo/src/machine/machine.cpp" "CMakeFiles/araxl.dir/src/machine/machine.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/machine/machine.cpp.o.d"
+  "/root/repo/src/machine/timing.cpp" "CMakeFiles/araxl.dir/src/machine/timing.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/machine/timing.cpp.o.d"
+  "/root/repo/src/machine/timing_event.cpp" "CMakeFiles/araxl.dir/src/machine/timing_event.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/machine/timing_event.cpp.o.d"
+  "/root/repo/src/mem/axi.cpp" "CMakeFiles/araxl.dir/src/mem/axi.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/mem/axi.cpp.o.d"
+  "/root/repo/src/mem/main_memory.cpp" "CMakeFiles/araxl.dir/src/mem/main_memory.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/mem/main_memory.cpp.o.d"
+  "/root/repo/src/ppa/area_model.cpp" "CMakeFiles/araxl.dir/src/ppa/area_model.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/ppa/area_model.cpp.o.d"
+  "/root/repo/src/ppa/floorplan.cpp" "CMakeFiles/araxl.dir/src/ppa/floorplan.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/ppa/floorplan.cpp.o.d"
+  "/root/repo/src/ppa/freq_model.cpp" "CMakeFiles/araxl.dir/src/ppa/freq_model.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/ppa/freq_model.cpp.o.d"
+  "/root/repo/src/ppa/power_model.cpp" "CMakeFiles/araxl.dir/src/ppa/power_model.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/ppa/power_model.cpp.o.d"
+  "/root/repo/src/ppa/soa.cpp" "CMakeFiles/araxl.dir/src/ppa/soa.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/ppa/soa.cpp.o.d"
+  "/root/repo/src/scalar/cva6.cpp" "CMakeFiles/araxl.dir/src/scalar/cva6.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/scalar/cva6.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "CMakeFiles/araxl.dir/src/sim/scheduler.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/sim/scheduler.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "CMakeFiles/araxl.dir/src/sim/stats.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/sim/stats.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "CMakeFiles/araxl.dir/src/trace/trace.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/trace/trace.cpp.o.d"
+  "/root/repo/src/vrf/layout.cpp" "CMakeFiles/araxl.dir/src/vrf/layout.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/vrf/layout.cpp.o.d"
+  "/root/repo/src/vrf/mapping.cpp" "CMakeFiles/araxl.dir/src/vrf/mapping.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/vrf/mapping.cpp.o.d"
+  "/root/repo/src/vrf/vrf.cpp" "CMakeFiles/araxl.dir/src/vrf/vrf.cpp.o" "gcc" "CMakeFiles/araxl.dir/src/vrf/vrf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

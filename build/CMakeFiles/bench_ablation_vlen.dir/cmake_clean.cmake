@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_vlen.dir/bench/ablation_vlen.cpp.o"
+  "CMakeFiles/bench_ablation_vlen.dir/bench/ablation_vlen.cpp.o.d"
+  "bench_ablation_vlen"
+  "bench_ablation_vlen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_vlen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_kernels.dir/bench/ext_kernels.cpp.o"
+  "CMakeFiles/bench_ext_kernels.dir/bench/ext_kernels.cpp.o.d"
+  "bench_ext_kernels"
+  "bench_ext_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_soa_landscape.dir/bench/fig1_soa_landscape.cpp.o"
+  "CMakeFiles/bench_fig1_soa_landscape.dir/bench/fig1_soa_landscape.cpp.o.d"
+  "bench_fig1_soa_landscape"
+  "bench_fig1_soa_landscape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_soa_landscape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

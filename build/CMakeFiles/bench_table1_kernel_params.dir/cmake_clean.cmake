@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_kernel_params.dir/bench/table1_kernel_params.cpp.o"
+  "CMakeFiles/bench_table1_kernel_params.dir/bench/table1_kernel_params.cpp.o.d"
+  "bench_table1_kernel_params"
+  "bench_table1_kernel_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_kernel_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

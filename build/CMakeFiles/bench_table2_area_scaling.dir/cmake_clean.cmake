@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_area_scaling.dir/bench/table2_area_scaling.cpp.o"
+  "CMakeFiles/bench_table2_area_scaling.dir/bench/table2_area_scaling.cpp.o.d"
+  "bench_table2_area_scaling"
+  "bench_table2_area_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_area_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_latency_explorer.dir/examples/latency_explorer.cpp.o"
+  "CMakeFiles/example_latency_explorer.dir/examples/latency_explorer.cpp.o.d"
+  "example_latency_explorer"
+  "example_latency_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_latency_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

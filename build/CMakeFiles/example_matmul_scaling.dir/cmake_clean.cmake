@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_matmul_scaling.dir/examples/matmul_scaling.cpp.o"
+  "CMakeFiles/example_matmul_scaling.dir/examples/matmul_scaling.cpp.o.d"
+  "example_matmul_scaling"
+  "example_matmul_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_matmul_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

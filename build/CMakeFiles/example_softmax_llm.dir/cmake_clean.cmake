@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_softmax_llm.dir/examples/softmax_llm.cpp.o"
+  "CMakeFiles/example_softmax_llm.dir/examples/softmax_llm.cpp.o.d"
+  "example_softmax_llm"
+  "example_softmax_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_softmax_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

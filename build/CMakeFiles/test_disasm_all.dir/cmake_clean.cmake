@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_disasm_all.dir/tests/test_disasm_all.cpp.o"
+  "CMakeFiles/test_disasm_all.dir/tests/test_disasm_all.cpp.o.d"
+  "test_disasm_all"
+  "test_disasm_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_disasm_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

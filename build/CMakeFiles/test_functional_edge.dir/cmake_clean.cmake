@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_functional_edge.dir/tests/test_functional_edge.cpp.o"
+  "CMakeFiles/test_functional_edge.dir/tests/test_functional_edge.cpp.o.d"
+  "test_functional_edge"
+  "test_functional_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_functional_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

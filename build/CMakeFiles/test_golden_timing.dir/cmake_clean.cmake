@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_golden_timing.dir/tests/test_golden_timing.cpp.o"
+  "CMakeFiles/test_golden_timing.dir/tests/test_golden_timing.cpp.o.d"
+  "test_golden_timing"
+  "test_golden_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_golden_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

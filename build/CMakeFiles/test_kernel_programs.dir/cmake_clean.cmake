@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_programs.dir/tests/test_kernel_programs.cpp.o"
+  "CMakeFiles/test_kernel_programs.dir/tests/test_kernel_programs.cpp.o.d"
+  "test_kernel_programs"
+  "test_kernel_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ppa.dir/tests/test_ppa.cpp.o"
+  "CMakeFiles/test_ppa.dir/tests/test_ppa.cpp.o.d"
+  "test_ppa"
+  "test_ppa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ppa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

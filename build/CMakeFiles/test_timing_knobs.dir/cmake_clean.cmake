@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timing_knobs.dir/tests/test_timing_knobs.cpp.o"
+  "CMakeFiles/test_timing_knobs.dir/tests/test_timing_knobs.cpp.o.d"
+  "test_timing_knobs"
+  "test_timing_knobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timing_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

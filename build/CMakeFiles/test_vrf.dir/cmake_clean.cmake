@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vrf.dir/tests/test_vrf.cpp.o"
+  "CMakeFiles/test_vrf.dir/tests/test_vrf.cpp.o.d"
+  "test_vrf"
+  "test_vrf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vrf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
