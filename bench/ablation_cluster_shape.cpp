@@ -22,19 +22,26 @@ int main(int argc, char** argv) {
                       "design-choice study (DESIGN.md); paper fixes 4-lane "
                       "clusters");
 
-  const char* kernels[] = {"fmatmul", "fdotproduct", "softmax", "fconv2d"};
   const std::uint64_t bpl = quick ? 128 : 512;
+
+  driver::SweepSpec spec;
+  spec.configs = {
+      {"32c x 2L", MachineConfig::araxl_shaped(32, 2)},
+      {"16c x 4L (paper)", MachineConfig::araxl_shaped(16, 4)},
+      {"8c x 8L", MachineConfig::araxl_shaped(8, 8)},
+  };
+  spec.kernels = {"fmatmul", "fdotproduct", "softmax", "fconv2d"};
+  spec.bytes_per_lane = {bpl};
+  const bench::SweepResults results = bench::run_sweep(spec);
 
   TextTable table({"kernel", "32c x 2L", "16c x 4L (paper)", "8c x 8L"});
   table.align_right(1);
   table.align_right(2);
   table.align_right(3);
-  for (const char* kname : kernels) {
+  for (const std::string& kname : spec.kernels) {
     std::vector<std::string> row{kname};
-    for (const auto& [clusters, lanes] :
-         {std::pair{32u, 2u}, std::pair{16u, 4u}, std::pair{8u, 8u}}) {
-      const MachineConfig cfg = MachineConfig::araxl_shaped(clusters, lanes);
-      const RunStats s = bench::run_kernel(cfg, kname, bpl);
+    for (const driver::ConfigPoint& c : spec.configs) {
+      const RunStats& s = results.stats(c.label, kname, bpl);
       row.push_back(fmt_f(s.flop_per_cycle(), 1) + " F/c, " +
                     fmt_pct(s.fpu_util(), 0));
     }

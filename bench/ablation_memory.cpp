@@ -22,21 +22,29 @@ int main(int argc, char** argv) {
 
   const std::vector<unsigned> latencies =
       quick ? std::vector<unsigned>{12, 96} : std::vector<unsigned>{12, 24, 48, 96};
-  const char* kernels[] = {"fmatmul", "fdotproduct", "stream_triad"};
 
-  for (const std::uint64_t bpl : {128ull, 512ull}) {
+  driver::SweepSpec spec;
+  for (const unsigned lat : latencies) {
+    MachineConfig cfg = MachineConfig::araxl(64);
+    cfg.l2_latency = lat;
+    spec.configs.push_back({"L2=" + std::to_string(lat), cfg});
+  }
+  spec.kernels = {"fmatmul", "fdotproduct", "stream_triad"};
+  spec.bytes_per_lane = {128, 512};
+  const bench::SweepResults results = bench::run_sweep(spec);
+
+  for (const std::uint64_t bpl : spec.bytes_per_lane) {
     TextTable table({"kernel", "L2=12", "L2=24", "L2=48", "L2=96"});
     for (std::size_t c = 1; c < 5; ++c) table.align_right(c);
-    for (const char* kname : kernels) {
+    for (const std::string& kname : spec.kernels) {
       std::vector<std::string> row{kname};
       for (const unsigned lat : {12u, 24u, 48u, 96u}) {
         if (std::find(latencies.begin(), latencies.end(), lat) == latencies.end()) {
           row.push_back("-");
           continue;
         }
-        MachineConfig cfg = MachineConfig::araxl(64);
-        cfg.l2_latency = lat;
-        const RunStats s = bench::run_kernel(cfg, kname, bpl);
+        const RunStats& s =
+            results.stats("L2=" + std::to_string(lat), kname, bpl);
         row.push_back(fmt_pct(s.fpu_util(), 1));
       }
       table.add_row(std::move(row));

@@ -17,25 +17,36 @@ int main(int, char**) {
   bench::print_header("Ablation: VLEN (register length) at fixed datapath",
                       "design-choice study (DESIGN.md); extends paper SIV-B");
 
-  for (const char* kname : {"fmatmul", "fdotproduct"}) {
+  const std::vector<std::uint64_t> vlens = {65536, 32768, 16384, 8192, 4096};
+
+  driver::SweepSpec spec;
+  for (const std::uint64_t vlen : vlens) {
+    MachineConfig cfg = MachineConfig::araxl(64);
+    cfg.vlen_bits = vlen;
+    cfg.validate();
+    spec.configs.push_back({"vlen=" + std::to_string(vlen), cfg});
+  }
+  spec.kernels = {"fmatmul", "fdotproduct"};
+  // Fixed problem: the paper's 512 B/lane point, independent of VLEN.
+  spec.bytes_per_lane = {512};
+  const bench::SweepResults results = bench::run_sweep(spec);
+
+  for (const std::string& kname : spec.kernels) {
     TextTable table({"VLEN [bits]", "bits/lane", "cycles", "FPU util",
                      "vs 64Kibit"});
     for (std::size_t c = 0; c < 5; ++c) table.align_right(c);
 
-    Cycle best = 0;
-    for (const std::uint64_t vlen : {65536ull, 32768ull, 16384ull, 8192ull, 4096ull}) {
-      MachineConfig cfg = MachineConfig::araxl(64);
-      cfg.vlen_bits = vlen;
-      cfg.validate();
-      // Fixed problem: the paper's 512 B/lane point, independent of VLEN.
-      const RunStats s = bench::run_kernel(cfg, kname, 512);
-      if (vlen == 65536) best = s.cycles;
+    const Cycle best =
+        results.stats("vlen=65536", kname, 512).cycles;
+    for (const std::uint64_t vlen : vlens) {
+      const RunStats& s =
+          results.stats("vlen=" + std::to_string(vlen), kname, 512);
       table.add_row({std::to_string(vlen), std::to_string(vlen / 64),
                      fmt_group(s.cycles), fmt_pct(s.fpu_util(), 1),
                      fmt_f(static_cast<double>(s.cycles) / best, 2) + "x"});
     }
-    std::printf("--- %s (64L AraXL, fixed problem size) ---\n%s\n", kname,
-                table.render().c_str());
+    std::printf("--- %s (64L AraXL, fixed problem size) ---\n%s\n",
+                kname.c_str(), table.render().c_str());
   }
   std::printf("expected shape: cycles grow and utilization falls as VLEN "
               "shrinks — the motivation for reaching the RVV 64 Kibit "

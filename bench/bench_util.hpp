@@ -1,4 +1,9 @@
 // Shared helpers for the table/figure bench binaries.
+//
+// Every bench runs its measurements through the experiment driver
+// (src/driver/): declare a SweepSpec, let the worker pool execute the grid
+// (one Machine per job, all cores by default), then format tables from the
+// result set. Single-point helpers wrap the same path.
 #ifndef ARAXL_BENCH_BENCH_UTIL_HPP
 #define ARAXL_BENCH_BENCH_UTIL_HPP
 
@@ -7,25 +12,73 @@
 #include <string_view>
 #include <vector>
 
-#include "kernels/common.hpp"
+#include "common/contracts.hpp"
+#include "driver/job.hpp"
+#include "driver/runner.hpp"
 #include "machine/machine.hpp"
 
 namespace araxl::bench {
+
+/// Driver results addressable by (config label, kernel, bytes-per-lane).
+class SweepResults {
+ public:
+  explicit SweepResults(std::vector<driver::JobResult> results)
+      : results_(std::move(results)) {}
+
+  [[nodiscard]] const std::vector<driver::JobResult>& all() const {
+    return results_;
+  }
+
+  /// Result of one grid point; fails the bench when the job is missing or
+  /// errored (benches must not silently print holes).
+  [[nodiscard]] const driver::JobResult& at(std::string_view config_label,
+                                            std::string_view kernel,
+                                            std::uint64_t bytes_per_lane) const {
+    for (const driver::JobResult& r : results_) {
+      if (r.job.config_label == config_label && r.job.kernel == kernel &&
+          r.job.bytes_per_lane == bytes_per_lane) {
+        check(r.ok, "bench job failed: " + r.error);
+        return r;
+      }
+    }
+    fail("bench queried a grid point outside its sweep: " +
+         std::string(config_label) + "/" + std::string(kernel));
+  }
+
+  [[nodiscard]] const RunStats& stats(std::string_view config_label,
+                                      std::string_view kernel,
+                                      std::uint64_t bytes_per_lane) const {
+    return at(config_label, kernel, bytes_per_lane).stats;
+  }
+
+ private:
+  std::vector<driver::JobResult> results_;
+};
+
+/// Executes the sweep on `workers` threads (0 = all hardware threads) and
+/// returns the addressable result set.
+inline SweepResults run_sweep(const driver::SweepSpec& spec,
+                              unsigned workers = 0) {
+  driver::RunnerOptions opts;
+  opts.workers = workers;
+  opts.verify = true;
+  return SweepResults(driver::run_sweep(spec, opts));
+}
 
 /// Runs `kernel_name` at the weak-scaling point `bytes_per_lane` on `cfg`
 /// and returns the stats (verifying the result unless `verify` is false).
 inline RunStats run_kernel(const MachineConfig& cfg, std::string_view kernel_name,
                            std::uint64_t bytes_per_lane, bool verify = true) {
-  Machine m(cfg);
-  auto kernel = make_kernel(kernel_name);
-  const Program prog = kernel->build(m, bytes_per_lane);
-  const RunStats stats = m.run(prog);
-  if (verify) {
-    const VerifyResult vr = kernel->verify(m);
-    check(vr.ok(kernel->tolerance()),
-          "kernel verification failed inside bench harness");
-  }
-  return stats;
+  driver::Job job;
+  job.config_label = cfg.name();
+  job.cfg = cfg;
+  job.kernel = std::string(kernel_name);
+  job.bytes_per_lane = bytes_per_lane;
+  driver::RunnerOptions opts;
+  opts.verify = verify;
+  const driver::JobResult res = driver::run_job(job, opts);
+  check(res.ok, "kernel run failed inside bench harness: " + res.error);
+  return res.stats;
 }
 
 /// True when the bench was invoked with the given flag.

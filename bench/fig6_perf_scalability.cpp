@@ -9,6 +9,9 @@
 //     plot, right Y axis).
 // Also reproduces the §IV-B text experiment: fdotproduct at 16384 B/lane
 // strip-mined over 16 iterations (paper: 7.6x at 64 lanes).
+//
+// The whole grid is declared as one driver sweep and executed by the
+// worker pool; the tables below are pure formatting over the result set.
 #include <cstdio>
 #include <vector>
 
@@ -20,12 +23,7 @@ using namespace araxl;
 
 namespace {
 
-struct Config {
-  const char* label;
-  MachineConfig cfg;
-};
-
-std::vector<Config> fig6_configs() {
+std::vector<driver::ConfigPoint> fig6_configs() {
   return {
       {"8L-Ara2", MachineConfig::ara2(8)},
       {"8L-AraXL", MachineConfig::araxl(8)},
@@ -44,49 +42,48 @@ int main(int argc, char** argv) {
                       "paper Fig. 6 — bars normalized to 8L Ara2; lines are "
                       "FPU utilization of 8L Ara2 and 64L AraXL");
 
-  const std::vector<std::uint64_t> sizes =
-      quick ? std::vector<std::uint64_t>{64, 512}
-            : std::vector<std::uint64_t>{64, 128, 256, 512};
-  const char* kernels[] = {"fmatmul", "fconv2d", "jacobi2d",
-                           "fdotproduct", "exp", "softmax"};
+  driver::SweepSpec spec;
+  spec.configs = fig6_configs();
+  spec.kernels = {"fmatmul", "fconv2d", "jacobi2d", "fdotproduct", "exp",
+                  "softmax"};
+  spec.bytes_per_lane = quick ? std::vector<std::uint64_t>{64, 512}
+                              : std::vector<std::uint64_t>{64, 128, 256, 512};
+  const bench::SweepResults results = bench::run_sweep(spec);
 
-  for (const char* kname : kernels) {
+  for (const std::string& kname : spec.kernels) {
     TextTable table({"B/lane", "8L-Ara2", "8L-AraXL", "16L-Ara2", "16L-AraXL",
                      "32L-AraXL", "64L-AraXL", "util 8L-Ara2", "util 64L-AraXL"});
     for (std::size_t c = 0; c < 9; ++c) table.align_right(c);
 
-    for (const std::uint64_t bpl : sizes) {
-      double base_fpc = 0.0;  // 8L Ara2 DP-FLOP/cycle at this B/lane
-      double util_ara2_8l = 0.0;
-      double util_araxl_64l = 0.0;
+    for (const std::uint64_t bpl : spec.bytes_per_lane) {
+      const double base_fpc =
+          results.stats("8L-Ara2", kname, bpl).flop_per_cycle();
       std::vector<std::string> row{std::to_string(bpl)};
-      for (const Config& c : fig6_configs()) {
-        const RunStats stats = bench::run_kernel(c.cfg, kname, bpl);
-        const double fpc = stats.flop_per_cycle();
-        if (std::string_view(c.label) == "8L-Ara2") {
-          base_fpc = fpc;
-          util_ara2_8l = stats.fpu_util();
-        }
-        if (std::string_view(c.label) == "64L-AraXL") {
-          util_araxl_64l = stats.fpu_util();
-        }
+      for (const driver::ConfigPoint& c : spec.configs) {
+        const double fpc =
+            results.stats(c.label, kname, bpl).flop_per_cycle();
         row.push_back(fmt_f(fpc / base_fpc, 2) + "x");
       }
-      row.push_back(fmt_pct(util_ara2_8l, 1));
-      row.push_back(fmt_pct(util_araxl_64l, 1));
+      row.push_back(fmt_pct(results.stats("8L-Ara2", kname, bpl).fpu_util(), 1));
+      row.push_back(
+          fmt_pct(results.stats("64L-AraXL", kname, bpl).fpu_util(), 1));
       table.add_row(std::move(row));
     }
-    std::printf("--- %s (scaling factor vs 8L-Ara2) ---\n%s\n", kname,
+    std::printf("--- %s (scaling factor vs 8L-Ara2) ---\n%s\n", kname.c_str(),
                 table.render().c_str());
   }
 
   // §IV-B long-vector dot product: 16384 B/lane, strip-mined over 16
   // vsetvli iterations at 64 lanes (paper: scaling recovers to 7.6x).
   if (!quick) {
-    const std::uint64_t bpl = 16384;
-    const RunStats base = bench::run_kernel(MachineConfig::ara2(8), "fdotproduct", bpl);
-    const RunStats big =
-        bench::run_kernel(MachineConfig::araxl(64), "fdotproduct", bpl);
+    driver::SweepSpec lv;
+    lv.configs = {{"8L-Ara2", MachineConfig::ara2(8)},
+                  {"64L-AraXL", MachineConfig::araxl(64)}};
+    lv.kernels = {"fdotproduct"};
+    lv.bytes_per_lane = {16384};
+    const bench::SweepResults lv_results = bench::run_sweep(lv);
+    const RunStats& base = lv_results.stats("8L-Ara2", "fdotproduct", 16384);
+    const RunStats& big = lv_results.stats("64L-AraXL", "fdotproduct", 16384);
     std::printf("--- fdotproduct long-vector regime (16384 B/lane) ---\n");
     std::printf("64L-AraXL scaling vs 8L-Ara2: %.2fx (paper: 7.6x)\n",
                 big.flop_per_cycle() / base.flop_per_cycle());

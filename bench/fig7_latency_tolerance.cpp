@@ -9,12 +9,16 @@
 // Paper claims: (a) <= 1.5% in the long-vector regime, (b) max 5.3%
 // (fconv2d) / 3.2% (jacobi2d) at 128 B/lane, amortized at 512 B/lane,
 // (c) <= 1.4%.
+//
+// Baseline and all three variants form one driver sweep (the same grid the
+// CLI's `araxl sweep --fig7` runs); the drop tables are formatting.
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "common/fmt.hpp"
 #include "common/table.hpp"
+#include "driver/spec.hpp"
 
 using namespace araxl;
 
@@ -24,21 +28,27 @@ int main(int argc, char** argv) {
                       "paper Fig. 7 — FPU utilization drop with +4 GLSU / "
                       "+1 REQI / +1 RINGI register cuts");
 
-  const std::vector<std::uint64_t> sizes =
-      quick ? std::vector<std::uint64_t>{128, 512}
-            : std::vector<std::uint64_t>{128, 256, 512};
-  const char* kernels[] = {"fmatmul", "fconv2d", "jacobi2d",
-                           "fdotproduct", "exp", "softmax"};
-
   struct Variant {
-    const char* label;
-    unsigned glsu, reqi, ring;
+    const char* title;
+    const char* label;  ///< config-spec label in the sweep
   };
   const Variant variants[] = {
-      {"(a) GLSU +4 regs", 4, 0, 0},
-      {"(b) REQI +1 reg", 0, 1, 0},
-      {"(c) RINGI +1 reg", 0, 0, 1},
+      {"(a) GLSU +4 regs", "araxl:64:glsu=4"},
+      {"(b) REQI +1 reg", "araxl:64:reqi=1"},
+      {"(c) RINGI +1 reg", "araxl:64:ring=1"},
   };
+
+  // Labels double as driver config specs, so label and knob can't drift.
+  driver::SweepSpec spec;
+  spec.configs.push_back(driver::parse_config_spec("araxl:64"));
+  for (const Variant& v : variants) {
+    spec.configs.push_back(driver::parse_config_spec(v.label));
+  }
+  spec.kernels = {"fmatmul", "fconv2d", "jacobi2d", "fdotproduct", "exp",
+                  "softmax"};
+  spec.bytes_per_lane = quick ? std::vector<std::uint64_t>{128, 512}
+                              : std::vector<std::uint64_t>{128, 256, 512};
+  const bench::SweepResults results = bench::run_sweep(spec);
 
   for (const Variant& v : variants) {
     TextTable table({"kernel", "B/lane", "baseline util", "modified util",
@@ -48,29 +58,24 @@ int main(int argc, char** argv) {
     table.align_right(3);
     table.align_right(4);
     double max_drop = 0.0;
-    const char* max_kernel = "";
-    for (const char* kname : kernels) {
-      for (const std::uint64_t bpl : sizes) {
-        MachineConfig base = MachineConfig::araxl(64);
-        MachineConfig mod = base;
-        mod.glsu_regs = v.glsu;
-        mod.reqi_regs = v.reqi;
-        mod.ring_regs = v.ring;
-        const RunStats s0 = bench::run_kernel(base, kname, bpl);
-        const RunStats s1 = bench::run_kernel(mod, kname, bpl);
-        const double drop = s0.fpu_util() - s1.fpu_util();
+    std::string max_kernel;
+    for (const std::string& kname : spec.kernels) {
+      for (const std::uint64_t bpl : spec.bytes_per_lane) {
+        const double u0 = results.stats("araxl:64", kname, bpl).fpu_util();
+        const double u1 = results.stats(v.label, kname, bpl).fpu_util();
+        const double drop = u0 - u1;
         if (drop > max_drop) {
           max_drop = drop;
           max_kernel = kname;
         }
-        table.add_row({kname, std::to_string(bpl), fmt_pct(s0.fpu_util(), 1),
-                       fmt_pct(s1.fpu_util(), 1), fmt_pct(drop, 1)});
+        table.add_row({kname, std::to_string(bpl), fmt_pct(u0, 1),
+                       fmt_pct(u1, 1), fmt_pct(drop, 1)});
       }
       table.add_rule();
     }
-    std::printf("--- %s ---\n%s", v.label, table.render().c_str());
+    std::printf("--- %s ---\n%s", v.title, table.render().c_str());
     std::printf("max utilization drop: %s (%s)\n\n", fmt_pct(max_drop, 1).c_str(),
-                max_kernel);
+                max_kernel.c_str());
   }
   std::printf("paper reference: (a) <=1.5%% long-vector, (b) max 5.3%% fconv2d "
               "/ 3.2%% jacobi2d at 128 B/lane and ~0%% at 512, (c) <=1.4%%\n");

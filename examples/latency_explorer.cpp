@@ -3,26 +3,37 @@
 // surface — the generalization of the paper's Fig. 7 study, useful when
 // exploring deeper pipelining of the AraXL interfaces.
 //
+// Both surfaces are declarative sweeps over the experiment driver
+// (src/driver/), executed by the worker pool.
+//
 // Usage: latency_explorer [kernel] [bytes-per-lane]
 //        (defaults: fdotproduct 512)
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "common/contracts.hpp"
 #include "common/fmt.hpp"
 #include "common/table.hpp"
-#include "kernels/common.hpp"
+#include "driver/job.hpp"
+#include "driver/runner.hpp"
 #include "machine/machine.hpp"
 
 using namespace araxl;
 
 namespace {
 
-double run_util(MachineConfig cfg, const std::string& kernel, std::uint64_t bpl) {
-  Machine m(cfg);
-  auto k = make_kernel(kernel);
-  const Program p = k->build(m, bpl);
-  return m.run(p).fpu_util();
+/// Runs `spec` on all cores and returns fpu_util keyed by config label.
+std::vector<std::pair<std::string, double>> utilization_surface(
+    const driver::SweepSpec& spec) {
+  driver::RunnerOptions opts;
+  opts.workers = 0;  // all hardware threads
+  std::vector<std::pair<std::string, double>> out;
+  for (const driver::JobResult& r : driver::run_sweep(spec, opts)) {
+    check(r.ok, "latency_explorer job failed: " + r.error);
+    out.emplace_back(r.job.config_label, r.stats.fpu_util());
+  }
+  return out;
 }
 
 }  // namespace
@@ -37,37 +48,55 @@ int main(int argc, char** argv) {
   // Sweep 1: L2 latency (the tolerance that lets AraXL relax its
   // interconnect timing in the first place).
   {
+    driver::SweepSpec spec;
+    for (const unsigned lat : {12u, 4u, 24u, 48u, 96u}) {
+      MachineConfig cfg = MachineConfig::araxl(64);
+      cfg.l2_latency = lat;
+      spec.configs.push_back({"L2=" + std::to_string(lat), cfg});
+    }
+    spec.kernels = {kernel};
+    spec.bytes_per_lane = {bpl};
+    const auto surface = utilization_surface(spec);
+    const double base = surface[0].second;  // L2=12, the model default
+
     TextTable t({"L2 latency [cycles]", "FPU util", "drop vs 12"});
     t.align_right(1);
     t.align_right(2);
-    MachineConfig cfg = MachineConfig::araxl(64);
-    const double base = run_util(cfg, kernel, bpl);
-    for (const unsigned lat : {4u, 12u, 24u, 48u, 96u}) {
-      cfg.l2_latency = lat;
-      const double u = run_util(cfg, kernel, bpl);
-      t.add_row({std::to_string(lat), fmt_pct(u, 1), fmt_pct(base - u, 1)});
+    for (const auto& [label, util] : surface) {
+      t.add_row({label.substr(3), fmt_pct(util, 1), fmt_pct(base - util, 1)});
     }
     std::printf("%s\n", t.render().c_str());
   }
 
   // Sweep 2: interface register cuts (the paper's Fig. 7 axes, extended).
   {
-    TextTable t({"interface", "+regs", "FPU util", "drop"});
-    t.align_right(1);
-    t.align_right(2);
-    t.align_right(3);
-    const double base = run_util(MachineConfig::araxl(64), kernel, bpl);
-    t.add_row({"(baseline)", "0", fmt_pct(base, 1), "-"});
+    driver::SweepSpec spec;
+    spec.configs.push_back({"(baseline):0", MachineConfig::araxl(64)});
     for (const unsigned regs : {1u, 2u, 4u, 8u}) {
       for (int which = 0; which < 3; ++which) {
         MachineConfig cfg = MachineConfig::araxl(64);
         const char* name = which == 0 ? "GLSU" : which == 1 ? "REQI" : "RINGI";
         (which == 0 ? cfg.glsu_regs : which == 1 ? cfg.reqi_regs : cfg.ring_regs) =
             regs;
-        const double u = run_util(cfg, kernel, bpl);
-        t.add_row({name, std::to_string(regs), fmt_pct(u, 1),
-                   fmt_pct(base - u, 1)});
+        spec.configs.push_back(
+            {std::string(name) + ":" + std::to_string(regs), cfg});
       }
+    }
+    spec.kernels = {kernel};
+    spec.bytes_per_lane = {bpl};
+    const auto surface = utilization_surface(spec);
+    const double base = surface[0].second;
+
+    TextTable t({"interface", "+regs", "FPU util", "drop"});
+    t.align_right(1);
+    t.align_right(2);
+    t.align_right(3);
+    t.add_row({"(baseline)", "0", fmt_pct(base, 1), "-"});
+    for (std::size_t i = 1; i < surface.size(); ++i) {
+      const auto& [label, util] = surface[i];
+      const std::size_t colon = label.find(':');
+      t.add_row({label.substr(0, colon), label.substr(colon + 1),
+                 fmt_pct(util, 1), fmt_pct(base - util, 1)});
     }
     std::printf("%s", t.render().c_str());
   }

@@ -51,9 +51,28 @@ class Rng {
     return lo + (hi - lo) * next_unit();
   }
 
+  /// Derives an independent child generator for stream `stream` without
+  /// advancing this generator. The child depends only on (parent state,
+  /// stream), so parallel workers forking `master.fork(job_index)` get
+  /// bit-identical streams regardless of thread count or fork order.
+  [[nodiscard]] constexpr Rng fork(std::uint64_t stream) const noexcept {
+    // Fold the four state words and the stream index through splitmix64
+    // finalizers; distinct streams land in well-separated seed space.
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (const std::uint64_t s : state_) h = mix64(h ^ s);
+    h = mix64(h ^ mix64(stream + 0x6a09e667f3bcc909ULL));
+    return Rng(h);
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));
+  }
+
+  static constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
   }
 
   std::array<std::uint64_t, 4> state_{};

@@ -1,0 +1,41 @@
+#include "driver/job.hpp"
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "driver/registry.hpp"
+
+namespace araxl::driver {
+
+std::vector<Job> expand(const SweepSpec& spec) {
+  check(!spec.configs.empty(), "sweep needs at least one config");
+  check(!spec.kernels.empty(), "sweep needs at least one kernel");
+  check(!spec.bytes_per_lane.empty(),
+        "sweep needs at least one bytes-per-lane point");
+  const KernelRegistry& registry = KernelRegistry::instance();
+  for (const std::string& k : spec.kernels) (void)registry.at(k);
+  for (const ConfigPoint& c : spec.configs) c.cfg.validate();
+
+  const Rng master(spec.base_seed);
+  std::vector<Job> jobs;
+  jobs.reserve(spec.job_count());
+  for (const ConfigPoint& c : spec.configs) {
+    for (const std::string& k : spec.kernels) {
+      for (const std::uint64_t bpl : spec.bytes_per_lane) {
+        Job job;
+        job.index = jobs.size();
+        job.config_label = c.label.empty() ? c.cfg.name() : c.label;
+        job.cfg = c.cfg;
+        job.kernel = k;
+        job.bytes_per_lane = bpl;
+        // fork() is const: each job's seed depends only on (base_seed,
+        // index), never on expansion or execution order.
+        job.seed =
+            spec.base_seed == 0 ? 0 : master.fork(job.index).next_u64();
+        jobs.push_back(std::move(job));
+      }
+    }
+  }
+  return jobs;
+}
+
+}  // namespace araxl::driver

@@ -1,0 +1,62 @@
+// Sweep specification and job expansion.
+//
+// A `SweepSpec` is the declarative form of every experiment in this repo:
+// a config grid x kernel list x weak-scaling points, exactly the structure
+// of the paper's Fig. 6 / Fig. 7 studies. `expand()` flattens the cross
+// product into independent `Job`s whose seeds are derived purely from
+// (base_seed, job index) via `Rng::fork`, so a sweep's results are
+// bit-reproducible no matter how many workers execute it or in what order.
+#ifndef ARAXL_DRIVER_JOB_HPP
+#define ARAXL_DRIVER_JOB_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "machine/config.hpp"
+
+namespace araxl::driver {
+
+/// One named point of the config grid. The label is the user's spec string
+/// ("araxl:64", "araxl:64:glsu=4", ...) and flows into reports as
+/// provenance alongside the full MachineConfig.
+struct ConfigPoint {
+  std::string label;
+  MachineConfig cfg;
+};
+
+/// Declarative sweep: every config runs every kernel at every
+/// bytes-per-lane point.
+struct SweepSpec {
+  std::vector<ConfigPoint> configs;
+  std::vector<std::string> kernels;
+  std::vector<std::uint64_t> bytes_per_lane;
+  /// Master seed for input generation; 0 keeps each kernel's legacy fixed
+  /// inputs (reproduces the committed figure numbers exactly).
+  std::uint64_t base_seed = 0;
+
+  [[nodiscard]] std::size_t job_count() const {
+    return configs.size() * kernels.size() * bytes_per_lane.size();
+  }
+};
+
+/// One independent unit of work: a kernel at one weak-scaling point on one
+/// machine configuration.
+struct Job {
+  std::size_t index = 0;  ///< position in the expanded sweep (stable)
+  std::string config_label;
+  MachineConfig cfg;
+  std::string kernel;
+  std::uint64_t bytes_per_lane = 0;
+  /// Input-seed base for Kernel::seed_inputs (0 = legacy fixed inputs).
+  std::uint64_t seed = 0;
+};
+
+/// Flattens the cross product, config-major then kernel then
+/// bytes-per-lane; throws ContractViolation on an unknown kernel name or
+/// an empty axis.
+std::vector<Job> expand(const SweepSpec& spec);
+
+}  // namespace araxl::driver
+
+#endif  // ARAXL_DRIVER_JOB_HPP

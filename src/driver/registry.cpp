@@ -1,0 +1,81 @@
+#include "driver/registry.hpp"
+
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace araxl::driver {
+
+namespace {
+
+// The paper's Fig. 6 weak-scaling grid; kernels without a special grid
+// sweep these points by default.
+const std::vector<std::uint64_t> kDefaultBplGrid = {64, 128, 256, 512};
+
+}  // namespace
+
+KernelRegistry& KernelRegistry::instance() {
+  static KernelRegistry registry;
+  return registry;
+}
+
+KernelRegistry::KernelRegistry() {
+  // Auto-register everything src/kernels/ exports. Instantiating each
+  // kernel once captures its name and Table-I metadata; the stored factory
+  // re-resolves by name so entries stay in sync with `make_kernel`.
+  const auto register_set = [this](std::vector<std::unique_ptr<Kernel>> set,
+                                   bool extension) {
+    for (const auto& k : set) {
+      KernelInfo info;
+      info.name = std::string(k->name());
+      info.factory = [name = info.name] { return make_kernel(name); };
+      info.default_bpl_grid = kDefaultBplGrid;
+      info.max_perf_factor = k->max_perf_factor();
+      info.extension = extension;
+      add(std::move(info));
+    }
+  };
+  register_set(make_all_kernels(), /*extension=*/false);
+  register_set(make_extension_kernels(), /*extension=*/true);
+}
+
+void KernelRegistry::add(KernelInfo info) {
+  check(static_cast<bool>(info.factory), "kernel factory must not be null");
+  check(!info.name.empty(), "kernel name must not be empty");
+  check(find(info.name) == nullptr, "duplicate kernel registration");
+  infos_.push_back(std::move(info));
+}
+
+const KernelInfo* KernelRegistry::find(std::string_view name) const {
+  for (const KernelInfo& info : infos_) {
+    if (info.name == name) return &info;
+  }
+  return nullptr;
+}
+
+const KernelInfo& KernelRegistry::at(std::string_view name) const {
+  const KernelInfo* info = find(name);
+  if (info == nullptr) fail("unknown kernel: " + std::string(name));
+  return *info;
+}
+
+std::unique_ptr<Kernel> KernelRegistry::make(std::string_view name) const {
+  return at(name).factory();
+}
+
+std::vector<std::string> KernelRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(infos_.size());
+  for (const KernelInfo& info : infos_) out.push_back(info.name);
+  return out;
+}
+
+std::vector<std::string> KernelRegistry::paper_names() const {
+  std::vector<std::string> out;
+  for (const KernelInfo& info : infos_) {
+    if (!info.extension) out.push_back(info.name);
+  }
+  return out;
+}
+
+}  // namespace araxl::driver

@@ -1,0 +1,74 @@
+// Kernel registry — the driver's catalog of runnable workloads.
+//
+// Each entry bundles what a sweep needs to know about one kernel: a factory
+// producing the program builder + input generator + golden verifier (the
+// `Kernel` object), the paper's default weak-scaling grid, and Table-I
+// metadata. The registry auto-populates from every kernel in src/kernels/
+// (the six Table-I kernels plus the extension set), so a kernel added to
+// `make_all_kernels()` / `make_extension_kernels()` is immediately
+// sweepable from the CLI with no driver changes. Tests may `add()` extra
+// synthetic kernels (e.g. vl==0 probes).
+#ifndef ARAXL_DRIVER_REGISTRY_HPP
+#define ARAXL_DRIVER_REGISTRY_HPP
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kernels/common.hpp"
+
+namespace araxl::driver {
+
+/// One registered kernel.
+struct KernelInfo {
+  std::string name;
+  std::function<std::unique_ptr<Kernel>()> factory;
+  /// Default weak-scaling grid in bytes/lane (paper Fig. 6 points).
+  std::vector<std::uint64_t> default_bpl_grid;
+  /// Table-I "Max Perf" factor (DP-FLOP/cycle per lane).
+  double max_perf_factor = 0.0;
+  /// True for kernels beyond the paper's Table-I benchmark set.
+  bool extension = false;
+};
+
+/// Process-wide kernel catalog. Reads are lock-free and thread-safe once
+/// construction finishes; `add()` is for test setup (single-threaded,
+/// before workers start).
+class KernelRegistry {
+ public:
+  /// The singleton, auto-registered with every kernel in src/kernels/ on
+  /// first use.
+  static KernelRegistry& instance();
+
+  /// Registers an extra kernel; throws ContractViolation on a duplicate
+  /// name or a null factory.
+  void add(KernelInfo info);
+
+  /// Entry for `name`, or nullptr when unknown.
+  [[nodiscard]] const KernelInfo* find(std::string_view name) const;
+
+  /// Entry for `name`; throws ContractViolation when unknown.
+  [[nodiscard]] const KernelInfo& at(std::string_view name) const;
+
+  /// Fresh kernel instance for `name`; throws when unknown.
+  [[nodiscard]] std::unique_ptr<Kernel> make(std::string_view name) const;
+
+  /// All registered names in registration order (paper order first).
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// The six Table-I kernel names, in paper order.
+  [[nodiscard]] std::vector<std::string> paper_names() const;
+
+  [[nodiscard]] std::size_t size() const { return infos_.size(); }
+
+ private:
+  KernelRegistry();
+
+  std::vector<KernelInfo> infos_;
+};
+
+}  // namespace araxl::driver
+
+#endif  // ARAXL_DRIVER_REGISTRY_HPP

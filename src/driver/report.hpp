@@ -1,0 +1,32 @@
+// Sweep reporters: JSON and CSV emission of driver results.
+//
+// Reports are pure functions of the result vector — no timestamps, host
+// names, or wall-clock durations — so the same sweep produces byte-
+// identical files whether it ran on 1 worker or 8 (the driver's
+// reproducibility contract, asserted by tests and CI). Each record carries
+// full config provenance (topology, VLEN, latency knobs, timing mode),
+// the raw RunStats counters, derived metrics, the PPA-model outputs
+// (frequency, area, power, GFLOPS, GFLOPS/W), and verification status.
+#ifndef ARAXL_DRIVER_REPORT_HPP
+#define ARAXL_DRIVER_REPORT_HPP
+
+#include <string>
+#include <vector>
+
+#include "driver/runner.hpp"
+
+namespace araxl::driver {
+
+/// Whole-sweep JSON document: {"results": [...]} ordered by job index.
+[[nodiscard]] std::string to_json(const std::vector<JobResult>& results);
+
+/// One CSV header line plus one row per job, ordered by job index.
+[[nodiscard]] std::string to_csv(const std::vector<JobResult>& results);
+
+/// Writes `content` to `path` ("-" means stdout); throws ContractViolation
+/// when the file cannot be opened.
+void write_report(const std::string& path, const std::string& content);
+
+}  // namespace araxl::driver
+
+#endif  // ARAXL_DRIVER_REPORT_HPP

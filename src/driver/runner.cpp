@@ -1,0 +1,120 @@
+#include "driver/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/contracts.hpp"
+#include "common/fmt.hpp"
+#include "driver/registry.hpp"
+#include "machine/machine.hpp"
+
+namespace araxl::driver {
+
+namespace {
+
+// Runs the job body; throws on any failure so run_job can funnel every
+// error kind (config validation, simulation contract, verification) into
+// the same isolated-failure path.
+JobResult execute(const Job& job, const RunnerOptions& opts) {
+  JobResult res;
+  res.job = job;
+
+  job.cfg.validate();
+  const KernelRegistry& registry = KernelRegistry::instance();
+
+  Machine m(job.cfg);
+  auto kernel = registry.make(job.kernel);
+  kernel->seed_inputs(job.seed);
+  const Program prog = kernel->build(m, job.bytes_per_lane);
+  res.stats = m.run(prog);
+
+  if (opts.check_oracle) {
+    // Fresh machine + kernel: build() writes inputs into machine memory,
+    // so the oracle run needs its own architectural state.
+    MachineConfig oracle_cfg = job.cfg;
+    oracle_cfg.timing_mode = TimingMode::kCycleStepped;
+    Machine oracle(oracle_cfg);
+    auto oracle_kernel = registry.make(job.kernel);
+    oracle_kernel->seed_inputs(job.seed);
+    const Program oracle_prog = oracle_kernel->build(oracle, job.bytes_per_lane);
+    const RunStats oracle_stats = oracle.run(oracle_prog);
+    check(res.stats == oracle_stats,
+          "event-driven RunStats diverge from the cycle-stepped oracle");
+  }
+
+  if (opts.corrupt_before_verify) opts.corrupt_before_verify(m, job);
+
+  if (opts.verify) {
+    res.verified = true;
+    res.tolerance = kernel->tolerance();
+    res.verify = kernel->verify(m);
+    if (!res.verify.ok(res.tolerance)) {
+      fail(strprintf("golden verification failed: max_rel_err=%.3e > tol=%.3e",
+                     res.verify.max_rel_err, res.tolerance));
+    }
+  }
+  res.ok = true;
+  return res;
+}
+
+}  // namespace
+
+JobResult run_job(const Job& job, const RunnerOptions& opts) {
+  try {
+    return execute(job, opts);
+  } catch (const std::exception& e) {
+    JobResult res;
+    res.job = job;
+    res.ok = false;
+    res.error = e.what();
+    return res;
+  }
+}
+
+std::vector<JobResult> run_jobs(const std::vector<Job>& jobs,
+                                const RunnerOptions& opts) {
+  std::vector<JobResult> results(jobs.size());
+  if (jobs.empty()) return results;
+
+  unsigned workers = opts.workers;
+  if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+  workers = static_cast<unsigned>(
+      std::min<std::size_t>(workers, jobs.size()));
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex progress_mu;
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) return;
+      results[i] = run_job(jobs[i], opts);
+      const std::size_t finished = done.fetch_add(1) + 1;
+      if (opts.progress) {
+        const std::lock_guard<std::mutex> lock(progress_mu);
+        opts.progress(results[i], finished, jobs.size());
+      }
+    }
+  };
+
+  if (workers == 1) {
+    worker();
+    return results;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return results;
+}
+
+std::vector<JobResult> run_sweep(const SweepSpec& spec,
+                                 const RunnerOptions& opts) {
+  return run_jobs(expand(spec), opts);
+}
+
+}  // namespace araxl::driver

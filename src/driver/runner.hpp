@@ -1,0 +1,67 @@
+// Thread-pooled batch runner.
+//
+// Executes expanded jobs on a worker pool. Every job gets its own Machine
+// and Kernel instance (Machines are non-movable and self-referencing, so
+// workers construct them in place), runs build -> simulate -> verify, and
+// reports into a result slot indexed by job order — results are therefore
+// deterministic and byte-stable across worker counts. A job that throws
+// (bad config, contract violation, failed verification) is isolated: its
+// result carries the error and the rest of the sweep proceeds.
+#ifndef ARAXL_DRIVER_RUNNER_HPP
+#define ARAXL_DRIVER_RUNNER_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "driver/job.hpp"
+#include "kernels/common.hpp"
+#include "sim/stats.hpp"
+
+namespace araxl::driver {
+
+/// Outcome of one job. `ok` means simulate + verify (when enabled)
+/// succeeded; otherwise `error` says what went wrong.
+struct JobResult {
+  Job job;
+  bool ok = false;
+  RunStats stats;
+  VerifyResult verify;
+  double tolerance = 0.0;
+  bool verified = false;  ///< verification was requested and ran
+  std::string error;
+};
+
+struct RunnerOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  unsigned workers = 1;
+  /// Check machine results against each kernel's golden reference.
+  bool verify = true;
+  /// Differential mode: re-run every job under TimingMode::kCycleStepped
+  /// and fail the job unless RunStats match the event-driven run bit for
+  /// bit (the EngineEquivalence contract, driven at sweep scale).
+  bool check_oracle = false;
+  /// Progress callback; invoked serially (under an internal lock) as jobs
+  /// finish, with the number completed so far.
+  std::function<void(const JobResult&, std::size_t done, std::size_t total)>
+      progress;
+  /// Test hook: mutate machine state between simulation and verification
+  /// (used to prove the golden verifiers catch corrupted results).
+  std::function<void(Machine&, const Job&)> corrupt_before_verify;
+};
+
+/// Runs one job synchronously on the calling thread.
+JobResult run_job(const Job& job, const RunnerOptions& opts);
+
+/// Runs all jobs on `opts.workers` threads; the result vector is indexed
+/// by job order regardless of completion order.
+std::vector<JobResult> run_jobs(const std::vector<Job>& jobs,
+                                const RunnerOptions& opts);
+
+/// expand() + run_jobs() in one call.
+std::vector<JobResult> run_sweep(const SweepSpec& spec,
+                                 const RunnerOptions& opts);
+
+}  // namespace araxl::driver
+
+#endif  // ARAXL_DRIVER_RUNNER_HPP

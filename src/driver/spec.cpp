@@ -1,0 +1,110 @@
+#include "driver/spec.hpp"
+
+#include <charconv>
+
+#include "common/contracts.hpp"
+
+namespace araxl::driver {
+
+namespace {
+
+std::uint64_t parse_u64(std::string_view s, std::string_view what) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  check(ec == std::errc() && ptr == s.data() + s.size(),
+        "bad number in " + std::string(what) + ": '" + std::string(s) + "'");
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::string> split_list(std::string_view csv) {
+  std::vector<std::string> out;
+  while (!csv.empty()) {
+    const std::size_t comma = csv.find(',');
+    const std::string_view piece = csv.substr(0, comma);
+    check(!piece.empty(), "empty element in comma-separated list");
+    out.emplace_back(piece);
+    if (comma == std::string_view::npos) break;
+    csv.remove_prefix(comma + 1);
+  }
+  check(!out.empty(), "empty comma-separated list");
+  return out;
+}
+
+std::vector<std::uint64_t> parse_u64_list(std::string_view csv) {
+  std::vector<std::uint64_t> out;
+  for (const std::string& piece : split_list(csv)) {
+    out.push_back(parse_u64(piece, "list"));
+  }
+  return out;
+}
+
+ConfigPoint parse_config_spec(std::string_view spec) {
+  const std::string label(spec);
+  std::vector<std::string> parts;
+  {
+    std::string_view rest = spec;
+    while (!rest.empty()) {
+      const std::size_t colon = rest.find(':');
+      parts.emplace_back(rest.substr(0, colon));
+      if (colon == std::string_view::npos) break;
+      rest.remove_prefix(colon + 1);
+    }
+  }
+  check(parts.size() >= 2, "config spec needs kind:lanes — got '" + label + "'");
+
+  MachineConfig cfg;
+  const std::string& kind = parts[0];
+  const std::string& shape = parts[1];
+  const std::size_t x = shape.find('x');
+  if (kind == "araxl") {
+    if (x == std::string::npos) {
+      cfg = MachineConfig::araxl(
+          static_cast<unsigned>(parse_u64(shape, label)));
+    } else {
+      cfg = MachineConfig::araxl_shaped(
+          static_cast<unsigned>(parse_u64(shape.substr(0, x), label)),
+          static_cast<unsigned>(parse_u64(shape.substr(x + 1), label)));
+    }
+  } else if (kind == "ara2") {
+    check(x == std::string::npos, "ara2 takes a plain lane count: " + label);
+    cfg = MachineConfig::ara2(static_cast<unsigned>(parse_u64(shape, label)));
+  } else {
+    fail("unknown machine kind '" + kind + "' in config spec '" + label + "'");
+  }
+
+  for (std::size_t i = 2; i < parts.size(); ++i) {
+    const std::string& knob = parts[i];
+    const std::size_t eq = knob.find('=');
+    check(eq != std::string::npos,
+          "config knob must be key=value in '" + label + "'");
+    const std::string key = knob.substr(0, eq);
+    const std::string val = knob.substr(eq + 1);
+    if (key == "glsu") {
+      cfg.glsu_regs = static_cast<unsigned>(parse_u64(val, label));
+    } else if (key == "reqi") {
+      cfg.reqi_regs = static_cast<unsigned>(parse_u64(val, label));
+    } else if (key == "ring") {
+      cfg.ring_regs = static_cast<unsigned>(parse_u64(val, label));
+    } else if (key == "l2") {
+      cfg.l2_latency = static_cast<unsigned>(parse_u64(val, label));
+    } else if (key == "vlen") {
+      cfg.vlen_bits = parse_u64(val, label);
+    } else if (key == "mode") {
+      if (val == "event") {
+        cfg.timing_mode = TimingMode::kEventDriven;
+      } else if (val == "cycle") {
+        cfg.timing_mode = TimingMode::kCycleStepped;
+      } else {
+        fail("mode must be 'event' or 'cycle' in '" + label + "'");
+      }
+    } else {
+      fail("unknown config knob '" + key + "' in '" + label + "'");
+    }
+  }
+  cfg.validate();
+  return ConfigPoint{label, cfg};
+}
+
+}  // namespace araxl::driver

@@ -1,0 +1,37 @@
+// Textual sweep-axis specs, shared by the araxl CLI and tests.
+//
+// Config grammar (colon-separated, label = the spec string itself):
+//   araxl:<lanes>              e.g. araxl:64   (paper 4-lane clusters)
+//   araxl:<clusters>x<lpc>     e.g. araxl:8x8  (shape exploration)
+//   ara2:<lanes>               e.g. ara2:8     (lumped baseline)
+// followed by optional knob suffixes:
+//   :glsu=<n> :reqi=<n> :ring=<n>   interface register cuts (Fig. 5/7)
+//   :l2=<cycles>                    L2 latency
+//   :vlen=<bits>                    explicit register length
+//   :mode=cycle|event               timing kernel selection
+// e.g. "araxl:64:glsu=4" is the Fig. 7a variant.
+#ifndef ARAXL_DRIVER_SPEC_HPP
+#define ARAXL_DRIVER_SPEC_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "driver/job.hpp"
+
+namespace araxl::driver {
+
+/// Parses one config spec; throws ContractViolation with the offending
+/// spec on any syntax or validation error.
+[[nodiscard]] ConfigPoint parse_config_spec(std::string_view spec);
+
+/// Splits "a,b,c" (empty pieces rejected).
+[[nodiscard]] std::vector<std::string> split_list(std::string_view csv);
+
+/// Parses "64,128,256" into integers; throws on junk.
+[[nodiscard]] std::vector<std::uint64_t> parse_u64_list(std::string_view csv);
+
+}  // namespace araxl::driver
+
+#endif  // ARAXL_DRIVER_SPEC_HPP

@@ -13,6 +13,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "machine/machine.hpp"
 
 namespace araxl {
@@ -52,6 +53,22 @@ class Kernel {
 
   /// Verification tolerance (relative); exact-dataflow kernels use 0.
   [[nodiscard]] virtual double tolerance() const { return 1e-12; }
+
+  /// Re-seeds input generation for the next build(). Base 0 (the default)
+  /// keeps each kernel's legacy fixed inputs; the parallel driver gives
+  /// every job its own base so no two jobs share an input stream.
+  void seed_inputs(std::uint64_t base) noexcept { seed_base_ = base; }
+
+ protected:
+  /// Seed for one input buffer. `tag` is the kernel's legacy per-buffer
+  /// constant; under a non-zero base each (base, tag) pair forks its own
+  /// independent stream.
+  [[nodiscard]] std::uint64_t input_seed(std::uint64_t tag) const noexcept {
+    return seed_base_ == 0 ? tag : Rng(seed_base_).fork(tag).next_u64();
+  }
+
+ private:
+  std::uint64_t seed_base_ = 0;
 };
 
 /// All six Table-I kernels in paper order.

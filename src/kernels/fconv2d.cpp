@@ -30,8 +30,8 @@ class Fconv2dKernel final : public Kernel {
     n_ = elems_for_bytes_per_lane(cfg, bytes_per_lane);
     in_cols_ = n_ + kF - 1;  // column halo for the valid convolution
 
-    in_ = random_doubles((kRows + kF - 1) * in_cols_, -1.0, 1.0, 0xC0);
-    f_ = random_doubles(kF * kF, -0.5, 0.5, 0xF1);
+    in_ = random_doubles((kRows + kF - 1) * in_cols_, -1.0, 1.0, input_seed(0xC0));
+    f_ = random_doubles(kF * kF, -0.5, 0.5, input_seed(0xF1));
 
     MemLayout layout;
     in_addr_ = layout.alloc(in_.size() * 8);

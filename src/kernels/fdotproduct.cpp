@@ -23,8 +23,8 @@ class FdotproductKernel final : public Kernel {
     const MachineConfig& cfg = m.config();
     n_ = elems_for_bytes_per_lane(cfg, bytes_per_lane);
 
-    a_ = random_doubles(n_, -1.0, 1.0, 0xD0);
-    b_ = random_doubles(n_, -1.0, 1.0, 0xD1);
+    a_ = random_doubles(n_, -1.0, 1.0, input_seed(0xD0));
+    b_ = random_doubles(n_, -1.0, 1.0, input_seed(0xD1));
 
     MemLayout layout;
     a_addr_ = layout.alloc(n_ * 8);

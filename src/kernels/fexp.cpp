@@ -74,7 +74,7 @@ class FexpKernel final : public Kernel {
   Program build(Machine& m, std::uint64_t bytes_per_lane) override {
     const MachineConfig& cfg = m.config();
     n_ = elems_for_bytes_per_lane(cfg, bytes_per_lane);
-    x_ = random_doubles(n_, -30.0, 30.0, 0xE0);
+    x_ = random_doubles(n_, -30.0, 30.0, input_seed(0xE0));
 
     MemLayout layout;
     x_addr_ = layout.alloc(n_ * 8);

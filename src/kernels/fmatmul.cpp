@@ -34,8 +34,8 @@ class FmatmulKernel final : public Kernel {
     const unsigned g = ml.group_regs();
     const unsigned rb = g >= 4 ? 4 : 8;  // row block sized to the register budget
 
-    a_ = random_doubles(kM * kK, -1.0, 1.0, 0xA);
-    b_ = random_doubles(kK * n_, -1.0, 1.0, 0xB);
+    a_ = random_doubles(kM * kK, -1.0, 1.0, input_seed(0xA));
+    b_ = random_doubles(kK * n_, -1.0, 1.0, input_seed(0xB));
 
     MemLayout layout;
     a_addr_ = layout.alloc(a_.size() * 8);

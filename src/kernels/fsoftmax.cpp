@@ -33,7 +33,7 @@ class FsoftmaxKernel final : public Kernel {
   Program build(Machine& m, std::uint64_t bytes_per_lane) override {
     const MachineConfig& cfg = m.config();
     n_ = elems_for_bytes_per_lane(cfg, bytes_per_lane);
-    x_ = random_doubles(std::uint64_t{kRows} * n_, -8.0, 8.0, 0x50);
+    x_ = random_doubles(std::uint64_t{kRows} * n_, -8.0, 8.0, input_seed(0x50));
 
     MemLayout layout;
     x_addr_ = layout.alloc(x_.size() * 8);

@@ -27,7 +27,7 @@ class Jacobi2dKernel final : public Kernel {
     n_ = elems_for_bytes_per_lane(cfg, bytes_per_lane);
     in_cols_ = n_ + 2;  // one halo column on each side
 
-    in_ = random_doubles((kRows + 2) * in_cols_, -1.0, 1.0, 0x1A);
+    in_ = random_doubles((kRows + 2) * in_cols_, -1.0, 1.0, input_seed(0x1A));
 
     MemLayout layout;
     in_addr_ = layout.alloc(in_.size() * 8);

@@ -34,7 +34,7 @@ class SpmvKernel final : public Kernel {
     const std::uint64_t avg_nnz = std::max<std::uint64_t>(8, cols_ / 16);
 
     // Random CSR structure (sorted unique columns per row).
-    Rng rng(0x5B);
+    Rng rng(input_seed(0x5B));
     row_ptr_.assign(rows_ + 1, 0);
     cols_idx_.clear();
     vals_.clear();
@@ -48,7 +48,7 @@ class SpmvKernel final : public Kernel {
       }
       row_ptr_[r + 1] = cols_idx_.size();
     }
-    x_ = random_doubles(cols_, -1.0, 1.0, 0x5C);
+    x_ = random_doubles(cols_, -1.0, 1.0, input_seed(0x5C));
 
     MemLayout layout;
     vals_addr_ = layout.alloc(vals_.size() * 8);

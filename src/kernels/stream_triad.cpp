@@ -21,8 +21,8 @@ class StreamTriadKernel final : public Kernel {
   Program build(Machine& m, std::uint64_t bytes_per_lane) override {
     const MachineConfig& cfg = m.config();
     n_ = elems_for_bytes_per_lane(cfg, bytes_per_lane);
-    b_ = random_doubles(n_, -1.0, 1.0, 0x71);
-    c_ = random_doubles(n_, -1.0, 1.0, 0x72);
+    b_ = random_doubles(n_, -1.0, 1.0, input_seed(0x71));
+    c_ = random_doubles(n_, -1.0, 1.0, input_seed(0x72));
 
     MemLayout layout;
     a_addr_ = layout.alloc(n_ * 8);

@@ -1,33 +1,63 @@
 #include "mem/main_memory.hpp"
 
-#include <algorithm>
+#include <cstring>
+#include <new>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define ARAXL_MEM_HAVE_MMAP 1
+#include <sys/mman.h>
+#else
+#define ARAXL_MEM_HAVE_MMAP 0
+#endif
 
 namespace araxl {
 
-MainMemory::MainMemory(std::uint64_t size_bytes) : bytes_(size_bytes, 0) {
+MainMemory::MainMemory(std::uint64_t size_bytes) : size_(size_bytes) {
   check(size_bytes > 0, "memory size must be positive");
+#if ARAXL_MEM_HAVE_MMAP
+  // Anonymous private mappings are zero-filled on first touch, so a fresh
+  // Machine pays only for the pages its workload actually uses.
+  void* p = ::mmap(nullptr, size_bytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p != MAP_FAILED) {
+    data_ = static_cast<std::uint8_t*>(p);
+    mapped_ = true;
+    return;
+  }
+#endif
+  data_ = new std::uint8_t[size_bytes]();
+}
+
+MainMemory::~MainMemory() {
+#if ARAXL_MEM_HAVE_MMAP
+  if (mapped_) {
+    ::munmap(data_, size_);
+    return;
+  }
+#endif
+  delete[] data_;
 }
 
 void MainMemory::read(std::uint64_t addr, std::span<std::uint8_t> out) const {
   bounds(addr, out.size());
-  std::memcpy(out.data(), bytes_.data() + addr, out.size());
+  std::memcpy(out.data(), data_ + addr, out.size());
 }
 
 void MainMemory::write(std::uint64_t addr, std::span<const std::uint8_t> in) {
   bounds(addr, in.size());
-  std::memcpy(bytes_.data() + addr, in.data(), in.size());
+  std::memcpy(data_ + addr, in.data(), in.size());
 }
 
 void MainMemory::store_doubles(std::uint64_t addr, std::span<const double> values) {
   bounds(addr, values.size() * sizeof(double));
-  std::memcpy(bytes_.data() + addr, values.data(), values.size() * sizeof(double));
+  std::memcpy(data_ + addr, values.data(), values.size() * sizeof(double));
 }
 
 std::vector<double> MainMemory::load_doubles(std::uint64_t addr,
                                              std::size_t count) const {
   bounds(addr, count * sizeof(double));
   std::vector<double> out(count);
-  std::memcpy(out.data(), bytes_.data() + addr, count * sizeof(double));
+  std::memcpy(out.data(), data_ + addr, count * sizeof(double));
   return out;
 }
 

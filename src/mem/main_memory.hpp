@@ -16,13 +16,23 @@ namespace araxl {
 
 /// Byte-addressable main memory (the paper assumes an L2 of at least
 /// 16 MiB to fit the benchmarks; we default to 64 MiB).
+///
+/// Backed by an anonymous mmap where available: pages are zero-on-demand,
+/// so constructing a Machine costs O(pages actually touched), not O(64 MiB)
+/// — this is what keeps per-job setup cheap when the sweep driver spins up
+/// hundreds of short-lived Machines across worker threads.
 class MainMemory {
  public:
   static constexpr std::uint64_t kDefaultSize = 64ull << 20;
 
   explicit MainMemory(std::uint64_t size_bytes = kDefaultSize);
+  ~MainMemory();
 
-  [[nodiscard]] std::uint64_t size() const noexcept { return bytes_.size(); }
+  // Referenced by the functional engine for the Machine's lifetime.
+  MainMemory(const MainMemory&) = delete;
+  MainMemory& operator=(const MainMemory&) = delete;
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
 
   void read(std::uint64_t addr, std::span<std::uint8_t> out) const;
   void write(std::uint64_t addr, std::span<const std::uint8_t> in);
@@ -33,7 +43,7 @@ class MainMemory {
     static_assert(std::is_trivially_copyable_v<T>);
     bounds(addr, sizeof(T));
     T v;
-    std::memcpy(&v, bytes_.data() + addr, sizeof(T));
+    std::memcpy(&v, data_ + addr, sizeof(T));
     return v;
   }
 
@@ -41,18 +51,18 @@ class MainMemory {
   void store(std::uint64_t addr, T v) {
     static_assert(std::is_trivially_copyable_v<T>);
     bounds(addr, sizeof(T));
-    std::memcpy(bytes_.data() + addr, &v, sizeof(T));
+    std::memcpy(data_ + addr, &v, sizeof(T));
   }
 
   /// Bounds-checked raw window (single check for a whole bulk transfer).
   [[nodiscard]] const std::uint8_t* raw(std::uint64_t addr,
                                         std::uint64_t len) const {
     bounds(addr, len);
-    return bytes_.data() + addr;
+    return data_ + addr;
   }
   [[nodiscard]] std::uint8_t* raw(std::uint64_t addr, std::uint64_t len) {
     bounds(addr, len);
-    return bytes_.data() + addr;
+    return data_ + addr;
   }
 
   /// Bulk helpers for workload setup/verification.
@@ -60,15 +70,17 @@ class MainMemory {
   [[nodiscard]] std::vector<double> load_doubles(std::uint64_t addr,
                                                  std::size_t count) const;
 
-  void fill(std::uint8_t value) { std::fill(bytes_.begin(), bytes_.end(), value); }
+  void fill(std::uint8_t value) { std::memset(data_, value, size_); }
 
  private:
   void bounds(std::uint64_t addr, std::uint64_t len) const {
-    check(addr + len <= bytes_.size() && addr + len >= addr,
+    check(addr + len <= size_ && addr + len >= addr,
           "memory access out of bounds");
   }
 
-  std::vector<std::uint8_t> bytes_;
+  std::uint64_t size_ = 0;
+  std::uint8_t* data_ = nullptr;
+  bool mapped_ = false;  ///< data_ came from mmap, not new[]
 };
 
 }  // namespace araxl

@@ -13,6 +13,9 @@
 #include <memory>
 
 #include "common/rng.hpp"
+#include "driver/registry.hpp"
+#include "driver/runner.hpp"
+#include "driver/spec.hpp"
 #include "kernels/common.hpp"
 #include "machine/machine.hpp"
 
@@ -426,6 +429,33 @@ TEST(EngineEquivalence, ManyLiveChainingDepsBitIdentical) {
   const RunStats oracle =
       run_fuzz_with_mode(cfg, TimingMode::kCycleStepped, prog, 1);
   expect_same_stats(ev, oracle, "many live chaining deps");
+}
+
+TEST(EngineEquivalence, DriverSweepRegistryKernelsMatchOracle) {
+  // Differential fuzz at sweep scale: sample topologies and programs via
+  // the driver's kernel registry (every kernel in src/kernels/, including
+  // the extension set the KernelsBitIdenticalStats test does not cover)
+  // with freshly seeded inputs, and let the runner's oracle-check re-run
+  // every driver-generated job under TimingMode::kCycleStepped and demand
+  // bit-identical RunStats.
+  driver::SweepSpec spec;
+  spec.configs = {
+      driver::parse_config_spec("araxl:8"),
+      driver::parse_config_spec("ara2:8"),
+      driver::parse_config_spec("araxl:4x2:vlen=8192"),
+      driver::parse_config_spec("araxl:16:glsu=4:reqi=1:ring=1"),
+  };
+  spec.kernels = driver::KernelRegistry::instance().names();
+  spec.bytes_per_lane = {64};
+  spec.base_seed = 0xA5A5;  // new input streams, not the legacy fixed data
+
+  driver::RunnerOptions opts;
+  opts.workers = 4;
+  opts.check_oracle = true;
+  for (const driver::JobResult& r : driver::run_sweep(spec, opts)) {
+    EXPECT_TRUE(r.ok) << r.job.config_label << "/" << r.job.kernel << ": "
+                      << r.error;
+  }
 }
 
 TEST(EngineEquivalence, TracesBitIdentical) {

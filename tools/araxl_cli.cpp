@@ -1,0 +1,314 @@
+// araxl — the experiment-driver CLI.
+//
+//   araxl list-kernels
+//   araxl run   --kernel fdotproduct --config araxl:64 --bpl 512
+//   araxl sweep --fig6 --workers 8 --json fig6.json --csv fig6.csv
+//   araxl sweep --configs araxl:8,ara2:8 --kernels fdotproduct,exp \
+//               --bpl 64,128 --workers 4 --seed 42
+//
+// Sweeps expand a config grid x kernel list x bytes-per-lane grid into
+// independent jobs and execute them on a worker pool (see src/driver/).
+// Reports are deterministic: the same sweep yields byte-identical JSON/CSV
+// for any worker count. Presets: --fig6 and --fig7 reproduce the paper's
+// scalability and latency-tolerance grids; --smoke is the small CI grid.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/fmt.hpp"
+#include "common/table.hpp"
+#include "driver/registry.hpp"
+#include "driver/report.hpp"
+#include "driver/runner.hpp"
+#include "driver/spec.hpp"
+#include "ppa/freq_model.hpp"
+
+using namespace araxl;
+
+namespace {
+
+int usage(std::FILE* out) {
+  std::fputs(
+      "usage:\n"
+      "  araxl list-kernels\n"
+      "  araxl run   --kernel <name> --config <spec> --bpl <bytes-per-lane>\n"
+      "              [--seed <n>] [--no-verify] [--oracle-check]\n"
+      "  araxl sweep [--configs <spec,spec,...>] [--kernels <k,...>|all|paper]\n"
+      "              [--bpl <n,n,...>] [--fig6 | --fig7 | --smoke]\n"
+      "              [--workers <n>] [--seed <n>] [--json <file|->]\n"
+      "              [--csv <file|->] [--no-verify] [--oracle-check] [--quiet]\n"
+      "\n"
+      "config spec: araxl:<lanes> | araxl:<clusters>x<lanes> | ara2:<lanes>,\n"
+      "  with optional knobs :glsu=N :reqi=N :ring=N :l2=N :vlen=N\n"
+      "  :mode=event|cycle — e.g. araxl:64:glsu=4 is the Fig. 7a variant.\n"
+      "presets:\n"
+      "  --fig6   paper kernels x {8L/16L Ara2, 8..64L AraXL} x {64..512} B/lane\n"
+      "  --fig7   paper kernels x 64L AraXL {baseline,+4 GLSU,+1 REQI,+1 RINGI}\n"
+      "  --smoke  2 configs x 3 kernels x 64 B/lane (CI-sized)\n",
+      out);
+  return out == stderr ? 2 : 0;
+}
+
+struct Args {
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> flags;
+
+  [[nodiscard]] const std::string* get(std::string_view key) const {
+    for (const auto& [k, v] : flags) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] bool has(std::string_view key) const { return get(key) != nullptr; }
+};
+
+// Flags that take a value; everything else is boolean.
+bool flag_takes_value(std::string_view name) {
+  static constexpr std::string_view kValued[] = {
+      "--kernel", "--kernels", "--config", "--configs", "--bpl",
+      "--workers", "--seed",   "--json",   "--csv",
+  };
+  for (const std::string_view v : kValued) {
+    if (name == v) return true;
+  }
+  return false;
+}
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a.rfind("--", 0) != 0) {
+      args.positional.emplace_back(a);
+      continue;
+    }
+    const std::size_t eq = a.find('=');
+    if (eq != std::string_view::npos) {
+      args.flags.emplace_back(std::string(a.substr(0, eq)),
+                              std::string(a.substr(eq + 1)));
+    } else if (flag_takes_value(a)) {
+      check(i + 1 < argc, "flag needs a value: " + std::string(a));
+      args.flags.emplace_back(std::string(a), argv[++i]);
+    } else {
+      args.flags.emplace_back(std::string(a), "");
+    }
+  }
+  return args;
+}
+
+std::uint64_t parse_u64_single(const std::string& v) {
+  const auto list = driver::parse_u64_list(v);
+  check(list.size() == 1, "expected one number, got a list");
+  return list[0];
+}
+
+std::uint64_t flag_u64(const Args& args, std::string_view key,
+                       std::uint64_t fallback) {
+  const std::string* v = args.get(key);
+  return v == nullptr ? fallback : parse_u64_single(*v);
+}
+
+std::vector<std::string> resolve_kernels(const std::string& spec) {
+  const driver::KernelRegistry& reg = driver::KernelRegistry::instance();
+  if (spec == "all") return reg.names();
+  if (spec == "paper") return reg.paper_names();
+  std::vector<std::string> out = driver::split_list(spec);
+  for (const std::string& k : out) (void)reg.at(k);
+  return out;
+}
+
+int cmd_list_kernels() {
+  TextTable table({"kernel", "set", "max DP-FLOP/cycle/lane", "default B/lane"});
+  table.align_right(2);
+  const driver::KernelRegistry& reg = driver::KernelRegistry::instance();
+  for (const std::string& name : reg.names()) {
+    const driver::KernelInfo& info = reg.at(name);
+    std::string grid;
+    for (const std::uint64_t b : info.default_bpl_grid) {
+      if (!grid.empty()) grid += ",";
+      grid += std::to_string(b);
+    }
+    table.add_row({info.name, info.extension ? "extension" : "Table I",
+                   fmt_f(info.max_perf_factor, 1), grid});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+driver::SweepSpec preset_fig6() {
+  driver::SweepSpec spec;
+  for (const char* c : {"ara2:8", "araxl:8", "ara2:16", "araxl:16", "araxl:32",
+                        "araxl:64"}) {
+    spec.configs.push_back(driver::parse_config_spec(c));
+  }
+  spec.kernels = driver::KernelRegistry::instance().paper_names();
+  spec.bytes_per_lane = {64, 128, 256, 512};
+  return spec;
+}
+
+driver::SweepSpec preset_fig7() {
+  driver::SweepSpec spec;
+  for (const char* c : {"araxl:64", "araxl:64:glsu=4", "araxl:64:reqi=1",
+                        "araxl:64:ring=1"}) {
+    spec.configs.push_back(driver::parse_config_spec(c));
+  }
+  spec.kernels = driver::KernelRegistry::instance().paper_names();
+  spec.bytes_per_lane = {128, 256, 512};
+  return spec;
+}
+
+driver::SweepSpec preset_smoke() {
+  driver::SweepSpec spec;
+  spec.configs.push_back(driver::parse_config_spec("araxl:8"));
+  spec.configs.push_back(driver::parse_config_spec("ara2:8"));
+  spec.kernels = {"fdotproduct", "exp", "stream_triad"};
+  spec.bytes_per_lane = {64};
+  return spec;
+}
+
+int run_and_report(const driver::SweepSpec& spec, const Args& args,
+                   bool print_summary) {
+  // A report routed to stdout must stay machine-parseable: keep the
+  // human-readable summary off that stream.
+  for (const char* key : {"--json", "--csv"}) {
+    const std::string* path = args.get(key);
+    if (path != nullptr && *path == "-") print_summary = false;
+  }
+  driver::RunnerOptions opts;
+  opts.workers = static_cast<unsigned>(flag_u64(args, "--workers", 1));
+  opts.verify = !args.has("--no-verify");
+  opts.check_oracle = args.has("--oracle-check");
+  const bool quiet = args.has("--quiet");
+  if (!quiet) {
+    opts.progress = [](const driver::JobResult& r, std::size_t done,
+                       std::size_t total) {
+      std::fprintf(stderr, "[%zu/%zu] %-18s %-12s bpl=%-6llu %s\n", done, total,
+                   r.job.config_label.c_str(), r.job.kernel.c_str(),
+                   static_cast<unsigned long long>(r.job.bytes_per_lane),
+                   r.ok ? "ok" : "FAILED");
+    };
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<driver::JobResult> results = driver::run_sweep(spec, opts);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  if (const std::string* path = args.get("--json")) {
+    driver::write_report(*path, driver::to_json(results));
+  }
+  if (const std::string* path = args.get("--csv")) {
+    driver::write_report(*path, driver::to_csv(results));
+  }
+
+  std::size_t failed = 0;
+  for (const driver::JobResult& r : results) {
+    if (!r.ok) {
+      ++failed;
+      std::fprintf(stderr, "FAILED job %zu (%s %s bpl=%llu): %s\n", r.job.index,
+                   r.job.config_label.c_str(), r.job.kernel.c_str(),
+                   static_cast<unsigned long long>(r.job.bytes_per_lane),
+                   r.error.c_str());
+    }
+  }
+
+  if (print_summary) {
+    TextTable table({"config", "kernel", "B/lane", "cycles", "DP-FLOP/cycle",
+                     "FPU util", "GFLOPS@fmax", "status"});
+    for (std::size_t c = 2; c < 7; ++c) table.align_right(c);
+    const FreqModel freq_model;
+    for (const driver::JobResult& r : results) {
+      if (r.ok) {
+        table.add_row({r.job.config_label, r.job.kernel,
+                       std::to_string(r.job.bytes_per_lane),
+                       fmt_group(r.stats.cycles),
+                       fmt_f(r.stats.flop_per_cycle(), 2),
+                       fmt_pct(r.stats.fpu_util(), 1),
+                       fmt_f(r.stats.gflops(freq_model.freq_ghz(r.job.cfg)), 1),
+                       "ok"});
+      } else {
+        table.add_row({r.job.config_label, r.job.kernel,
+                       std::to_string(r.job.bytes_per_lane), "-", "-", "-", "-",
+                       "FAILED"});
+      }
+    }
+    std::printf("%s", table.render().c_str());
+  }
+  if (!quiet) {
+    std::fprintf(stderr, "%zu jobs, %zu failed, %u worker(s), %.2fs wall\n",
+                 results.size(), failed, opts.workers == 0
+                     ? std::thread::hardware_concurrency()
+                     : opts.workers,
+                 wall_s);
+  }
+  return failed == 0 ? 0 : 1;
+}
+
+int cmd_run(const Args& args) {
+  const std::string* kernel = args.get("--kernel");
+  check(kernel != nullptr, "run needs --kernel");
+  const std::string* config = args.get("--config");
+  driver::SweepSpec spec;
+  spec.configs.push_back(
+      driver::parse_config_spec(config != nullptr ? *config : "araxl:64"));
+  spec.kernels = {*kernel};
+  spec.bytes_per_lane = {flag_u64(args, "--bpl", 512)};
+  spec.base_seed = flag_u64(args, "--seed", 0);
+  return run_and_report(spec, args, /*print_summary=*/true);
+}
+
+int cmd_sweep(const Args& args) {
+  driver::SweepSpec spec;
+  if (args.has("--fig6")) {
+    spec = preset_fig6();
+  } else if (args.has("--fig7")) {
+    spec = preset_fig7();
+  } else if (args.has("--smoke")) {
+    spec = preset_smoke();
+  }
+
+  if (const std::string* configs = args.get("--configs")) {
+    spec.configs.clear();
+    for (const std::string& c : driver::split_list(*configs)) {
+      spec.configs.push_back(driver::parse_config_spec(c));
+    }
+  }
+  if (const std::string* kernels = args.get("--kernels")) {
+    spec.kernels = resolve_kernels(*kernels);
+  }
+  if (const std::string* bpl = args.get("--bpl")) {
+    spec.bytes_per_lane = driver::parse_u64_list(*bpl);
+  }
+  check(!spec.configs.empty(),
+        "sweep needs --configs (or a preset: --fig6/--fig7/--smoke)");
+  if (spec.kernels.empty()) {
+    spec.kernels = driver::KernelRegistry::instance().paper_names();
+  }
+  if (spec.bytes_per_lane.empty()) spec.bytes_per_lane = {64, 128, 256, 512};
+  spec.base_seed = flag_u64(args, "--seed", 0);
+  return run_and_report(spec, args, !args.has("--quiet"));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse_args(argc, argv);
+    if (args.positional.empty() || args.has("--help")) {
+      return usage(args.has("--help") ? stdout : stderr);
+    }
+    const std::string& cmd = args.positional[0];
+    if (cmd == "list-kernels") return cmd_list_kernels();
+    if (cmd == "run") return cmd_run(args);
+    if (cmd == "sweep") return cmd_sweep(args);
+    std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+    return usage(stderr);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "araxl: %s\n", e.what());
+    return 2;
+  }
+}
