@@ -38,4 +38,17 @@ std::vector<Job> expand(const SweepSpec& spec) {
   return jobs;
 }
 
+std::vector<Job> filter_shard(std::vector<Job> jobs, ShardSpec shard) {
+  check(shard.count >= 1, "shard count must be at least 1");
+  check(shard.index >= 1 && shard.index <= shard.count,
+        "shard index must be in 1..count");
+  if (shard.count == 1) return jobs;
+  std::vector<Job> mine;
+  mine.reserve(jobs.size() / shard.count + 1);
+  for (Job& job : jobs) {
+    if (job.index % shard.count == shard.index - 1) mine.push_back(std::move(job));
+  }
+  return mine;
+}
+
 }  // namespace araxl::driver

@@ -57,6 +57,18 @@ struct Job {
 /// an empty axis.
 std::vector<Job> expand(const SweepSpec& spec);
 
+/// One slice of a sweep distributed over `count` executors ("--shard i/N",
+/// 1-based). The identity slice is {1, 1}.
+struct ShardSpec {
+  unsigned index = 1;
+  unsigned count = 1;
+};
+
+/// Deterministically selects this shard's jobs: job i belongs to shard
+/// (i mod count) + 1. Global job indices (and therefore seeds and report
+/// records) are untouched, so shard reports merge back byte-identically.
+std::vector<Job> filter_shard(std::vector<Job> jobs, ShardSpec shard);
+
 }  // namespace araxl::driver
 
 #endif  // ARAXL_DRIVER_JOB_HPP

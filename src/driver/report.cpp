@@ -8,38 +8,18 @@
 #include "ppa/area_model.hpp"
 #include "ppa/freq_model.hpp"
 #include "ppa/power_model.hpp"
+#include "store/json.hpp"
 
 namespace araxl::driver {
 
 namespace {
 
-// Shortest round-trippable decimal form: deterministic for a given double,
-// exact on re-parse.
-std::string fnum(double v) { return strprintf("%.17g", v); }
-
-std::string unum(std::uint64_t v) {
-  return strprintf("%llu", static_cast<unsigned long long>(v));
-}
-
-std::string json_escape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += strprintf("\\u%04x", c);
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+// Serialization helpers shared with the result store (store/json.hpp):
+// the warm-replay byte-identity contract allows no drift between the
+// reporters and the store.
+using store::json_escape;
+std::string fnum(double v) { return store::json_double(v); }
+std::string unum(std::uint64_t v) { return store::json_u64(v); }
 
 std::string_view kind_name(MachineKind k) {
   return k == MachineKind::kAraXL ? "araxl" : "ara2";
@@ -112,12 +92,14 @@ std::string stats_json(const RunStats& s) {
   return out;
 }
 
-std::string result_json(const JobResult& r) {
+std::string result_json(const JobResult& r, const ReportOptions& opts) {
   std::string out = "{";
   out += "\"index\":" + unum(r.job.index) + ",";
   out += "\"kernel\":\"" + json_escape(r.job.kernel) + "\",";
   out += "\"bytes_per_lane\":" + unum(r.job.bytes_per_lane) + ",";
   out += "\"seed\":" + unum(r.job.seed) + ",";
+  out += std::string("\"cache_hit\":") +
+         (opts.live_cache_flags && r.cache_hit ? "true" : "false") + ",";
   out += "\"config\":" + config_json(r.job) + ",";
   out += std::string("\"ok\":") + (r.ok ? "true" : "false") + ",";
   if (!r.ok) {
@@ -149,10 +131,11 @@ std::string result_json(const JobResult& r) {
 
 }  // namespace
 
-std::string to_json(const std::vector<JobResult>& results) {
+std::string to_json(const std::vector<JobResult>& results,
+                    const ReportOptions& opts) {
   std::string out = "{\"results\":[\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
-    out += result_json(results[i]);
+    out += result_json(results[i], opts);
     if (i + 1 != results.size()) out += ",";
     out += "\n";
   }
@@ -160,9 +143,11 @@ std::string to_json(const std::vector<JobResult>& results) {
   return out;
 }
 
-std::string to_csv(const std::vector<JobResult>& results) {
+std::string to_csv(const std::vector<JobResult>& results,
+                   const ReportOptions& opts) {
   std::string out =
-      "index,config,kernel,bytes_per_lane,seed,kind,clusters,lanes_per_cluster,"
+      "index,config,kernel,bytes_per_lane,seed,cache_hit,kind,clusters,"
+      "lanes_per_cluster,"
       "total_lanes,vlen_bits,ok,cycles,flops,fpu_util,flop_per_cycle,"
       "freq_ghz,area_mm2,power_w,gflops,gflops_per_w,max_rel_err,error\n";
   for (const JobResult& r : results) {
@@ -172,6 +157,7 @@ std::string to_csv(const std::vector<JobResult>& results) {
     out += r.job.kernel + ",";
     out += unum(r.job.bytes_per_lane) + ",";
     out += unum(r.job.seed) + ",";
+    out += (opts.live_cache_flags && r.cache_hit) ? "1," : "0,";
     out += std::string(kind_name(c.kind)) + ",";
     out += unum(c.topo.clusters) + ",";
     out += unum(c.topo.lanes) + ",";

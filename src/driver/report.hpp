@@ -17,11 +17,22 @@
 
 namespace araxl::driver {
 
+/// Reporter knobs. Both formats carry a `cache_hit` provenance column
+/// (simulated vs replayed-from-store); by default it is zeroed so a warm
+/// rerun or a merged shard set stays byte-identical to the cold unsharded
+/// report (the `cmp`-based determinism contract). `live_cache_flags`
+/// reports the real per-job values instead.
+struct ReportOptions {
+  bool live_cache_flags = false;
+};
+
 /// Whole-sweep JSON document: {"results": [...]} ordered by job index.
-[[nodiscard]] std::string to_json(const std::vector<JobResult>& results);
+[[nodiscard]] std::string to_json(const std::vector<JobResult>& results,
+                                  const ReportOptions& opts = {});
 
 /// One CSV header line plus one row per job, ordered by job index.
-[[nodiscard]] std::string to_csv(const std::vector<JobResult>& results);
+[[nodiscard]] std::string to_csv(const std::vector<JobResult>& results,
+                                 const ReportOptions& opts = {});
 
 /// Writes `content` to `path` ("-" means stdout); throws ContractViolation
 /// when the file cannot be opened.

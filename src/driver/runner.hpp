@@ -17,6 +17,7 @@
 #include "driver/job.hpp"
 #include "kernels/common.hpp"
 #include "sim/stats.hpp"
+#include "store/result_store.hpp"
 
 namespace araxl::driver {
 
@@ -28,7 +29,8 @@ struct JobResult {
   RunStats stats;
   VerifyResult verify;
   double tolerance = 0.0;
-  bool verified = false;  ///< verification was requested and ran
+  bool verified = false;   ///< verification was requested and ran
+  bool cache_hit = false;  ///< replayed from the result store, not simulated
   std::string error;
 };
 
@@ -41,6 +43,18 @@ struct RunnerOptions {
   /// and fail the job unless RunStats match the event-driven run bit for
   /// bit (the EngineEquivalence contract, driven at sweep scale).
   bool check_oracle = false;
+  /// Persistent result store; nullptr disables caching entirely. With a
+  /// store, each job first looks up its fingerprint and replays a hit
+  /// instead of simulating; every simulated success is put() + flush()ed,
+  /// so an interrupted sweep resumes where it stopped.
+  store::ResultStore* store = nullptr;
+  /// Consult the store before simulating (false = write-only caching).
+  bool use_cache = true;
+  /// Recompute every job and overwrite its store entry even on a hit.
+  bool refresh = false;
+  /// Cache salt; empty selects store::build_version(). Tests override it
+  /// to model results written by a different build.
+  std::string cache_salt;
   /// Progress callback; invoked serially (under an internal lock) as jobs
   /// finish, with the number completed so far.
   std::function<void(const JobResult&, std::size_t done, std::size_t total)>

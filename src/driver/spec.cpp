@@ -107,4 +107,16 @@ ConfigPoint parse_config_spec(std::string_view spec) {
   return ConfigPoint{label, cfg};
 }
 
+ShardSpec parse_shard_spec(std::string_view spec) {
+  const std::size_t slash = spec.find('/');
+  check(slash != std::string_view::npos && slash > 0 && slash + 1 < spec.size(),
+        "shard spec must be i/N (e.g. 2/4): '" + std::string(spec) + "'");
+  ShardSpec shard;
+  shard.index = static_cast<unsigned>(parse_u64(spec.substr(0, slash), "shard"));
+  shard.count = static_cast<unsigned>(parse_u64(spec.substr(slash + 1), "shard"));
+  check(shard.count >= 1 && shard.index >= 1 && shard.index <= shard.count,
+        "shard index must be in 1..count: '" + std::string(spec) + "'");
+  return shard;
+}
+
 }  // namespace araxl::driver

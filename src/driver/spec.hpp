@@ -32,6 +32,9 @@ namespace araxl::driver {
 /// Parses "64,128,256" into integers; throws on junk.
 [[nodiscard]] std::vector<std::uint64_t> parse_u64_list(std::string_view csv);
 
+/// Parses a "--shard i/N" spec ("2/4"); throws on junk or i outside 1..N.
+[[nodiscard]] ShardSpec parse_shard_spec(std::string_view spec);
+
 }  // namespace araxl::driver
 
 #endif  // ARAXL_DRIVER_SPEC_HPP

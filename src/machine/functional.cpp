@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <vector>
 
 #include "common/contracts.hpp"
@@ -187,6 +188,10 @@ void FunctionalEngine::exec_memory(const VInstr& in) {
     }
     return;
   }
+  if ((in.op == Op::kVlse || in.op == Op::kVsse) && !in.masked &&
+      exec_memory_bulk_strided(in)) {
+    return;
+  }
   const auto elem_addr = [&](std::uint64_t i) -> std::uint64_t {
     switch (in.op) {
       case Op::kVle:
@@ -226,6 +231,57 @@ void FunctionalEngine::exec_memory(const VInstr& in) {
       }
     }
   }
+}
+
+bool FunctionalEngine::exec_memory_bulk_strided(const VInstr& in) {
+  const unsigned ew = ew_bytes();
+  const std::int64_t stride = in.stride;
+  // Address math must agree with the per-element path (signed stride on an
+  // unsigned base). Widen to 128 bits so huge strides cannot wrap; any
+  // transfer that leaves [0, mem) falls back to the per-element loop,
+  // which reports the out-of-bounds element exactly as before.
+  if (in.addr > mem_.size()) return false;
+  const __int128 first_a = static_cast<__int128>(in.addr);
+  const __int128 last_a =
+      first_a + static_cast<__int128>(vl_ - 1) * static_cast<__int128>(stride);
+  const __int128 lo = stride < 0 ? last_a : first_a;
+  const __int128 hi = (stride < 0 ? first_a : last_a) + ew;
+  if (lo < 0 || hi > static_cast<__int128>(mem_.size())) return false;
+
+  const std::uint64_t umin = static_cast<std::uint64_t>(lo);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi) - umin;
+  const bool is_load = in.op == Op::kVlse;
+  buf_mem_.resize(vl_ * ew);
+  std::uint8_t* buf = buf_mem_.data();
+
+  // Fixed-width copies so the compiler lowers each to a plain load/store.
+  const auto stream = [&]<unsigned kW>() {
+    if (is_load) {
+      const std::uint8_t* first = mem_.raw(umin, span) + (in.addr - umin);
+      for (std::uint64_t i = 0; i < vl_; ++i) {
+        std::memcpy(buf + i * kW, first + static_cast<std::int64_t>(i) * stride,
+                    kW);
+      }
+      vrf_.write_stream(in.vd, vl_, kW, buf);
+    } else {
+      // Ascending element order keeps the architectural overlap semantics
+      // (stride 0 or |stride| < ew: the later element wins).
+      vrf_.read_stream(in.vd, vl_, kW, buf);
+      std::uint8_t* first = mem_.raw(umin, span) + (in.addr - umin);
+      for (std::uint64_t i = 0; i < vl_; ++i) {
+        std::memcpy(first + static_cast<std::int64_t>(i) * stride, buf + i * kW,
+                    kW);
+      }
+    }
+  };
+  switch (ew) {
+    case 1: stream.template operator()<1>(); break;
+    case 2: stream.template operator()<2>(); break;
+    case 4: stream.template operator()<4>(); break;
+    case 8: stream.template operator()<8>(); break;
+    default: return false;
+  }
+  return true;
 }
 
 bool FunctionalEngine::exec_fp_bulk64(const VInstr& in) {

@@ -46,6 +46,11 @@ class FunctionalEngine {
   }
 
   void exec_memory(const VInstr& in);
+  /// Bulk unmasked constant-stride path (vlse/vsse): one bounds check for
+  /// the whole transfer, a tight fixed-width gather/scatter loop through
+  /// scratch, and a single VRF stream. Returns false when the shape needs
+  /// the per-element fallback.
+  bool exec_memory_bulk_strided(const VInstr& in);
   void exec_fp(const VInstr& in);
   /// Bulk SEW=64 unmasked FP path: operands streamed into contiguous
   /// scratch, one tight loop per opcode, result streamed back. Returns
@@ -71,6 +76,8 @@ class FunctionalEngine {
   std::vector<double> buf_s2_;
   std::vector<double> buf_s1_;
   std::vector<double> buf_d_;
+  // Scratch for the bulk strided memory path.
+  std::vector<std::uint8_t> buf_mem_;
 };
 
 }  // namespace araxl

@@ -1,0 +1,32 @@
+// Shard-report merging.
+//
+// `araxl sweep --shard i/N` runs a deterministic slice of the expanded job
+// list and emits a partial report whose records keep their *global* job
+// indices. These functions combine any complete set of such partial
+// reports back into one document that is byte-identical to the report of
+// the unsharded run: record text is preserved verbatim (never re-parsed
+// and re-serialized, so float formatting cannot drift) and only reordered
+// by job index inside the standard framing.
+#ifndef ARAXL_STORE_MERGE_HPP
+#define ARAXL_STORE_MERGE_HPP
+
+#include <string>
+#include <vector>
+
+namespace araxl::store {
+
+/// Merges driver JSON reports ({"results":[...]} as written by
+/// driver::to_json). Throws ContractViolation on malformed framing,
+/// duplicate job indices, or gaps (an incomplete shard set cannot
+/// reproduce the unsharded report).
+[[nodiscard]] std::string merge_json_reports(
+    const std::vector<std::string>& docs);
+
+/// Merges driver CSV reports (header + one row per job). All inputs must
+/// share the same header; same duplicate/gap rules as the JSON merge.
+[[nodiscard]] std::string merge_csv_reports(
+    const std::vector<std::string>& docs);
+
+}  // namespace araxl::store
+
+#endif  // ARAXL_STORE_MERGE_HPP

@@ -1,0 +1,25 @@
+#include "store/version.hpp"
+
+// cmake/gitrev.cmake regenerates this header on every build (touching it
+// only when the revision or dirty-diff hash changes), so one translation
+// unit recompiles when — and only when — the fingerprint moves. Builds
+// outside CMake (or outside a git checkout) fall back to "unknown".
+#if defined(__has_include)
+#if __has_include("araxl_git_revision.h")
+#include "araxl_git_revision.h"
+#endif
+#endif
+#ifndef ARAXL_GIT_REVISION
+#define ARAXL_GIT_REVISION "unknown"
+#endif
+
+namespace araxl::store {
+
+std::string_view git_revision() { return ARAXL_GIT_REVISION; }
+
+std::string build_version() {
+  return std::string(git_revision()) + "+schema" +
+         std::to_string(kConfigSchemaVersion);
+}
+
+}  // namespace araxl::store

@@ -1,0 +1,30 @@
+// Build/version fingerprint.
+//
+// The result store must never serve a result computed by different code:
+// every cached entry is salted with this build version, so a new git
+// revision (or a bump of the config schema below) silently invalidates the
+// whole cache instead of replaying stale numbers.
+#ifndef ARAXL_STORE_VERSION_HPP
+#define ARAXL_STORE_VERSION_HPP
+
+#include <string>
+#include <string_view>
+
+namespace araxl::store {
+
+/// Version of the canonical MachineConfig serialization
+/// (store/fingerprint.cpp). Bump whenever a field is added, removed, or
+/// reinterpreted — old cache entries then stop matching by construction.
+inline constexpr unsigned kConfigSchemaVersion = 1;
+
+/// Git revision baked in at configure time (CMake passes ARAXL_GIT_REVISION
+/// to this translation unit); "unknown" in builds outside a git checkout.
+[[nodiscard]] std::string_view git_revision();
+
+/// The cache salt: "<git revision>+schema<N>". Also what `araxl --version`
+/// prints.
+[[nodiscard]] std::string build_version();
+
+}  // namespace araxl::store
+
+#endif  // ARAXL_STORE_VERSION_HPP

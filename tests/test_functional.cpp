@@ -5,9 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <functional>
 #include <limits>
+#include <memory>
 
+#include "common/contracts.hpp"
 #include "common/rng.hpp"
 #include "kernels/common.hpp"  // random_doubles
 #include "machine/machine.hpp"
@@ -476,6 +479,101 @@ TEST(Memory, NegativeStride) {
   for (std::uint64_t i = 0; i < vl; ++i) {
     EXPECT_DOUBLE_EQ(m.vrf().read_f64(8, i), a[vl - 1 - i]) << i;
   }
+}
+
+TEST(Memory, StrideZeroLoadBroadcastsAndStoreLastWins) {
+  // stride 0 is legal RVV: every element reads (or writes) the same
+  // address. The bulk strided path must preserve the ascending-element
+  // order so the *last* element wins the store.
+  Machine m = small_machine();
+  const std::uint64_t vl = 40;
+  ProgramBuilder pb(m.config().effective_vlen(), "stride0");
+  pb.vsetvli(vl, Sew::k64, kLmul1);
+  pb.vlse(8, kA, 0);
+  pb.vsse(12, kC, 0);
+  const Program prog = pb.take();
+  m.mem().store<double>(kA, 2.5);
+  fill_vreg(m, 12, rnd(vl, 21));
+  const double last = m.vrf().read_f64(12, vl - 1);
+  m.run(prog);
+  for (std::uint64_t i = 0; i < vl; ++i) {
+    EXPECT_DOUBLE_EQ(m.vrf().read_f64(8, i), 2.5) << i;
+  }
+  EXPECT_DOUBLE_EQ(m.mem().load<double>(kC), last);
+}
+
+TEST(Memory, OverlappingStridedStore) {
+  // |stride| < ew: writes overlap. Ascending order means element i+1
+  // clobbers the top half of element i — replay the same writes through a
+  // scalar reference and compare bytes.
+  Machine m = small_machine();
+  const std::uint64_t vl = 25;
+  const std::int64_t stride = 4;
+  ProgramBuilder pb(m.config().effective_vlen(), "overlap");
+  pb.vsetvli(vl, Sew::k64, kLmul1);
+  pb.vsse(12, kC, stride);
+  const Program prog = pb.take();
+  const auto vals = rnd(vl, 22);
+  fill_vreg(m, 12, vals);
+  m.run(prog);
+
+  std::vector<std::uint8_t> expect(vl * 4 + 8, 0);
+  for (std::uint64_t i = 0; i < vl; ++i) {
+    std::memcpy(expect.data() + i * 4, &vals[i], 8);
+  }
+  for (std::uint64_t b = 0; b < expect.size(); ++b) {
+    EXPECT_EQ(m.mem().load<std::uint8_t>(kC + b), expect[b]) << b;
+  }
+}
+
+TEST(Memory, BulkStridedMatchesPerElementPath) {
+  // Differential guard for the bulk constant-stride fast path: the same
+  // strided program run masked with an all-true v0 (which takes the
+  // per-element fallback) must leave identical architectural state.
+  const std::uint64_t vl = 60;
+  const std::int64_t stride = 24;
+  const auto build = [&](bool masked) {
+    ProgramBuilder pb(MachineConfig::araxl(8).effective_vlen(), "diff");
+    pb.vsetvli(vl, Sew::k64, kLmul1);
+    pb.vlse(8, kA + (vl - 1) * 8, -8);  // descending load
+    pb.vsse(8, kC, stride);
+    Program prog = pb.take();
+    if (masked) {
+      for (ProgOp& op : prog.ops) {
+        if (auto* in = std::get_if<VInstr>(&op)) {
+          if (in->op == Op::kVlse || in->op == Op::kVsse) in->masked = true;
+        }
+      }
+    }
+    return prog;
+  };
+
+  const auto run = [&](bool masked) {
+    auto m = std::make_unique<Machine>(MachineConfig::araxl(8));
+    m->mem().store_doubles(kA, rnd(vl, 23));
+    for (std::uint64_t i = 0; i < vl; ++i) m->vrf().set_mask_bit(0, i, true);
+    m->run(build(masked));
+    std::vector<double> out = m->vrf().read_f64_slice(8, vl);
+    for (std::uint64_t i = 0; i < vl; ++i) {
+      out.push_back(m->mem().load<double>(kC + static_cast<std::uint64_t>(
+                                                   static_cast<std::int64_t>(i) *
+                                                   stride)));
+    }
+    return out;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(Memory, StridedOutOfBoundsIsRejected) {
+  // A stride that escapes memory must fail the same way the per-element
+  // path always has (the bulk path falls back rather than mapping a bad
+  // window).
+  Machine m = small_machine();
+  ProgramBuilder pb(m.config().effective_vlen(), "oob");
+  pb.vsetvli(16, Sew::k64, kLmul1);
+  pb.vlse(8, kA, static_cast<std::int64_t>(m.mem().size() / 4));
+  const Program prog = pb.take();
+  EXPECT_THROW(m.run(prog), ContractViolation);
 }
 
 TEST(Memory, IndexedGatherScatter) {

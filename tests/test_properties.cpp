@@ -49,7 +49,7 @@ Program random_program(std::uint64_t vlen_bits, std::uint64_t seed) {
 
   const unsigned ops = 50 + static_cast<unsigned>(rng.next_below(50));
   for (unsigned i = 0; i < ops; ++i) {
-    switch (rng.next_below(24)) {
+    switch (rng.next_below(26)) {
       case 0: pb.vle(reg(), addr()); break;
       case 1: pb.vse(reg(), addr()); break;
       case 2: pb.vfadd_vv(reg(), reg(), reg()); break;
@@ -114,6 +114,17 @@ Program random_program(std::uint64_t vlen_bits, std::uint64_t seed) {
       }
       case 22: pb.vfredmax(30, reg(), 31); break;
       case 23: pb.vfsqrt_v(reg(), reg()); break;
+      case 24: {
+        // Strided store into the upper half of the region (stride 24 x the
+        // largest vl stays in bounds; exercises the bulk scatter path).
+        pb.vsse(reg(), kBase + kRegionBytes / 2 + 8 * rng.next_below(64), 24);
+        break;
+      }
+      case 25: {
+        // Descending strided load ending exactly at the region base.
+        pb.vlse(reg(), kBase + 8 * (vl - 1), -8);
+        break;
+      }
     }
   }
   (void)vl;

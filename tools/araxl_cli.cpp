@@ -3,16 +3,22 @@
 //   araxl list-kernels
 //   araxl run   --kernel fdotproduct --config araxl:64 --bpl 512
 //   araxl sweep --fig6 --workers 8 --json fig6.json --csv fig6.csv
-//   araxl sweep --configs araxl:8,ara2:8 --kernels fdotproduct,exp \
-//               --bpl 64,128 --workers 4 --seed 42
+//   araxl sweep --fig6 --shard 2/4 --json shard2.json      # one of 4 hosts
+//   araxl merge --json fig6.json shard1.json ... shard4.json
+//   araxl cache stats
 //
 // Sweeps expand a config grid x kernel list x bytes-per-lane grid into
 // independent jobs and execute them on a worker pool (see src/driver/).
 // Reports are deterministic: the same sweep yields byte-identical JSON/CSV
-// for any worker count. Presets: --fig6 and --fig7 reproduce the paper's
-// scalability and latency-tolerance grids; --smoke is the small CI grid.
+// for any worker count, shard split, or cache state. Results persist in a
+// JSONL store (src/store/) keyed by (config, kernel, B/lane, seed, build
+// version), so re-running a sweep only simulates missing jobs; `--shard
+// i/N` + `araxl merge` distribute one sweep over many processes/hosts.
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -25,21 +31,32 @@
 #include "driver/runner.hpp"
 #include "driver/spec.hpp"
 #include "ppa/freq_model.hpp"
+#include "store/merge.hpp"
+#include "store/result_store.hpp"
+#include "store/version.hpp"
 
 using namespace araxl;
 
 namespace {
 
+constexpr const char* kDefaultStorePath = "araxl-cache.jsonl";
+
 int usage(std::FILE* out) {
   std::fputs(
       "usage:\n"
+      "  araxl version | --version\n"
       "  araxl list-kernels\n"
       "  araxl run   --kernel <name> --config <spec> --bpl <bytes-per-lane>\n"
       "              [--seed <n>] [--no-verify] [--oracle-check]\n"
       "  araxl sweep [--configs <spec,spec,...>] [--kernels <k,...>|all|paper]\n"
       "              [--bpl <n,n,...>] [--fig6 | --fig7 | --smoke]\n"
-      "              [--workers <n>] [--seed <n>] [--json <file|->]\n"
-      "              [--csv <file|->] [--no-verify] [--oracle-check] [--quiet]\n"
+      "              [--workers <n>] [--seed <n>] [--shard <i/N>]\n"
+      "              [--json <file|->] [--csv <file|->]\n"
+      "              [--store <file>] [--no-cache] [--refresh]\n"
+      "              [--cache-provenance] [--no-verify] [--oracle-check]\n"
+      "              [--quiet]\n"
+      "  araxl merge (--json <out>|--csv <out>) <shard-report>...\n"
+      "  araxl cache (ls | stats | gc) [--store <file>]\n"
       "\n"
       "config spec: araxl:<lanes> | araxl:<clusters>x<lanes> | ara2:<lanes>,\n"
       "  with optional knobs :glsu=N :reqi=N :ring=N :l2=N :vlen=N\n"
@@ -47,7 +64,15 @@ int usage(std::FILE* out) {
       "presets:\n"
       "  --fig6   paper kernels x {8L/16L Ara2, 8..64L AraXL} x {64..512} B/lane\n"
       "  --fig7   paper kernels x 64L AraXL {baseline,+4 GLSU,+1 REQI,+1 RINGI}\n"
-      "  --smoke  2 configs x 3 kernels x 64 B/lane (CI-sized)\n",
+      "  --smoke  2 configs x 3 kernels x 64 B/lane (CI-sized)\n"
+      "caching/sharding:\n"
+      "  Results are cached in a JSONL store (default araxl-cache.jsonl)\n"
+      "  keyed by (config, kernel, B/lane, seed, build version); repeated or\n"
+      "  interrupted sweeps only simulate missing jobs. --no-cache ignores\n"
+      "  the store, --refresh recomputes and overwrites. --shard i/N runs a\n"
+      "  deterministic 1/N slice; `araxl merge` reassembles shard reports\n"
+      "  byte-identically to the unsharded run. --cache-provenance reports\n"
+      "  real cache_hit flags instead of the deterministic zeros.\n",
       out);
   return out == stderr ? 2 : 0;
 }
@@ -69,7 +94,8 @@ struct Args {
 bool flag_takes_value(std::string_view name) {
   static constexpr std::string_view kValued[] = {
       "--kernel", "--kernels", "--config", "--configs", "--bpl",
-      "--workers", "--seed",   "--json",   "--csv",
+      "--workers", "--seed",   "--json",   "--csv",     "--store",
+      "--shard",
   };
   for (const std::string_view v : kValued) {
     if (name == v) return true;
@@ -181,6 +207,14 @@ int run_and_report(const driver::SweepSpec& spec, const Args& args,
   opts.workers = static_cast<unsigned>(flag_u64(args, "--workers", 1));
   opts.verify = !args.has("--no-verify");
   opts.check_oracle = args.has("--oracle-check");
+  opts.refresh = args.has("--refresh");
+  std::unique_ptr<store::ResultStore> result_store;
+  if (!args.has("--no-cache")) {
+    const std::string* path = args.get("--store");
+    result_store = std::make_unique<store::ResultStore>(
+        path != nullptr ? *path : kDefaultStorePath);
+    opts.store = result_store.get();
+  }
   const bool quiet = args.has("--quiet");
   if (!quiet) {
     opts.progress = [](const driver::JobResult& r, std::size_t done,
@@ -188,21 +222,30 @@ int run_and_report(const driver::SweepSpec& spec, const Args& args,
       std::fprintf(stderr, "[%zu/%zu] %-18s %-12s bpl=%-6llu %s\n", done, total,
                    r.job.config_label.c_str(), r.job.kernel.c_str(),
                    static_cast<unsigned long long>(r.job.bytes_per_lane),
-                   r.ok ? "ok" : "FAILED");
+                   r.ok ? (r.cache_hit ? "ok (cached)" : "ok") : "FAILED");
     };
   }
 
+  driver::ShardSpec shard;
+  if (const std::string* s = args.get("--shard")) {
+    shard = driver::parse_shard_spec(*s);
+  }
+  const std::vector<driver::Job> jobs =
+      driver::filter_shard(driver::expand(spec), shard);
+
   const auto t0 = std::chrono::steady_clock::now();
-  const std::vector<driver::JobResult> results = driver::run_sweep(spec, opts);
+  const std::vector<driver::JobResult> results = driver::run_jobs(jobs, opts);
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
+  driver::ReportOptions report_opts;
+  report_opts.live_cache_flags = args.has("--cache-provenance");
   if (const std::string* path = args.get("--json")) {
-    driver::write_report(*path, driver::to_json(results));
+    driver::write_report(*path, driver::to_json(results, report_opts));
   }
   if (const std::string* path = args.get("--csv")) {
-    driver::write_report(*path, driver::to_csv(results));
+    driver::write_report(*path, driver::to_csv(results, report_opts));
   }
 
   std::size_t failed = 0;
@@ -239,13 +282,111 @@ int run_and_report(const driver::SweepSpec& spec, const Args& args,
     std::printf("%s", table.render().c_str());
   }
   if (!quiet) {
-    std::fprintf(stderr, "%zu jobs, %zu failed, %u worker(s), %.2fs wall\n",
-                 results.size(), failed, opts.workers == 0
-                     ? std::thread::hardware_concurrency()
-                     : opts.workers,
-                 wall_s);
+    std::size_t cached = 0;
+    for (const driver::JobResult& r : results) {
+      if (r.cache_hit) ++cached;
+    }
+    std::string shard_note;
+    if (shard.count > 1) {
+      shard_note = strprintf(" [shard %u/%u]", shard.index, shard.count);
+    }
+    std::fprintf(stderr,
+                 "%zu jobs, %zu failed, %zu cached, %zu simulated, "
+                 "%u worker(s), %.2fs wall%s\n",
+                 results.size(), failed, cached, results.size() - cached,
+                 opts.workers == 0 ? std::thread::hardware_concurrency()
+                                   : opts.workers,
+                 wall_s, shard_note.c_str());
   }
   return failed == 0 ? 0 : 1;
+}
+
+int cmd_version() {
+  std::printf("araxl %s (config schema v%u)\n",
+              store::build_version().c_str(), store::kConfigSchemaVersion);
+  return 0;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  check(f.good(), "cannot open report file for reading: " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  check(f.good() || f.eof(), "failed reading report file: " + path);
+  return std::move(ss).str();
+}
+
+int cmd_merge(const Args& args) {
+  const std::string* json_out = args.get("--json");
+  const std::string* csv_out = args.get("--csv");
+  check((json_out != nullptr) != (csv_out != nullptr),
+        "merge needs exactly one of --json <out> or --csv <out>");
+  check(args.positional.size() >= 2,
+        "merge needs at least one input report");
+  std::vector<std::string> docs;
+  docs.reserve(args.positional.size() - 1);
+  for (std::size_t i = 1; i < args.positional.size(); ++i) {
+    docs.push_back(slurp(args.positional[i]));
+  }
+  if (json_out != nullptr) {
+    driver::write_report(*json_out, store::merge_json_reports(docs));
+  } else {
+    driver::write_report(*csv_out, store::merge_csv_reports(docs));
+  }
+  std::fprintf(stderr, "merged %zu report(s)\n", docs.size());
+  return 0;
+}
+
+int cmd_cache(const Args& args) {
+  check(args.positional.size() >= 2,
+        "cache needs a subcommand: ls | stats | gc");
+  const std::string& sub = args.positional[1];
+  const std::string* path = args.get("--store");
+  store::ResultStore result_store(path != nullptr ? *path : kDefaultStorePath);
+  const std::string current = store::build_version();
+
+  if (sub == "ls") {
+    TextTable table({"fingerprint", "kernel", "config", "B/lane", "seed",
+                     "verified", "version"});
+    table.align_right(3);
+    table.align_right(4);
+    for (const store::StoredResult& r : result_store.entries()) {
+      table.add_row({r.fingerprint.substr(0, 16), r.kernel,
+                     r.label.empty() ? r.config.substr(0, 24) : r.label,
+                     std::to_string(r.bytes_per_lane), std::to_string(r.seed),
+                     r.verified ? "yes" : "no",
+                     r.version == current ? "current" : "stale"});
+    }
+    std::printf("%s", table.render().c_str());
+    std::fprintf(stderr, "%zu entr%s in %s\n", result_store.size(),
+                 result_store.size() == 1 ? "y" : "ies",
+                 result_store.path().c_str());
+    return 0;
+  }
+  if (sub == "stats") {
+    const store::LoadReport& lr = result_store.load_report();
+    std::size_t stale = 0;
+    for (const store::StoredResult& r : result_store.entries()) {
+      if (r.version != current) ++stale;
+    }
+    std::printf("store:          %s\n", result_store.path().c_str());
+    std::printf("entries:        %zu\n", result_store.size());
+    std::printf("stale version:  %zu\n", stale);
+    std::printf("current salt:   %s\n", current.c_str());
+    std::printf("load: %zu line(s), %zu bad, %zu fingerprint mismatch(es), "
+                "%zu superseded\n",
+                lr.lines, lr.bad_lines, lr.fp_mismatches, lr.superseded);
+    return 0;
+  }
+  if (sub == "gc") {
+    const std::size_t before = result_store.size();
+    const std::size_t removed = result_store.gc(current);  // compacts on disk
+    std::fprintf(stderr, "dropped %zu stale entr%s, kept %zu (%s)\n", removed,
+                 removed == 1 ? "y" : "ies", before - removed,
+                 result_store.path().c_str());
+    return 0;
+  }
+  fail("unknown cache subcommand '" + sub + "' (ls | stats | gc)");
 }
 
 int cmd_run(const Args& args) {
@@ -298,13 +439,17 @@ int cmd_sweep(const Args& args) {
 int main(int argc, char** argv) {
   try {
     const Args args = parse_args(argc, argv);
+    if (args.has("--version")) return cmd_version();
     if (args.positional.empty() || args.has("--help")) {
       return usage(args.has("--help") ? stdout : stderr);
     }
     const std::string& cmd = args.positional[0];
+    if (cmd == "version") return cmd_version();
     if (cmd == "list-kernels") return cmd_list_kernels();
     if (cmd == "run") return cmd_run(args);
     if (cmd == "sweep") return cmd_sweep(args);
+    if (cmd == "merge") return cmd_merge(args);
+    if (cmd == "cache") return cmd_cache(args);
     std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
     return usage(stderr);
   } catch (const std::exception& e) {
