@@ -6,10 +6,26 @@
 // BM_AxpyCycles runs the default (event-driven) engine; the *Oracle
 // variants pin the cycle-stepped reference so the sim_cycles/s counters of
 // the two can be compared directly.
+//
+// `bench_sim_speed --emit-json <path>` skips google-benchmark and writes
+// the sim-speed trajectory file instead: sim_cycles/s for a fixed kernel x
+// B/lane grid under both engines, stamped with the build's git revision.
+// CI regenerates it on every push, uploads it as an artifact, and
+// tools/diff_sim_speed.py gates the event/oracle speedup ratios against
+// the committed baseline (BENCH_sim_speed.json) with a +-20% tolerance —
+// ratios, because absolute rates track the host, while the ratio tracks
+// the engine.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "kernels/common.hpp"
 #include "machine/machine.hpp"
+#include "store/version.hpp"
 
 namespace araxl {
 namespace {
@@ -94,7 +110,114 @@ void BM_FmatmulSimOracle(benchmark::State& state) {
 }
 BENCHMARK(BM_FmatmulSimOracle)->Unit(benchmark::kMillisecond);
 
+// ---- sim-speed trajectory (--emit-json) -------------------------------------
+
+/// Simulated cycles per wall second for `prog` on a fresh run of `m`,
+/// measured over enough repetitions to cover ~0.5 s (long enough that the
+/// event/oracle ratio is stable within the trajectory gate's tolerance).
+double measure_cycles_per_s(Machine& m, const Program& prog) {
+  // One warmup run (page faults, allocator steady state).
+  std::uint64_t sim_cycles = m.run(prog).cycles;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t total = 0;
+  double elapsed = 0.0;
+  do {
+    total += m.run(prog).cycles;
+    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                  .count();
+  } while (elapsed < 0.5);
+  (void)sim_cycles;
+  return static_cast<double>(total) / elapsed;
+}
+
+struct TrajectoryEntry {
+  std::string name;
+  unsigned lanes;
+  std::uint64_t bpl;
+  double event_cycles_per_s;
+  double oracle_cycles_per_s;
+  std::uint64_t batched_iterations;
+};
+
+/// Measures one trajectory point under both engines. `bpl == 0` selects
+/// the hand-built AXPY program; otherwise `name` is a registry kernel
+/// built at that B/lane.
+TrajectoryEntry measure_entry(const char* name, unsigned lanes,
+                              std::uint64_t bpl) {
+  TrajectoryEntry e;
+  e.name = name;
+  e.lanes = lanes;
+  e.bpl = bpl;
+  for (const TimingMode mode :
+       {TimingMode::kEventDriven, TimingMode::kCycleStepped}) {
+    MachineConfig cfg = MachineConfig::araxl(lanes);
+    cfg.timing_mode = mode;
+    Machine m(cfg);
+    Program prog;
+    if (bpl == 0) {
+      prog = build_axpy(cfg, 16384);
+    } else {
+      auto k = make_kernel(name);
+      prog = k->build(m, bpl);
+    }
+    const double rate = measure_cycles_per_s(m, prog);
+    if (mode == TimingMode::kEventDriven) {
+      e.event_cycles_per_s = rate;
+      e.batched_iterations = m.run(prog).batched_iterations;
+    } else {
+      e.oracle_cycles_per_s = rate;
+    }
+  }
+  return e;
+}
+
+int emit_trajectory(const char* path) {
+  std::vector<TrajectoryEntry> entries;
+  entries.push_back(measure_entry("axpy", 8, 0));
+  entries.push_back(measure_entry("axpy", 64, 0));
+  entries.push_back(measure_entry("fdotproduct", 8, 16384));
+  entries.push_back(measure_entry("stream_triad", 8, 32768));
+  entries.push_back(measure_entry("jacobi2d", 16, 256));
+  entries.push_back(measure_entry("fmatmul", 16, 64));
+
+  std::string out = "{\n";
+  out += "  \"revision\": \"" + std::string(store::git_revision()) + "\",\n";
+  out += "  \"entries\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const TrajectoryEntry& e = entries[i];
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"name\": \"%s\", \"lanes\": %u, \"bpl\": %llu, "
+                  "\"event_sim_cycles_per_s\": %.0f, "
+                  "\"oracle_sim_cycles_per_s\": %.0f, "
+                  "\"speedup\": %.3f, \"batched_iterations\": %llu}%s\n",
+                  e.name.c_str(), e.lanes,
+                  static_cast<unsigned long long>(e.bpl), e.event_cycles_per_s,
+                  e.oracle_cycles_per_s,
+                  e.event_cycles_per_s / e.oracle_cycles_per_s,
+                  static_cast<unsigned long long>(e.batched_iterations),
+                  i + 1 == entries.size() ? "" : ",");
+    out += buf;
+  }
+  out += "  ]\n}\n";
+  std::ofstream f(path, std::ios::binary);
+  if (!f.good()) return 1;
+  f.write(out.data(), static_cast<std::streamsize>(out.size()));
+  return f.good() ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace araxl
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--emit-json") == 0) {
+      return araxl::emit_trajectory(argv[i + 1]);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

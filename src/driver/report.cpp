@@ -68,7 +68,7 @@ std::string config_json(const Job& job) {
   return out;
 }
 
-std::string stats_json(const RunStats& s) {
+std::string stats_json(const RunStats& s, const ReportOptions& opts) {
   std::string out = "{";
   out += "\"cycles\":" + unum(s.cycles) + ",";
   out += "\"vinstrs\":" + unum(s.vinstrs) + ",";
@@ -82,10 +82,15 @@ std::string stats_json(const RunStats& s) {
   out += "\"unit_busy_elems\":{";
   for (std::size_t u = 0; u < kNumUnits; ++u) {
     if (u != 0) out += ",";
-    out += "\"" + std::string(unit_name(static_cast<Unit>(u))) +
-           "\":" + unum(s.unit_busy_elems[u]);
+    out += '"';
+    out += unit_name(static_cast<Unit>(u));
+    out += "\":";
+    out += unum(s.unit_busy_elems[u]);
   }
   out += "},";
+  out += "\"wakeups_total\":" + unum(opts.live_provenance ? s.wakeups_total : 0) + ",";
+  out += "\"batched_iterations\":" +
+         unum(opts.live_provenance ? s.batched_iterations : 0) + ",";
   out += "\"fpu_util\":" + fnum(s.fpu_util()) + ",";
   out += "\"flop_per_cycle\":" + fnum(s.flop_per_cycle());
   out += "}";
@@ -107,7 +112,7 @@ std::string result_json(const JobResult& r, const ReportOptions& opts) {
     out += "}";
     return out;
   }
-  out += "\"stats\":" + stats_json(r.stats) + ",";
+  out += "\"stats\":" + stats_json(r.stats, opts) + ",";
   const Ppa p = ppa_for(r.job.cfg, r.stats);
   out += "\"ppa\":{";
   out += "\"freq_ghz\":" + fnum(p.freq_ghz) + ",";
@@ -146,7 +151,8 @@ std::string to_json(const std::vector<JobResult>& results,
 std::string to_csv(const std::vector<JobResult>& results,
                    const ReportOptions& opts) {
   std::string out =
-      "index,config,kernel,bytes_per_lane,seed,cache_hit,kind,clusters,"
+      "index,config,kernel,bytes_per_lane,seed,cache_hit,wakeups_total,"
+      "batched_iterations,kind,clusters,"
       "lanes_per_cluster,"
       "total_lanes,vlen_bits,ok,cycles,flops,fpu_util,flop_per_cycle,"
       "freq_ghz,area_mm2,power_w,gflops,gflops_per_w,max_rel_err,error\n";
@@ -158,6 +164,8 @@ std::string to_csv(const std::vector<JobResult>& results,
     out += unum(r.job.bytes_per_lane) + ",";
     out += unum(r.job.seed) + ",";
     out += (opts.live_cache_flags && r.cache_hit) ? "1," : "0,";
+    out += unum(opts.live_provenance ? r.stats.wakeups_total : 0) + ",";
+    out += unum(opts.live_provenance ? r.stats.batched_iterations : 0) + ",";
     out += std::string(kind_name(c.kind)) + ",";
     out += unum(c.topo.clusters) + ",";
     out += unum(c.topo.lanes) + ",";

@@ -24,6 +24,13 @@ namespace araxl::driver {
 /// reports the real per-job values instead.
 struct ReportOptions {
   bool live_cache_flags = false;
+  /// Report the real engine-provenance counters (`wakeups_total`,
+  /// `batched_iterations`) instead of zeros. Like `cache_hit`, these are
+  /// zeroed by default: replayed-from-store results carry no provenance
+  /// (the store persists measurements, not how they were simulated), and
+  /// the oracle wakes every cycle — live values would break the
+  /// byte-identity `cmp`s between warm/cold and sharded/unsharded runs.
+  bool live_provenance = false;
 };
 
 /// Whole-sweep JSON document: {"results": [...]} ordered by job index.

@@ -1,5 +1,7 @@
 #include "isa/program.hpp"
 
+#include <algorithm>
+
 #include "common/bits.hpp"
 #include "common/contracts.hpp"
 
@@ -12,6 +14,57 @@ std::size_t Program::vinstr_count() const {
 }
 
 std::size_t Program::scalar_op_count() const { return ops.size() - vinstr_count(); }
+
+OpKey op_key(const ProgOp& op, std::uint64_t vlen_bits) {
+  OpKey k;
+  if (const auto* s = std::get_if<ScalarOp>(&op)) {
+    k.tag = 0;
+    k.op = static_cast<std::uint32_t>(s->kind);
+    k.value = s->count;
+    return k;
+  }
+  const VInstr& in = std::get<VInstr>(op);
+  k.tag = 1;
+  k.op = static_cast<std::uint32_t>(in.op);
+  k.regs = static_cast<std::uint32_t>(in.vd) |
+           (static_cast<std::uint32_t>(in.vs1) << 8) |
+           (static_cast<std::uint32_t>(in.vs2) << 16) |
+           (static_cast<std::uint32_t>(in.masked ? 1 : 0) << 24);
+  if (in.op == Op::kVsetvli) {
+    k.vtype = static_cast<std::uint32_t>(sew_bits(in.vtype.sew)) |
+              (static_cast<std::uint32_t>(in.vtype.lmul.log2 + 8) << 16);
+    k.value = vsetvl_result(vlen_bits, in.avl, in.vtype);
+  }
+  k.xs = static_cast<std::uint64_t>(in.xs);
+  k.stride = static_cast<std::uint64_t>(in.stride);
+  return k;
+}
+
+std::vector<LoopRegion> find_loop_regions(const std::vector<OpKey>& keys,
+                                          std::size_t max_period) {
+  std::vector<LoopRegion> out;
+  const std::size_t n = keys.size();
+  std::size_t i = 0;
+  while (i < n) {
+    bool found = false;
+    const std::size_t p_cap = std::min(max_period, (n - i) / 2);
+    for (std::size_t p = 1; p <= p_cap; ++p) {
+      // Cheap prefilter before the O(p) window compare.
+      if (keys[i] != keys[i + p]) continue;
+      std::size_t j = 1;
+      while (j < p && keys[i + j] == keys[i + p + j]) ++j;
+      if (j < p) continue;
+      std::size_t e = i + 2 * p;
+      while (e < n && keys[e] == keys[e - p]) ++e;
+      out.push_back(LoopRegion{i, e, p});
+      i = e;
+      found = true;
+      break;  // smallest period wins
+    }
+    if (!found) ++i;
+  }
+  return out;
+}
 
 ProgramBuilder::ProgramBuilder(std::uint64_t vlen_bits, std::string name)
     : vlen_bits_(vlen_bits) {

@@ -40,6 +40,51 @@ struct Program {
   [[nodiscard]] std::size_t scalar_op_count() const;
 };
 
+// ---- loop-body signatures --------------------------------------------------
+//
+// The event-driven timing engine batches whole strip-mined loop iterations
+// once the machine reaches steady state. The *signature* of an operation is
+// everything that can influence timing: opcode, register operands, masking,
+// stride, the scalar immediate, and — for vsetvli — the granted vl and
+// vtype (two vsetvlis with different AVLs but the same grant are timing-
+// and architecture-equivalent; that is exactly how strip-mined loops count
+// down their remaining AVL). Memory addresses and FP scalar operands are
+// deliberately excluded: addresses are handled separately by the batcher's
+// arithmetic-progression checks, and fs never reaches the timing model.
+//
+// Signatures are compared field-wise, never by hash: the batcher's
+// correctness must not rest on hash-collision odds (the differential
+// fuzzer includes adversarial near-collision programs).
+struct OpKey {
+  std::uint32_t tag = 0;     ///< 0 scalar op, 1 vector instruction
+  std::uint32_t op = 0;      ///< Op, or ScalarOp::Kind
+  std::uint32_t regs = 0;    ///< vd | vs1<<8 | vs2<<16 | masked<<24
+  std::uint32_t vtype = 0;   ///< sew bits | (lmul.log2+8)<<16 (vsetvli only)
+  std::uint64_t value = 0;   ///< granted vl (vsetvli) / count (scalar)
+  std::uint64_t xs = 0;      ///< integer scalar operand (slides, shifts)
+  std::uint64_t stride = 0;  ///< strided-access byte stride
+
+  friend bool operator==(const OpKey&, const OpKey&) = default;
+};
+
+/// Timing signature of `op` on a machine with `vlen_bits` of register.
+[[nodiscard]] OpKey op_key(const ProgOp& op, std::uint64_t vlen_bits);
+
+/// A maximal periodic run of ops[start, end) where every op's signature
+/// equals the signature one `period` earlier — the static shape of a
+/// strip-mined loop. Regions contain at least two full periods.
+struct LoopRegion {
+  std::size_t start = 0;
+  std::size_t end = 0;
+  std::size_t period = 0;
+};
+
+/// Scans a signature sequence for periodic regions, preferring the
+/// smallest period at each position. Greedy and non-overlapping, in
+/// program order. `max_period` bounds the loop-body length considered.
+[[nodiscard]] std::vector<LoopRegion> find_loop_regions(
+    const std::vector<OpKey>& keys, std::size_t max_period = 64);
+
 /// Fluent, validating builder for Programs.
 ///
 /// The builder tracks the current vtype/vl the way the hardware would, so

@@ -57,6 +57,12 @@ struct MachineConfig {
   unsigned seq_queue_depth = 8;       ///< sequencer instruction queue
   unsigned dcache_load_latency = 3;   ///< CVA6 scalar load (d-cache hit)
   unsigned l2_latency = 12;           ///< L2 access latency (beyond GLSU pipe)
+  /// Liveness watchdog budget (wakeups without progress before the engine
+  /// declares a deadlock); 0 selects WakeupWatchdog::kDefaultBudget. Tiny
+  /// values are for tests that prove batched fast-forwards count as
+  /// progress.
+  std::uint64_t watchdog_budget = 0;
+
   unsigned red_step_latency = 4;      ///< per inter-lane reduction step
   unsigned red_add_latency = 8;       ///< SLDU round trip + FPU add per
                                       ///< inter-cluster tree step

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <type_traits>
 #include <vector>
 
 #include "common/contracts.hpp"
@@ -431,7 +432,92 @@ void FunctionalEngine::exec_fp(const VInstr& in) {
   }
 }
 
+template <typename T>
+void FunctionalEngine::exec_int_bulk_t(const VInstr& in) {
+  const OpSpec& spec = op_spec(in.op);
+  const std::uint64_t n = vl_;
+  constexpr unsigned kW = sizeof(T);
+  const unsigned bits = kW * 8;
+  const T xs = static_cast<T>(static_cast<std::uint64_t>(in.xs));
+
+  const bool needs_vs2 = in.op != Op::kVmvVX && in.op != Op::kVidV &&
+                         in.op != Op::kVmvVV;
+  const T* a = nullptr;
+  if (needs_vs2) {
+    buf_i2_.resize(n * kW);
+    vrf_.read_stream(in.vs2, n, kW, buf_i2_.data());
+    a = reinterpret_cast<const T*>(buf_i2_.data());
+  }
+  const T* b = nullptr;
+  if (spec.reads_vs1) {
+    buf_i1_.resize(n * kW);
+    vrf_.read_stream(in.vs1, n, kW, buf_i1_.data());
+    b = reinterpret_cast<const T*>(buf_i1_.data());
+  }
+  buf_id_.resize(n * kW);
+  T* d = reinterpret_cast<T*>(buf_id_.data());
+  if (spec.reads_vd) vrf_.read_stream(in.vd, n, kW, buf_id_.data());
+
+  using S = std::make_signed_t<T>;
+  switch (in.op) {
+    case Op::kVaddVV: for (std::uint64_t i = 0; i < n; ++i) d[i] = static_cast<T>(a[i] + b[i]); break;
+    case Op::kVaddVX: for (std::uint64_t i = 0; i < n; ++i) d[i] = static_cast<T>(a[i] + xs); break;
+    case Op::kVsubVV: for (std::uint64_t i = 0; i < n; ++i) d[i] = static_cast<T>(a[i] - b[i]); break;
+    case Op::kVsllVX: {
+      const unsigned sh = static_cast<unsigned>(static_cast<std::uint64_t>(in.xs) % bits);
+      for (std::uint64_t i = 0; i < n; ++i) d[i] = static_cast<T>(a[i] << sh);
+      break;
+    }
+    case Op::kVsrlVX: {
+      const unsigned sh = static_cast<unsigned>(static_cast<std::uint64_t>(in.xs) % bits);
+      for (std::uint64_t i = 0; i < n; ++i) d[i] = static_cast<T>(a[i] >> sh);
+      break;
+    }
+    case Op::kVandVX: for (std::uint64_t i = 0; i < n; ++i) d[i] = static_cast<T>(a[i] & xs); break;
+    case Op::kVmvVX: for (std::uint64_t i = 0; i < n; ++i) d[i] = xs; break;
+    case Op::kVmvVV: for (std::uint64_t i = 0; i < n; ++i) d[i] = b[i]; break;
+    case Op::kVidV: for (std::uint64_t i = 0; i < n; ++i) d[i] = static_cast<T>(i); break;
+    case Op::kVmulVV: for (std::uint64_t i = 0; i < n; ++i) d[i] = static_cast<T>(a[i] * b[i]); break;
+    case Op::kVmulVX: for (std::uint64_t i = 0; i < n; ++i) d[i] = static_cast<T>(a[i] * xs); break;
+    case Op::kVmaccVV:
+      for (std::uint64_t i = 0; i < n; ++i) d[i] = static_cast<T>(d[i] + b[i] * a[i]);
+      break;
+    case Op::kVrsubVX: for (std::uint64_t i = 0; i < n; ++i) d[i] = static_cast<T>(xs - a[i]); break;
+    case Op::kVmaxVV:
+      for (std::uint64_t i = 0; i < n; ++i) {
+        d[i] = static_cast<T>(std::max(static_cast<S>(a[i]), static_cast<S>(b[i])));
+      }
+      break;
+    case Op::kVminVV:
+      for (std::uint64_t i = 0; i < n; ++i) {
+        d[i] = static_cast<T>(std::min(static_cast<S>(a[i]), static_cast<S>(b[i])));
+      }
+      break;
+    default: fail("op not in the bulk integer set");
+  }
+  vrf_.write_stream(in.vd, n, kW, buf_id_.data());
+}
+
+bool FunctionalEngine::exec_int_bulk(const VInstr& in) {
+  if (in.masked) return false;
+  switch (in.op) {
+    case Op::kVaddVV: case Op::kVaddVX: case Op::kVsubVV: case Op::kVsllVX:
+    case Op::kVsrlVX: case Op::kVandVX: case Op::kVmvVX: case Op::kVmvVV:
+    case Op::kVidV: case Op::kVmulVV: case Op::kVmulVX: case Op::kVmaccVV:
+    case Op::kVrsubVX: case Op::kVmaxVV: case Op::kVminVV: break;
+    default: return false;  // merges, FP moves: per-element fallback
+  }
+  switch (ew_bytes()) {
+    case 1: exec_int_bulk_t<std::uint8_t>(in); return true;
+    case 2: exec_int_bulk_t<std::uint16_t>(in); return true;
+    case 4: exec_int_bulk_t<std::uint32_t>(in); return true;
+    case 8: exec_int_bulk_t<std::uint64_t>(in); return true;
+    default: return false;
+  }
+}
+
 void FunctionalEngine::exec_int(const VInstr& in) {
+  if (exec_int_bulk(in)) return;
   const unsigned bits = sew_bits(vtype_.sew);
   const std::uint64_t mask =
       bits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << bits) - 1);
@@ -529,7 +615,26 @@ void FunctionalEngine::exec_reduction(const VInstr& in) {
   write_f(in.vd, 0, acc);
 }
 
+bool FunctionalEngine::exec_slide_bulk64(const VInstr& in) {
+  if (in.masked || vtype_.sew != Sew::k64) return false;
+  if (in.op != Op::kVfslide1up && in.op != Op::kVfslide1down) return false;
+  const std::uint64_t n = vl_;
+  buf_s2_.resize(n);
+  vrf_.read_stream(in.vs2, n, 8, reinterpret_cast<std::uint8_t*>(buf_s2_.data()));
+  buf_d_.resize(n);
+  if (in.op == Op::kVfslide1up) {
+    std::memmove(buf_d_.data() + 1, buf_s2_.data(), (n - 1) * sizeof(double));
+    buf_d_[0] = scalar_of(in);
+  } else {
+    std::memmove(buf_d_.data(), buf_s2_.data() + 1, (n - 1) * sizeof(double));
+    buf_d_[n - 1] = scalar_of(in);
+  }
+  vrf_.write_stream(in.vd, n, 8, reinterpret_cast<std::uint8_t*>(buf_d_.data()));
+  return true;
+}
+
 void FunctionalEngine::exec_slide(const VInstr& in) {
+  if (exec_slide_bulk64(in)) return;
   const std::uint64_t vlmax_now = vlmax(cfg_.effective_vlen(), vtype_);
   switch (in.op) {
     case Op::kVfslide1up: {
@@ -568,7 +673,75 @@ void FunctionalEngine::exec_slide(const VInstr& in) {
   }
 }
 
+bool FunctionalEngine::exec_mask_bulk(const VInstr& in) {
+  if (in.masked) return false;
+  const std::uint64_t n = vl_;
+  switch (in.op) {
+    // Mask-logical: one dedicated loop per opcode over the bit accessors —
+    // no per-element opcode switch or mask-predicate re-test.
+    case Op::kVmandMM:
+      for (std::uint64_t i = 0; i < n; ++i) {
+        vrf_.set_mask_bit(in.vd, i, vrf_.mask_bit(in.vs2, i) && vrf_.mask_bit(in.vs1, i));
+      }
+      return true;
+    case Op::kVmorMM:
+      for (std::uint64_t i = 0; i < n; ++i) {
+        vrf_.set_mask_bit(in.vd, i, vrf_.mask_bit(in.vs2, i) || vrf_.mask_bit(in.vs1, i));
+      }
+      return true;
+    case Op::kVmxorMM:
+      for (std::uint64_t i = 0; i < n; ++i) {
+        vrf_.set_mask_bit(in.vd, i, vrf_.mask_bit(in.vs2, i) != vrf_.mask_bit(in.vs1, i));
+      }
+      return true;
+    case Op::kVmandnMM:
+      for (std::uint64_t i = 0; i < n; ++i) {
+        vrf_.set_mask_bit(in.vd, i, vrf_.mask_bit(in.vs2, i) && !vrf_.mask_bit(in.vs1, i));
+      }
+      return true;
+    default: break;
+  }
+  if (vtype_.sew != Sew::k64) return false;
+  // SEW=64 compares: gather the operand streams once, then a tight
+  // compare-and-set loop per opcode.
+  buf_s2_.resize(n);
+  vrf_.read_stream(in.vs2, n, 8, reinterpret_cast<std::uint8_t*>(buf_s2_.data()));
+  const double* a = buf_s2_.data();
+  const double fs = scalar_of(in);
+  const double* b = nullptr;
+  if (op_spec(in.op).reads_vs1) {
+    buf_s1_.resize(n);
+    vrf_.read_stream(in.vs1, n, 8, reinterpret_cast<std::uint8_t*>(buf_s1_.data()));
+    b = buf_s1_.data();
+  }
+  switch (in.op) {
+    case Op::kVmfeqVV:
+      for (std::uint64_t i = 0; i < n; ++i) vrf_.set_mask_bit(in.vd, i, a[i] == b[i]);
+      return true;
+    case Op::kVmfltVV:
+      for (std::uint64_t i = 0; i < n; ++i) vrf_.set_mask_bit(in.vd, i, a[i] < b[i]);
+      return true;
+    case Op::kVmfleVV:
+      for (std::uint64_t i = 0; i < n; ++i) vrf_.set_mask_bit(in.vd, i, a[i] <= b[i]);
+      return true;
+    case Op::kVmfltVF:
+      for (std::uint64_t i = 0; i < n; ++i) vrf_.set_mask_bit(in.vd, i, a[i] < fs);
+      return true;
+    case Op::kVmfleVF:
+      for (std::uint64_t i = 0; i < n; ++i) vrf_.set_mask_bit(in.vd, i, a[i] <= fs);
+      return true;
+    case Op::kVmfgtVF:
+      for (std::uint64_t i = 0; i < n; ++i) vrf_.set_mask_bit(in.vd, i, a[i] > fs);
+      return true;
+    case Op::kVmfgeVF:
+      for (std::uint64_t i = 0; i < n; ++i) vrf_.set_mask_bit(in.vd, i, a[i] >= fs);
+      return true;
+    default: return false;
+  }
+}
+
 void FunctionalEngine::exec_mask(const VInstr& in) {
+  if (exec_mask_bulk(in)) return;
   const double fs = scalar_of(in);
   for (std::uint64_t i = 0; i < vl_; ++i) {
     if (!active(in, i)) continue;

@@ -57,9 +57,23 @@ class FunctionalEngine {
   /// false when the op/shape needs the per-element fallback.
   bool exec_fp_bulk64(const VInstr& in);
   void exec_int(const VInstr& in);
+  /// Bulk unmasked integer/move path at any SEW: operands streamed into
+  /// fixed-width scratch, one tight native-width loop per opcode (wrapping
+  /// arithmetic replaces the per-element mask dance), result streamed back.
+  /// Returns false when the op/shape needs the per-element fallback.
+  bool exec_int_bulk(const VInstr& in);
+  template <typename T>
+  void exec_int_bulk_t(const VInstr& in);
   void exec_reduction(const VInstr& in);
   void exec_slide(const VInstr& in);
+  /// Bulk unmasked SEW=64 slide1up/slide1down: one source stream, a shifted
+  /// memmove in scratch, one destination stream (the jacobi2d hot path).
+  bool exec_slide_bulk64(const VInstr& in);
   void exec_mask(const VInstr& in);
+  /// Flattened mask paths: dedicated per-opcode loops (no per-element
+  /// opcode switch), with SEW=64 compare operands gathered through the
+  /// bulk streams. Returns false for shapes the fallback must handle.
+  bool exec_mask_bulk(const VInstr& in);
   void exec_widening(const VInstr& in);
   void exec_gather(const VInstr& in);
   void exec_mask_population(const VInstr& in);
@@ -78,6 +92,10 @@ class FunctionalEngine {
   std::vector<double> buf_d_;
   // Scratch for the bulk strided memory path.
   std::vector<std::uint8_t> buf_mem_;
+  // Scratch for the bulk integer path (raw element bytes at the active SEW).
+  std::vector<std::uint8_t> buf_i2_;
+  std::vector<std::uint8_t> buf_i1_;
+  std::vector<std::uint8_t> buf_id_;
 };
 
 }  // namespace araxl

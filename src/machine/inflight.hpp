@@ -45,6 +45,7 @@ enum class RedPhase : std::uint8_t {
 
 struct Inflight {
   std::uint64_t id = 0;
+  std::size_t prog_index = 0;  ///< index of `in` in Program::ops
   VInstr in{};
   const OpSpec* spec = nullptr;
   std::uint64_t vl = 0;       ///< element count captured at issue
@@ -89,6 +90,7 @@ struct Inflight {
   /// and hist storage so recycled slots allocate nothing.
   void reset() noexcept {
     id = 0;
+    prog_index = 0;
     in = VInstr{};
     spec = nullptr;
     vl = 0;

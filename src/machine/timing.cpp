@@ -47,7 +47,9 @@ constexpr unsigned unit_order(Unit u) { return static_cast<unsigned>(u); }
 TimingEngine::TimingEngine(const MachineConfig& cfg, FunctionalEngine& fn,
                            InstrTrace* trace)
     : cfg_(cfg), fn_(fn), trace_(trace), reqi_(cfg), glsu_(cfg), ring_(cfg),
-      lanes_(cfg), cva6_(cfg) {}
+      lanes_(cfg), cva6_(cfg),
+      watchdog_(cfg.watchdog_budget == 0 ? WakeupWatchdog::kDefaultBudget
+                                         : cfg.watchdog_budget) {}
 
 const Inflight* TimingEngine::find(const RegRef& ref) const {
   return ref.id == 0 ? nullptr : pool_.get(ref.slot, ref.id);
@@ -81,7 +83,6 @@ void TimingEngine::account(Unit u, const Inflight& instr, std::uint64_t adv) {
   stats_.unit_busy_elems[static_cast<std::size_t>(u)] += adv;
   if (u == Unit::kFpu) stats_.fpu_result_elems += adv;
   stats_.flops += adv * instr.spec->flops_per_elem;
-  ++progress_events_;
   watchdog_.note_progress();
 }
 
@@ -299,6 +300,7 @@ void TimingEngine::retire(Cycle t) {
       if (trace_ != nullptr) {
         TraceRecord rec;
         rec.id = instr.id;
+        rec.prog_index = instr.prog_index;
         rec.text = disasm(instr.in);
         rec.unit = instr.unit;
         rec.vl = instr.vl;
@@ -312,7 +314,6 @@ void TimingEngine::retire(Cycle t) {
       release_claims(instr);
       pool_.release(q.front());
       q.pop_front();
-      ++progress_events_;
       watchdog_.note_progress();
     }
   }
@@ -363,6 +364,7 @@ void TimingEngine::tick_dispatch(Cycle t) {
   std::uint32_t slot = 0;
   Inflight& instr = pool_.alloc(next_id_++, &slot);
   instr.in = p.in;
+  instr.prog_index = p.prog_index;
   instr.spec = &spec;
   instr.vl = p.vl;
   instr.ew = p.ew;
@@ -434,7 +436,6 @@ void TimingEngine::tick_dispatch(Cycle t) {
   q.push_back(slot);
   seq_.pop_front();
   dispatched_this_cycle_ = true;
-  ++progress_events_;
   watchdog_.note_progress();
 }
 
@@ -455,7 +456,6 @@ void TimingEngine::tick_cva6(Cycle t) {
     cva6_free_ = t + cva6_.scalar_cost(*s);
     ++stats_.scalar_ops;
     ++pc_;
-    ++progress_events_;
     watchdog_.note_progress();
     return;
   }
@@ -466,7 +466,6 @@ void TimingEngine::tick_cva6(Cycle t) {
     cva6_free_ = t + reqi_.ack_latency() + 1;
     ++stats_.vinstrs;
     ++pc_;
-    ++progress_events_;
     watchdog_.note_progress();
     return;
   }
@@ -484,7 +483,6 @@ void TimingEngine::tick_cva6(Cycle t) {
     cva6_free_ = t + reqi_.ack_latency();
     ++stats_.vinstrs;
     ++pc_;
-    ++progress_events_;
     watchdog_.note_progress();
     return;
   }
@@ -497,6 +495,7 @@ void TimingEngine::tick_cva6(Cycle t) {
 
   Pending p;
   p.in = in;
+  p.prog_index = pc_;
   p.vl = in.op == Op::kVfmvSF ? std::min<std::uint64_t>(1, fn_.vl()) : fn_.vl();
   p.ew = sew_bytes(fn_.vtype().sew);
   p.group_regs = fn_.vtype().lmul.group_regs();
@@ -505,7 +504,6 @@ void TimingEngine::tick_cva6(Cycle t) {
   fn_.exec(in);  // architectural effects in program order
   ++stats_.vinstrs;
   ++pc_;
-  ++progress_events_;
   watchdog_.note_progress();
   cva6_free_ = t + reqi_.ack_latency();
   if (p.vl == 0) return;  // nothing to execute
@@ -556,9 +554,14 @@ void TimingEngine::reset_run(const Program& prog) {
   dispatched_this_cycle_ = false;
   cva6_stall_ = Cva6Stall::kNone;
   watchdog_.reset();
-  progress_events_ = 0;
   last_progress_events_ = 0;
   last_progress_cycle_ = 0;
+  op_keys_.clear();
+  loop_regions_.clear();
+  loop_addr_ok_end_.clear();
+  loop_region_idx_ = 0;
+  last_ckpt_pc_ = static_cast<std::size_t>(-1);
+  ckpt_.valid = false;
 }
 
 RunStats TimingEngine::run(const Program& prog) {
@@ -572,8 +575,8 @@ RunStats TimingEngine::run_cycle_stepped(const Program& prog) {
   while (!drained()) {
     step_cycle(t);
     if ((t & 0xFFF) == 0) {
-      if (progress_events_ != last_progress_events_) {
-        last_progress_events_ = progress_events_;
+      if (watchdog_.progress_total() != last_progress_events_) {
+        last_progress_events_ = watchdog_.progress_total();
         last_progress_cycle_ = t;
       } else if (t - last_progress_cycle_ > 500000) {
         fail_deadlock(t);
@@ -582,6 +585,7 @@ RunStats TimingEngine::run_cycle_stepped(const Program& prog) {
     ++t;
   }
   stats_.cycles = t;
+  stats_.wakeups_total = t;  // the oracle evaluates every cycle
   return stats_;
 }
 

@@ -78,6 +78,7 @@ class TimingEngine {
   /// pipeline must not retroactively change an older instruction's shape.
   struct Pending {
     VInstr in{};
+    std::size_t prog_index = 0;
     std::uint64_t vl = 0;
     unsigned ew = 8;
     unsigned group_regs = 1;
@@ -115,6 +116,52 @@ class TimingEngine {
   void advance_span_arith(Inflight& instr, Cycle from, Cycle to);
   void advance_span_load(Inflight& instr, Cycle from, Cycle to);
   void advance_span_store(Inflight& instr, Cycle from, Cycle to);
+
+  // -- steady-state loop batching ---------------------------------------------
+  //
+  // The event engine detects when a strip-mined loop has reached steady
+  // state — at two consecutive loop-period boundaries the whole machine
+  // state (rebased to the boundary cycle / pc / instruction id) is
+  // identical — and then retires K whole iterations per wakeup: replaying
+  // the recorded per-iteration stat and trace deltas, executing the
+  // batched ops architecturally, and relabelling the live in-flight window
+  // K periods into the future. Anything that can change the signature
+  // (a vl tail, a mid-loop vsetvli grant change, a non-arithmetic address
+  // progression, a new conflict pattern) makes the snapshots differ or the
+  // program-side checks shrink K, and the engine falls back to per-wakeup
+  // simulation — the batched path is bit-identical to the oracle by
+  // construction (see timing_event.cpp for the full argument).
+  struct LoopCheckpoint {
+    bool valid = false;
+    Cycle t = 0;
+    std::size_t pc = 0;
+    std::uint64_t next_id = 0;
+    RunStats stats{};
+    std::size_t trace_len = 0;
+    std::vector<std::uint64_t> state;  ///< canonical rebased serialization
+  };
+  /// One trace record retired inside the recorded window, rebased to the
+  /// window-start (cycle, id, pc) so it can be replayed for any iteration.
+  struct TraceDelta {
+    std::int64_t id = 0;
+    std::int64_t prog = 0;
+    std::uint64_t vl = 0;
+    Unit unit = Unit::kNone;
+    std::int64_t issued = 0;
+    std::int64_t dispatched = 0;
+    std::int64_t first_result = 0;
+    bool has_first_result = false;
+    std::int64_t completed = 0;
+  };
+  /// Computes op signatures + periodic regions + per-region address checks.
+  void prepare_loop_batching();
+  /// Post-step hook: records/compares boundary checkpoints and, in steady
+  /// state, batches; *t_io advances by K whole periods when it returns true.
+  bool loop_checkpoint(Cycle* t_io);
+  void snapshot_state(Cycle t, std::vector<std::uint64_t>* out) const;
+  [[nodiscard]] std::uint64_t batchable_periods(const LoopRegion& r) const;
+  void apply_batch(const LoopRegion& r, std::uint64_t k, Cycle d,
+                   std::uint64_t id_delta, Cycle* t_io);
 
   /// Effective element cap from one dependency over [u, ...], linearised.
   struct CapLine {
@@ -167,13 +214,27 @@ class TimingEngine {
   Cva6Stall cva6_stall_ = Cva6Stall::kNone;
 
   // Liveness tracking (wakeup-counting watchdog; see sim/scheduler.hpp).
+  // The cycle-stepped oracle polls watchdog_.progress_total() every few
+  // thousand cycles; the event engine uses the wakeup budget directly.
   WakeupWatchdog watchdog_;
-  std::uint64_t progress_events_ = 0;
   std::uint64_t last_progress_events_ = 0;
   Cycle last_progress_cycle_ = 0;
 
   // Scratch for fast_forward_heads (kept to avoid per-wakeup allocation).
   std::vector<std::uint32_t> ff_processed_;
+
+  // Loop-batching state (event engine only; see prepare_loop_batching).
+  std::vector<OpKey> op_keys_;
+  std::vector<LoopRegion> loop_regions_;
+  /// Per region: first op index at which the address arithmetic-progression
+  /// / common-delta / bus-alignment requirements stop holding (== start
+  /// when the region is not batchable at all, == end when fully eligible).
+  std::vector<std::size_t> loop_addr_ok_end_;
+  std::size_t loop_region_idx_ = 0;
+  std::size_t last_ckpt_pc_ = static_cast<std::size_t>(-1);
+  LoopCheckpoint ckpt_;
+  std::vector<TraceDelta> trace_deltas_;  ///< scratch for the recorded window
+  std::vector<std::uint64_t> snap_scratch_;
 };
 
 }  // namespace araxl

@@ -32,6 +32,7 @@
 
 #include "cluster/vlsu.hpp"
 #include "common/contracts.hpp"
+#include "isa/disasm.hpp"
 #include "machine/timing.hpp"
 
 namespace araxl {
@@ -53,6 +54,7 @@ constexpr std::uint64_t cross_after(std::uint64_t vb, std::uint64_t sb,
 
 RunStats TimingEngine::run_event_driven(const Program& prog) {
   reset_run(prog);
+  prepare_loop_batching();
   Cycle t = 0;
   while (!drained()) {
     step_cycle(t);
@@ -62,6 +64,12 @@ RunStats TimingEngine::run_event_driven(const Program& prog) {
       break;
     }
     if (watchdog_.stuck()) fail_deadlock(t);
+    if (!loop_regions_.empty() && loop_checkpoint(&t) && drained()) {
+      // A batch can consume the program's final full periods; mirror the
+      // post-step drain exit above (state is post-step at the new t).
+      ++t;
+      break;
+    }
 
     EventHorizon horizon;
     horizon.reset(t);
@@ -89,6 +97,7 @@ RunStats TimingEngine::run_event_driven(const Program& prog) {
     t = wend_excl;
   }
   stats_.cycles = t;
+  stats_.wakeups_total = watchdog_.wakeups_total();
   return stats_;
 }
 
@@ -608,6 +617,425 @@ void TimingEngine::advance_span_store(Inflight& instr, Cycle from, Cycle to) {
     }
   }
   if (to != kNeverCycle && to > instr.advanced_until) instr.advanced_until = to;
+}
+
+// ---- steady-state loop batching ---------------------------------------------
+//
+// Exactness argument. A checkpoint is the deterministic instant "first
+// wakeup whose post-step pc sits on a loop-period boundary". The snapshot
+// serializes *everything* the engine's evolution reads, rebased to the
+// checkpoint (cycle t, pc, next instruction id): CVA6 state, the captured
+// vl/vtype, the sequencer queue, every in-flight instruction (shape,
+// progress, chaining history, reduction phase, dependencies by relative
+// id) and the register claim table. If two consecutive checkpoints
+// serialize identically, the machine's evolution from the second mirrors
+// its evolution from the first — shifted by (D cycles, P ops, dI ids) —
+// provided the only non-serialized inputs also repeat:
+//
+//  * upcoming op signatures: guaranteed inside the precomputed periodic
+//    region (signatures are compared field-wise, so adversarial hash
+//    collisions cannot fake a loop);
+//  * memory addresses: per-position address deltas must form an arithmetic
+//    progression with one common delta for every bounded memory op (then
+//    every dispatch-time range-overlap test shifts rigidly and repeats)
+//    that is a multiple of the bus width (then head_skew repeats), checked
+//    op-by-op over the whole batched range — and every live op must be at
+//    least one period into the region so its previous-period counterpart
+//    is covered by those checks. Indexed accesses are exempt: the timing
+//    model never reads their addresses (unknown footprint => conservative
+//    conflict either way).
+//
+// Under those conditions each batched window retires the recorded per-
+// window stat delta, emits the recorded trace records (rebased, with the
+// disassembly refetched from the real ops so addresses stay exact), and
+// ends in the recorded state shifted once more — so applying K windows in
+// closed form and relabelling the live window K periods forward lands on
+// exactly the state the per-wakeup engine would have reached. Anything
+// else — a vl tail (different vsetvli grant), a mid-loop vtype change, a
+// drifting stall pattern — either breaks signature equality, the snapshot
+// match, or the address checks, and the engine simply keeps simulating
+// per wakeup. The EngineEquivalence fuzzers drive loop-heavy and
+// adversarial variants of all of these through both engines.
+
+namespace {
+
+/// Rebased cycle encoding for snapshots (two words: sentinel flag + delta,
+/// so kNeverCycle can never alias a legitimate rebased value).
+void push_cycle_rel(std::vector<std::uint64_t>* out, Cycle x, Cycle base) {
+  out->push_back(x == kNeverCycle ? 1 : 0);
+  out->push_back(x == kNeverCycle
+                     ? 0
+                     : static_cast<std::uint64_t>(static_cast<std::int64_t>(x) -
+                                                  static_cast<std::int64_t>(base)));
+}
+
+std::uint64_t rel_u64(std::uint64_t x, std::uint64_t base) {
+  return static_cast<std::uint64_t>(static_cast<std::int64_t>(x) -
+                                    static_cast<std::int64_t>(base));
+}
+
+/// True for memory ops whose [lo, hi) footprint the dispatcher computes
+/// from the instruction's address (the ops the batcher's address checks
+/// must cover).
+bool bounded_mem_op(Op op) {
+  return op == Op::kVle || op == Op::kVse || op == Op::kVlse || op == Op::kVsse;
+}
+
+}  // namespace
+
+void TimingEngine::prepare_loop_batching() {
+  const std::size_t n = prog_->ops.size();
+  op_keys_.reserve(n);
+  for (const ProgOp& op : prog_->ops) {
+    op_keys_.push_back(op_key(op, cfg_.effective_vlen()));
+  }
+  loop_regions_ = find_loop_regions(op_keys_);
+  loop_addr_ok_end_.reserve(loop_regions_.size());
+  for (const LoopRegion& r : loop_regions_) {
+    // Per-position address delta between the first two periods; the region
+    // is batchable up to the first op that breaks the progression, the
+    // common-delta rule, or the bus alignment of unit-stride deltas.
+    const std::size_t p = r.period;
+    bool eligible = true;
+    bool have_common = false;
+    std::int64_t common = 0;
+    std::vector<std::int64_t> delta(p, 0);
+    for (std::size_t j = 0; j < p && eligible; ++j) {
+      const auto* v = std::get_if<VInstr>(&prog_->ops[r.start + j]);
+      if (v == nullptr || !bounded_mem_op(v->op)) continue;
+      const auto& v2 = std::get<VInstr>(prog_->ops[r.start + p + j]);
+      delta[j] = static_cast<std::int64_t>(v2.addr) -
+                 static_cast<std::int64_t>(v->addr);
+      if (!have_common) {
+        have_common = true;
+        common = delta[j];
+      } else if (delta[j] != common) {
+        eligible = false;  // ranges would not shift rigidly together
+      }
+      if (delta[j] % static_cast<std::int64_t>(glsu_.bus_bytes()) != 0) {
+        eligible = false;  // head_skew would change across iterations
+      }
+    }
+    if (!eligible) {
+      loop_addr_ok_end_.push_back(r.start);
+      continue;
+    }
+    std::size_t ok_end = r.end;
+    for (std::size_t i = r.start + p; i < r.end; ++i) {
+      const auto* v = std::get_if<VInstr>(&prog_->ops[i]);
+      if (v == nullptr || !bounded_mem_op(v->op)) continue;
+      const auto& prev = std::get<VInstr>(prog_->ops[i - p]);
+      const std::int64_t want = static_cast<std::int64_t>(prev.addr) +
+                                delta[(i - r.start) % p];
+      if (static_cast<std::int64_t>(v->addr) != want) {
+        ok_end = i;
+        break;
+      }
+    }
+    loop_addr_ok_end_.push_back(ok_end);
+  }
+}
+
+void TimingEngine::snapshot_state(Cycle t, std::vector<std::uint64_t>* out) const {
+  const std::uint64_t id_base = next_id_;
+  const std::size_t pc_base = pc_;
+
+  out->push_back(static_cast<std::uint64_t>(dispatched_this_cycle_));
+  out->push_back(static_cast<std::uint64_t>(cva6_stall_));
+  push_cycle_rel(out, cva6_free_, t);
+  out->push_back(fn_.vl());
+  out->push_back(sew_bits(fn_.vtype().sew));
+  out->push_back(static_cast<std::uint64_t>(fn_.vtype().lmul.log2 + 8));
+
+  const auto push_shape = [&](const VInstr& in) {
+    out->push_back(static_cast<std::uint64_t>(in.op));
+    out->push_back(static_cast<std::uint64_t>(in.vd) |
+                   (static_cast<std::uint64_t>(in.vs1) << 8) |
+                   (static_cast<std::uint64_t>(in.vs2) << 16) |
+                   (static_cast<std::uint64_t>(in.masked ? 1 : 0) << 24));
+    out->push_back(static_cast<std::uint64_t>(in.xs));
+    out->push_back(static_cast<std::uint64_t>(in.stride));
+  };
+
+  out->push_back(seq_.size());
+  for (const Pending& p : seq_) {
+    push_shape(p.in);
+    out->push_back(rel_u64(p.prog_index, pc_base));
+    out->push_back(p.vl);
+    out->push_back(p.ew);
+    out->push_back(p.group_regs);
+    push_cycle_rel(out, p.issued_at, t);
+    push_cycle_rel(out, p.arrive_at, t);
+  }
+
+  for (std::size_t u = 1; u < kNumUnits; ++u) {
+    const auto& q = unitq_[u];
+    out->push_back(q.size());
+    for (const std::uint32_t slot : q) {
+      const Inflight& instr = pool_.at(slot);
+      push_shape(instr.in);
+      out->push_back(rel_u64(instr.prog_index, pc_base));
+      out->push_back(instr.vl);
+      out->push_back(instr.ew);
+      out->push_back(static_cast<std::uint64_t>(instr.unit));
+      push_cycle_rel(out, instr.issued_at, t);
+      push_cycle_rel(out, instr.dispatched_at, t);
+      push_cycle_rel(out, instr.start_at, t);
+      push_cycle_rel(out, instr.advanced_until, t);
+      push_cycle_rel(out, instr.first_result_at, t);
+      push_cycle_rel(out, instr.completed_at, t);
+      push_cycle_rel(out, instr.finished_at, t);
+      push_cycle_rel(out, instr.projected_done, t);
+      out->push_back(instr.produced);
+      out->push_back(instr.rate_acc);
+      out->push_back(instr.bytes_total);
+      out->push_back(instr.bytes_done);
+      out->push_back(instr.head_skew);
+      out->push_back(static_cast<std::uint64_t>(instr.red_phase));
+      push_cycle_rel(out, instr.red_phase_end, t);
+      out->push_back(instr.write_base);
+      out->push_back(instr.write_count);
+      out->push_back(instr.read_groups);
+      for (unsigned g = 0; g < instr.read_groups; ++g) {
+        out->push_back(instr.read_base[g]);
+        out->push_back(instr.read_count[g]);
+      }
+      out->push_back(instr.deps.size());
+      for (const Dep& d : instr.deps) {
+        const bool live = pool_.get(d.slot, d.producer) != nullptr;
+        out->push_back(live ? 1 : 0);
+        out->push_back(live ? rel_u64(d.producer, id_base) : 0);
+        out->push_back(d.lag);
+        out->push_back(static_cast<std::uint64_t>(d.offset));
+        out->push_back(d.full ? 1 : 0);
+        out->push_back(d.producer_ticks_first ? 1 : 0);
+      }
+      instr.hist.serialize_rel(t, out);
+    }
+  }
+
+  for (const RegState& rs : regs_) {
+    const Inflight* w = find(rs.writer);
+    out->push_back(w == nullptr ? 0 : 1);
+    out->push_back(w == nullptr ? 0 : rel_u64(rs.writer.id, id_base));
+    std::uint64_t live_readers = 0;
+    for (const RegRef& rr : rs.readers) {
+      if (find(rr) != nullptr) ++live_readers;
+    }
+    out->push_back(live_readers);
+    for (const RegRef& rr : rs.readers) {
+      if (find(rr) != nullptr) out->push_back(rel_u64(rr.id, id_base));
+    }
+  }
+}
+
+std::uint64_t TimingEngine::batchable_periods(const LoopRegion& r) const {
+  const std::size_t b2 = pc_;
+  const std::size_t ok_end = loop_addr_ok_end_[loop_region_idx_];
+  if (ok_end <= b2) return 0;
+  const std::uint64_t k = (ok_end - b2) / r.period;
+  if (k == 0) return 0;
+  // Every live op must be at least one period deep into the region: its
+  // previous-period counterpart anchors the rigid-shift argument for the
+  // dispatch-time address comparisons it participates in.
+  std::size_t min_idx = b2;
+  for (const Pending& p : seq_) min_idx = std::min(min_idx, p.prog_index);
+  for (const auto& q : unitq_) {
+    for (const std::uint32_t slot : q) {
+      min_idx = std::min(min_idx, pool_.at(slot).prog_index);
+    }
+  }
+  if (min_idx < r.start + r.period) return 0;
+  return k;
+}
+
+bool TimingEngine::loop_checkpoint(Cycle* t_io) {
+  while (loop_region_idx_ < loop_regions_.size() &&
+         pc_ >= loop_regions_[loop_region_idx_].end) {
+    ++loop_region_idx_;
+    ckpt_.valid = false;
+  }
+  if (loop_region_idx_ >= loop_regions_.size()) return false;
+  const LoopRegion& r = loop_regions_[loop_region_idx_];
+  // A batch from this boundary needs at least one address-checked period
+  // ahead; pc only grows, so once that fails the whole region is dead —
+  // skip the snapshot work entirely (address-ineligible loops would
+  // otherwise serialize the machine at every boundary for nothing).
+  if (loop_addr_ok_end_[loop_region_idx_] < pc_ + r.period) return false;
+  if (pc_ < r.start + r.period) return false;
+  if ((pc_ - r.start) % r.period != 0) return false;
+  if (pc_ == last_ckpt_pc_) return false;  // stalled at the boundary
+  last_ckpt_pc_ = pc_;
+
+  snap_scratch_.clear();
+  snapshot_state(*t_io, &snap_scratch_);
+
+  if (ckpt_.valid && ckpt_.pc + r.period == pc_ &&
+      snap_scratch_ == ckpt_.state) {
+    const Cycle d = *t_io - ckpt_.t;
+    const std::uint64_t id_delta = next_id_ - ckpt_.next_id;
+    const std::uint64_t k = batchable_periods(r);
+    if (k > 0) {
+      apply_batch(r, k, d, id_delta, t_io);
+      // The landing pc is itself a boundary; the state there is known to
+      // equal this snapshot (shifted), so re-arm recording from scratch
+      // for whatever partial tail remains.
+      ckpt_.valid = false;
+      last_ckpt_pc_ = pc_;
+      return true;
+    }
+  }
+
+  ckpt_.valid = true;
+  ckpt_.t = *t_io;
+  ckpt_.pc = pc_;
+  ckpt_.next_id = next_id_;
+  ckpt_.stats = stats_;
+  ckpt_.trace_len = trace_ == nullptr ? 0 : trace_->size();
+  ckpt_.state.swap(snap_scratch_);
+  return false;
+}
+
+void TimingEngine::apply_batch(const LoopRegion& r, std::uint64_t k, Cycle d,
+                               std::uint64_t id_delta, Cycle* t_io) {
+  const Cycle shift = k * d;
+  const std::size_t dp = k * r.period;
+  const std::uint64_t di = k * id_delta;
+  const std::size_t b2 = pc_;
+  const Cycle t2 = *t_io;
+  const std::uint64_t id2 = next_id_;
+
+  // 1. Trace replay: rebase the records retired inside the recorded window
+  // and stamp one copy per batched window, refetching the disassembly from
+  // the real program op so addresses and scalars stay exact.
+  if (trace_ != nullptr) {
+    trace_deltas_.clear();
+    const auto& recs = trace_->records();
+    for (std::size_t i = ckpt_.trace_len; i < recs.size(); ++i) {
+      const TraceRecord& rec = recs[i];
+      TraceDelta td;
+      td.id = static_cast<std::int64_t>(rec.id) -
+              static_cast<std::int64_t>(ckpt_.next_id);
+      td.prog = static_cast<std::int64_t>(rec.prog_index) -
+                static_cast<std::int64_t>(ckpt_.pc);
+      td.vl = rec.vl;
+      td.unit = rec.unit;
+      td.issued = static_cast<std::int64_t>(rec.issued) -
+                  static_cast<std::int64_t>(ckpt_.t);
+      td.dispatched = static_cast<std::int64_t>(rec.dispatched) -
+                      static_cast<std::int64_t>(ckpt_.t);
+      td.has_first_result = rec.first_result != 0;
+      td.first_result = td.has_first_result
+                            ? static_cast<std::int64_t>(rec.first_result) -
+                                  static_cast<std::int64_t>(ckpt_.t)
+                            : 0;
+      td.completed = static_cast<std::int64_t>(rec.completed) -
+                     static_cast<std::int64_t>(ckpt_.t);
+      trace_deltas_.push_back(td);
+    }
+    for (std::uint64_t m = 0; m < k; ++m) {
+      const Cycle bt = t2 + m * d;
+      const std::uint64_t bid = id2 + m * id_delta;
+      const std::size_t bpc = b2 + m * r.period;
+      for (const TraceDelta& td : trace_deltas_) {
+        TraceRecord rec;
+        rec.id = static_cast<std::uint64_t>(static_cast<std::int64_t>(bid) + td.id);
+        rec.prog_index =
+            static_cast<std::uint64_t>(static_cast<std::int64_t>(bpc) + td.prog);
+        rec.text = disasm(std::get<VInstr>(prog_->ops[rec.prog_index]));
+        rec.unit = td.unit;
+        rec.vl = td.vl;
+        rec.issued = static_cast<Cycle>(static_cast<std::int64_t>(bt) + td.issued);
+        rec.dispatched =
+            static_cast<Cycle>(static_cast<std::int64_t>(bt) + td.dispatched);
+        rec.first_result =
+            td.has_first_result
+                ? static_cast<Cycle>(static_cast<std::int64_t>(bt) + td.first_result)
+                : 0;
+        rec.completed =
+            static_cast<Cycle>(static_cast<std::int64_t>(bt) + td.completed);
+        trace_->add(std::move(rec));
+      }
+    }
+  }
+
+  // 2. Architectural execution of every batched op, in program order (the
+  // timing pattern is replayed; the data is not — vsetvli grants included,
+  // which the signature proves identical period over period).
+  for (std::size_t i = b2; i < b2 + dp; ++i) {
+    if (const auto* v = std::get_if<VInstr>(&prog_->ops[i])) fn_.exec(*v);
+  }
+
+  // 3. Relabel the live window K periods into the future. Pass 1 retargets
+  // every by-id reference while the pool still resolves the old ids; pass 2
+  // shifts the instructions themselves.
+  for (auto& q : unitq_) {
+    for (const std::uint32_t slot : q) {
+      Inflight& instr = pool_.at(slot);
+      for (Dep& dep : instr.deps) {
+        if (pool_.get(dep.slot, dep.producer) != nullptr) dep.producer += di;
+      }
+    }
+  }
+  for (RegState& rs : regs_) {
+    if (find(rs.writer) != nullptr) rs.writer.id += di;
+    for (RegRef& rr : rs.readers) {
+      if (find(rr) != nullptr) rr.id += di;
+    }
+  }
+  const auto shift_cycle = [&](Cycle& c) {
+    if (c != kNeverCycle) c += shift;
+  };
+  for (auto& q : unitq_) {
+    for (const std::uint32_t slot : q) {
+      Inflight& instr = pool_.at(slot);
+      instr.id += di;
+      instr.prog_index += dp;
+      instr.in = std::get<VInstr>(prog_->ops[instr.prog_index]);
+      instr.issued_at += shift;
+      instr.dispatched_at += shift;
+      instr.start_at += shift;
+      instr.advanced_until += shift;
+      shift_cycle(instr.first_result_at);
+      shift_cycle(instr.completed_at);
+      shift_cycle(instr.finished_at);
+      shift_cycle(instr.projected_done);
+      shift_cycle(instr.red_phase_end);
+      instr.hist.shift_time(shift);
+    }
+  }
+  for (Pending& p : seq_) {
+    p.prog_index += dp;
+    p.in = std::get<VInstr>(prog_->ops[p.prog_index]);
+    p.issued_at += shift;
+    p.arrive_at += shift;
+  }
+  cva6_free_ += shift;
+  pc_ = b2 + dp;
+  next_id_ = id2 + di;
+
+  // 4. K copies of the recorded per-window stat deltas.
+  const RunStats& s0 = ckpt_.stats;
+  stats_.vinstrs += k * (stats_.vinstrs - s0.vinstrs);
+  stats_.scalar_ops += k * (stats_.scalar_ops - s0.scalar_ops);
+  stats_.flops += k * (stats_.flops - s0.flops);
+  stats_.fpu_result_elems += k * (stats_.fpu_result_elems - s0.fpu_result_elems);
+  stats_.mem_read_bytes += k * (stats_.mem_read_bytes - s0.mem_read_bytes);
+  stats_.mem_write_bytes += k * (stats_.mem_write_bytes - s0.mem_write_bytes);
+  stats_.issue_stall_cycles +=
+      k * (stats_.issue_stall_cycles - s0.issue_stall_cycles);
+  stats_.scalar_wait_cycles +=
+      k * (stats_.scalar_wait_cycles - s0.scalar_wait_cycles);
+  for (std::size_t u = 0; u < kNumUnits; ++u) {
+    stats_.unit_busy_elems[u] += k * (stats_.unit_busy_elems[u] - s0.unit_busy_elems[u]);
+  }
+  stats_.batched_iterations += k;
+
+  // 5. One batch = K iterations of progress, not one note (the watchdog's
+  // wakeup budget must not see a long fast-forward as a silent machine).
+  watchdog_.note_progress(k);
+
+  *t_io = t2 + shift;
 }
 
 }  // namespace araxl

@@ -8,9 +8,11 @@
 #define ARAXL_SIM_PIPE_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "common/contracts.hpp"
 #include "sim/cycle.hpp"
@@ -203,6 +205,37 @@ class LaggedCounter {
   [[nodiscard]] std::uint64_t latest() const noexcept {
     return count_ == 0 ? 0 : eval(ring_[(head_ + count_ - 1) % kDepth],
                                   ring_[(head_ + count_ - 1) % kDepth].hold);
+  }
+
+  /// Moves the whole recorded history `delta` cycles into the future — the
+  /// loop batcher relabels a steady-state instruction's history when it
+  /// fast-forwards K whole iterations (values are per-instruction produced
+  /// counts and stay untouched; only the time axis shifts).
+  void shift_time(Cycle delta) noexcept {
+    for (std::size_t k = 0; k < count_; ++k) {
+      Entry& e = ring_[(head_ + k) % kDepth];
+      e.start += delta;
+      e.hold += delta;
+    }
+  }
+
+  /// Appends a canonical time-relative serialization of the history to
+  /// `out` (cycles rebased to `base`): two histories serialize equally iff
+  /// every consumer-visible query agrees under the same rebasing. Used by
+  /// the loop batcher's steady-state snapshot comparison.
+  void serialize_rel(Cycle base, std::vector<std::uint64_t>* out) const {
+    out->push_back(count_);
+    for (std::size_t k = 0; k < count_; ++k) {
+      const Entry& e = ring_[(head_ + k) % kDepth];
+      out->push_back(static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(e.start) - static_cast<std::int64_t>(base)));
+      out->push_back(e.value);
+      out->push_back(e.num);
+      out->push_back(e.den);
+      out->push_back(e.acc);
+      out->push_back(static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(e.hold) - static_cast<std::int64_t>(base)));
+    }
   }
 
  private:

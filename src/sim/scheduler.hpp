@@ -64,9 +64,19 @@ class WakeupWatchdog {
   void reset() noexcept {
     wakeups_total_ = 0;
     wakeups_since_progress_ = 0;
+    progress_total_ = 0;
   }
 
-  void note_progress() noexcept { wakeups_since_progress_ = 0; }
+  /// Records `events` units of observable work. A steady-state loop batch
+  /// retires K whole iterations inside a single wakeup and must report
+  /// K progress notes, not one: the progress total is what liveness
+  /// diagnostics (and the batching regression tests) compare against the
+  /// wakeup count, so folding a batch into one note would make a long
+  /// fast-forward look like a near-stuck machine.
+  void note_progress(std::uint64_t events = 1) noexcept {
+    wakeups_since_progress_ = 0;
+    progress_total_ += events;
+  }
 
   void note_wakeup() noexcept {
     ++wakeups_total_;
@@ -81,6 +91,12 @@ class WakeupWatchdog {
     return wakeups_total_;
   }
 
+  /// Total progress events noted since reset() (batches count per
+  /// iteration).
+  [[nodiscard]] std::uint64_t progress_total() const noexcept {
+    return progress_total_;
+  }
+
   /// Default wakeup budget: a healthy machine retires work every handful
   /// of wakeups; even pathological-but-live schedules stay well below this.
   static constexpr std::uint64_t kDefaultBudget = 1u << 20;
@@ -89,6 +105,7 @@ class WakeupWatchdog {
   std::uint64_t budget_;
   std::uint64_t wakeups_total_ = 0;
   std::uint64_t wakeups_since_progress_ = 0;
+  std::uint64_t progress_total_ = 0;
 };
 
 }  // namespace araxl

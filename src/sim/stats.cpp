@@ -32,6 +32,8 @@ std::string RunStats::summary() const {
     out.append(12 - unit_name(static_cast<Unit>(u)).size(), ' ');
     out += fmt_group(unit_busy_elems[u]) + " element-slots\n";
   }
+  out += "wakeups:           " + fmt_group(wakeups_total) + "\n";
+  out += "batched iters:     " + fmt_group(batched_iterations) + "\n";
   return out;
 }
 

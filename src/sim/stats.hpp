@@ -44,6 +44,15 @@ struct RunStats {
   std::uint64_t scalar_wait_cycles = 0;  ///< CVA6 cycles waiting on vector results
   std::array<std::uint64_t, kNumUnits> unit_busy_elems{};  ///< element slots per unit
 
+  // ---- engine provenance (how the run was simulated, not what it did) -----
+  // Excluded from operator== on purpose: the cycle-stepped oracle touches
+  // every cycle while the event engine wakes up orders of magnitude less
+  // often, yet both must agree on every counter above. Reporters zero these
+  // by default so caches/shards/worker-count `cmp` contracts keep holding.
+  std::uint64_t wakeups_total = 0;        ///< scheduler wakeups (oracle: cycles)
+  std::uint64_t batched_iterations = 0;   ///< loop iterations fast-forwarded
+                                          ///< by steady-state batching
+
   /// Fraction of lane-FPU slots that produced a valid result — the paper's
   /// FPU-utilization metric (Fig. 6 lines, Fig. 7 drops).
   [[nodiscard]] double fpu_util() const {
@@ -64,8 +73,11 @@ struct RunStats {
   /// Multi-line human-readable dump (used by examples).
   [[nodiscard]] std::string summary() const;
 
-  /// Field-wise equality: the event-driven engine must reproduce the
-  /// cycle-stepped oracle's counters bit for bit (differential tests).
+  /// Field-wise equality over the *measurement* counters: the event-driven
+  /// engine must reproduce the cycle-stepped oracle's counters bit for bit
+  /// (differential tests). The provenance counters (wakeups_total,
+  /// batched_iterations) legitimately differ between engines and are not
+  /// compared.
   friend bool operator==(const RunStats& a, const RunStats& b) {
     return a.cycles == b.cycles && a.total_lanes == b.total_lanes &&
            a.vinstrs == b.vinstrs && a.scalar_ops == b.scalar_ops &&

@@ -18,6 +18,7 @@ namespace araxl {
 
 struct TraceRecord {
   std::uint64_t id = 0;       ///< in-flight id (monotonic in dispatch order)
+  std::uint64_t prog_index = 0;  ///< index of the op in Program::ops
   std::string text;           ///< disassembly
   Unit unit = Unit::kNone;
   std::uint64_t vl = 0;

@@ -25,10 +25,13 @@ std::vector<double> Vrf::read_f64_slice(unsigned base_vreg,
 namespace {
 
 /// Streams `vl` packed elements to/from the mapped register file. The
-/// mapping sends element j to flat lane (j mod TL) at row (j div TL), so
-/// the walk is a register/row/lane loop with a compile-time element width —
-/// the same order read_elem/write_elem would visit, minus all per-element
-/// index math.
+/// mapping sends element j to flat lane (j mod TL) at row (j div TL). The
+/// walk is lane-major: for one lane all rows of a register are contiguous
+/// in VRF storage, so the inner loop touches the register file sequentially
+/// and only the (cache-resident) packed buffer is accessed with a stride.
+/// The element-major order used previously made every VRF access jump by
+/// kNumVregs * slice bytes — a 4 KiB stride at 64 lanes that turned each
+/// whole-register stream into a cache-miss chain.
 template <unsigned kEw, bool kWrite, typename Bytes, typename Buf>
 void stream_elems(const VrfMapping& map, Bytes* vrf_bytes, unsigned base_vreg,
                   std::uint64_t vl, Buf* buf) {
@@ -36,27 +39,26 @@ void stream_elems(const VrfMapping& map, Bytes* vrf_bytes, unsigned base_vreg,
   const std::uint64_t slice = map.slice_bytes();
   const std::uint64_t lane_stride = kNumVregs * slice;  // next flat lane
   const std::uint64_t epr = map.elems_per_reg(kEw);
+  const std::uint64_t buf_row = std::uint64_t{total_lanes} * kEw;
   std::uint64_t done = 0;
   unsigned vreg = base_vreg;
   while (done < vl) {
     check(vreg < kNumVregs, "element index spills past v31");
     const std::uint64_t in_reg = std::min<std::uint64_t>(vl - done, epr);
     Bytes* reg_base = vrf_bytes + vreg * slice;
-    std::uint64_t row = 0;
-    for (std::uint64_t j = 0; j < in_reg; row += kEw) {
-      const std::uint64_t lanes =
-          std::min<std::uint64_t>(in_reg - j, total_lanes);
-      Bytes* p = reg_base + row;
-      for (std::uint64_t l = 0; l < lanes; ++l, p += lane_stride) {
+    for (std::uint64_t l = 0; l < total_lanes && l < in_reg; ++l) {
+      const std::uint64_t rows = (in_reg - l + total_lanes - 1) / total_lanes;
+      Bytes* p = reg_base + l * lane_stride;
+      Buf* q = buf + l * kEw;
+      for (std::uint64_t r = 0; r < rows; ++r, p += kEw, q += buf_row) {
         if constexpr (kWrite) {
-          std::memcpy(p, buf, kEw);
+          std::memcpy(p, q, kEw);
         } else {
-          std::memcpy(buf, p, kEw);
+          std::memcpy(q, p, kEw);
         }
-        buf += kEw;
       }
-      j += lanes;
     }
+    buf += in_reg * kEw;
     done += in_reg;
     ++vreg;
   }

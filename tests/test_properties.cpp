@@ -469,6 +469,169 @@ TEST(EngineEquivalence, DriverSweepRegistryKernelsMatchOracle) {
   }
 }
 
+// ---- 4. loop batching: steady-state fast-forward vs the oracle --------------
+//
+// The event engine batches whole strip-mined iterations once two
+// consecutive loop-period boundaries snapshot identically. These programs
+// are built to stress exactly the edges of that detector: long steady
+// loops (must batch, must stay exact through the vl tail), mid-loop vl
+// changes (must fall out of batch mode), and adversarial signature
+// collisions — bodies whose op signatures repeat perfectly while the
+// address pattern silently changes (progression breaks, per-op deltas
+// diverge, or deltas misalign with the bus), which MUST either be rejected
+// by the address checks or still simulate bit-identically.
+Program loop_program(std::uint64_t vlen_bits, std::uint64_t seed) {
+  Rng rng(seed);
+  ProgramBuilder pb(vlen_bits, "loopfuzz" + std::to_string(seed));
+  const Lmul lmul = rng.next_below(2) == 0 ? kLmul1 : kLmul2;
+  const std::uint64_t vlmax_b = pb.vlmax(Sew::k64, lmul);
+  // Long enough that the batchable variants actually reach steady state
+  // (queue backpressure takes ~a dozen iterations to saturate), short
+  // enough that the per-cycle oracle stays cheap.
+  const std::uint64_t iters = 14 + rng.next_below(22);
+  // Half the programs end on a partial (tail) strip.
+  const std::uint64_t total =
+      vlmax_b * iters + (rng.next_below(2) == 0 ? 1 + rng.next_below(vlmax_b - 1) : 0);
+  const std::uint64_t variant = rng.next_below(5);
+  const std::uint64_t stride_bytes = vlmax_b * 8;
+
+  std::uint64_t a = kBase;
+  std::uint64_t b = kBase + kRegionBytes / 4;
+  std::uint64_t c = kBase + kRegionBytes / 2;
+  std::uint64_t done = 0;
+  std::uint64_t iter = 0;
+  while (done < total) {
+    const std::uint64_t vl = pb.vsetvli(total - done, Sew::k64, lmul);
+    switch (variant) {
+      case 0:  // plain strip-mined triad: the must-batch case
+        pb.vle(8, a);
+        pb.vle(16, b);
+        pb.vfmacc_vv(24, 8, 16);
+        pb.vse(24, c);
+        pb.scalar_cycles(2);
+        a += stride_bytes;
+        b += stride_bytes;
+        c += stride_bytes;
+        break;
+      case 1: {  // mid-loop vsetvli with an iteration-dependent grant
+        pb.vle(8, a);
+        pb.vsetvli(1 + (iter % 7), Sew::k64, kLmul1);
+        pb.vfadd_vf(16, 8, 1.5);
+        pb.vsetvli(total - done, Sew::k64, lmul);
+        pb.vfmul_vv(24, 8, 8);
+        a += stride_bytes;
+        break;
+      }
+      case 2:  // signature collision: identical keys, diverging per-op deltas
+        pb.vle(8, a);
+        pb.vle(16, b);
+        pb.vfadd_vv(24, 8, 16);
+        pb.vse(24, c);
+        a += stride_bytes;
+        b += stride_bytes / 2;  // not the common delta
+        c += 8 * (iter % 3);    // not even a progression
+        break;
+      case 3:  // bus-misaligned deltas + store/load overlap churn
+        pb.vle(8, a);
+        pb.vfadd_vf(16, 8, 0.25);
+        pb.vse(16, a + 8);  // overlaps the next iteration's load
+        a += 24;            // not a multiple of any bus width
+        break;
+      default:  // batchable body with slides, reductions and scalar work
+        pb.vle(8, a);
+        pb.vfslide1down(16, 8, 3.25);
+        pb.vfmacc_vv(24, 8, 16);
+        pb.vfredusum(30, 24, 31);
+        pb.scalar_cycles(1 + seed % 3);
+        a += stride_bytes;
+        break;
+    }
+    done += vl;
+    ++iter;
+  }
+  return pb.take();
+}
+
+struct LoopRun {
+  RunStats stats;
+  InstrTrace trace;
+  std::unique_ptr<Machine> machine;
+};
+
+LoopRun run_loop_with_mode(MachineConfig cfg, TimingMode mode,
+                           const Program& prog, std::uint64_t seed) {
+  cfg.timing_mode = mode;
+  LoopRun out;
+  out.machine = std::make_unique<Machine>(cfg);
+  init_machine(*out.machine, seed);
+  out.stats = out.machine->run(prog, &out.trace);
+  return out;
+}
+
+class LoopEquivalence : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LoopEquivalence, BatchedLoopsBitIdenticalToOracle) {
+  const std::uint64_t seed = GetParam();
+  MachineConfig shaped = MachineConfig::araxl_shaped(4, 2);
+  shaped.vlen_bits = 8192;
+  shaped.validate();
+  MachineConfig laggy = MachineConfig::araxl(16);
+  laggy.glsu_regs = 4;
+  laggy.reqi_regs = 1;
+  laggy.ring_regs = 1;
+  laggy.validate();
+  const MachineConfig configs[] = {
+      MachineConfig::araxl(8),
+      MachineConfig::ara2(8),
+      MachineConfig::araxl(64),
+      shaped,
+      laggy,
+  };
+  for (const MachineConfig& cfg : configs) {
+    const Program prog = loop_program(cfg.effective_vlen(), seed);
+    const LoopRun ev =
+        run_loop_with_mode(cfg, TimingMode::kEventDriven, prog, seed);
+    const LoopRun oracle =
+        run_loop_with_mode(cfg, TimingMode::kCycleStepped, prog, seed);
+    const std::string label = cfg.name() + " loopseed " + std::to_string(seed);
+    expect_same_stats(ev.stats, oracle.stats, label);
+
+    // Retirement order and per-instruction timestamps: the batched trace
+    // replay must be indistinguishable from the oracle's per-cycle trace.
+    ASSERT_EQ(ev.trace.records().size(), oracle.trace.records().size()) << label;
+    for (std::size_t i = 0; i < ev.trace.records().size(); ++i) {
+      const TraceRecord& x = ev.trace.records()[i];
+      const TraceRecord& y = oracle.trace.records()[i];
+      EXPECT_EQ(x.id, y.id) << label << " #" << i;
+      EXPECT_EQ(x.prog_index, y.prog_index) << label << " #" << i;
+      EXPECT_EQ(x.text, y.text) << label << " #" << i;
+      EXPECT_EQ(x.issued, y.issued) << label << " #" << i << " " << x.text;
+      EXPECT_EQ(x.dispatched, y.dispatched) << label << " #" << i << " " << x.text;
+      EXPECT_EQ(x.first_result, y.first_result) << label << " #" << i << " " << x.text;
+      EXPECT_EQ(x.completed, y.completed) << label << " #" << i << " " << x.text;
+    }
+
+    // Architectural state: the batch path re-executes every op through the
+    // functional engine; registers and memory must match the oracle's.
+    const std::uint64_t epr = cfg.effective_vlen() / 64;
+    for (unsigned v = 1; v < kNumVregs; ++v) {
+      for (std::uint64_t i = 0; i < epr; ++i) {
+        ASSERT_EQ(ev.machine->vrf().read_elem(v, i, 8),
+                  oracle.machine->vrf().read_elem(v, i, 8))
+            << label << " v" << v << "[" << i << "]";
+      }
+    }
+    for (std::uint64_t off = 0; off < kRegionBytes; off += 8) {
+      ASSERT_EQ(ev.machine->mem().load<std::uint64_t>(kBase + off),
+                oracle.machine->mem().load<std::uint64_t>(kBase + off))
+          << label << " mem offset " << off;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, LoopEquivalence,
+                         testing::Range<std::uint64_t>(0, 15));
+
 TEST(EngineEquivalence, TracesBitIdentical) {
   // Retirement order and per-instruction trace timestamps must match too,
   // not just the aggregate counters.

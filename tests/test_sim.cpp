@@ -197,6 +197,27 @@ TEST(WakeupWatchdog, TripsAfterBudgetWithoutProgress) {
   EXPECT_EQ(wd.wakeups_total(), 4u);
 }
 
+TEST(WakeupWatchdog, BatchedProgressCountsPerIteration) {
+  // Regression for the loop batcher: fast-forwarding K iterations inside
+  // one wakeup must register as K progress events. Before note_progress
+  // took an event count, a batch looked like a single note — the progress
+  // total undercounted by K-1 and long fast-forwards were indistinguishable
+  // from a machine inching along one element at a time.
+  WakeupWatchdog wd(4);
+  wd.note_wakeup();
+  wd.note_progress(1000);  // one batch, 1000 iterations
+  EXPECT_FALSE(wd.stuck());
+  EXPECT_EQ(wd.progress_total(), 1000u);
+  for (int i = 0; i < 4; ++i) wd.note_wakeup();
+  EXPECT_FALSE(wd.stuck());  // budget counts wakeups since the batch
+  wd.note_wakeup();
+  EXPECT_TRUE(wd.stuck());
+  wd.note_progress();
+  EXPECT_EQ(wd.progress_total(), 1001u);
+  wd.reset();
+  EXPECT_EQ(wd.progress_total(), 0u);
+}
+
 TEST(RunStats, EqualityComparesAllCounters) {
   RunStats a;
   a.cycles = 10;

@@ -367,5 +367,142 @@ TEST(Timing, Ara2LongSlideNotPenalized) {
   EXPECT_LT(sk.cycles, s1.cycles + 16);  // lumped SLDU crossbar
 }
 
+// ---- steady-state loop batching ---------------------------------------------
+
+/// Runs `kernel_name` under both engines on fresh machines and returns the
+/// (event, oracle) stats pair.
+std::pair<RunStats, RunStats> run_both_engines(const char* kernel_name,
+                                               unsigned lanes,
+                                               std::uint64_t bpl) {
+  MachineConfig cfg = MachineConfig::araxl(lanes);
+  cfg.timing_mode = TimingMode::kEventDriven;
+  Machine ev(cfg);
+  auto k1 = make_kernel(kernel_name);
+  const RunStats s_ev = ev.run(k1->build(ev, bpl));
+
+  cfg.timing_mode = TimingMode::kCycleStepped;
+  Machine oracle(cfg);
+  auto k2 = make_kernel(kernel_name);
+  const RunStats s_or = oracle.run(k2->build(oracle, bpl));
+  return {s_ev, s_or};
+}
+
+TEST(LoopBatching, EngagesOnFdotproductSteadyState) {
+  // fdotproduct strip-mines vfmacc chains over LMUL=8 groups; at 16384
+  // B/lane the event engine must detect the steady state, fast-forward
+  // whole iterations, and still match the oracle on every counter.
+  const auto [ev, oracle] = run_both_engines("fdotproduct", 8, 16384);
+  EXPECT_GT(ev.batched_iterations, 0u);
+  EXPECT_LT(ev.wakeups_total, oracle.wakeups_total / 4);
+  EXPECT_TRUE(ev == oracle);
+}
+
+TEST(LoopBatching, EngagesOnStreamTriadSteadyState) {
+  // stream_triad double-buffers its LMUL=8 groups, so its steady-state
+  // period is TWO strips; give it enough strips for several periods.
+  const auto [ev, oracle] = run_both_engines("stream_triad", 8, 32768);
+  EXPECT_GT(ev.batched_iterations, 0u);
+  EXPECT_TRUE(ev == oracle);
+}
+
+TEST(LoopBatching, DisengagesOnVlTail) {
+  // A strip total that is NOT a multiple of VLMAX ends on a smaller
+  // vsetvli grant: the batcher must stop before the tail iteration and the
+  // run must stay bit-identical to the oracle through it.
+  MachineConfig cfg = MachineConfig::araxl(16);
+  const std::uint64_t vlmax_m4 = 4 * cfg.effective_vlen() / 64;
+  const std::uint64_t total = 12 * vlmax_m4 + vlmax_m4 / 3;  // partial tail
+  const auto body = [&](ProgramBuilder& pb) {
+    std::uint64_t done = 0;
+    std::uint64_t a = kA;
+    while (done < total) {
+      const std::uint64_t vl = pb.vsetvli(total - done, Sew::k64, kLmul4);
+      pb.vle(8, a);
+      pb.vfmacc_vf(16, 1.5, 8);
+      pb.vse(16, a + 0x100000);
+      a += vl * 8;
+      done += vl;
+    }
+  };
+  const RunStats ev = run_prog(cfg, body);
+  MachineConfig oracle_cfg = cfg;
+  oracle_cfg.timing_mode = TimingMode::kCycleStepped;
+  const RunStats oracle = run_prog(oracle_cfg, body);
+  EXPECT_GT(ev.batched_iterations, 0u);
+  EXPECT_TRUE(ev == oracle);
+  EXPECT_EQ(oracle.batched_iterations, 0u);  // the oracle never batches
+}
+
+TEST(LoopBatching, DisengagesOnMidLoopVsetvli) {
+  // A mid-loop vsetvli whose grant changes every iteration breaks the
+  // period signature: no batching, identical RunStats either way.
+  MachineConfig cfg = MachineConfig::araxl(16);
+  const std::uint64_t vlmax_m2 = 2 * cfg.effective_vlen() / 64;
+  const auto body = [&](ProgramBuilder& pb) {
+    std::uint64_t a = kA;
+    for (std::uint64_t i = 0; i < 14; ++i) {
+      pb.vsetvli(vlmax_m2, Sew::k64, kLmul2);
+      pb.vle(8, a);
+      pb.vsetvli(1 + (i % 5), Sew::k64, kLmul1);  // vl changes mid-loop
+      pb.vfadd_vf(16, 8, 1.0);
+      a += vlmax_m2 * 8;
+    }
+  };
+  const RunStats ev = run_prog(cfg, body);
+  MachineConfig oracle_cfg = cfg;
+  oracle_cfg.timing_mode = TimingMode::kCycleStepped;
+  const RunStats oracle = run_prog(oracle_cfg, body);
+  EXPECT_EQ(ev.batched_iterations, 0u);
+  EXPECT_TRUE(ev == oracle);
+}
+
+TEST(LoopBatching, WatchdogCountsBatchedIterationsAsProgress) {
+  // Regression: a long batched fast-forward must feed the liveness
+  // watchdog one progress note per iteration, so a tiny wakeup budget —
+  // far smaller than the number of iterations fast-forwarded — cannot trip
+  // the stuck detector mid-batch.
+  MachineConfig cfg = MachineConfig::araxl(8);
+  cfg.watchdog_budget = 48;  // << iterations below; default is 2^20
+  Machine m(cfg);
+  const std::uint64_t vlmax_m4 = 4 * cfg.effective_vlen() / 64;
+  ProgramBuilder pb(cfg.effective_vlen(), "wd");
+  std::uint64_t a = kA;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    pb.vsetvli(vlmax_m4, Sew::k64, kLmul4);
+    pb.vle(8, a);
+    pb.vfmacc_vf(16, 1.5, 8);
+    a += vlmax_m4 * 8;
+  }
+  const RunStats s = m.run(pb.take());
+  EXPECT_GT(s.batched_iterations, 150u);
+  EXPECT_LT(s.wakeups_total, 2000u);
+}
+
+TEST(LoopBatching, SignatureCollisionAddressBreakRejected) {
+  // Adversarial: op signatures repeat perfectly, but one load's address
+  // progression silently breaks two periods after steady state would have
+  // been declared. The address checks must clamp the batch before the
+  // break, and every counter must still match the oracle.
+  MachineConfig cfg = MachineConfig::araxl(16);
+  const std::uint64_t vlmax_m2 = 2 * cfg.effective_vlen() / 64;
+  const std::uint64_t stride = vlmax_m2 * 8;
+  const auto body = [&](ProgramBuilder& pb) {
+    for (std::uint64_t i = 0; i < 16; ++i) {
+      pb.vsetvli(vlmax_m2, Sew::k64, kLmul2);
+      // Progression holds for 10 iterations, then jumps backwards so the
+      // store starts colliding with earlier loads.
+      const std::uint64_t a = i < 10 ? kA + i * stride : kA + (i - 10) * stride;
+      pb.vle(8, a);
+      pb.vfadd_vf(16, 8, 2.0);
+      pb.vse(16, a + 0x100000);
+    }
+  };
+  const RunStats ev = run_prog(cfg, body);
+  MachineConfig oracle_cfg = cfg;
+  oracle_cfg.timing_mode = TimingMode::kCycleStepped;
+  const RunStats oracle = run_prog(oracle_cfg, body);
+  EXPECT_TRUE(ev == oracle);
+}
+
 }  // namespace
 }  // namespace araxl

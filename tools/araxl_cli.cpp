@@ -53,8 +53,8 @@ int usage(std::FILE* out) {
       "              [--workers <n>] [--seed <n>] [--shard <i/N>]\n"
       "              [--json <file|->] [--csv <file|->]\n"
       "              [--store <file>] [--no-cache] [--refresh]\n"
-      "              [--cache-provenance] [--no-verify] [--oracle-check]\n"
-      "              [--quiet]\n"
+      "              [--cache-provenance] [--provenance] [--no-verify]\n"
+      "              [--oracle-check] [--quiet]\n"
       "  araxl merge (--json <out>|--csv <out>) <shard-report>...\n"
       "  araxl cache (ls | stats | gc) [--store <file>]\n"
       "\n"
@@ -72,7 +72,9 @@ int usage(std::FILE* out) {
       "  the store, --refresh recomputes and overwrites. --shard i/N runs a\n"
       "  deterministic 1/N slice; `araxl merge` reassembles shard reports\n"
       "  byte-identically to the unsharded run. --cache-provenance reports\n"
-      "  real cache_hit flags instead of the deterministic zeros.\n",
+      "  real cache_hit flags instead of the deterministic zeros;\n"
+      "  --provenance likewise reports the real wakeups_total /\n"
+      "  batched_iterations engine counters.\n",
       out);
   return out == stderr ? 2 : 0;
 }
@@ -241,6 +243,7 @@ int run_and_report(const driver::SweepSpec& spec, const Args& args,
 
   driver::ReportOptions report_opts;
   report_opts.live_cache_flags = args.has("--cache-provenance");
+  report_opts.live_provenance = args.has("--provenance");
   if (const std::string* path = args.get("--json")) {
     driver::write_report(*path, driver::to_json(results, report_opts));
   }
@@ -261,22 +264,25 @@ int run_and_report(const driver::SweepSpec& spec, const Args& args,
 
   if (print_summary) {
     TextTable table({"config", "kernel", "B/lane", "cycles", "DP-FLOP/cycle",
-                     "FPU util", "GFLOPS@fmax", "status"});
-    for (std::size_t c = 2; c < 7; ++c) table.align_right(c);
+                     "FPU util", "GFLOPS@fmax", "wakeups", "batched", "status"});
+    for (std::size_t c = 2; c < 9; ++c) table.align_right(c);
     const FreqModel freq_model;
     for (const driver::JobResult& r : results) {
       if (r.ok) {
+        // Cached results carry no engine provenance (nothing was simulated).
         table.add_row({r.job.config_label, r.job.kernel,
                        std::to_string(r.job.bytes_per_lane),
                        fmt_group(r.stats.cycles),
                        fmt_f(r.stats.flop_per_cycle(), 2),
                        fmt_pct(r.stats.fpu_util(), 1),
                        fmt_f(r.stats.gflops(freq_model.freq_ghz(r.job.cfg)), 1),
+                       r.cache_hit ? "-" : fmt_group(r.stats.wakeups_total),
+                       r.cache_hit ? "-" : fmt_group(r.stats.batched_iterations),
                        "ok"});
       } else {
         table.add_row({r.job.config_label, r.job.kernel,
                        std::to_string(r.job.bytes_per_lane), "-", "-", "-", "-",
-                       "FAILED"});
+                       "-", "-", "FAILED"});
       }
     }
     std::printf("%s", table.render().c_str());

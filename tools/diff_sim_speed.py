@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Gate the sim-speed trajectory against the committed baseline.
+
+Compares BENCH_sim_speed.json files on the *event/oracle speedup ratio* per
+entry, not on absolute sim_cycles/s: absolute rates track the host CI
+happens to run on, while the ratio tracks the engine (both engines run on
+the same host in the same process). A ratio drifting below tolerance means
+the event-driven engine lost ground against the oracle — e.g. steady-state
+batching silently stopped engaging.
+
+Usage:
+  diff_sim_speed.py <baseline.json> <current.json> [--tolerance 0.2]
+                    [--smoke-wall <measured_s> --smoke-baseline <s>]
+
+Exit code 0 when every entry is within tolerance (and the optional smoke
+wall-time gate passes), 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_entries(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {(e["name"], e["lanes"], e["bpl"]): e for e in doc["entries"]}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.2,
+                    help="allowed relative drift of the speedup ratio")
+    ap.add_argument("--smoke-wall", type=float, default=None,
+                    help="measured smoke-sweep wall seconds to gate")
+    ap.add_argument("--smoke-baseline", type=float, default=1.0,
+                    help="recorded smoke-sweep wall baseline; fails at >2x")
+    args = ap.parse_args()
+
+    base = load_entries(args.baseline)
+    cur = load_entries(args.current)
+    ok = True
+
+    if set(base) != set(cur):
+        print(f"entry sets differ: baseline {sorted(base)} vs current {sorted(cur)}")
+        ok = False
+
+    for key in sorted(set(base) & set(cur)):
+        b, c = base[key], cur[key]
+        drift = (c["speedup"] - b["speedup"]) / b["speedup"]
+        status = "ok"
+        # Only drift *below* baseline indicates a regression; getting faster
+        # than the recorded trajectory point is progress, not failure.
+        if drift < -args.tolerance:
+            status = "REGRESSED"
+            ok = False
+        name = "%s/%dL/bpl=%d" % key
+        print(f"{name:32s} speedup {b['speedup']:7.3f} -> {c['speedup']:7.3f} "
+              f"({drift:+6.1%}) {status}")
+        if b.get("batched_iterations", 0) > 0 and c.get("batched_iterations", 0) == 0:
+            print(f"{name:32s} steady-state batching stopped engaging "
+                  f"({b['batched_iterations']} -> 0) REGRESSED")
+            ok = False
+
+    if args.smoke_wall is not None:
+        limit = 2.0 * args.smoke_baseline
+        verdict = "ok" if args.smoke_wall <= limit else "REGRESSED"
+        print(f"smoke sweep wall: {args.smoke_wall:.2f}s "
+              f"(baseline {args.smoke_baseline:.2f}s, limit {limit:.2f}s) {verdict}")
+        if args.smoke_wall > limit:
+            ok = False
+
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
