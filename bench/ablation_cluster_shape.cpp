@@ -3,9 +3,11 @@
 // The paper chooses the 4-lane Ara2 cluster as AraXL's building block
 // because it is the most energy-efficient Ara2 configuration (§III-A).
 // This ablation holds the total datapath at 64 lanes and varies the split:
-// 32 clusters x 2 lanes, 16 x 4 (the paper), 8 x 8. Fewer, fatter clusters
-// shorten the ring (faster reductions) but grow the per-cluster A2A units
-// the design is trying to avoid; more, thinner clusters do the opposite.
+// 32 clusters x 2 lanes (expressed hierarchically as 2 groups x 16 — a
+// single flat ring caps at the paper's 16 stops), 16 x 4 (the paper),
+// 8 x 8. Fewer, fatter clusters shorten the ring (faster reductions) but
+// grow the per-cluster A2A units the design is trying to avoid; more,
+// thinner clusters do the opposite.
 // The timing model captures the ring-length effects; the area argument for
 // 4-lane clusters comes from the Ara2 paper's efficiency data.
 #include <cstdio>
@@ -26,7 +28,7 @@ int main(int argc, char** argv) {
 
   driver::SweepSpec spec;
   spec.configs = {
-      {"32c x 2L", MachineConfig::araxl_shaped(32, 2)},
+      {"2g x 16c x 2L", MachineConfig::araxl_hier(2, 16, 2)},
       {"16c x 4L (paper)", MachineConfig::araxl_shaped(16, 4)},
       {"8c x 8L", MachineConfig::araxl_shaped(8, 8)},
   };
@@ -34,7 +36,7 @@ int main(int argc, char** argv) {
   spec.bytes_per_lane = {bpl};
   const bench::SweepResults results = bench::run_sweep(spec);
 
-  TextTable table({"kernel", "32c x 2L", "16c x 4L (paper)", "8c x 8L"});
+  TextTable table({"kernel", "2g x 16c x 2L", "16c x 4L (paper)", "8c x 8L"});
   table.align_right(1);
   table.align_right(2);
   table.align_right(3);

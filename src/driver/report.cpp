@@ -55,7 +55,10 @@ std::string config_json(const Job& job) {
   out += "\"label\":\"" + json_escape(job.config_label) + "\",";
   out += "\"name\":\"" + json_escape(c.name()) + "\",";
   out += "\"kind\":\"" + std::string(kind_name(c.kind)) + "\",";
-  out += "\"clusters\":" + unum(c.topo.clusters) + ",";
+  // Global cluster count: a hierarchical machine's groups partition the
+  // clusters physically, and the three-level shape is recoverable from the
+  // config label (flat configs serialize byte-identically to before).
+  out += "\"clusters\":" + unum(c.topo.total_clusters()) + ",";
   out += "\"lanes_per_cluster\":" + unum(c.topo.lanes) + ",";
   out += "\"total_lanes\":" + unum(c.total_lanes()) + ",";
   out += "\"vlen_bits\":" + unum(c.effective_vlen()) + ",";
@@ -167,7 +170,7 @@ std::string to_csv(const std::vector<JobResult>& results,
     out += unum(opts.live_provenance ? r.stats.wakeups_total : 0) + ",";
     out += unum(opts.live_provenance ? r.stats.batched_iterations : 0) + ",";
     out += std::string(kind_name(c.kind)) + ",";
-    out += unum(c.topo.clusters) + ",";
+    out += unum(c.topo.total_clusters()) + ",";
     out += unum(c.topo.lanes) + ",";
     out += unum(c.total_lanes()) + ",";
     out += unum(c.effective_vlen()) + ",";

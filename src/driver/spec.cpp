@@ -63,9 +63,19 @@ ConfigPoint parse_config_spec(std::string_view spec) {
       cfg = MachineConfig::araxl(
           static_cast<unsigned>(parse_u64(shape, label)));
     } else {
-      cfg = MachineConfig::araxl_shaped(
-          static_cast<unsigned>(parse_u64(shape.substr(0, x), label)),
-          static_cast<unsigned>(parse_u64(shape.substr(x + 1), label)));
+      const std::size_t x2 = shape.find('x', x + 1);
+      if (x2 == std::string::npos) {
+        cfg = MachineConfig::araxl_shaped(
+            static_cast<unsigned>(parse_u64(shape.substr(0, x), label)),
+            static_cast<unsigned>(parse_u64(shape.substr(x + 1), label)));
+      } else {
+        // Three-level hierarchical shape: groups x clusters x lanes.
+        cfg = MachineConfig::araxl_hier(
+            static_cast<unsigned>(parse_u64(shape.substr(0, x), label)),
+            static_cast<unsigned>(
+                parse_u64(shape.substr(x + 1, x2 - x - 1), label)),
+            static_cast<unsigned>(parse_u64(shape.substr(x2 + 1), label)));
+      }
     }
   } else if (kind == "ara2") {
     check(x == std::string::npos, "ara2 takes a plain lane count: " + label);
@@ -81,7 +91,15 @@ ConfigPoint parse_config_spec(std::string_view spec) {
           "config knob must be key=value in '" + label + "'");
     const std::string key = knob.substr(0, eq);
     const std::string val = knob.substr(eq + 1);
-    if (key == "glsu") {
+    if (key == "groups") {
+      // Re-split the machine's clusters into N groups, preserving the
+      // total lane count: araxl:128:groups=8 is 8 groups x 4 clusters.
+      const unsigned groups = static_cast<unsigned>(parse_u64(val, label));
+      const unsigned total = cfg.topo.total_clusters();
+      check(groups >= 1 && total % groups == 0,
+            "groups must divide the cluster count in '" + label + "'");
+      cfg.topo = Topology{total / groups, cfg.topo.lanes, groups};
+    } else if (key == "glsu") {
       cfg.glsu_regs = static_cast<unsigned>(parse_u64(val, label));
     } else if (key == "reqi") {
       cfg.reqi_regs = static_cast<unsigned>(parse_u64(val, label));

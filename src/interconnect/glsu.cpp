@@ -4,8 +4,8 @@ namespace araxl {
 
 std::vector<std::uint64_t> GlsuModel::cluster_byte_share(std::uint64_t vl,
                                                          unsigned ew) const {
-  const unsigned clusters = cfg_->topo.clusters;
-  const unsigned lanes = cfg_->topo.lanes;
+  const unsigned clusters = spec_.topo.total_clusters();
+  const unsigned lanes = spec_.topo.lanes;
   std::vector<std::uint64_t> share(clusters, 0);
   // Element i belongs to cluster (i / L) mod C; whole L-element runs land
   // in one cluster, so the share can be computed run-wise.

@@ -6,19 +6,23 @@
 //             shift levels (2 levels modelled),
 //   Addrgen — splits requests into AXI bursts and converts bandwidth,
 //   Shuffle — distributes aligned data to the owning clusters per the
-//             element mapping (2 levels modelled).
+//             element mapping (2 levels modelled; hierarchical machines
+//             add one group-distribution level per hierarchy level).
 // Extra pipeline registers (glsu_regs) add 2 cycles each to the
 // request-response latency (the paper's "+4 registers => +8 cycles").
 //
 // Functionally the GLSU's job is the element mapping itself, which lives in
 // VrfMapping; this model supplies the timing and the per-cluster
-// distribution math that the tests validate against the mapping.
+// distribution math that the tests validate against the mapping. All
+// latencies come from the InterconnectSpec descriptor; this model never
+// sees MachineKind.
 #ifndef ARAXL_INTERCONNECT_GLSU_HPP
 #define ARAXL_INTERCONNECT_GLSU_HPP
 
 #include <cstdint>
 #include <vector>
 
+#include "interconnect/spec.hpp"
 #include "machine/config.hpp"
 #include "mem/axi.hpp"
 #include "sim/cycle.hpp"
@@ -27,24 +31,22 @@ namespace araxl {
 
 class GlsuModel {
  public:
-  explicit GlsuModel(const MachineConfig& cfg) : cfg_(&cfg) {}
+  explicit GlsuModel(const InterconnectSpec& spec) : spec_(spec) {}
+  explicit GlsuModel(const MachineConfig& cfg) : spec_(cfg.interconnect()) {}
 
   /// Data bus width in bytes (per direction; read/write are separate
   /// channels).
-  [[nodiscard]] std::uint64_t bus_bytes() const { return cfg_->mem_bytes_per_cycle(); }
+  [[nodiscard]] std::uint64_t bus_bytes() const { return spec_.bus_bytes; }
 
-  /// Load request -> first data beat written into the VRF. AraXL pays the
-  /// 3-stage GLSU pipe (Align 2 + Addrgen 1 + Shuffle 2); Ara2's all-to-all
-  /// VLSU aligns and shuffles in a single stage.
+  /// Load request -> first data beat written into the VRF: the GLSU pipe
+  /// (single-stage on a lumped machine) on top of the L2 latency.
   [[nodiscard]] unsigned load_latency() const {
-    const unsigned base =
-        cfg_->kind == MachineKind::kAraXL ? 5 + 2 * cfg_->glsu_regs : 2;
-    return base + cfg_->l2_latency;
+    return spec_.glsu_load_latency + spec_.l2_latency;
   }
 
   /// Store path latency before the first beat leaves the cluster.
   [[nodiscard]] unsigned store_latency() const {
-    return cfg_->kind == MachineKind::kAraXL ? 3 + cfg_->glsu_regs : 2;
+    return spec_.glsu_store_latency;
   }
 
   /// Useless bytes transferred in the first beat of a misaligned access
@@ -74,13 +76,13 @@ class GlsuModel {
   }
 
   /// Shuffle-stage distribution: how many bytes of a unit-stride access of
-  /// `vl` elements (width `ew`) land in each cluster. Tests validate this
-  /// against the element mapping.
+  /// `vl` elements (width `ew`) land in each (globally numbered) cluster.
+  /// Tests validate this against the element mapping.
   [[nodiscard]] std::vector<std::uint64_t> cluster_byte_share(std::uint64_t vl,
                                                               unsigned ew) const;
 
  private:
-  const MachineConfig* cfg_;
+  InterconnectSpec spec_;
 };
 
 }  // namespace araxl

@@ -5,34 +5,30 @@
 // instruction issues only after the ack returns, so the REQI round trip is
 // the machine's issue interval floor. Each extra register cut (reqi_regs)
 // adds one cycle per direction, i.e. the paper's "+1 register => the
-// instruction is acknowledged 2 cycles later".
+// instruction is acknowledged 2 cycles later" — and each broadcast-tree
+// level of a hierarchical machine costs the same. All numbers come from
+// the InterconnectSpec descriptor; this model never sees MachineKind.
 #ifndef ARAXL_INTERCONNECT_REQI_HPP
 #define ARAXL_INTERCONNECT_REQI_HPP
 
+#include "interconnect/spec.hpp"
 #include "machine/config.hpp"
 
 namespace araxl {
 
 class ReqiModel {
  public:
-  explicit ReqiModel(const MachineConfig& cfg) : cfg_(&cfg) {}
+  explicit ReqiModel(const InterconnectSpec& spec) : spec_(spec) {}
+  explicit ReqiModel(const MachineConfig& cfg) : spec_(cfg.interconnect()) {}
 
   /// CVA6 -> cluster sequencer transport latency (broadcast direction).
-  [[nodiscard]] unsigned fwd_latency() const {
-    return cfg_->kind == MachineKind::kAraXL ? 2 + cfg_->reqi_regs : 1;
-  }
+  [[nodiscard]] unsigned fwd_latency() const { return spec_.reqi_fwd_latency; }
 
-  /// Issue -> acknowledge round trip; gates back-to-back issue. The base
-  /// values (CVA6 scoreboard + dispatcher handshake) are calibrated so the
-  /// medium-vector (64 B/lane) utilization drop and the Fig. 7b REQI
-  /// sensitivity match the paper; AraXL pays 2 extra cycles over Ara2 for
-  /// the top-level broadcast/response stages, plus 2 per register cut.
-  [[nodiscard]] unsigned ack_latency() const {
-    return cfg_->kind == MachineKind::kAraXL ? 6 + 2 * cfg_->reqi_regs : 4;
-  }
+  /// Issue -> acknowledge round trip; gates back-to-back issue.
+  [[nodiscard]] unsigned ack_latency() const { return spec_.reqi_ack_latency; }
 
  private:
-  const MachineConfig* cfg_;
+  InterconnectSpec spec_;
 };
 
 }  // namespace araxl

@@ -8,19 +8,31 @@ namespace araxl {
 
 Cycle RingModel::slide_start_penalty(std::int64_t k) const {
   if (!present()) return 0;
+  const Topology& topo = spec_.topo;
   const std::uint64_t mag = static_cast<std::uint64_t>(k < 0 ? -k : k);
   const std::uint64_t hops = std::min<std::uint64_t>(
-      cfg_->topo.clusters - 1,
-      ceil_div(std::max<std::uint64_t>(mag, 1), cfg_->topo.lanes));
-  return hops * hop_latency();
+      topo.total_clusters() - 1,
+      ceil_div(std::max<std::uint64_t>(mag, 1), topo.lanes));
+  if (topo.groups <= 1) return hops * hop_latency();
+  // Worst case over start clusters: a path of h consecutive hops crosses
+  // ceil(h / clusters_per_group) group boundaries. Crossing hops pay the
+  // group-hop latency, the rest stay on the local ring.
+  const std::uint64_t crossings = ceil_div(hops, topo.clusters);
+  return (hops - crossings) * hop_latency() + crossings * group_hop_latency();
 }
 
 Cycle RingModel::reduction_tree_cycles() const {
   if (!present()) return 0;
   Cycle total = 0;
-  const unsigned steps = log2_ceil(cfg_->topo.clusters);
-  for (unsigned s = 0; s < steps; ++s) {
-    total += (Cycle{1} << s) * hop_latency() + cfg_->red_add_latency;
+  // Per-group stages first: with groups == 1, clusters_per_group equals the
+  // total cluster count and this is the whole (flat) tree.
+  const unsigned local_steps = log2_ceil(spec_.topo.clusters);
+  for (unsigned s = 0; s < local_steps; ++s) {
+    total += (Cycle{1} << s) * hop_latency() + spec_.red_add_latency;
+  }
+  const unsigned group_steps = log2_ceil(spec_.topo.groups);
+  for (unsigned s = 0; s < group_steps; ++s) {
+    total += (Cycle{1} << s) * group_hop_latency() + spec_.red_add_latency;
   }
   return total;
 }
@@ -29,7 +41,7 @@ std::uint64_t RingModel::slide1_boundary_elems(std::uint64_t vl) const {
   if (!present()) return 0;
   // One element crosses each cluster boundary per fully-occupied row of
   // L*C elements; partial rows still cross for the occupied boundary.
-  return ceil_div(vl, cfg_->topo.total_lanes());
+  return ceil_div(vl, spec_.topo.total_lanes());
 }
 
 }  // namespace araxl

@@ -7,11 +7,19 @@
 // Larger slides bypass over multiple hops at reduced throughput, and
 // reductions use the ring for an inter-cluster log-tree whose step s moves
 // a partial across 2^s hops. ring_regs adds one cycle per hop.
+//
+// Hierarchical machines (topo.groups > 1) keep one such ring per group and
+// join the groups with a second-level ring: a hop that crosses a group
+// boundary pays the longer group-hop latency, and the reduction tree gains
+// log2(groups) group-level stages after the per-group stages. All numbers
+// come from the InterconnectSpec descriptor; this model never sees
+// MachineKind.
 #ifndef ARAXL_INTERCONNECT_RING_HPP
 #define ARAXL_INTERCONNECT_RING_HPP
 
 #include <cstdint>
 
+#include "interconnect/spec.hpp"
 #include "machine/config.hpp"
 #include "sim/cycle.hpp"
 
@@ -19,17 +27,25 @@ namespace araxl {
 
 class RingModel {
  public:
-  explicit RingModel(const MachineConfig& cfg) : cfg_(&cfg) {}
+  explicit RingModel(const InterconnectSpec& spec) : spec_(spec) {}
+  explicit RingModel(const MachineConfig& cfg) : spec_(cfg.interconnect()) {}
 
-  [[nodiscard]] bool present() const {
-    return cfg_->kind == MachineKind::kAraXL && cfg_->topo.clusters > 1;
+  [[nodiscard]] bool present() const { return spec_.ring_present(); }
+
+  /// Latency of one hop between adjacent clusters' SLDUs (within a group).
+  [[nodiscard]] unsigned hop_latency() const { return spec_.ring_hop_latency; }
+
+  /// Latency of a hop that crosses a group boundary (== hop_latency on a
+  /// flat machine, longer when a group-level ring exists; the preset
+  /// encodes that, so this is a plain descriptor read).
+  [[nodiscard]] unsigned group_hop_latency() const {
+    return spec_.group_hop_latency;
   }
 
-  /// Latency of one hop between adjacent clusters' SLDUs.
-  [[nodiscard]] unsigned hop_latency() const { return 1 + cfg_->ring_regs; }
-
   /// Start-up penalty of a slide by `k` (signed): ceil(|k|/L) hops of
-  /// bypass, capped at C-1. Zero on the lumped Ara2.
+  /// bypass, capped at C-1 (C = total clusters). Hops that cross a group
+  /// boundary pay group_hop_latency instead of hop_latency (worst-case
+  /// crossing count over the hop path). Zero on a lumped machine.
   [[nodiscard]] Cycle slide_start_penalty(std::int64_t k) const;
 
   /// Whether a slide by `k` exceeds the fast slide-by-1 path and funnels
@@ -40,7 +56,9 @@ class RingModel {
 
   /// Total cycles of the inter-cluster reduction log-tree: step s pays
   /// 2^s hops plus one FPU add (paper: "multiple hops for later reduction
-  /// stages").
+  /// stages"). On a hierarchical machine the first log2(clusters) steps run
+  /// on the per-group rings and the remaining log2(groups) steps cross the
+  /// group-level ring at group-hop latency.
   [[nodiscard]] Cycle reduction_tree_cycles() const;
 
   /// Boundary elements each cluster must send for a slide-by-1 of `vl`
@@ -49,7 +67,7 @@ class RingModel {
   [[nodiscard]] std::uint64_t slide1_boundary_elems(std::uint64_t vl) const;
 
  private:
-  const MachineConfig* cfg_;
+  InterconnectSpec spec_;
 };
 
 }  // namespace araxl

@@ -1,0 +1,65 @@
+#include "interconnect/spec.hpp"
+
+#include "common/bits.hpp"
+
+namespace araxl {
+
+InterconnectSpec InterconnectSpec::araxl(const Topology& topo,
+                                         const InterconnectKnobs& knobs) {
+  InterconnectSpec spec;
+  spec.topo = topo;
+  spec.lumped = false;
+  spec.broadcast_levels = log2_ceil(topo.groups);
+
+  // REQI: the flat base values (CVA6 scoreboard + dispatcher handshake +
+  // top-level broadcast/response stages) are calibrated so the
+  // medium-vector utilization drop and the Fig. 7b sensitivity match the
+  // paper. Each extra register cut — and each extra broadcast-tree level
+  // of a hierarchical machine — adds one cycle per direction, i.e. +2 on
+  // the acknowledge round trip.
+  const unsigned reqi_stages = knobs.reqi_regs + spec.broadcast_levels;
+  spec.reqi_fwd_latency = 2 + reqi_stages;
+  spec.reqi_ack_latency = 6 + 2 * reqi_stages;
+
+  // GLSU: 3-stage pipe (Align 2 + Addrgen 1 + Shuffle 2) on the load path,
+  // Align + Addrgen on the store path. A hierarchical machine adds one
+  // group-distribution level to the shuffle per hierarchy level: +2 cycles
+  // on the load request-response, +1 before the first store beat leaves.
+  spec.glsu_load_latency = 5 + 2 * (knobs.glsu_regs + spec.broadcast_levels);
+  spec.glsu_store_latency = 3 + knobs.glsu_regs + spec.broadcast_levels;
+  spec.l2_latency = knobs.l2_latency;
+  spec.bus_bytes = knobs.bus_bytes;
+
+  // RINGI: one cycle between adjacent clusters of a group, plus one per
+  // extra register. A group hop spans the whole group floorplan instead of
+  // one cluster pitch, so it costs two local hops; on a flat machine every
+  // hop is a local hop (the field must read correctly from the descriptor
+  // alone, without consumers re-checking groups).
+  spec.ring_hop_latency = 1 + knobs.ring_regs;
+  spec.group_hop_latency =
+      topo.groups > 1 ? 2 * spec.ring_hop_latency : spec.ring_hop_latency;
+  spec.red_add_latency = knobs.red_add_latency;
+  return spec;
+}
+
+InterconnectSpec InterconnectSpec::ara2(const Topology& topo,
+                                        const InterconnectKnobs& knobs) {
+  InterconnectSpec spec;
+  spec.topo = topo;
+  spec.lumped = true;
+  // Lumped all-to-all structures: single-cycle CVA6 handshake, one-stage
+  // VLSU align+shuffle, no ring. The interface register knobs model
+  // top-level cuts that do not exist here.
+  spec.reqi_fwd_latency = 1;
+  spec.reqi_ack_latency = 4;
+  spec.glsu_load_latency = 2;
+  spec.glsu_store_latency = 2;
+  spec.l2_latency = knobs.l2_latency;
+  spec.bus_bytes = knobs.bus_bytes;
+  spec.ring_hop_latency = 0;
+  spec.group_hop_latency = 0;
+  spec.red_add_latency = knobs.red_add_latency;
+  return spec;
+}
+
+}  // namespace araxl

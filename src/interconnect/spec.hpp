@@ -1,0 +1,105 @@
+// Interconnect descriptor — the single source of truth for how a machine's
+// units are wired together (paper §III-B, extended hierarchically per §V).
+//
+// Every latency and structure number the interconnect models (ReqiModel,
+// GlsuModel, RingModel) and the PPA models consume lives here, computed
+// once by a *preset constructor*:
+//
+//   * InterconnectSpec::araxl(topo, knobs) — pipelined REQI/GLSU/RINGI
+//     top-level interfaces. With topo.groups > 1 the descriptors gain the
+//     second hierarchy level: the REQI broadcast tree grows one stage per
+//     group level (ack round trip +2/level), the GLSU shuffle gains a
+//     group-distribution stage per level, and a group-level ring joins the
+//     per-group cluster rings (slides crossing a group boundary pay the
+//     longer group hop; inter-cluster reduction trees gain group stages).
+//   * InterconnectSpec::ara2(topo, knobs) — the lumped baseline: all-to-all
+//     MASKU/SLDU/VLSU, no top-level interfaces, no ring.
+//
+// MachineKind never reaches this layer: machine/config.cpp maps the kind
+// to the matching preset (MachineConfig::interconnect()), and everything
+// downstream branches only on descriptor properties (lumped, groups, ...).
+// Adding a topology therefore means writing a descriptor instance, not
+// editing a dozen call sites.
+#ifndef ARAXL_INTERCONNECT_SPEC_HPP
+#define ARAXL_INTERCONNECT_SPEC_HPP
+
+#include <cstdint>
+
+#include "vrf/mapping.hpp"
+
+namespace araxl {
+
+/// Latency-tolerance knobs threaded from MachineConfig into a preset
+/// (paper Fig. 5: extra register cuts on each interface).
+struct InterconnectKnobs {
+  unsigned reqi_regs = 0;   ///< extra REQI register cuts
+  unsigned glsu_regs = 0;   ///< extra GLSU pipeline registers
+  unsigned ring_regs = 0;   ///< extra RINGI registers per hop
+  unsigned l2_latency = 12; ///< L2 access latency beyond the GLSU pipe
+  unsigned red_add_latency = 8;        ///< FPU add per inter-cluster tree step
+  std::uint64_t bus_bytes = 0;         ///< memory bus width per direction
+};
+
+struct InterconnectSpec {
+  Topology topo{};
+
+  /// Lumped all-to-all machine (Ara2 style): single-cycle align+shuffle,
+  /// no top-level interfaces, no ring. The structural opposite of the
+  /// pipelined AraXL interconnects; models branch on this property, never
+  /// on MachineKind.
+  bool lumped = false;
+
+  /// Extra broadcast-tree stages added by the hierarchy: log2(groups).
+  unsigned broadcast_levels = 0;
+
+  // ---- REQI (request interface) ---------------------------------------------
+  unsigned reqi_fwd_latency = 1;  ///< CVA6 -> cluster sequencer transport
+  unsigned reqi_ack_latency = 4;  ///< issue -> acknowledge round trip
+
+  // ---- GLSU (global load-store unit) ----------------------------------------
+  unsigned glsu_load_latency = 2;   ///< request -> first beat, excluding L2
+  unsigned glsu_store_latency = 2;  ///< first beat leaves the cluster
+  unsigned l2_latency = 12;
+  std::uint64_t bus_bytes = 0;      ///< per direction (read/write separate)
+
+  // ---- RINGI (ring interface) -----------------------------------------------
+  unsigned ring_hop_latency = 1;   ///< between adjacent clusters in a group
+  unsigned group_hop_latency = 1;  ///< crossing a group boundary
+  unsigned red_add_latency = 8;
+
+  /// The ring exists at all (pipelined machine with more than one cluster).
+  [[nodiscard]] bool ring_present() const noexcept {
+    return !lumped && topo.total_clusters() > 1;
+  }
+
+  /// Stops on the largest single physical ring: the per-group cluster ring
+  /// or, in a hierarchical machine, the group-level ring — whichever is
+  /// longer. This is what floorplan congestion tracks (ppa/freq_model).
+  [[nodiscard]] unsigned max_ring_stops() const noexcept {
+    return topo.groups > 1 ? (topo.clusters > topo.groups ? topo.clusters
+                                                          : topo.groups)
+                           : topo.clusters;
+  }
+
+  /// Ring stops summed over every ring in the machine: one per cluster on
+  /// its group ring, plus one per group on the group-level ring (0 when
+  /// flat). Drives the RINGI area model.
+  [[nodiscard]] unsigned total_ring_stops() const noexcept {
+    return topo.total_clusters() + (topo.groups > 1 ? topo.groups : 0);
+  }
+
+  // ---- preset constructors ---------------------------------------------------
+  /// Pipelined AraXL interconnects (paper Fig. 2), hierarchical when
+  /// topo.groups > 1.
+  static InterconnectSpec araxl(const Topology& topo,
+                                const InterconnectKnobs& knobs);
+
+  /// Lumped Ara2 baseline: no top-level interfaces. The reqi/glsu/ring
+  /// register knobs have no physical counterpart and are ignored.
+  static InterconnectSpec ara2(const Topology& topo,
+                               const InterconnectKnobs& knobs);
+};
+
+}  // namespace araxl
+
+#endif  // ARAXL_INTERCONNECT_SPEC_HPP

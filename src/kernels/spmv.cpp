@@ -30,7 +30,7 @@ class SpmvKernel final : public Kernel {
   Program build(Machine& m, std::uint64_t bytes_per_lane) override {
     const MachineConfig& cfg = m.config();
     cols_ = elems_for_bytes_per_lane(cfg, bytes_per_lane);
-    rows_ = kRowsPerLaneByte * cfg.topo.clusters * 8;
+    rows_ = kRowsPerLaneByte * cfg.topo.total_clusters() * 8;
     const std::uint64_t avg_nnz = std::max<std::uint64_t>(8, cols_ / 16);
 
     // Random CSR structure (sorted unique columns per row).

@@ -2,7 +2,12 @@
 //
 //  * AraXL  — C clusters x 4 lanes, REQI/GLSU/RINGI top-level interconnects
 //             (paper Fig. 2), VLEN = 1024 bit x total lanes up to the RVV
-//             maximum of 64 Kibit at 64 lanes.
+//             maximum of 64 Kibit at 64 lanes. Beyond 64 lanes the
+//             topology becomes hierarchical (paper §V direction): G groups
+//             of C clusters, per-group cluster rings joined by a group-
+//             level ring and a deeper REQI broadcast tree — expressed by
+//             Topology{clusters, lanes, groups} and realized by the
+//             InterconnectSpec descriptor (src/interconnect/spec.hpp).
 //  * Ara2   — the baseline lumped design: one "cluster" of L lanes whose
 //             MASKU/SLDU/VLSU are all-to-all connected (single-cycle
 //             align+shuffle, no top-level interfaces, standard mask layout).
@@ -20,6 +25,12 @@
 
 namespace araxl {
 
+struct InterconnectSpec;
+
+/// Named machine presets. A kind selects an InterconnectSpec preset
+/// constructor (see interconnect()) — it is a configuration spelling, not
+/// something models branch on: everything downstream of MachineConfig
+/// consumes the descriptor.
 enum class MachineKind : std::uint8_t { kAraXL, kAra2 };
 
 /// Simulation-kernel selection. `kEventDriven` is the production engine: it
@@ -72,6 +83,13 @@ struct MachineConfig {
   [[nodiscard]] std::uint64_t effective_vlen() const;
   [[nodiscard]] unsigned total_lanes() const { return topo.total_lanes(); }
 
+  /// The interconnect descriptor for this machine: the kind picks a preset
+  /// constructor (InterconnectSpec::araxl / ::ara2) and the latency knobs
+  /// are threaded through. This is the ONLY place MachineKind is mapped to
+  /// interconnect structure — the models and PPA layer consume the
+  /// returned descriptor and never branch on the kind.
+  [[nodiscard]] InterconnectSpec interconnect() const;
+
   /// Memory bandwidth per direction (read and write channels are separate):
   /// 8 bytes/lane/cycle, i.e. 64-bit per lane (see DESIGN.md §3 on the
   /// Fig. 2 label discrepancy).
@@ -92,12 +110,22 @@ struct MachineConfig {
 
   // ---- factories -----------------------------------------------------------
   /// AraXL instance with `total_lanes` lanes in 4-lane clusters (the paper's
-  /// building block; 8..64 lanes => 2..16 clusters).
+  /// building block; 8..64 lanes => 2..16 clusters, flat). Beyond 64 lanes
+  /// the flat ring would exceed the paper's 16-stop ceiling, so the factory
+  /// becomes hierarchical: 8-cluster groups (the largest ring that holds
+  /// the 1.40 GHz timing corner) joined by a group-level ring — 128 lanes
+  /// => 4 groups x 8 clusters x 4 lanes.
   static MachineConfig araxl(unsigned total_lanes);
 
   /// AraXL with an explicit cluster shape (design-space exploration; the
   /// paper fixes lanes_per_cluster = 4).
   static MachineConfig araxl_shaped(unsigned clusters, unsigned lanes_per_cluster);
+
+  /// Hierarchical AraXL with an explicit three-level shape:
+  /// `groups` groups x `clusters_per_group` clusters x `lanes_per_cluster`
+  /// lanes (groups == 1 degenerates to araxl_shaped).
+  static MachineConfig araxl_hier(unsigned groups, unsigned clusters_per_group,
+                                  unsigned lanes_per_cluster);
 
   /// Baseline Ara2 with `lanes` lanes (2..16 per the Ara2 paper).
   static MachineConfig ara2(unsigned lanes);

@@ -46,8 +46,8 @@ constexpr unsigned unit_order(Unit u) { return static_cast<unsigned>(u); }
 
 TimingEngine::TimingEngine(const MachineConfig& cfg, FunctionalEngine& fn,
                            InstrTrace* trace)
-    : cfg_(cfg), fn_(fn), trace_(trace), reqi_(cfg), glsu_(cfg), ring_(cfg),
-      lanes_(cfg), cva6_(cfg),
+    : cfg_(cfg), fn_(fn), trace_(trace), ispec_(cfg.interconnect()),
+      reqi_(ispec_), glsu_(ispec_), ring_(ispec_), lanes_(cfg), cva6_(cfg),
       watchdog_(cfg.watchdog_budget == 0 ? WakeupWatchdog::kDefaultBudget
                                          : cfg.watchdog_budget) {}
 
@@ -153,11 +153,11 @@ std::uint64_t TimingEngine::head_rate256(const Inflight& instr) const {
        (instr.spec->is_gather && ring_.present()))) {
     // Long slides and gathers/compressions funnel through the 64-bit ring
     // links: one element per cluster per cycle.
-    r256 = std::uint64_t{cfg_.topo.clusters} * (8 / instr.ew) * 256;
+    r256 = std::uint64_t{ispec_.topo.total_clusters()} * (8 / instr.ew) * 256;
   }
   if (instr.unit == Unit::kLoad || instr.unit == Unit::kStore) {
     // Element-granular strided/indexed beats from the per-cluster addrgens.
-    r256 = std::uint64_t{cfg_.topo.clusters} * 256;
+    r256 = std::uint64_t{ispec_.topo.total_clusters()} * 256;
   }
   return r256;
 }

@@ -31,6 +31,7 @@
 #include "interconnect/glsu.hpp"
 #include "interconnect/reqi.hpp"
 #include "interconnect/ring.hpp"
+#include "interconnect/spec.hpp"
 #include "lane/lane_group.hpp"
 #include "machine/config.hpp"
 #include "machine/functional.hpp"
@@ -192,6 +193,10 @@ class TimingEngine {
   const MachineConfig& cfg_;
   FunctionalEngine& fn_;
   InstrTrace* trace_ = nullptr;
+  /// The interconnect descriptor both kernels consume: every REQI/GLSU/
+  /// RINGI latency and structure number flows through here (declared
+  /// before the models, which are built from it).
+  InterconnectSpec ispec_;
   ReqiModel reqi_;
   GlsuModel glsu_;
   RingModel ring_;

@@ -17,11 +17,16 @@ constexpr double kClusterGlue = 69.625;   // closes Table II "Clusters" = 11354
 constexpr double kCva6Kge = 930.0;        // paper: 936/901/931 (P&R noise)
 
 // GLSU: linear per-cluster datapath + quadratic shuffle wiring; fits
-// 291/618/1385 at C = 4/8/16 within 0.4%.
+// 291/618/1385 at C = 4/8/16 within 0.4%. In a hierarchical machine the
+// quadratic wiring applies within one distribution level: per-group
+// shuffles of clusters_per_group endpoints plus a top-level shuffle of
+// groups endpoints.
 constexpr double kGlsuLin = 68.25;
 constexpr double kGlsuQuad = 1.125;
 
-// RINGI: per-cluster ring stop + constant control; fits 25/44/76.
+// RINGI: per-ring-stop cost + constant control per ring; fits 25/44/76 on
+// the flat machines. Hierarchical machines add the group-level ring's
+// stops and one control block per physical ring.
 constexpr double kRingiLin = 4.25;
 constexpr double kRingiConst = 8.0;
 
@@ -32,6 +37,25 @@ struct Anchor {
   double kge;
 };
 constexpr Anchor kReqiAnchors[] = {{2, 18.0}, {4, 34.0}, {8, 81.0}, {16, 144.0}};
+
+/// Flat broadcast tree of `clusters` endpoints (paper-calibrated).
+double reqi_flat_kge(unsigned clusters) {
+  const auto n = std::size(kReqiAnchors);
+  if (clusters <= kReqiAnchors[0].c) {
+    return kReqiAnchors[0].kge * clusters / kReqiAnchors[0].c;
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    if (clusters <= kReqiAnchors[i].c) {
+      const auto& lo = kReqiAnchors[i - 1];
+      const auto& hi = kReqiAnchors[i];
+      const double t = static_cast<double>(clusters - lo.c) / (hi.c - lo.c);
+      return lo.kge + t * (hi.kge - lo.kge);
+    }
+  }
+  // Extrapolate at the last anchor's per-cluster slope.
+  const auto& last = kReqiAnchors[n - 1];
+  return last.kge * clusters / last.c;
+}
 
 // ---- Ara2 calibration constants (kGE), from Fig. 9 -------------------------
 constexpr double kAra2LaneKge = 628.0;      // 16 lanes -> 10048
@@ -57,8 +81,8 @@ double AreaBreakdown::block_kge(std::string_view name) const {
   return 0.0;
 }
 
-double AreaModel::lane_kge(MachineKind kind) const {
-  return kind == MachineKind::kAraXL ? kLaneKge : kAra2LaneKge;
+double AreaModel::lane_kge(bool lumped) const {
+  return lumped ? kAra2LaneKge : kLaneKge;
 }
 
 double AreaModel::cluster_kge() const {
@@ -66,59 +90,72 @@ double AreaModel::cluster_kge() const {
          kClusterSeqDisp + kClusterGlue;
 }
 
-double AreaModel::glsu_kge(unsigned clusters) const {
-  const double c = clusters;
+double AreaModel::glsu_kge(const InterconnectSpec& spec) const {
+  const Topology& topo = spec.topo;
+  if (topo.groups > 1) {
+    // Per-cluster datapath everywhere; quadratic shuffle wiring inside
+    // each group's distribution level plus the group-level distribution.
+    const double cpg = topo.clusters;
+    const double g = topo.groups;
+    return kGlsuLin * topo.total_clusters() +
+           kGlsuQuad * (cpg * cpg * g + g * g);
+  }
+  const double c = topo.clusters;
   // Residual correction keeps the 16-cluster anchor exact (paper: 1385).
   const double fit = kGlsuLin * c + kGlsuQuad * c * c;
-  return clusters == 16 ? fit + 5.0 : fit;
+  return topo.clusters == 16 ? fit + 5.0 : fit;
 }
 
-double AreaModel::ringi_kge(unsigned clusters) const {
-  const double fit = kRingiLin * clusters + kRingiConst;
-  return clusters == 8 ? fit + 2.0 : fit;  // anchor: 44 at 8 clusters
-}
-
-double AreaModel::reqi_kge(unsigned clusters) const {
-  const auto n = std::size(kReqiAnchors);
-  if (clusters <= kReqiAnchors[0].c) {
-    return kReqiAnchors[0].kge * clusters / kReqiAnchors[0].c;
+double AreaModel::ringi_kge(const InterconnectSpec& spec) const {
+  const Topology& topo = spec.topo;
+  if (topo.groups > 1) {
+    // Stops on every ring (per-group cluster rings + the group-level
+    // ring), one control block per physical ring.
+    return kRingiLin * spec.total_ring_stops() +
+           kRingiConst * (topo.groups + 1);
   }
-  for (std::size_t i = 1; i < n; ++i) {
-    if (clusters <= kReqiAnchors[i].c) {
-      const auto& lo = kReqiAnchors[i - 1];
-      const auto& hi = kReqiAnchors[i];
-      const double t = static_cast<double>(clusters - lo.c) / (hi.c - lo.c);
-      return lo.kge + t * (hi.kge - lo.kge);
+  const double fit = kRingiLin * topo.clusters + kRingiConst;
+  return topo.clusters == 8 ? fit + 2.0 : fit;  // anchor: 44 at 8 clusters
+}
+
+double AreaModel::reqi_kge(const InterconnectSpec& spec) const {
+  const Topology& topo = spec.topo;
+  if (topo.groups > 1) {
+    // Tree of trees: a root stage fanning out to the groups, then one
+    // paper-calibrated tree per group.
+    return topo.groups * reqi_flat_kge(topo.clusters) +
+           reqi_flat_kge(topo.groups);
+  }
+  return reqi_flat_kge(topo.clusters);
+}
+
+double AreaModel::cva6_kge(const InterconnectSpec& spec) const {
+  if (spec.lumped) return kAra2Cva6;
+  // Paper Table II: 936 / 901 / 931 for 4/8/16 clusters (place-and-route
+  // variation around a constant core); reproduce the flat anchors.
+  if (spec.topo.groups == 1) {
+    switch (spec.topo.clusters) {
+      case 4: return 936.0;
+      case 8: return 901.0;
+      case 16: return 931.0;
+      default: break;
     }
   }
-  // Extrapolate at the last anchor's per-cluster slope.
-  const auto& last = kReqiAnchors[n - 1];
-  return last.kge * clusters / last.c;
-}
-
-double AreaModel::cva6_kge(const MachineConfig& cfg) const {
-  if (cfg.kind == MachineKind::kAra2) return kAra2Cva6;
-  // Paper Table II: 936 / 901 / 931 for 4/8/16 clusters (place-and-route
-  // variation around a constant core); reproduce the anchors.
-  switch (cfg.topo.clusters) {
-    case 4: return 936.0;
-    case 8: return 901.0;
-    case 16: return 931.0;
-    default: return kCva6Kge;
-  }
+  return kCva6Kge;
 }
 
 AreaBreakdown AreaModel::breakdown(const MachineConfig& cfg) const {
+  const InterconnectSpec spec = cfg.interconnect();
   AreaBreakdown out;
-  if (cfg.kind == MachineKind::kAraXL) {
-    const unsigned c = cfg.topo.clusters;
-    out.blocks.push_back({"Clusters", cluster_kge() * c});
-    out.blocks.push_back({"CVA6", cva6_kge(cfg)});
-    out.blocks.push_back({"GLSU", glsu_kge(c)});
-    out.blocks.push_back({"RINGI", ringi_kge(c)});
-    out.blocks.push_back({"REQI", reqi_kge(c)});
+  if (!spec.lumped) {
+    out.blocks.push_back(
+        {"Clusters", cluster_kge() * spec.topo.total_clusters()});
+    out.blocks.push_back({"CVA6", cva6_kge(spec)});
+    out.blocks.push_back({"GLSU", glsu_kge(spec)});
+    out.blocks.push_back({"RINGI", ringi_kge(spec)});
+    out.blocks.push_back({"REQI", reqi_kge(spec)});
   } else {
-    const unsigned l = cfg.topo.lanes;
+    const unsigned l = spec.topo.lanes;
     out.blocks.push_back({"LANES", kAra2LaneKge * l});
     out.blocks.push_back({"MASKU", kAra2MaskuQuad * l * l});
     out.blocks.push_back({"SLDU", kAra2SlduLin * l});
@@ -131,15 +168,16 @@ AreaBreakdown AreaModel::breakdown(const MachineConfig& cfg) const {
 }
 
 AreaBreakdown AreaModel::fig9_breakdown(const MachineConfig& cfg) const {
-  if (cfg.kind == MachineKind::kAra2) return breakdown(cfg);
-  const unsigned c = cfg.topo.clusters;
+  const InterconnectSpec spec = cfg.interconnect();
+  if (spec.lumped) return breakdown(cfg);
+  const unsigned c = spec.topo.total_clusters();
   AreaBreakdown out;
   out.blocks.push_back({"LANES", 4 * kLaneKge * c});
   out.blocks.push_back({"MASKU", kClusterMasku * c});
-  out.blocks.push_back({"SLDU", kClusterSldu * c + ringi_kge(c)});
-  out.blocks.push_back({"VLSU", kClusterVlsu * c + glsu_kge(c)});
-  out.blocks.push_back({"SEQ+DISP", kClusterSeqDisp * c + reqi_kge(c)});
-  out.blocks.push_back({"CVA6", cva6_kge(cfg)});
+  out.blocks.push_back({"SLDU", kClusterSldu * c + ringi_kge(spec)});
+  out.blocks.push_back({"VLSU", kClusterVlsu * c + glsu_kge(spec)});
+  out.blocks.push_back({"SEQ+DISP", kClusterSeqDisp * c + reqi_kge(spec)});
+  out.blocks.push_back({"CVA6", cva6_kge(spec)});
   out.blocks.push_back({"glue", kClusterGlue * c});
   return out;
 }

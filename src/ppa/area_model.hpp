@@ -5,13 +5,16 @@
 // calibrated against the paper's published 22-nm numbers: the Fig. 9
 // breakdown of the 16-lane instances and the Table II scaling of 16/32/64
 // lanes. Anchored configurations reproduce the paper to the kGE; other
-// configurations follow the structural formulas.
+// configurations — including hierarchical (groups > 1) machines, whose
+// interface terms are derived from the InterconnectSpec descriptor's ring-
+// stop counts and broadcast-tree depth — follow the structural formulas.
 #ifndef ARAXL_PPA_AREA_MODEL_HPP
 #define ARAXL_PPA_AREA_MODEL_HPP
 
 #include <string>
 #include <vector>
 
+#include "interconnect/spec.hpp"
 #include "machine/config.hpp"
 
 namespace araxl {
@@ -50,12 +53,16 @@ class AreaModel {
   [[nodiscard]] double total_mm2(const MachineConfig& cfg) const;
 
   // ---- individual structural terms (kGE) ----------------------------------
-  [[nodiscard]] double lane_kge(MachineKind kind) const;
+  /// One lane; the lumped (A2A) lane carries slightly more glue.
+  [[nodiscard]] double lane_kge(bool lumped) const;
   [[nodiscard]] double cluster_kge() const;         ///< one 4-lane AraXL cluster
-  [[nodiscard]] double glsu_kge(unsigned clusters) const;
-  [[nodiscard]] double ringi_kge(unsigned clusters) const;
-  [[nodiscard]] double reqi_kge(unsigned clusters) const;
-  [[nodiscard]] double cva6_kge(const MachineConfig& cfg) const;
+  /// Top-level interface areas, derived from the descriptor: GLSU shuffle
+  /// wiring is quadratic within a distribution level, RINGI scales with the
+  /// total ring-stop count, REQI with the broadcast-tree fanout per level.
+  [[nodiscard]] double glsu_kge(const InterconnectSpec& spec) const;
+  [[nodiscard]] double ringi_kge(const InterconnectSpec& spec) const;
+  [[nodiscard]] double reqi_kge(const InterconnectSpec& spec) const;
+  [[nodiscard]] double cva6_kge(const InterconnectSpec& spec) const;
 };
 
 }  // namespace araxl

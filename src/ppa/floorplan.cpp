@@ -87,15 +87,26 @@ Floorplan slice_floorplan(const std::vector<AreaBlock>& blocks,
 
 Floorplan machine_floorplan(const MachineConfig& cfg) {
   const AreaModel model;
+  const InterconnectSpec spec = cfg.interconnect();
   std::vector<AreaBlock> blocks;
-  if (cfg.kind == MachineKind::kAraXL) {
-    for (unsigned c = 0; c < cfg.topo.clusters; ++c) {
-      blocks.push_back({"cluster" + std::to_string(c), model.cluster_kge()});
+  if (!spec.lumped) {
+    if (spec.topo.groups > 1) {
+      // Hierarchical machine: one macro per group (its clusters place
+      // together around the group's local ring), mirroring the physical
+      // point of the hierarchy.
+      for (unsigned g = 0; g < spec.topo.groups; ++g) {
+        blocks.push_back({"group" + std::to_string(g),
+                          model.cluster_kge() * spec.topo.clusters});
+      }
+    } else {
+      for (unsigned c = 0; c < spec.topo.clusters; ++c) {
+        blocks.push_back({"cluster" + std::to_string(c), model.cluster_kge()});
+      }
     }
-    blocks.push_back({"CVA6", model.cva6_kge(cfg)});
-    blocks.push_back({"GLSU", model.glsu_kge(cfg.topo.clusters)});
-    blocks.push_back({"RINGI", model.ringi_kge(cfg.topo.clusters)});
-    blocks.push_back({"REQI", model.reqi_kge(cfg.topo.clusters)});
+    blocks.push_back({"CVA6", model.cva6_kge(spec)});
+    blocks.push_back({"GLSU", model.glsu_kge(spec)});
+    blocks.push_back({"RINGI", model.ringi_kge(spec)});
+    blocks.push_back({"REQI", model.reqi_kge(spec)});
   } else {
     const AreaBreakdown bd = model.breakdown(cfg);
     for (const AreaBlock& b : bd.blocks) blocks.push_back(b);

@@ -5,24 +5,40 @@
 // with pipelined interconnects; the 64-lane instance degrades to 1.15 GHz
 // due to floorplan-induced routing congestion. Ara2's frequency falls with
 // lane count as the all-to-all wiring grows (1.08 GHz at 16 lanes).
+//
+// Both rules are derived from the interconnect descriptor, calibrated on
+// the paper's published points: congestion tracks the longest single
+// physical ring (16 stops at 64 lanes flat => 1.15 GHz; up to 8 stops =>
+// 1.40 GHz), which is exactly what the hierarchical topologies fix — a
+// 128-lane 4x8x4 machine keeps every ring at <= 8 stops and holds the
+// 1.40 GHz corner.
 #ifndef ARAXL_PPA_FREQ_MODEL_HPP
 #define ARAXL_PPA_FREQ_MODEL_HPP
 
+#include "interconnect/spec.hpp"
 #include "machine/config.hpp"
 
 namespace araxl {
+
+/// Frequency floor for the lumped A2A extrapolation: the linear wiring
+/// penalty is only calibrated inside Ara2's 2..16-lane range, and the raw
+/// line (1.40 - 0.02 * lanes) would cross zero past ~70 lanes.
+inline constexpr double kAra2FreqFloorGhz = 0.25;
 
 class FreqModel {
  public:
   /// Maximum clock frequency in GHz (TT corner, 0.8 V, 25 C).
   [[nodiscard]] double freq_ghz(const MachineConfig& cfg) const {
-    if (cfg.kind == MachineKind::kAraXL) {
-      // Congestion hotspots appear when the cluster ring exceeds 8 stops
-      // (paper: 1.15 GHz at 64 lanes, 1.40 GHz up to 32).
-      return cfg.topo.clusters <= 8 ? 1.40 : 1.15;
+    const InterconnectSpec spec = cfg.interconnect();
+    if (spec.lumped) {
+      // Lumped A2A units put the lane count in the critical path.
+      const double f = 1.40 - 0.02 * spec.topo.lanes;
+      return f > kAra2FreqFloorGhz ? f : kAra2FreqFloorGhz;
     }
-    // Ara2: the A2A units put the lane count in the critical path.
-    return 1.40 - 0.02 * cfg.topo.lanes;
+    // Congestion hotspots appear when any single ring exceeds 8 stops
+    // (paper: 1.15 GHz at 64 lanes — a flat 16-stop ring — and 1.40 GHz
+    // up to 32 lanes).
+    return spec.max_ring_stops() <= 8 ? 1.40 : 1.15;
   }
 };
 

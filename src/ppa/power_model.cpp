@@ -1,5 +1,7 @@
 #include "ppa/power_model.hpp"
 
+#include "interconnect/spec.hpp"
+
 namespace araxl {
 namespace {
 
@@ -24,11 +26,20 @@ constexpr double kIdleFraction = 0.35;
 double PowerModel::energy_per_cycle_pj(const MachineConfig& cfg,
                                        double util) const {
   const double activity = kIdleFraction + (1.0 - kIdleFraction) * util;
-  if (cfg.kind == MachineKind::kAraXL) {
-    const double c = cfg.topo.clusters;
-    return kLanePj * cfg.total_lanes() * activity + kWirePj * c * c + kFixedPj;
+  const InterconnectSpec spec = cfg.interconnect();
+  if (spec.lumped) {
+    return kAra2LanePj * spec.topo.lanes * activity + kAra2FixedPj;
   }
-  return kAra2LanePj * cfg.topo.lanes * activity + kAra2FixedPj;
+  // Interconnect wiring toggles quadratically within one distribution
+  // level; a hierarchical machine pays per-group quadratics plus the
+  // group-level term instead of one machine-wide quadratic (that locality
+  // is the point of the hierarchy).
+  const double cpg = spec.topo.clusters;
+  const double g = spec.topo.groups;
+  const double wire =
+      g > 1 ? kWirePj * (cpg * cpg * g + g * g)
+            : kWirePj * cpg * cpg;
+  return kLanePj * cfg.total_lanes() * activity + wire + kFixedPj;
 }
 
 }  // namespace araxl

@@ -20,6 +20,7 @@ std::string canonical_config(const MachineConfig& cfg) {
   };
   field("clusters", cfg.topo.clusters);
   field("lanes", cfg.topo.lanes);
+  field("groups", cfg.topo.groups);
   // Derived value, not the raw spelling: vlen_bits=0 and an explicit VLEN
   // equal to the configuration rule are the same machine.
   field("vlen", cfg.effective_vlen());

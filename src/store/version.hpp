@@ -15,7 +15,8 @@ namespace araxl::store {
 /// Version of the canonical MachineConfig serialization
 /// (store/fingerprint.cpp). Bump whenever a field is added, removed, or
 /// reinterpreted — old cache entries then stop matching by construction.
-inline constexpr unsigned kConfigSchemaVersion = 1;
+/// v2: Topology gained the hierarchical `groups` level.
+inline constexpr unsigned kConfigSchemaVersion = 2;
 
 /// Git revision baked in at configure time (CMake passes ARAXL_GIT_REVISION
 /// to this translation unit); "unknown" in builds outside a git checkout.

@@ -8,20 +8,24 @@ namespace araxl {
 
 VrfMapping::VrfMapping(Topology topo, std::uint64_t vlen_bits)
     : topo_(topo), vlen_bits_(vlen_bits) {
-  check(topo.clusters >= 1 && topo.lanes >= 1, "topology must be non-empty");
-  check(is_pow2(topo.clusters) && is_pow2(topo.lanes),
-        "cluster and lane counts must be powers of two");
+  check(topo.clusters >= 1 && topo.lanes >= 1 && topo.groups >= 1,
+        "topology must be non-empty");
+  check(is_pow2(topo.clusters) && is_pow2(topo.lanes) && is_pow2(topo.groups),
+        "group/cluster/lane counts must be powers of two");
   check(is_pow2(vlen_bits) && vlen_bits >= 64 && vlen_bits <= kMaxVlenBits,
         "VLEN must be a power of two in [64, 65536]");
   check(vlen_bits % (64ull * topo.total_lanes()) == 0,
         "each lane must hold whole 64-bit words of every register");
   slice_bytes_ = vlen_bits_ / 8 / topo_.total_lanes();
   lanes_shift_ = static_cast<unsigned>(std::countr_zero(topo_.lanes));
-  total_shift_ =
-      lanes_shift_ + static_cast<unsigned>(std::countr_zero(topo_.clusters));
+  // The mapping flattens the hierarchy: clusters are numbered globally, so
+  // all shifts/masks run over total_clusters() and the group level is
+  // purely a physical (timing/PPA) notion.
+  total_shift_ = lanes_shift_ +
+                 static_cast<unsigned>(std::countr_zero(topo_.total_clusters()));
   vlen_bytes_shift_ = static_cast<unsigned>(std::countr_zero(vlen_bits_ >> 3));
   lanes_mask_ = topo_.lanes - 1;
-  clusters_mask_ = topo_.clusters - 1;
+  clusters_mask_ = topo_.total_clusters() - 1;
 }
 
 }  // namespace araxl

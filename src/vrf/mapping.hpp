@@ -4,6 +4,9 @@
 // mixed-width operations never reshuffle bytes between lanes. AraXL extends
 // the mapping hierarchically: element i lives in cluster ⌊i/L⌋ (mod C),
 // lane i (mod L), at row ⌊i/(L·C)⌋ of that lane's slice of the register.
+// Here C is the *total* (global) cluster count: the group level of a
+// hierarchical machine partitions clusters physically but never changes
+// where an element lives.
 #ifndef ARAXL_VRF_MAPPING_HPP
 #define ARAXL_VRF_MAPPING_HPP
 
@@ -14,13 +17,24 @@
 
 namespace araxl {
 
-/// Machine shape: C clusters of L lanes (Ara2 is modelled as C=1).
+/// Machine shape: G groups x C clusters x L lanes (Ara2 is modelled as
+/// G=1, C=1). The flat two-level form — groups == 1 — is the default and
+/// covers every configuration of the paper; groups > 1 describes the
+/// hierarchical machines beyond 64 lanes (§V), where each group owns a
+/// local cluster ring and the groups are themselves joined by a second-
+/// level ring. The element mapping is hierarchy-blind: clusters are
+/// numbered globally 0..total_clusters()-1 (group g owns the contiguous
+/// block [g*C, (g+1)*C)), so adding a group level never reshuffles data.
 struct Topology {
-  unsigned clusters = 1;
-  unsigned lanes = 4;
+  unsigned clusters = 1;  ///< clusters per group
+  unsigned lanes = 4;     ///< lanes per cluster
+  unsigned groups = 1;    ///< second hierarchy level (1 = flat machine)
 
+  [[nodiscard]] constexpr unsigned total_clusters() const noexcept {
+    return groups * clusters;
+  }
   [[nodiscard]] constexpr unsigned total_lanes() const noexcept {
-    return clusters * lanes;
+    return total_clusters() * lanes;
   }
   friend bool operator==(const Topology&, const Topology&) = default;
 };

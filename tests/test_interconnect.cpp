@@ -46,6 +46,39 @@ TEST(Config, RejectsInvalid) {
   EXPECT_THROW(MachineConfig::araxl_shaped(1, 4), ContractViolation);
 }
 
+TEST(Config, HierarchicalFactories) {
+  // Past the 16-stop flat ring the lane factory becomes hierarchical:
+  // 8-cluster groups at the paper's 4-lane building block.
+  const MachineConfig h128 = MachineConfig::araxl(128);
+  EXPECT_EQ(h128.topo.groups, 4u);
+  EXPECT_EQ(h128.topo.clusters, 8u);
+  EXPECT_EQ(h128.topo.lanes, 4u);
+  EXPECT_EQ(h128.total_lanes(), 128u);
+  EXPECT_EQ(h128.topo.total_clusters(), 32u);
+  EXPECT_EQ(h128.name(), "128L-AraXL");
+  EXPECT_EQ(h128.effective_vlen(), 65536u);  // RVV ceiling, more lanes
+
+  const MachineConfig h256 = MachineConfig::araxl(256);
+  EXPECT_EQ(h256.topo.groups, 8u);
+  EXPECT_EQ(h256.topo.total_clusters(), 64u);
+
+  const MachineConfig explicit_hier = MachineConfig::araxl_hier(2, 4, 4);
+  EXPECT_EQ(explicit_hier.total_lanes(), 32u);
+  // groups == 1 degenerates to the flat shape.
+  EXPECT_EQ(MachineConfig::araxl_hier(1, 4, 4).topo,
+            MachineConfig::araxl_shaped(4, 4).topo);
+
+  // Single rings cap at 16 stops on either level.
+  EXPECT_THROW(MachineConfig::araxl_shaped(32, 4), ContractViolation);
+  EXPECT_THROW(MachineConfig::araxl_hier(32, 2, 4), ContractViolation);
+  EXPECT_THROW(MachineConfig::araxl_hier(3, 4, 4), ContractViolation);  // pow2
+  EXPECT_THROW(MachineConfig::araxl(96), ContractViolation);  // 3 groups
+  // Lane counts that do not fill whole 8-cluster groups must be rejected,
+  // never silently truncated to a smaller machine.
+  EXPECT_THROW(MachineConfig::araxl(72), ContractViolation);
+  EXPECT_THROW(MachineConfig::araxl(80), ContractViolation);
+}
+
 TEST(Config, MemBandwidthPerLane) {
   EXPECT_EQ(MachineConfig::araxl(64).mem_bytes_per_cycle(), 512u);
   EXPECT_EQ(MachineConfig::ara2(8).mem_bytes_per_cycle(), 64u);
@@ -54,6 +87,58 @@ TEST(Config, MemBandwidthPerLane) {
 TEST(Config, MaskLayoutPerKind) {
   EXPECT_EQ(MachineConfig::araxl(16).mask_layout(), MaskLayout::kLaneLocal);
   EXPECT_EQ(MachineConfig::ara2(16).mask_layout(), MaskLayout::kStandard);
+}
+
+TEST(Spec, PresetsMatchLegacyFlatNumbers) {
+  // The descriptor presets must reproduce the paper-calibrated flat
+  // latencies exactly (they gate the Fig. 6/7 reproduction).
+  const InterconnectSpec xl = MachineConfig::araxl(64).interconnect();
+  EXPECT_FALSE(xl.lumped);
+  EXPECT_EQ(xl.broadcast_levels, 0u);
+  EXPECT_EQ(xl.reqi_fwd_latency, 2u);
+  EXPECT_EQ(xl.reqi_ack_latency, 6u);
+  EXPECT_EQ(xl.glsu_load_latency, 5u);
+  EXPECT_EQ(xl.glsu_store_latency, 3u);
+  EXPECT_EQ(xl.ring_hop_latency, 1u);
+  EXPECT_EQ(xl.bus_bytes, 512u);
+  EXPECT_EQ(xl.max_ring_stops(), 16u);
+  EXPECT_EQ(xl.total_ring_stops(), 16u);
+
+  const InterconnectSpec a2 = MachineConfig::ara2(16).interconnect();
+  EXPECT_TRUE(a2.lumped);
+  EXPECT_EQ(a2.reqi_fwd_latency, 1u);
+  EXPECT_EQ(a2.reqi_ack_latency, 4u);
+  EXPECT_EQ(a2.glsu_load_latency, 2u);
+  EXPECT_EQ(a2.glsu_store_latency, 2u);
+  EXPECT_FALSE(a2.ring_present());
+}
+
+TEST(Spec, HierarchyAddsBroadcastAndShuffleStages) {
+  // Each group level deepens the REQI broadcast tree (+1/direction => ack
+  // +2) and adds a GLSU group-distribution stage (+2 load, +1 store).
+  const InterconnectSpec flat = MachineConfig::araxl(64).interconnect();
+  const InterconnectSpec h128 = MachineConfig::araxl(128).interconnect();
+  EXPECT_EQ(h128.broadcast_levels, 2u);  // log2(4 groups)
+  EXPECT_EQ(h128.reqi_fwd_latency, flat.reqi_fwd_latency + 2);
+  EXPECT_EQ(h128.reqi_ack_latency, flat.reqi_ack_latency + 4);
+  EXPECT_EQ(h128.glsu_load_latency, flat.glsu_load_latency + 4);
+  EXPECT_EQ(h128.glsu_store_latency, flat.glsu_store_latency + 2);
+  // A group hop spans the group floorplan: two local hops.
+  EXPECT_EQ(h128.group_hop_latency, 2 * h128.ring_hop_latency);
+  // Hierarchy keeps every single ring short — that is its point.
+  EXPECT_EQ(h128.max_ring_stops(), 8u);
+  EXPECT_EQ(h128.total_ring_stops(), 32u + 4u);
+
+  // Register knobs and tree levels stack.
+  MachineConfig knobbed = MachineConfig::araxl(128);
+  knobbed.reqi_regs = 1;
+  knobbed.glsu_regs = 4;
+  knobbed.ring_regs = 1;
+  const InterconnectSpec k = knobbed.interconnect();
+  EXPECT_EQ(k.reqi_ack_latency, h128.reqi_ack_latency + 2);
+  EXPECT_EQ(k.glsu_load_latency, h128.glsu_load_latency + 8);
+  EXPECT_EQ(k.ring_hop_latency, 2u);
+  EXPECT_EQ(k.group_hop_latency, 4u);
 }
 
 TEST(Reqi, RegisterCutsCostTwoCyclesOnAck) {
@@ -156,6 +241,55 @@ TEST(Ring, Slide1BoundaryTrafficFitsLinkBandwidth) {
   const std::uint64_t transfers = ring.slide1_boundary_elems(vl);
   const std::uint64_t local_cycles = vl / cfg.total_lanes();
   EXPECT_LE(transfers, local_cycles);
+}
+
+TEST(Ring, GroupBoundarySlidesPayGroupHops) {
+  // 4 groups x 8 clusters x 4 lanes: slide-by-1 crosses one boundary in
+  // the worst case (the two adjacent clusters sit in different groups).
+  const MachineConfig h = MachineConfig::araxl(128);
+  const RingModel ring(h);
+  EXPECT_TRUE(ring.present());
+  EXPECT_EQ(ring.hop_latency(), 1u);
+  EXPECT_EQ(ring.group_hop_latency(), 2u);
+  EXPECT_EQ(ring.slide_start_penalty(1), 2u);  // 1 hop, crossing
+  // 8 hops = ceil(32/4): one full group away => 1 group crossing + 7 local.
+  EXPECT_EQ(ring.slide_start_penalty(32), 7u * 1 + 1u * 2);
+  // Capped at C_total - 1 = 31 hops => ceil(31/8) = 4 crossings.
+  EXPECT_EQ(ring.slide_start_penalty(100000), 27u * 1 + 4u * 2);
+
+  // A flat machine of the same total cluster count pays plain hops.
+  const RingModel flat(MachineConfig::araxl(64));
+  EXPECT_EQ(flat.group_hop_latency(), flat.hop_latency());
+  EXPECT_EQ(flat.slide_start_penalty(1), 1u);
+}
+
+TEST(Ring, HierarchicalReductionTreeGainsGroupStages) {
+  // 2 groups x 8 clusters: 3 per-group stages (1+2+4 hops) then one
+  // group stage at group-hop latency.
+  const MachineConfig h = MachineConfig::araxl_hier(2, 8, 4);
+  const RingModel ring(h);
+  const Cycle local = (1 + 2 + 4) * 1 + 3 * h.red_add_latency;
+  const Cycle group = 1 * 2 + h.red_add_latency;
+  EXPECT_EQ(ring.reduction_tree_cycles(), local + group);
+
+  // Same total clusters flat: 4 stages, all at local hop latency — the
+  // hierarchical tree trades the two longest flat stages (8- and 4-hop
+  // spans... here 8-hop) for one short group stage.
+  const RingModel flat(MachineConfig::araxl(64));
+  EXPECT_EQ(flat.reduction_tree_cycles(),
+            Cycle{(16 - 1) * 1} + 4 * h.red_add_latency);
+}
+
+TEST(Glsu, HierarchicalClusterByteShareMatchesMapping) {
+  const MachineConfig cfg = MachineConfig::araxl(128);
+  const GlsuModel glsu(cfg);
+  const VrfMapping map(cfg.topo, cfg.effective_vlen());
+  for (const std::uint64_t vl : {1ull, 16ull, 100ull, 1000ull}) {
+    const auto share = glsu.cluster_byte_share(vl, 8);
+    std::vector<std::uint64_t> expect(cfg.topo.total_clusters(), 0);
+    for (std::uint64_t i = 0; i < vl; ++i) expect[map.cluster_of(i)] += 8;
+    EXPECT_EQ(share, expect) << "vl=" << vl;
+  }
 }
 
 TEST(LaneGroup, RatesScaleWithWidthAndLanes) {

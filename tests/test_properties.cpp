@@ -158,6 +158,11 @@ TEST_P(CrossTopology, SameArchitecturalState) {
   MachineConfig d = MachineConfig::araxl_shaped(4, 2);  // 2-lane clusters
   d.vlen_bits = 8192;
   d.validate();
+  // Hierarchical: the group level must be architecturally invisible (the
+  // mapping flattens it), so a 2x4x4 machine agrees bit-for-bit too.
+  MachineConfig e = MachineConfig::araxl_hier(2, 4, 4);
+  e.vlen_bits = 8192;
+  e.validate();
 
   const Program prog = random_program(8192, seed);
   // Machines are non-movable (self-referencing engines): heap-allocate.
@@ -166,6 +171,7 @@ TEST_P(CrossTopology, SameArchitecturalState) {
   machine_ptrs.push_back(std::make_unique<Machine>(b));
   machine_ptrs.push_back(std::make_unique<Machine>(c));
   machine_ptrs.push_back(std::make_unique<Machine>(d));
+  machine_ptrs.push_back(std::make_unique<Machine>(e));
   const auto machines = [&](std::size_t i) -> Machine& { return *machine_ptrs[i]; };
   for (auto& m : machine_ptrs) {
     init_machine(*m, seed);
@@ -188,6 +194,8 @@ TEST_P(CrossTopology, SameArchitecturalState) {
           << "v" << v << "[" << i << "] differs on 16L/8Kib";
       EXPECT_EQ(machines(3).vrf().read_elem(v, i, 8), ref)
           << "v" << v << "[" << i << "] differs on 4x2L/8Kib";
+      EXPECT_EQ(machines(4).vrf().read_elem(v, i, 8), ref)
+          << "v" << v << "[" << i << "] differs on 2x4x4L/8Kib";
     }
   }
   for (std::uint64_t off = 0; off < kRegionBytes; off += 8) {
@@ -197,6 +205,8 @@ TEST_P(CrossTopology, SameArchitecturalState) {
     ASSERT_EQ(machines(2).mem().load<std::uint64_t>(kBase + off), ref)
         << "memory differs at offset " << off;
     ASSERT_EQ(machines(3).mem().load<std::uint64_t>(kBase + off), ref)
+        << "memory differs at offset " << off;
+    ASSERT_EQ(machines(4).mem().load<std::uint64_t>(kBase + off), ref)
         << "memory differs at offset " << off;
   }
 }
@@ -375,12 +385,19 @@ TEST_P(EngineEquivalence, RandomProgramsBitIdenticalStats) {
   laggy.reqi_regs = 1;
   laggy.ring_regs = 1;
   laggy.validate();
+  // Hierarchical machine (2 groups x 4 clusters x 4 lanes): group-hop
+  // slides, group reduction stages and the deeper REQI/GLSU pipes all ride
+  // the same differential gate. Reduced VLEN keeps the oracle cheap.
+  MachineConfig hier = MachineConfig::araxl_hier(2, 4, 4);
+  hier.vlen_bits = 8192;
+  hier.validate();
   const MachineConfig configs[] = {
       MachineConfig::araxl(8),
       MachineConfig::ara2(8),
       MachineConfig::araxl(64),
       shaped,
       laggy,
+      hier,
   };
   for (const MachineConfig& cfg : configs) {
     const Program prog = random_program(cfg.effective_vlen(), seed);
@@ -414,6 +431,28 @@ TEST(EngineEquivalence, KernelsBitIdenticalStats) {
       expect_same_stats(s_ev, s_or,
                         std::string(k) + " " + std::to_string(lanes) + "L");
     }
+  }
+}
+
+TEST(EngineEquivalence, Hierarchical128LaneKernelsBitIdentical) {
+  // The acceptance bar for the topology layer: a >64-lane hierarchical
+  // machine (4 groups x 8 clusters x 4 lanes) runs real kernels end to end
+  // with the event and oracle kernels bit-identical — including the
+  // reduction tree's group stages (fdotproduct) and group-hop slides.
+  for (const char* k : {"fdotproduct", "stream_triad", "fmatmul"}) {
+    MachineConfig cfg = MachineConfig::araxl(128);
+    cfg.timing_mode = TimingMode::kEventDriven;
+    Machine ev(cfg);
+    auto kernel = make_kernel(k);
+    const Program prog = kernel->build(ev, 64);
+    const RunStats s_ev = ev.run(prog);
+
+    cfg.timing_mode = TimingMode::kCycleStepped;
+    Machine oracle(cfg);
+    auto kernel2 = make_kernel(k);
+    const Program prog2 = kernel2->build(oracle, 64);
+    const RunStats s_or = oracle.run(prog2);
+    expect_same_stats(s_ev, s_or, std::string(k) + " 128L hierarchical");
   }
 }
 
@@ -455,6 +494,7 @@ TEST(EngineEquivalence, DriverSweepRegistryKernelsMatchOracle) {
       driver::parse_config_spec("ara2:8"),
       driver::parse_config_spec("araxl:4x2:vlen=8192"),
       driver::parse_config_spec("araxl:16:glsu=4:reqi=1:ring=1"),
+      driver::parse_config_spec("araxl:2x4x4:vlen=8192"),  // hierarchical
   };
   spec.kernels = driver::KernelRegistry::instance().names();
   spec.bytes_per_lane = {64};
@@ -580,12 +620,19 @@ TEST_P(LoopEquivalence, BatchedLoopsBitIdenticalToOracle) {
   laggy.reqi_regs = 1;
   laggy.ring_regs = 1;
   laggy.validate();
+  // Hierarchical topology: loop batching must stay gated on the group-hop
+  // latencies and deeper pipes too (snapshots taken on a machine whose
+  // descriptor differs from every flat config).
+  MachineConfig hier = MachineConfig::araxl_hier(2, 4, 4);
+  hier.vlen_bits = 8192;
+  hier.validate();
   const MachineConfig configs[] = {
       MachineConfig::araxl(8),
       MachineConfig::ara2(8),
       MachineConfig::araxl(64),
       shaped,
       laggy,
+      hier,
   };
   for (const MachineConfig& cfg : configs) {
     const Program prog = loop_program(cfg.effective_vlen(), seed);

@@ -3,9 +3,11 @@
 // runner's cache consultation, and shard/merge determinism.
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/contracts.hpp"
@@ -57,7 +59,7 @@ TEST(Fingerprint, EveryKeyFieldChangesTheHash) {
   const std::string fp = fingerprint(key_of(base, "exp", 64, 7));
 
   // Machine knobs.
-  for (int knob = 0; knob < 5; ++knob) {
+  for (int knob = 0; knob < 6; ++knob) {
     MachineConfig mod = base;
     switch (knob) {
       case 0: mod.glsu_regs = 4; break;
@@ -65,6 +67,9 @@ TEST(Fingerprint, EveryKeyFieldChangesTheHash) {
       case 2: mod.l2_latency = 24; break;
       case 3: mod.vlen_bits = 8192; break;
       case 4: mod.topo = Topology{8, 4}; break;
+      // Hierarchy is results-affecting (group hops, tree depths): the same
+      // 16 lanes split 2x2x4 must fingerprint differently from 4x4 flat.
+      case 5: mod.topo = Topology{2, 4, 2}; break;
     }
     EXPECT_NE(fp, fingerprint(key_of(mod, "exp", 64, 7))) << "knob " << knob;
   }
@@ -73,6 +78,68 @@ TEST(Fingerprint, EveryKeyFieldChangesTheHash) {
   EXPECT_NE(fp, fingerprint(key_of(base, "exp", 128, 7)));
   EXPECT_NE(fp, fingerprint(key_of(base, "exp", 64, 8)));
   EXPECT_NE(fp, fingerprint(key_of(base, "exp", 64, 7, "v-other")));
+}
+
+// ---- canonical_config coverage ---------------------------------------------
+//
+// The contract "every results-affecting MachineConfig field appears in
+// canonical_config" used to live only in a ROADMAP note. This probe turns
+// it into a compile-time tripwire: it counts the aggregate's fields via
+// brace-initializability, so growing MachineConfig (or Topology) without
+// revisiting the serialization fails this test until the counts — and, for
+// a serialized field, canonical_config + kConfigSchemaVersion — are
+// updated together.
+struct AnyField {
+  template <class T>
+  constexpr operator T() const;  // NOLINT(google-explicit-constructor)
+};
+
+template <class T, std::size_t N>
+constexpr bool brace_constructible_with =
+    []<std::size_t... I>(std::index_sequence<I...>) {
+      return requires { T{((void)I, AnyField{})...}; };
+    }(std::make_index_sequence<N>{});
+
+template <class T, std::size_t N = 0>
+constexpr std::size_t aggregate_field_count() {
+  if constexpr (!brace_constructible_with<T, N + 1>) {
+    return N;
+  } else {
+    return aggregate_field_count<T, N + 1>();
+  }
+}
+
+TEST(CanonicalConfig, EveryMachineConfigFieldIsSerializedOrExempt) {
+  // Keys emitted by canonical_config (store/fingerprint.cpp): kind +
+  // clusters/lanes/groups (the whole Topology) + vlen + mem + the 16
+  // latency/shape knobs => 20 top-level members covered.
+  constexpr std::size_t kSerializedMembers = 20;
+  // Explicitly exempt members, each with a reason that must stay true:
+  //  * timing_mode      — the two engines are bit-identical by contract;
+  //  * watchdog_budget  — liveness-failure policy, never changes the
+  //                       RunStats of a run that completes.
+  constexpr std::size_t kExemptMembers = 2;
+
+  static_assert(aggregate_field_count<MachineConfig>() ==
+                    kSerializedMembers + kExemptMembers,
+                "MachineConfig grew or lost a field: update "
+                "store::canonical_config (and bump kConfigSchemaVersion) or "
+                "the exempt list above, then fix these counts");
+  // Topology is serialized as one member above but must itself stay in
+  // sync: all three levels are covered by clusters/lanes/groups keys.
+  static_assert(aggregate_field_count<Topology>() == 3,
+                "Topology grew a field: serialize it in canonical_config, "
+                "bump kConfigSchemaVersion, and update this count");
+
+  // The keys themselves must actually appear in the serialization.
+  const std::string canon = canonical_config(MachineConfig::araxl(8));
+  for (const char* key :
+       {"kind=", "clusters=", "lanes=", "groups=", "vlen=", "mem=", "reqi=",
+        "glsu=", "ring=", "fpu_lat=", "alu_lat=", "sldu_lat=", "load_lag=",
+        "div=", "start=", "uq=", "sq=", "dcache=", "l2=", "red_step=",
+        "red_add=", "wb="}) {
+    EXPECT_NE(canon.find(key), std::string::npos) << key;
+  }
 }
 
 TEST(Fingerprint, CanonicalFormIsStableAcrossCalls) {

@@ -49,7 +49,7 @@ int usage(std::FILE* out) {
       "  araxl run   --kernel <name> --config <spec> --bpl <bytes-per-lane>\n"
       "              [--seed <n>] [--no-verify] [--oracle-check]\n"
       "  araxl sweep [--configs <spec,spec,...>] [--kernels <k,...>|all|paper]\n"
-      "              [--bpl <n,n,...>] [--fig6 | --fig7 | --smoke]\n"
+      "              [--bpl <n,n,...>] [--fig6 | --fig7 | --smoke | --scaling]\n"
       "              [--workers <n>] [--seed <n>] [--shard <i/N>]\n"
       "              [--json <file|->] [--csv <file|->]\n"
       "              [--store <file>] [--no-cache] [--refresh]\n"
@@ -58,13 +58,16 @@ int usage(std::FILE* out) {
       "  araxl merge (--json <out>|--csv <out>) <shard-report>...\n"
       "  araxl cache (ls | stats | gc) [--store <file>]\n"
       "\n"
-      "config spec: araxl:<lanes> | araxl:<clusters>x<lanes> | ara2:<lanes>,\n"
-      "  with optional knobs :glsu=N :reqi=N :ring=N :l2=N :vlen=N\n"
-      "  :mode=event|cycle — e.g. araxl:64:glsu=4 is the Fig. 7a variant.\n"
+      "config spec: araxl:<lanes> | araxl:<clusters>x<lanes> |\n"
+      "  araxl:<groups>x<clusters>x<lanes> (hierarchical) | ara2:<lanes>,\n"
+      "  with optional knobs :groups=N :glsu=N :reqi=N :ring=N :l2=N :vlen=N\n"
+      "  :mode=event|cycle — e.g. araxl:64:glsu=4 is the Fig. 7a variant and\n"
+      "  araxl:128 auto-hierarchizes to 4 groups x 8 clusters x 4 lanes.\n"
       "presets:\n"
       "  --fig6   paper kernels x {8L/16L Ara2, 8..64L AraXL} x {64..512} B/lane\n"
       "  --fig7   paper kernels x 64L AraXL {baseline,+4 GLSU,+1 REQI,+1 RINGI}\n"
       "  --smoke  2 configs x 3 kernels x 64 B/lane (CI-sized)\n"
+      "  --scaling  paper kernels x 16..64L flat + 128/256L hierarchical AraXL\n"
       "caching/sharding:\n"
       "  Results are cached in a JSONL store (default araxl-cache.jsonl)\n"
       "  keyed by (config, kernel, B/lane, seed, build version); repeated or\n"
@@ -185,6 +188,21 @@ driver::SweepSpec preset_fig7() {
   }
   spec.kernels = driver::KernelRegistry::instance().paper_names();
   spec.bytes_per_lane = {128, 256, 512};
+  return spec;
+}
+
+driver::SweepSpec preset_scaling() {
+  // The paper's Table II scaling study extended past its 64-lane flagship:
+  // flat machines up to the 16-stop ring ceiling, then the hierarchical
+  // topologies that keep every ring at <= 8 stops (and the 1.40 GHz
+  // corner) at 128 and 256 lanes.
+  driver::SweepSpec spec;
+  for (const char* c :
+       {"araxl:16", "araxl:32", "araxl:64", "araxl:128", "araxl:256"}) {
+    spec.configs.push_back(driver::parse_config_spec(c));
+  }
+  spec.kernels = driver::KernelRegistry::instance().paper_names();
+  spec.bytes_per_lane = {256};
   return spec;
 }
 
@@ -416,6 +434,8 @@ int cmd_sweep(const Args& args) {
     spec = preset_fig7();
   } else if (args.has("--smoke")) {
     spec = preset_smoke();
+  } else if (args.has("--scaling")) {
+    spec = preset_scaling();
   }
 
   if (const std::string* configs = args.get("--configs")) {
