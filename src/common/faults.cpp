@@ -1,0 +1,193 @@
+#include "common/faults.hpp"
+
+#include <cstdlib>
+
+#include "common/contracts.hpp"
+#include "common/fmt.hpp"
+
+namespace araxl {
+
+namespace {
+
+// Distinct site tags so "store.write=0.5,job=0.5" makes independent
+// decisions at each site even for the same sequence number / fingerprint.
+enum Site : std::uint64_t {
+  kSiteStoreOpen = 1,
+  kSiteStoreWrite = 2,
+  kSiteStoreRename = 3,
+  kSiteShortLen = 4,
+  kSiteJobTransient = 5,
+  kSiteJobPermanent = 6,
+  kSiteJobHang = 7,
+};
+
+/// splitmix64 finalizer — full-avalanche 64-bit mix.
+constexpr std::uint64_t mix(std::uint64_t h) {
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+/// Hash of (seed, site, key-bytes, extra) onto [0, 2^64).
+std::uint64_t site_hash(std::uint64_t seed, std::uint64_t site,
+                        std::string_view key, std::uint64_t extra) {
+  std::uint64_t h = mix(seed + 0x9e3779b97f4a7c15ull * site);
+  for (const char c : key) {
+    h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;  // FNV step
+  }
+  return mix(h ^ mix(extra + site));
+}
+
+/// Hash onto the unit interval (53 uniform mantissa bits).
+double unit(std::uint64_t h) { return static_cast<double>(h >> 11) * 0x1.0p-53; }
+
+double parse_rate(std::string_view item, std::string_view text) {
+  check(!text.empty(), "fault spec item needs a rate: " + std::string(item));
+  std::size_t used = 0;
+  double rate = 0.0;
+  try {
+    rate = std::stod(std::string(text), &used);
+  } catch (...) {
+    fail("fault spec rate is not a number: " + std::string(item));
+  }
+  check(used == text.size() && rate >= 0.0 && rate <= 1.0,
+        "fault spec rate must be in [0, 1]: " + std::string(item));
+  return rate;
+}
+
+std::uint64_t parse_u64(std::string_view item, std::string_view text) {
+  check(!text.empty(), "fault spec item needs a value: " + std::string(item));
+  std::uint64_t v = 0;
+  for (const char c : text) {
+    check(c >= '0' && c <= '9',
+          "fault spec value is not an integer: " + std::string(item));
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+std::string rate_str(double rate) {
+  // Round-trippable short spelling for describe(); rates are user-typed
+  // decimals, %g keeps them readable.
+  return strprintf("%g", rate);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(std::string_view spec) {
+  check(!spec.empty(), "fault spec is empty");
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view item = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    check(eq != std::string_view::npos,
+          "fault spec item needs '=': " + std::string(item));
+    const std::string_view key = item.substr(0, eq);
+    std::string_view val = item.substr(eq + 1);
+    if (key == "seed") {
+      seed_ = parse_u64(item, val);
+    } else if (key == "store.open") {
+      store_open_rate_ = parse_rate(item, val);
+    } else if (key == "store.write") {
+      store_write_rate_ = parse_rate(item, val);
+    } else if (key == "store.rename") {
+      store_rename_rate_ = parse_rate(item, val);
+    } else if (key == "job") {
+      const std::size_t at = val.find('@');
+      if (at != std::string_view::npos) {
+        const std::uint64_t attempts = parse_u64(item, val.substr(at + 1));
+        check(attempts >= 1 && attempts <= 1000,
+              "fault spec 'job=<rate>@<attempts>' needs 1..1000 attempts: " +
+                  std::string(item));
+        transient_attempts_ = static_cast<unsigned>(attempts);
+        val = val.substr(0, at);
+      }
+      job_transient_rate_ = parse_rate(item, val);
+    } else if (key == "job.fail") {
+      job_permanent_rate_ = parse_rate(item, val);
+    } else if (key == "job.hang") {
+      job_hang_rate_ = parse_rate(item, val);
+    } else {
+      fail("unknown fault spec item '" + std::string(key) +
+           "' (seed, store.open, store.write, store.rename, job, job.fail, "
+           "job.hang)");
+    }
+  }
+}
+
+std::unique_ptr<FaultInjector> FaultInjector::from_env() {
+  const char* spec = std::getenv("ARAXL_FAULTS");
+  if (spec == nullptr || spec[0] == '\0') return nullptr;
+  return std::make_unique<FaultInjector>(spec);
+}
+
+std::string FaultInjector::describe() const {
+  std::string out = "seed=" + std::to_string(seed_);
+  if (store_open_rate_ > 0) out += ",store.open=" + rate_str(store_open_rate_);
+  if (store_write_rate_ > 0) {
+    out += ",store.write=" + rate_str(store_write_rate_);
+  }
+  if (store_rename_rate_ > 0) {
+    out += ",store.rename=" + rate_str(store_rename_rate_);
+  }
+  if (job_transient_rate_ > 0) {
+    out += ",job=" + rate_str(job_transient_rate_);
+    if (transient_attempts_ != 1) {
+      out += "@" + std::to_string(transient_attempts_);
+    }
+  }
+  if (job_permanent_rate_ > 0) out += ",job.fail=" + rate_str(job_permanent_rate_);
+  if (job_hang_rate_ > 0) out += ",job.hang=" + rate_str(job_hang_rate_);
+  return out;
+}
+
+bool FaultInjector::store_open_fails() {
+  if (store_open_rate_ <= 0) return false;
+  const std::uint64_t n = open_seq_.fetch_add(1, std::memory_order_relaxed);
+  return unit(site_hash(seed_, kSiteStoreOpen, {}, n)) < store_open_rate_;
+}
+
+std::optional<std::size_t> FaultInjector::store_short_write(std::size_t len) {
+  if (store_write_rate_ <= 0 || len == 0) return std::nullopt;
+  const std::uint64_t n = write_seq_.fetch_add(1, std::memory_order_relaxed);
+  if (unit(site_hash(seed_, kSiteStoreWrite, {}, n)) >= store_write_rate_) {
+    return std::nullopt;
+  }
+  // Tear somewhere strictly inside the payload so the tail line is torn.
+  const std::uint64_t cut = site_hash(seed_, kSiteShortLen, {}, n) % len;
+  return static_cast<std::size_t>(cut);
+}
+
+bool FaultInjector::store_rename_fails() {
+  if (store_rename_rate_ <= 0) return false;
+  const std::uint64_t n = rename_seq_.fetch_add(1, std::memory_order_relaxed);
+  return unit(site_hash(seed_, kSiteStoreRename, {}, n)) < store_rename_rate_;
+}
+
+FaultInjector::JobFault FaultInjector::job_fault(std::string_view fingerprint,
+                                                 unsigned attempt) const {
+  if (job_hang_rate_ > 0 &&
+      unit(site_hash(seed_, kSiteJobHang, fingerprint, 0)) < job_hang_rate_) {
+    return JobFault::kHang;
+  }
+  if (job_permanent_rate_ > 0 &&
+      unit(site_hash(seed_, kSiteJobPermanent, fingerprint, 0)) <
+          job_permanent_rate_) {
+    return JobFault::kPermanent;
+  }
+  if (job_transient_rate_ > 0 && attempt <= transient_attempts_ &&
+      unit(site_hash(seed_, kSiteJobTransient, fingerprint, 0)) <
+          job_transient_rate_) {
+    return JobFault::kTransient;
+  }
+  return JobFault::kNone;
+}
+
+}  // namespace araxl

@@ -1,0 +1,107 @@
+// Deterministic fault injection — reproducible chaos for the driver stack.
+//
+// A `FaultInjector` turns a seed-driven spec string into failure decisions
+// at well-defined sites: store file I/O (open failure, short write, rename
+// failure) and per-fingerprint job faults in the runner (transient and
+// permanent injected failures, cooperative hangs). Every decision is a
+// pure hash of (seed, site, key), never a real RNG draw:
+//
+//   * job faults key on the job fingerprint, so the same jobs fail no
+//     matter how many workers, shards, or resume runs execute the sweep —
+//     a chaos run is exactly replayable, and a transient fault clears at
+//     the same attempt number everywhere;
+//   * store I/O faults key on a per-site operation sequence number, so a
+//     single-threaded run replays exactly and a multi-worker run injects
+//     the same fault density.
+//
+// Spec grammar (`--inject-faults <spec>` / `ARAXL_FAULTS`):
+//
+//   spec  := item (',' item)*
+//   item  := 'seed=' <u64>
+//          | 'store.open='   <rate>     open-for-append fails
+//          | 'store.write='  <rate>     short write (torn line), then error
+//          | 'store.rename=' <rate>     gc compaction rename fails
+//          | 'job='          <rate> ['@' <attempts>]   transient job fault:
+//                                       fails the first <attempts> (default
+//                                       1) attempts, then succeeds
+//          | 'job.fail='     <rate>     permanent job fault (every attempt)
+//          | 'job.hang='     <rate>     cooperative hang until the job's
+//                                       deadline or a shutdown request
+//   rate  := probability in [0, 1]
+//
+// Example: "seed=7,store.write=0.2,job=0.3@2" — 20% of store appends tear,
+// 30% of jobs fail their first two attempts then succeed.
+#ifndef ARAXL_COMMON_FAULTS_HPP
+#define ARAXL_COMMON_FAULTS_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace araxl {
+
+class FaultInjector {
+ public:
+  /// Parses a spec; throws ContractViolation on unknown items, malformed
+  /// numbers, or rates outside [0, 1].
+  explicit FaultInjector(std::string_view spec);
+
+  /// Injector from the ARAXL_FAULTS environment variable; nullptr when the
+  /// variable is unset or empty.
+  [[nodiscard]] static std::unique_ptr<FaultInjector> from_env();
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Canonical spec round-trip ("seed=7,job=0.3@2,..."), for logging.
+  [[nodiscard]] std::string describe() const;
+
+  // ---- store file-I/O sites (sequence-keyed, thread-safe) -----------------
+
+  /// True when this append's open should fail.
+  [[nodiscard]] bool store_open_fails();
+
+  /// For an append of `len` bytes: the number of bytes to actually write
+  /// before failing (a torn tail the loader must skip), or nullopt for no
+  /// fault. The short length is itself seed-derived and always < len.
+  [[nodiscard]] std::optional<std::size_t> store_short_write(std::size_t len);
+
+  /// True when this compaction's rename should fail.
+  [[nodiscard]] bool store_rename_fails();
+
+  // ---- per-fingerprint job faults (pure, order-independent) ---------------
+
+  enum class JobFault : std::uint8_t { kNone, kTransient, kPermanent, kHang };
+
+  /// Fault decision for one execution attempt (1-based) of the job with
+  /// this fingerprint. Purely a function of (seed, fingerprint, attempt):
+  /// identical across worker counts, shards, and resume runs. Precedence
+  /// when rates overlap: hang > permanent > transient.
+  [[nodiscard]] JobFault job_fault(std::string_view fingerprint,
+                                   unsigned attempt) const;
+
+  /// Attempts a transient job fault keeps failing (the '@K' spec suffix).
+  [[nodiscard]] unsigned transient_attempts() const noexcept {
+    return transient_attempts_;
+  }
+
+ private:
+  std::uint64_t seed_ = 1;
+  double store_open_rate_ = 0.0;
+  double store_write_rate_ = 0.0;
+  double store_rename_rate_ = 0.0;
+  double job_transient_rate_ = 0.0;
+  double job_permanent_rate_ = 0.0;
+  double job_hang_rate_ = 0.0;
+  unsigned transient_attempts_ = 1;
+
+  std::atomic<std::uint64_t> open_seq_{0};
+  std::atomic<std::uint64_t> write_seq_{0};
+  std::atomic<std::uint64_t> rename_seq_{0};
+};
+
+}  // namespace araxl
+
+#endif  // ARAXL_COMMON_FAULTS_HPP

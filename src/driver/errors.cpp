@@ -1,0 +1,20 @@
+#include "driver/errors.hpp"
+
+namespace araxl::driver {
+
+std::string_view error_kind_name(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kNone: return "ok";
+    case ErrorKind::kConfig: return "config";
+    case ErrorKind::kSimulation: return "simulation";
+    case ErrorKind::kVerifyFailed: return "verify_failed";
+    case ErrorKind::kOracleDivergence: return "oracle_divergence";
+    case ErrorKind::kTimeout: return "timeout";
+    case ErrorKind::kStoreIo: return "store_io";
+    case ErrorKind::kInjected: return "injected";
+    case ErrorKind::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+}  // namespace araxl::driver

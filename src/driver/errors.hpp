@@ -1,0 +1,87 @@
+// Typed job errors and the retry policy.
+//
+// Every way a job can fail is classified into one `ErrorKind`, replacing
+// the runner's bare error string as the decision surface: the retry policy
+// keys off the kind (only transient kinds are worth a second attempt), the
+// CLI exit-code contract keys off whether any kind is present, and reports
+// carry the kind as a per-job `status` column. The error *message* remains
+// for humans; nothing may branch on its text — and messages must never
+// embed wall-clock values, because failed jobs flow into reports and
+// reports are pure functions of the job set.
+#ifndef ARAXL_DRIVER_ERRORS_HPP
+#define ARAXL_DRIVER_ERRORS_HPP
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace araxl::driver {
+
+/// Failure taxonomy for one job. Listed roughly from "your sweep is wrong"
+/// to "the infrastructure hiccuped".
+enum class ErrorKind : std::uint8_t {
+  kNone = 0,          ///< no error (ok job)
+  kConfig,            ///< invalid MachineConfig / unknown kernel
+  kSimulation,        ///< contract violation or crash inside the simulator
+  kVerifyFailed,      ///< golden verification exceeded tolerance
+  kOracleDivergence,  ///< event-driven stats != cycle-stepped oracle
+  kTimeout,           ///< wall-clock deadline or liveness watchdog fired
+  kStoreIo,           ///< result-store I/O failed (job itself may be ok)
+  kInjected,          ///< deterministic fault-injection harness fired
+  kCancelled,         ///< cooperative shutdown (SIGINT/SIGTERM) cancelled it
+};
+
+/// Stable lowercase name ("ok", "config", ..., "cancelled") — the report
+/// `status` vocabulary. Round-trips with parse via report consumers.
+[[nodiscard]] std::string_view error_kind_name(ErrorKind kind);
+
+/// A classified job failure. Thrown inside the runner where the kind is
+/// known precisely (verification, oracle divergence, injected faults);
+/// exceptions of other types are classified at the catch site.
+class JobError : public std::runtime_error {
+ public:
+  JobError(ErrorKind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+  [[nodiscard]] ErrorKind kind() const noexcept { return kind_; }
+
+ private:
+  ErrorKind kind_;
+};
+
+/// Bounded-attempt retry with exponential backoff. Only transient kinds
+/// are retried: a config error, a verification failure, or an oracle
+/// divergence is deterministic — the retry would fail identically — and a
+/// timeout already consumed a full deadline budget. Injected faults model
+/// the transient infrastructure failures (flaky disk, preempted worker)
+/// that retries exist for.
+struct RetryPolicy {
+  /// Total execution attempts per job (1 = no retry).
+  unsigned max_attempts = 3;
+  /// Backoff before retry k (1-based) is `backoff_ms * mult^(k-1)`, capped.
+  std::uint64_t backoff_ms = 100;
+  double backoff_mult = 2.0;
+  std::uint64_t max_backoff_ms = 5000;
+  /// Also retry timeout-kind failures (off by default: a hung job usually
+  /// hangs again, and each attempt burns a whole deadline).
+  bool retry_timeouts = false;
+
+  [[nodiscard]] bool retryable(ErrorKind kind) const {
+    if (kind == ErrorKind::kInjected) return true;
+    if (kind == ErrorKind::kTimeout) return retry_timeouts;
+    return false;
+  }
+
+  /// Backoff (ms) before retry `retry_index` (1-based: the sleep after the
+  /// first failed attempt is backoff(1)).
+  [[nodiscard]] std::uint64_t backoff(unsigned retry_index) const {
+    double ms = static_cast<double>(backoff_ms);
+    for (unsigned i = 1; i < retry_index; ++i) ms *= backoff_mult;
+    const double cap = static_cast<double>(max_backoff_ms);
+    return static_cast<std::uint64_t>(ms < cap ? ms : cap);
+  }
+};
+
+}  // namespace araxl::driver
+
+#endif  // ARAXL_DRIVER_ERRORS_HPP

@@ -108,8 +108,13 @@ std::string result_json(const JobResult& r, const ReportOptions& opts) {
   out += "\"seed\":" + unum(r.job.seed) + ",";
   out += std::string("\"cache_hit\":") +
          (opts.live_cache_flags && r.cache_hit ? "true" : "false") + ",";
+  // Attempts are provenance like cache_hit: a job that needed a retry must
+  // still report byte-identically to a clean first-try run.
+  out += "\"attempts\":" + unum(opts.live_provenance ? r.attempts : 0) + ",";
   out += "\"config\":" + config_json(r.job) + ",";
   out += std::string("\"ok\":") + (r.ok ? "true" : "false") + ",";
+  // Failure classification; "ok" for successful jobs (driver/errors.hpp).
+  out += "\"status\":\"" + std::string(error_kind_name(r.error_kind)) + "\",";
   if (!r.ok) {
     out += "\"error\":\"" + json_escape(r.error) + "\"";
     out += "}";
@@ -154,10 +159,11 @@ std::string to_json(const std::vector<JobResult>& results,
 std::string to_csv(const std::vector<JobResult>& results,
                    const ReportOptions& opts) {
   std::string out =
-      "index,config,kernel,bytes_per_lane,seed,cache_hit,wakeups_total,"
+      "index,config,kernel,bytes_per_lane,seed,cache_hit,attempts,"
+      "wakeups_total,"
       "batched_iterations,kind,clusters,"
       "lanes_per_cluster,"
-      "total_lanes,vlen_bits,ok,cycles,flops,fpu_util,flop_per_cycle,"
+      "total_lanes,vlen_bits,ok,status,cycles,flops,fpu_util,flop_per_cycle,"
       "freq_ghz,area_mm2,power_w,gflops,gflops_per_w,max_rel_err,error\n";
   for (const JobResult& r : results) {
     const MachineConfig& c = r.job.cfg;
@@ -167,6 +173,7 @@ std::string to_csv(const std::vector<JobResult>& results,
     out += unum(r.job.bytes_per_lane) + ",";
     out += unum(r.job.seed) + ",";
     out += (opts.live_cache_flags && r.cache_hit) ? "1," : "0,";
+    out += unum(opts.live_provenance ? r.attempts : 0) + ",";
     out += unum(opts.live_provenance ? r.stats.wakeups_total : 0) + ",";
     out += unum(opts.live_provenance ? r.stats.batched_iterations : 0) + ",";
     out += std::string(kind_name(c.kind)) + ",";
@@ -175,6 +182,7 @@ std::string to_csv(const std::vector<JobResult>& results,
     out += unum(c.total_lanes()) + ",";
     out += unum(c.effective_vlen()) + ",";
     out += r.ok ? "1," : "0,";
+    out += std::string(error_kind_name(r.error_kind)) + ",";
     if (r.ok) {
       const Ppa p = ppa_for(c, r.stats);
       out += unum(r.stats.cycles) + ",";

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <optional>
@@ -16,6 +17,13 @@
 namespace araxl::driver {
 
 namespace {
+
+std::uint64_t steady_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 store::JobKey key_for(const Job& job, const RunnerOptions& opts) {
   store::JobKey key;
@@ -55,34 +63,98 @@ std::optional<JobResult> replay(const Job& job, const RunnerOptions& opts,
   return res;
 }
 
-// Runs the job body; throws on any failure so run_job can funnel every
-// error kind (config validation, simulation contract, verification) into
-// the same isolated-failure path.
-JobResult execute(const Job& job, const RunnerOptions& opts) {
+/// Resets `res` to a clean classified failure (partial successes from a
+/// half-run attempt must not leak stats into reports).
+void fill_error(JobResult& res, ErrorKind kind, std::string msg) {
+  const Job job = res.job;
+  res = JobResult{};
+  res.job = job;
+  res.ok = false;
+  res.error_kind = kind;
+  res.error = std::move(msg);
+}
+
+/// Cancellation policy for one attempt: the sweep-wide shutdown token plus
+/// this attempt's wall-clock deadline (captured at attempt start, so each
+/// retry gets a fresh budget).
+RunControl make_control(const RunnerOptions& opts) {
+  RunControl ctl;
+  ctl.shutdown = opts.cancel;
+  if (opts.job_timeout_s > 0.0) {
+    std::function<std::uint64_t()> clock =
+        opts.clock_ms ? opts.clock_ms : std::function<std::uint64_t()>(steady_ms);
+    const std::uint64_t start = clock();
+    const std::uint64_t budget_ms =
+        static_cast<std::uint64_t>(opts.job_timeout_s * 1000.0);
+    ctl.deadline_exceeded = [clock = std::move(clock), start, budget_ms] {
+      return clock() - start >= budget_ms;
+    };
+  }
+  return ctl;
+}
+
+/// The injected-hang fault: spin cooperatively until the deadline or a
+/// shutdown request fires (both raise SimCancelled) — a deterministic
+/// stand-in for a wedged simulation that proves a hung job cannot wedge
+/// its worker thread.
+[[noreturn]] void hang_cooperatively(const RunnerOptions& opts,
+                                     const RunControl& ctl) {
+  if (!ctl.enabled()) {
+    throw JobError(ErrorKind::kInjected,
+                   "injected hang with no deadline or shutdown token "
+                   "configured — refusing to hang the worker forever");
+  }
+  for (;;) {
+    ctl.check_now();  // throws when the deadline/shutdown fires
+    if (opts.sleep_ms) {
+      opts.sleep_ms(1);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+}
+
+// Runs the job body; throws classified JobErrors (and lets engine-level
+// SimCancelled / DeadlockError propagate) so run_attempt can funnel every
+// failure kind into the same isolated-failure path.
+JobResult execute(const Job& job, const RunnerOptions& opts,
+                  const RunControl& ctl) {
   JobResult res;
   res.job = job;
 
-  job.cfg.validate();
   const KernelRegistry& registry = KernelRegistry::instance();
+  try {
+    job.cfg.validate();
+    (void)registry.at(job.kernel);
+  } catch (const ContractViolation& e) {
+    throw JobError(ErrorKind::kConfig, e.what());
+  }
 
-  Machine m(job.cfg);
+  MachineConfig cfg = job.cfg;
+  if (opts.watchdog_budget != 0) cfg.watchdog_budget = opts.watchdog_budget;
+  const RunControl* control = ctl.enabled() ? &ctl : nullptr;
+
+  Machine m(cfg);
   auto kernel = registry.make(job.kernel);
   kernel->seed_inputs(job.seed);
   const Program prog = kernel->build(m, job.bytes_per_lane);
-  res.stats = m.run(prog);
+  res.stats = m.run(prog, nullptr, control);
 
   if (opts.check_oracle) {
     // Fresh machine + kernel: build() writes inputs into machine memory,
     // so the oracle run needs its own architectural state.
-    MachineConfig oracle_cfg = job.cfg;
+    MachineConfig oracle_cfg = cfg;
     oracle_cfg.timing_mode = TimingMode::kCycleStepped;
     Machine oracle(oracle_cfg);
     auto oracle_kernel = registry.make(job.kernel);
     oracle_kernel->seed_inputs(job.seed);
     const Program oracle_prog = oracle_kernel->build(oracle, job.bytes_per_lane);
-    const RunStats oracle_stats = oracle.run(oracle_prog);
-    check(res.stats == oracle_stats,
-          "event-driven RunStats diverge from the cycle-stepped oracle");
+    const RunStats oracle_stats = oracle.run(oracle_prog, nullptr, control);
+    if (!(res.stats == oracle_stats)) {
+      throw JobError(ErrorKind::kOracleDivergence,
+                     "event-driven RunStats diverge from the cycle-stepped "
+                     "oracle");
+    }
   }
 
   if (opts.corrupt_before_verify) opts.corrupt_before_verify(m, job);
@@ -92,27 +164,55 @@ JobResult execute(const Job& job, const RunnerOptions& opts) {
     res.tolerance = kernel->tolerance();
     res.verify = kernel->verify(m);
     if (!res.verify.ok(res.tolerance)) {
-      fail(strprintf("golden verification failed: max_rel_err=%.3e > tol=%.3e",
-                     res.verify.max_rel_err, res.tolerance));
+      throw JobError(
+          ErrorKind::kVerifyFailed,
+          strprintf("golden verification failed: max_rel_err=%.3e > tol=%.3e",
+                    res.verify.max_rel_err, res.tolerance));
     }
   }
   res.ok = true;
   return res;
 }
 
-}  // namespace
-
-JobResult run_job(const Job& job, const RunnerOptions& opts) {
+/// One execution attempt, every failure mode folded into the result:
+/// typed JobErrors keep their kind, engine-level cancellations map to
+/// timeout/cancelled, a tripped watchdog maps to timeout, and anything
+/// else — including non-std::exception throws — is isolated as a
+/// simulation-kind failure instead of unwinding into the worker pool
+/// (where it would std::terminate the process).
+JobResult run_attempt(const Job& job, const RunnerOptions& opts,
+                      const store::JobKey& key, const std::string& fp,
+                      unsigned attempt) {
+  JobResult res;
+  res.job = job;
   try {
+    if (opts.cancel != nullptr && opts.cancel->requested()) {
+      throw SimCancelled(CancelReason::kShutdown,
+                         "cancelled before start: shutdown requested");
+    }
+    if (opts.faults != nullptr && !fp.empty()) {
+      const RunControl hang_ctl = make_control(opts);
+      switch (opts.faults->job_fault(fp, attempt)) {
+        case FaultInjector::JobFault::kTransient:
+          throw JobError(ErrorKind::kInjected,
+                         strprintf("injected transient job fault (attempt %u)",
+                                   attempt));
+        case FaultInjector::JobFault::kPermanent:
+          throw JobError(ErrorKind::kInjected, "injected permanent job fault");
+        case FaultInjector::JobFault::kHang:
+          hang_cooperatively(opts, hang_ctl);
+        case FaultInjector::JobFault::kNone:
+          break;
+      }
+    }
     if (cacheable(opts)) {
-      const store::JobKey key = key_for(job, opts);
-      const std::string fp = store::fingerprint(key);
       if (opts.use_cache && !opts.refresh) {
         if (const auto hit = opts.store->find(fp)) {
           if (auto replayed = replay(job, opts, *hit)) return *replayed;
         }
       }
-      JobResult res = execute(job, opts);
+      const RunControl ctl = make_control(opts);
+      res = execute(job, opts, ctl);
       store::StoredResult rec;
       rec.fingerprint = fp;
       rec.version = key.version;
@@ -125,18 +225,83 @@ JobResult run_job(const Job& job, const RunnerOptions& opts) {
       rec.verified = res.verified;
       rec.tolerance = res.tolerance;
       rec.verify = res.verify;
-      opts.store->put(std::move(rec));
-      opts.store->flush();
+      try {
+        opts.store->put(std::move(rec));
+        opts.store->flush();
+      } catch (const store::StoreIoError& e) {
+        // A successfully simulated result is never failed by cache I/O:
+        // degrade to cache-off-with-warning (the job is still ok, the
+        // sweep summary surfaces the warning, a rerun re-simulates).
+        res.store_degraded = true;
+        res.store_warning = e.what();
+      }
       return res;
     }
-    return execute(job, opts);
+    const RunControl ctl = make_control(opts);
+    return execute(job, opts, ctl);
+  } catch (const SimCancelled& e) {
+    fill_error(res,
+               e.reason() == CancelReason::kDeadline ? ErrorKind::kTimeout
+                                                     : ErrorKind::kCancelled,
+               e.what());
+  } catch (const JobError& e) {
+    fill_error(res, e.kind(), e.what());
+  } catch (const DeadlockError& e) {
+    fill_error(res, ErrorKind::kTimeout,
+               std::string("liveness watchdog: ") + e.what());
+  } catch (const store::StoreIoError& e) {
+    fill_error(res, ErrorKind::kStoreIo, e.what());
+  } catch (const ContractViolation& e) {
+    fill_error(res, ErrorKind::kSimulation, e.what());
   } catch (const std::exception& e) {
-    JobResult res;
-    res.job = job;
-    res.ok = false;
-    res.error = e.what();
-    return res;
+    fill_error(res, ErrorKind::kSimulation, e.what());
+  } catch (...) {
+    fill_error(res, ErrorKind::kSimulation,
+               "non-std::exception thrown by job (isolated by the runner)");
   }
+  return res;
+}
+
+}  // namespace
+
+JobResult run_job(const Job& job, const RunnerOptions& opts) {
+  JobResult res;
+  res.job = job;
+  try {
+    store::JobKey key;
+    std::string fp;
+    if (opts.store != nullptr || opts.faults != nullptr) {
+      key = key_for(job, opts);
+      fp = store::fingerprint(key);
+    }
+    const unsigned max_attempts = std::max(1u, opts.retry.max_attempts);
+    for (unsigned attempt = 1;; ++attempt) {
+      res = run_attempt(job, opts, key, fp, attempt);
+      res.attempts = attempt;
+      if (res.ok || !opts.retry.retryable(res.error_kind) ||
+          attempt >= max_attempts) {
+        return res;
+      }
+      // Shutdown pre-empts backoff sleeps: a Ctrl-C must not wait out the
+      // exponential schedule before the sweep can wind down.
+      if (opts.cancel != nullptr && opts.cancel->requested()) return res;
+      const std::uint64_t ms = opts.retry.backoff(attempt);
+      if (opts.sleep_ms) {
+        opts.sleep_ms(ms);
+      } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      }
+    }
+  } catch (const ContractViolation& e) {
+    // Fingerprinting an unbuildable config lands here, before any attempt.
+    fill_error(res, ErrorKind::kConfig, e.what());
+  } catch (const std::exception& e) {
+    fill_error(res, ErrorKind::kSimulation, e.what());
+  } catch (...) {
+    fill_error(res, ErrorKind::kSimulation,
+               "non-std::exception thrown by job (isolated by the runner)");
+  }
+  return res;
 }
 
 std::vector<JobResult> run_jobs(const std::vector<Job>& jobs,
@@ -157,7 +322,17 @@ std::vector<JobResult> run_jobs(const std::vector<Job>& jobs,
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= jobs.size()) return;
-      results[i] = run_job(jobs[i], opts);
+      try {
+        results[i] = run_job(jobs[i], opts);
+      } catch (...) {
+        // run_job isolates everything; this is the last line of defence so
+        // a pool thread can never unwind into std::terminate.
+        JobResult r;
+        r.job = jobs[i];
+        r.error_kind = ErrorKind::kSimulation;
+        r.error = "internal: run_job threw past its isolation";
+        results[i] = std::move(r);
+      }
       const std::size_t finished = done.fetch_add(1) + 1;
       if (opts.progress) {
         const std::lock_guard<std::mutex> lock(progress_mu);

@@ -1,28 +1,45 @@
-// Thread-pooled batch runner.
+// Thread-pooled batch runner with fault tolerance.
 //
 // Executes expanded jobs on a worker pool. Every job gets its own Machine
 // and Kernel instance (Machines are non-movable and self-referencing, so
 // workers construct them in place), runs build -> simulate -> verify, and
 // reports into a result slot indexed by job order — results are therefore
-// deterministic and byte-stable across worker counts. A job that throws
-// (bad config, contract violation, failed verification) is isolated: its
-// result carries the error and the rest of the sweep proceeds.
+// deterministic and byte-stable across worker counts.
+//
+// Failure handling is layered (see driver/errors.hpp for the taxonomy):
+//   * every throw — including non-std::exception throws — is isolated
+//     into that job's result; the rest of the sweep proceeds;
+//   * failures are classified into ErrorKind, and transient kinds are
+//     retried with bounded exponential backoff (clock and sleeper are
+//     injectable so tests run on a fake clock);
+//   * a wall-clock `job_timeout_s` and the liveness watchdog cancel hung
+//     or runaway jobs cooperatively at scheduler wakeups (timeout-kind
+//     failure, never a stuck worker thread);
+//   * a `CancelToken` (SIGINT/SIGTERM on the CLI) cancels queued and
+//     running jobs cooperatively; finished results are kept and the store
+//     already holds them, so a rerun resumes where the sweep stopped;
+//   * store put()/flush() failures degrade to cache-off-with-warning —
+//     a successfully simulated result is never failed by cache I/O.
 #ifndef ARAXL_DRIVER_RUNNER_HPP
 #define ARAXL_DRIVER_RUNNER_HPP
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "common/faults.hpp"
+#include "driver/errors.hpp"
 #include "driver/job.hpp"
 #include "kernels/common.hpp"
+#include "sim/cancel.hpp"
 #include "sim/stats.hpp"
 #include "store/result_store.hpp"
 
 namespace araxl::driver {
 
 /// Outcome of one job. `ok` means simulate + verify (when enabled)
-/// succeeded; otherwise `error` says what went wrong.
+/// succeeded; otherwise `error_kind`/`error` say what went wrong.
 struct JobResult {
   Job job;
   bool ok = false;
@@ -31,7 +48,18 @@ struct JobResult {
   double tolerance = 0.0;
   bool verified = false;   ///< verification was requested and ran
   bool cache_hit = false;  ///< replayed from the result store, not simulated
+  /// Failure classification (kNone iff ok). Reports carry it as the
+  /// per-job `status` column; the retry policy keys off it.
+  ErrorKind error_kind = ErrorKind::kNone;
   std::string error;
+  /// Execution attempts consumed (>1 means retries happened). Provenance:
+  /// reports zero it by default so retried runs stay byte-identical.
+  unsigned attempts = 1;
+  /// The job simulated fine but its store put()/flush() failed; the result
+  /// is served without caching (surfaced in the sweep summary, never a
+  /// job failure).
+  bool store_degraded = false;
+  std::string store_warning;  ///< degradation detail (empty when healthy)
 };
 
 struct RunnerOptions {
@@ -55,6 +83,31 @@ struct RunnerOptions {
   /// Cache salt; empty selects store::build_version(). Tests override it
   /// to model results written by a different build.
   std::string cache_salt;
+
+  // ---- fault tolerance ------------------------------------------------------
+  /// Per-job wall-clock deadline in seconds; 0 disables. Checked
+  /// cooperatively at scheduler wakeups — an expired job unwinds with a
+  /// timeout-kind failure and an intact worker thread.
+  double job_timeout_s = 0.0;
+  /// Liveness-watchdog override applied to every job's MachineConfig
+  /// (wakeups without progress before the engine declares a runaway);
+  /// 0 keeps each config's own setting. Excluded from fingerprints.
+  std::uint64_t watchdog_budget = 0;
+  /// Bounded-attempt retry with exponential backoff for transient kinds.
+  RetryPolicy retry;
+  /// Sweep-wide cooperative shutdown token (CLI signal handling); jobs
+  /// not yet started fail as kCancelled immediately, running jobs unwind
+  /// at their next wakeup check. Null = never cancelled.
+  const CancelToken* cancel = nullptr;
+  /// Deterministic fault injection (store I/O + per-fingerprint job
+  /// faults); null = no injection. Not owned.
+  FaultInjector* faults = nullptr;
+  /// Monotonic clock in milliseconds; defaults to std::chrono::steady_clock.
+  /// Tests inject a fake to drive deadlines and observe backoff.
+  std::function<std::uint64_t()> clock_ms;
+  /// Retry-backoff sleeper; defaults to std::this_thread::sleep_for.
+  std::function<void(std::uint64_t ms)> sleep_ms;
+
   /// Progress callback; invoked serially (under an internal lock) as jobs
   /// finish, with the number completed so far.
   std::function<void(const JobResult&, std::size_t done, std::size_t total)>
@@ -64,7 +117,8 @@ struct RunnerOptions {
   std::function<void(Machine&, const Job&)> corrupt_before_verify;
 };
 
-/// Runs one job synchronously on the calling thread.
+/// Runs one job synchronously on the calling thread, including the retry
+/// loop. Never throws: every failure mode is folded into the result.
 JobResult run_job(const Job& job, const RunnerOptions& opts);
 
 /// Runs all jobs on `opts.workers` threads; the result vector is indexed

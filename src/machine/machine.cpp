@@ -8,9 +8,10 @@ Machine::Machine(MachineConfig cfg)
       vrf_(cfg_.topo, cfg_.effective_vlen(), cfg_.mask_layout()),
       fn_(cfg_, vrf_, mem_) {}
 
-RunStats Machine::run(const Program& prog, InstrTrace* trace) {
+RunStats Machine::run(const Program& prog, InstrTrace* trace,
+                      const RunControl* control) {
   TimingEngine engine(cfg_, fn_, trace);
-  return engine.run(prog);
+  return engine.run(prog, control);
 }
 
 }  // namespace araxl

@@ -50,8 +50,12 @@ class Machine {
 
   /// Simulates `prog` to completion. Architectural state (memory, VRF)
   /// persists across runs; timing state does not. An optional trace sink
-  /// receives one record per retired vector instruction (see trace/).
-  RunStats run(const Program& prog, InstrTrace* trace = nullptr);
+  /// receives one record per retired vector instruction (see trace/). An
+  /// optional RunControl is polled cooperatively at scheduler wakeups —
+  /// a fired shutdown token or deadline raises SimCancelled (the driver's
+  /// job-timeout and graceful-shutdown paths).
+  RunStats run(const Program& prog, InstrTrace* trace = nullptr,
+               const RunControl* control = nullptr);
 
  private:
   MachineConfig cfg_;

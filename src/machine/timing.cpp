@@ -524,6 +524,10 @@ void TimingEngine::step_cycle(Cycle t) {
 }
 
 void TimingEngine::fail_deadlock(Cycle t) const {
+  // Typed as DeadlockError so the driver classifies a tripped liveness
+  // watchdog as a timeout-kind job failure, not a simulation bug. The
+  // diagnostic is simulation-state only (cycles, ids) — deterministic, so
+  // it is safe to embed in reports.
   std::string diag = "timing engine deadlock at pc " + std::to_string(pc_) +
                      ", cycle " + std::to_string(t);
   for (const auto& q : unitq_) {
@@ -534,7 +538,7 @@ void TimingEngine::fail_deadlock(Cycle t) const {
               std::to_string(instr.vl);
     }
   }
-  fail(diag);
+  throw DeadlockError(diag);
 }
 
 void TimingEngine::reset_run(const Program& prog) {
@@ -564,7 +568,8 @@ void TimingEngine::reset_run(const Program& prog) {
   ckpt_.valid = false;
 }
 
-RunStats TimingEngine::run(const Program& prog) {
+RunStats TimingEngine::run(const Program& prog, const RunControl* control) {
+  control_ = (control != nullptr && control->enabled()) ? control : nullptr;
   return cfg_.timing_mode == TimingMode::kCycleStepped ? run_cycle_stepped(prog)
                                                        : run_event_driven(prog);
 }
@@ -575,6 +580,7 @@ RunStats TimingEngine::run_cycle_stepped(const Program& prog) {
   while (!drained()) {
     step_cycle(t);
     if ((t & 0xFFF) == 0) {
+      if (control_ != nullptr) control_->check_now();
       if (watchdog_.progress_total() != last_progress_events_) {
         last_progress_events_ = watchdog_.progress_total();
         last_progress_cycle_ = t;

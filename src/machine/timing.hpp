@@ -37,6 +37,7 @@
 #include "machine/functional.hpp"
 #include "machine/inflight.hpp"
 #include "scalar/cva6.hpp"
+#include "sim/cancel.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/stats.hpp"
 #include "trace/trace.hpp"
@@ -56,8 +57,12 @@ class TimingEngine {
                InstrTrace* trace = nullptr);
 
   /// Simulates `prog` to completion with the engine selected by
-  /// cfg.timing_mode and returns the run statistics.
-  RunStats run(const Program& prog);
+  /// cfg.timing_mode and returns the run statistics. `control` installs a
+  /// cooperative cancellation policy (shutdown token / wall-clock
+  /// deadline) polled at scheduler wakeups; the engine raises
+  /// SimCancelled when it fires. Polling never mutates machine state, so
+  /// a run that completes is bit-identical with or without a control.
+  RunStats run(const Program& prog, const RunControl* control = nullptr);
 
   /// Explicit-kernel entry points (differential tests, benchmarks).
   RunStats run_cycle_stepped(const Program& prog);
@@ -217,6 +222,11 @@ class TimingEngine {
   // Per-wakeup outcome flags consumed by the event loop.
   bool dispatched_this_cycle_ = false;
   Cva6Stall cva6_stall_ = Cva6Stall::kNone;
+
+  // Cooperative cancellation (sim/cancel.hpp); null when the run has no
+  // shutdown token or deadline — the common case costs one pointer test
+  // per wakeup.
+  const RunControl* control_ = nullptr;
 
   // Liveness tracking (wakeup-counting watchdog; see sim/scheduler.hpp).
   // The cycle-stepped oracle polls watchdog_.progress_total() every few

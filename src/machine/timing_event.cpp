@@ -59,6 +59,7 @@ RunStats TimingEngine::run_event_driven(const Program& prog) {
   while (!drained()) {
     step_cycle(t);
     watchdog_.note_wakeup();
+    if (control_ != nullptr) control_->poll(watchdog_.wakeups_total());
     if (drained()) {
       ++t;
       break;

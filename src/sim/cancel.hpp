@@ -1,0 +1,107 @@
+// Cooperative cancellation for simulation runs.
+//
+// A simulated job can only be stopped at a scheduler wakeup: the timing
+// engines are single-threaded state machines, so preemption would leave
+// the machine model inconsistent. Instead the driver hands the engine a
+// `RunControl` and the engine polls it at a fixed wakeup cadence — a
+// shutdown request (Ctrl-C on the CLI) or an expired wall-clock deadline
+// raises `SimCancelled`, unwinding the run cleanly with the Machine's
+// architectural state intact. The deadline is an injected predicate, not
+// a time point, so tests drive it with a fake clock and the engine never
+// reads the real clock itself.
+//
+// Error text raised here must stay free of wall-clock values: cancelled
+// and timed-out jobs flow into sweep reports, and reports are pure
+// functions of the job set (the byte-identity contract).
+#ifndef ARAXL_SIM_CANCEL_HPP
+#define ARAXL_SIM_CANCEL_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "common/contracts.hpp"
+
+namespace araxl {
+
+/// Why a cooperative cancellation fired.
+enum class CancelReason : std::uint8_t { kShutdown, kDeadline };
+
+/// Shared cancellation flag, set once and never cleared. `request()` is a
+/// lock-free atomic store, safe to call from a POSIX signal handler; any
+/// number of runs may poll one token concurrently.
+class CancelToken {
+ public:
+  void request() noexcept { flag_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool requested() const noexcept {
+    return flag_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Raised by the timing engines when a RunControl check fires mid-run.
+class SimCancelled : public std::runtime_error {
+ public:
+  SimCancelled(CancelReason reason, const std::string& what)
+      : std::runtime_error(what), reason_(reason) {}
+  [[nodiscard]] CancelReason reason() const noexcept { return reason_; }
+
+ private:
+  CancelReason reason_;
+};
+
+/// Liveness-watchdog failure: the engine made no progress for a whole
+/// wakeup budget (MachineConfig::watchdog_budget). A subclass of
+/// ContractViolation so existing "deadlock throws" call sites and tests
+/// keep working, but typed so the driver can classify it as a timeout-kind
+/// job failure instead of a simulation bug.
+class DeadlockError : public ContractViolation {
+ public:
+  using ContractViolation::ContractViolation;
+};
+
+/// Per-run cancellation policy, checked cooperatively at scheduler
+/// wakeups. Default-constructed (both sources null) it is free: engines
+/// skip polling entirely when `enabled()` is false.
+struct RunControl {
+  /// Sweep-wide shutdown token (SIGINT/SIGTERM on the CLI); null = none.
+  const CancelToken* shutdown = nullptr;
+  /// Wall-clock deadline probe; null = no deadline. Must be cheap — it is
+  /// only invoked at the check cadence, never per cycle.
+  std::function<bool()> deadline_exceeded;
+  /// Wakeup-count mask between checks (power of two minus one). 1023
+  /// bounds the overhead to one predicate call per ~1k wakeups while a
+  /// runaway job is still caught within milliseconds.
+  std::uint64_t check_mask = 1023;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return shutdown != nullptr || deadline_exceeded != nullptr;
+  }
+
+  /// Throws SimCancelled when shutdown was requested or the deadline has
+  /// passed. Shutdown wins ties so a Ctrl-C is never misreported as a
+  /// per-job timeout.
+  void check_now() const {
+    if (shutdown != nullptr && shutdown->requested()) {
+      throw SimCancelled(CancelReason::kShutdown,
+                         "run cancelled: shutdown requested");
+    }
+    if (deadline_exceeded && deadline_exceeded()) {
+      throw SimCancelled(CancelReason::kDeadline, "job deadline exceeded");
+    }
+  }
+
+  /// Cadenced check: `count` is any monotonically increasing per-wakeup
+  /// counter (the engines use the watchdog's wakeup total).
+  void poll(std::uint64_t count) const {
+    if ((count & check_mask) == 0) check_now();
+  }
+};
+
+}  // namespace araxl
+
+#endif  // ARAXL_SIM_CANCEL_HPP

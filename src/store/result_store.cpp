@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/contracts.hpp"
+#include "common/faults.hpp"
 #include "common/fmt.hpp"
 #include "store/json.hpp"
 
@@ -198,14 +199,49 @@ void ResultStore::put(StoredResult r) {
 void ResultStore::flush() {
   const std::lock_guard<std::mutex> lock(mu_);
   if (pending_.empty()) return;
+  if (faults_ != nullptr && faults_->store_open_fails()) {
+    throw StoreIoError("injected open failure on store file: " + path_);
+  }
+  // A crashed (or fault-injected) writer can leave the file ending in a
+  // torn, newline-less tail. Appending straight after it would merge our
+  // first record into that garbage line and lose it — heal by starting on
+  // a fresh line. (The loader skips the blank line this may create when
+  // two writers both heal.)
+  bool heal_tail = false;
+  {
+    std::ifstream probe(path_, std::ios::binary | std::ios::ate);
+    if (probe.good() && probe.tellg() > 0) {
+      probe.seekg(-1, std::ios::end);
+      char last = '\n';
+      heal_tail = probe.get(last).good() && last != '\n';
+    }
+  }
   // One append-mode write per flush: concurrent writers interleave at
   // line granularity (O_APPEND), and a torn line from a crash is skipped
   // by the corruption-tolerant loader.
   std::ofstream f(path_, std::ios::binary | std::ios::app);
-  check(f.good(), "cannot open store file for appending: " + path_);
-  f.write(pending_.data(), static_cast<std::streamsize>(pending_.size()));
+  if (!f.good()) {
+    throw StoreIoError("cannot open store file for appending: " + path_);
+  }
+  if (heal_tail) f.put('\n');
+  std::string_view out = pending_;
+  bool torn = false;
+  if (faults_ != nullptr) {
+    if (const auto cut = faults_->store_short_write(out.size())) {
+      out = out.substr(0, *cut);  // torn tail — exactly what a crash leaves
+      torn = true;
+    }
+  }
+  f.write(out.data(), static_cast<std::streamsize>(out.size()));
   f.flush();
-  check(f.good(), "failed appending to store file: " + path_);
+  if (!f.good()) {
+    throw StoreIoError("failed appending to store file: " + path_);
+  }
+  if (torn) {
+    // pending_ is retained: a later flush re-appends every record as whole
+    // lines, and the loader skips the torn line and dedups the rest.
+    throw StoreIoError("injected short write to store file: " + path_);
+  }
   pending_.clear();
 }
 
@@ -227,17 +263,26 @@ std::size_t ResultStore::gc(const std::string& current_version) {
   const std::string tmp = path_ + ".tmp";
   {
     std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
-    check(f.good(), "cannot open store temp file for writing: " + tmp);
+    if (!f.good()) {
+      throw StoreIoError("cannot open store temp file for writing: " + tmp);
+    }
     for (const StoredResult& r : records_) {
       const std::string line = serialize(r);
       f.write(line.data(), static_cast<std::streamsize>(line.size()));
       f.put('\n');
     }
     f.flush();
-    check(f.good(), "failed writing store temp file: " + tmp);
+    if (!f.good()) {
+      throw StoreIoError("failed writing store temp file: " + tmp);
+    }
   }
-  check(std::rename(tmp.c_str(), path_.c_str()) == 0,
-        "cannot rename store temp file over " + path_);
+  if (faults_ != nullptr && faults_->store_rename_fails()) {
+    std::remove(tmp.c_str());  // a failed rename leaves the original intact
+    throw StoreIoError("injected rename failure on store temp file: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    throw StoreIoError("cannot rename store temp file over " + path_);
+  }
   pending_.clear();
   return removed;
 }

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -31,7 +32,21 @@
 #include "sim/stats.hpp"
 #include "store/fingerprint.hpp"
 
+namespace araxl {
+class FaultInjector;
+}
+
 namespace araxl::store {
+
+/// Store file-I/O failure (open, append, rename — real or injected).
+/// Typed distinctly from ContractViolation so callers can degrade: the
+/// runner turns a failed put()/flush() into a cache-off-with-warning
+/// instead of failing a successfully simulated job, and the CLI maps it
+/// to the internal/store exit code (3), not the usage code (2).
+class StoreIoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// One cached job result with full provenance.
 struct StoredResult {
@@ -78,8 +93,15 @@ class ResultStore {
   /// one line per record in one write. O(new records), not O(store):
   /// the runner calls it after every completed job, and concurrent
   /// writers sharing the file only ever add lines (an overwrite becomes a
-  /// later line that supersedes on load).
+  /// later line that supersedes on load). Throws StoreIoError on I/O
+  /// failure; the unflushed records stay pending so a later flush retries
+  /// them (a torn partial append is skipped by the loader).
   void flush();
+
+  /// Installs a deterministic fault injector on this store's file I/O
+  /// (open / short-write / rename sites); nullptr disables injection. Not
+  /// owned; must outlive the store. Test/chaos harness only.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
 
   /// Drops every record whose version differs from `current_version`
   /// (stale entries can never be served — their fingerprints embed the old
@@ -106,6 +128,7 @@ class ResultStore {
   LoadReport load_report_;
 
   mutable std::mutex mu_;
+  FaultInjector* faults_ = nullptr;                      // not owned
   std::vector<StoredResult> records_;                    // insertion order
   std::unordered_map<std::string, std::size_t> index_;   // fp → records_ slot
   std::string pending_;  // serialized lines not yet appended to disk

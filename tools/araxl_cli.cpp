@@ -15,7 +15,9 @@
 // version), so re-running a sweep only simulates missing jobs; `--shard
 // i/N` + `araxl merge` distribute one sweep over many processes/hosts.
 #include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -24,6 +26,7 @@
 #include <vector>
 
 #include "common/contracts.hpp"
+#include "common/faults.hpp"
 #include "common/fmt.hpp"
 #include "common/table.hpp"
 #include "driver/registry.hpp"
@@ -41,6 +44,30 @@ namespace {
 
 constexpr const char* kDefaultStorePath = "araxl-cache.jsonl";
 
+// Graceful shutdown: SIGINT/SIGTERM set this token (a lock-free atomic
+// store, safe in a signal handler); workers observe it cooperatively at
+// scheduler wakeups, queued jobs fail fast as cancelled, the store keeps
+// every already-flushed result, and rerunning the same command resumes.
+CancelToken g_shutdown;
+
+extern "C" void handle_shutdown_signal(int /*signum*/) {
+  g_shutdown.request();
+}
+
+void install_signal_handlers() {
+  std::signal(SIGINT, handle_shutdown_signal);
+  std::signal(SIGTERM, handle_shutdown_signal);
+}
+
+/// Injector from --inject-faults, else ARAXL_FAULTS, else null.
+std::unique_ptr<FaultInjector> make_fault_injector(
+    const std::string* flag_spec) {
+  if (flag_spec != nullptr && !flag_spec->empty()) {
+    return std::make_unique<FaultInjector>(*flag_spec);
+  }
+  return FaultInjector::from_env();
+}
+
 int usage(std::FILE* out) {
   std::fputs(
       "usage:\n"
@@ -55,6 +82,9 @@ int usage(std::FILE* out) {
       "              [--store <file>] [--no-cache] [--refresh]\n"
       "              [--cache-provenance] [--provenance] [--no-verify]\n"
       "              [--oracle-check] [--quiet]\n"
+      "              [--job-timeout <s>] [--watchdog-budget <wakeups>]\n"
+      "              [--retries <n>] [--backoff-ms <ms>]\n"
+      "              [--inject-faults <spec>]\n"
       "  araxl merge (--json <out>|--csv <out>) <shard-report>...\n"
       "  araxl cache (ls | stats | gc) [--store <file>]\n"
       "\n"
@@ -77,7 +107,30 @@ int usage(std::FILE* out) {
       "  byte-identically to the unsharded run. --cache-provenance reports\n"
       "  real cache_hit flags instead of the deterministic zeros;\n"
       "  --provenance likewise reports the real wakeups_total /\n"
-      "  batched_iterations engine counters.\n",
+      "  batched_iterations engine counters (and retry attempts).\n"
+      "fault tolerance:\n"
+      "  --job-timeout <s>       per-job wall-clock deadline, checked\n"
+      "                          cooperatively at scheduler wakeups; an\n"
+      "                          expired job fails with status=timeout while\n"
+      "                          the rest of the sweep completes\n"
+      "  --watchdog-budget <n>   liveness-watchdog override: wakeups without\n"
+      "                          progress before a job is declared hung\n"
+      "  --retries <n>           retry transient failures up to n times with\n"
+      "                          exponential backoff (default 2)\n"
+      "  --backoff-ms <ms>       base backoff before the first retry, doubling\n"
+      "                          per retry (default 100)\n"
+      "  --inject-faults <spec>  deterministic fault injection (also read from\n"
+      "                          ARAXL_FAULTS); spec items, comma-separated:\n"
+      "                          seed=<u64> store.open=<rate> store.write=<rate>\n"
+      "                          store.rename=<rate> job=<rate>[@k]\n"
+      "                          job.fail=<rate> job.hang=<rate>\n"
+      "  Ctrl-C / SIGTERM stop the sweep gracefully: running jobs unwind at\n"
+      "  their next wakeup check, finished results are already flushed to the\n"
+      "  store, and rerunning the same command resumes (cached jobs replay).\n"
+      "exit codes:\n"
+      "  0  every job succeeded          2  usage or configuration error\n"
+      "  1  one or more jobs failed      3  internal or store I/O error\n"
+      "  130  interrupted by SIGINT/SIGTERM (rerun to resume)\n",
       out);
   return out == stderr ? 2 : 0;
 }
@@ -98,9 +151,11 @@ struct Args {
 // Flags that take a value; everything else is boolean.
 bool flag_takes_value(std::string_view name) {
   static constexpr std::string_view kValued[] = {
-      "--kernel", "--kernels", "--config", "--configs", "--bpl",
-      "--workers", "--seed",   "--json",   "--csv",     "--store",
-      "--shard",
+      "--kernel",      "--kernels",       "--config",  "--configs",
+      "--bpl",         "--workers",       "--seed",    "--json",
+      "--csv",         "--store",         "--shard",   "--job-timeout",
+      "--watchdog-budget", "--retries",   "--backoff-ms",
+      "--inject-faults",
   };
   for (const std::string_view v : kValued) {
     if (name == v) return true;
@@ -140,6 +195,17 @@ std::uint64_t flag_u64(const Args& args, std::string_view key,
                        std::uint64_t fallback) {
   const std::string* v = args.get(key);
   return v == nullptr ? fallback : parse_u64_single(*v);
+}
+
+double flag_double(const Args& args, std::string_view key, double fallback) {
+  const std::string* v = args.get(key);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  check(end != nullptr && *end == '\0' && !v->empty() && parsed >= 0.0,
+        "flag " + std::string(key) + " needs a non-negative number, got '" +
+            *v + "'");
+  return parsed;
 }
 
 std::vector<std::string> resolve_kernels(const std::string& spec) {
@@ -228,21 +294,41 @@ int run_and_report(const driver::SweepSpec& spec, const Args& args,
   opts.verify = !args.has("--no-verify");
   opts.check_oracle = args.has("--oracle-check");
   opts.refresh = args.has("--refresh");
+  opts.job_timeout_s = flag_double(args, "--job-timeout", 0.0);
+  opts.watchdog_budget = flag_u64(args, "--watchdog-budget", 0);
+  opts.retry.max_attempts =
+      1 + static_cast<unsigned>(flag_u64(args, "--retries", 2));
+  opts.retry.backoff_ms = flag_u64(args, "--backoff-ms", 100);
+  install_signal_handlers();
+  opts.cancel = &g_shutdown;
+  const std::unique_ptr<FaultInjector> faults =
+      make_fault_injector(args.get("--inject-faults"));
+  opts.faults = faults.get();
   std::unique_ptr<store::ResultStore> result_store;
   if (!args.has("--no-cache")) {
     const std::string* path = args.get("--store");
     result_store = std::make_unique<store::ResultStore>(
         path != nullptr ? *path : kDefaultStorePath);
+    result_store->set_fault_injector(faults.get());
     opts.store = result_store.get();
   }
   const bool quiet = args.has("--quiet");
   if (!quiet) {
+    if (faults != nullptr) {
+      std::fprintf(stderr, "fault injection active: %s\n",
+                   faults->describe().c_str());
+    }
     opts.progress = [](const driver::JobResult& r, std::size_t done,
                        std::size_t total) {
       std::fprintf(stderr, "[%zu/%zu] %-18s %-12s bpl=%-6llu %s\n", done, total,
                    r.job.config_label.c_str(), r.job.kernel.c_str(),
                    static_cast<unsigned long long>(r.job.bytes_per_lane),
-                   r.ok ? (r.cache_hit ? "ok (cached)" : "ok") : "FAILED");
+                   r.ok ? (r.cache_hit ? "ok (cached)" : "ok")
+                        : strprintf("FAILED (%s)",
+                                    std::string(driver::error_kind_name(
+                                                    r.error_kind))
+                                        .c_str())
+                              .c_str());
     };
   }
 
@@ -270,12 +356,27 @@ int run_and_report(const driver::SweepSpec& spec, const Args& args,
   }
 
   std::size_t failed = 0;
+  std::size_t cancelled = 0;
+  std::size_t degraded = 0;
+  std::size_t retried = 0;
   for (const driver::JobResult& r : results) {
+    if (r.attempts > 1) ++retried;
+    if (r.store_degraded) {
+      ++degraded;
+      std::fprintf(stderr, "WARN job %zu (%s %s bpl=%llu): result not cached: %s\n",
+                   r.job.index, r.job.config_label.c_str(),
+                   r.job.kernel.c_str(),
+                   static_cast<unsigned long long>(r.job.bytes_per_lane),
+                   r.store_warning.c_str());
+    }
     if (!r.ok) {
       ++failed;
-      std::fprintf(stderr, "FAILED job %zu (%s %s bpl=%llu): %s\n", r.job.index,
-                   r.job.config_label.c_str(), r.job.kernel.c_str(),
+      if (r.error_kind == driver::ErrorKind::kCancelled) ++cancelled;
+      std::fprintf(stderr, "FAILED job %zu (%s %s bpl=%llu) [%s]: %s\n",
+                   r.job.index, r.job.config_label.c_str(),
+                   r.job.kernel.c_str(),
                    static_cast<unsigned long long>(r.job.bytes_per_lane),
+                   std::string(driver::error_kind_name(r.error_kind)).c_str(),
                    r.error.c_str());
     }
   }
@@ -300,7 +401,8 @@ int run_and_report(const driver::SweepSpec& spec, const Args& args,
       } else {
         table.add_row({r.job.config_label, r.job.kernel,
                        std::to_string(r.job.bytes_per_lane), "-", "-", "-", "-",
-                       "-", "-", "FAILED"});
+                       "-", "-",
+                       std::string(driver::error_kind_name(r.error_kind))});
       }
     }
     std::printf("%s", table.render().c_str());
@@ -314,13 +416,28 @@ int run_and_report(const driver::SweepSpec& spec, const Args& args,
     if (shard.count > 1) {
       shard_note = strprintf(" [shard %u/%u]", shard.index, shard.count);
     }
+    std::string robustness_note;
+    if (cancelled > 0) {
+      robustness_note += strprintf(" (%zu cancelled)", cancelled);
+    }
+    if (retried > 0) robustness_note += strprintf(", %zu retried", retried);
+    if (degraded > 0) {
+      robustness_note += strprintf(", %zu uncached (store degraded)", degraded);
+    }
     std::fprintf(stderr,
-                 "%zu jobs, %zu failed, %zu cached, %zu simulated, "
+                 "%zu jobs, %zu failed%s, %zu cached, %zu simulated, "
                  "%u worker(s), %.2fs wall%s\n",
-                 results.size(), failed, cached, results.size() - cached,
+                 results.size(), failed, robustness_note.c_str(), cached,
+                 results.size() - cached,
                  opts.workers == 0 ? std::thread::hardware_concurrency()
                                    : opts.workers,
                  wall_s, shard_note.c_str());
+  }
+  if (g_shutdown.requested()) {
+    std::fprintf(stderr,
+                 "interrupted — completed results are in the store; rerun the "
+                 "same command to resume\n");
+    return 130;
   }
   return failed == 0 ? 0 : 1;
 }
@@ -367,6 +484,11 @@ int cmd_cache(const Args& args) {
   const std::string& sub = args.positional[1];
   const std::string* path = args.get("--store");
   store::ResultStore result_store(path != nullptr ? *path : kDefaultStorePath);
+  // Chaos testing reaches cache maintenance too: an injected gc failure
+  // surfaces as StoreIoError -> exit code 3.
+  const std::unique_ptr<FaultInjector> faults =
+      make_fault_injector(args.get("--inject-faults"));
+  result_store.set_fault_injector(faults.get());
   const std::string current = store::build_version();
 
   if (sub == "ls") {
@@ -478,8 +600,15 @@ int main(int argc, char** argv) {
     if (cmd == "cache") return cmd_cache(args);
     std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
     return usage(stderr);
-  } catch (const std::exception& e) {
+  } catch (const store::StoreIoError& e) {
+    std::fprintf(stderr, "araxl: store I/O error: %s\n", e.what());
+    return 3;
+  } catch (const ContractViolation& e) {
+    // Bad flags, malformed specs, unknown kernels: the user's input.
     std::fprintf(stderr, "araxl: %s\n", e.what());
     return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "araxl: internal error: %s\n", e.what());
+    return 3;
   }
 }
