@@ -25,6 +25,7 @@
 
 #include "kernels/common.hpp"
 #include "machine/machine.hpp"
+#include "obs/metrics.hpp"
 #include "store/version.hpp"
 
 namespace araxl {
@@ -115,19 +116,36 @@ BENCHMARK(BM_FmatmulSimOracle)->Unit(benchmark::kMillisecond);
 /// Simulated cycles per wall second for `prog` on a fresh run of `m`,
 /// measured over enough repetitions to cover ~0.5 s (long enough that the
 /// event/oracle ratio is stable within the trajectory gate's tolerance).
-double measure_cycles_per_s(Machine& m, const Program& prog) {
+double measure_cycles_per_s(Machine& m, const Program& prog,
+                            obs::MetricsRegistry* metrics = nullptr) {
   // One warmup run (page faults, allocator steady state).
-  std::uint64_t sim_cycles = m.run(prog).cycles;
+  std::uint64_t sim_cycles = m.run(prog, nullptr, nullptr, metrics).cycles;
   const auto t0 = std::chrono::steady_clock::now();
   std::uint64_t total = 0;
   double elapsed = 0.0;
   do {
-    total += m.run(prog).cycles;
+    total += m.run(prog, nullptr, nullptr, metrics).cycles;
     elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
                   .count();
   } while (elapsed < 0.5);
   (void)sim_cycles;
   return static_cast<double>(total) / elapsed;
+}
+
+/// Cost of carrying a live metrics registry, as (rate without) / (rate
+/// with) on the event-driven AXPY point — 1.0 means free, 1.10 means
+/// attaching metrics costs 10%. The metrics-off path itself is gated
+/// implicitly: its null-pointer checks are part of every other entry's
+/// event_sim_cycles_per_s, so a regression there moves the speedup ratios
+/// this file already gates.
+double measure_metrics_overhead_ratio() {
+  MachineConfig cfg = MachineConfig::araxl(8);
+  Machine m(cfg);
+  const Program prog = build_axpy(cfg, 16384);
+  const double off = measure_cycles_per_s(m, prog);
+  obs::MetricsRegistry metrics;
+  const double on = measure_cycles_per_s(m, prog, &metrics);
+  return off / on;
 }
 
 struct TrajectoryEntry {
@@ -199,7 +217,13 @@ int emit_trajectory(const char* path) {
                   i + 1 == entries.size() ? "" : ",");
     out += buf;
   }
-  out += "  ]\n}\n";
+  out += "  ],\n";
+  char ratio_buf[64];
+  std::snprintf(ratio_buf, sizeof ratio_buf,
+                "  \"metrics_overhead_ratio\": %.3f\n",
+                measure_metrics_overhead_ratio());
+  out += ratio_buf;
+  out += "}\n";
   std::ofstream f(path, std::ios::binary);
   if (!f.good()) return 1;
   f.write(out.data(), static_cast<std::streamsize>(out.size()));

@@ -94,6 +94,18 @@ std::string stats_json(const RunStats& s, const ReportOptions& opts) {
   out += "\"wakeups_total\":" + unum(opts.live_provenance ? s.wakeups_total : 0) + ",";
   out += "\"batched_iterations\":" +
          unum(opts.live_provenance ? s.batched_iterations : 0) + ",";
+  // Typed batching-rejection counters: provenance like batched_iterations
+  // (the oracle never attempts batching; replays would drift), so zeroed
+  // unless live_provenance.
+  out += "\"batch_rejects\":{";
+  for (std::size_t i = 0; i < kNumBatchRejects; ++i) {
+    if (i != 0) out += ",";
+    out += '"';
+    out += batch_reject_name(static_cast<BatchReject>(i));
+    out += "\":";
+    out += unum(opts.live_provenance ? s.batch_rejects[i] : 0);
+  }
+  out += "},";
   out += "\"fpu_util\":" + fnum(s.fpu_util()) + ",";
   out += "\"flop_per_cycle\":" + fnum(s.flop_per_cycle());
   out += "}";
@@ -161,7 +173,9 @@ std::string to_csv(const std::vector<JobResult>& results,
   std::string out =
       "index,config,kernel,bytes_per_lane,seed,cache_hit,attempts,"
       "wakeups_total,"
-      "batched_iterations,kind,clusters,"
+      "batched_iterations,"
+      "reject_addr_progression,reject_liveness_gate,reject_snapshot_mismatch,"
+      "reject_vl_tail,reject_grant_change,kind,clusters,"
       "lanes_per_cluster,"
       "total_lanes,vlen_bits,ok,status,cycles,flops,fpu_util,flop_per_cycle,"
       "freq_ghz,area_mm2,power_w,gflops,gflops_per_w,max_rel_err,error\n";
@@ -176,6 +190,9 @@ std::string to_csv(const std::vector<JobResult>& results,
     out += unum(opts.live_provenance ? r.attempts : 0) + ",";
     out += unum(opts.live_provenance ? r.stats.wakeups_total : 0) + ",";
     out += unum(opts.live_provenance ? r.stats.batched_iterations : 0) + ",";
+    for (std::size_t i = 0; i < kNumBatchRejects; ++i) {
+      out += unum(opts.live_provenance ? r.stats.batch_rejects[i] : 0) + ",";
+    }
     out += std::string(kind_name(c.kind)) + ",";
     out += unum(c.topo.total_clusters()) + ",";
     out += unum(c.topo.lanes) + ",";

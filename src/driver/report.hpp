@@ -25,7 +25,8 @@ namespace araxl::driver {
 struct ReportOptions {
   bool live_cache_flags = false;
   /// Report the real engine-provenance counters (`wakeups_total`,
-  /// `batched_iterations`, per-job retry `attempts`) instead of zeros. Like `cache_hit`, these are
+  /// `batched_iterations`, the typed `batch_rejects` breakdown, per-job
+  /// retry `attempts`) instead of zeros. Like `cache_hit`, these are
   /// zeroed by default: replayed-from-store results carry no provenance
   /// (the store persists measurements, not how they were simulated), and
   /// the oracle wakes every cycle — live values would break the

@@ -25,6 +25,13 @@ std::uint64_t steady_ms() {
           .count());
 }
 
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 store::JobKey key_for(const Job& job, const RunnerOptions& opts) {
   store::JobKey key;
   key.config = store::canonical_config(job.cfg);
@@ -134,15 +141,35 @@ JobResult execute(const Job& job, const RunnerOptions& opts,
   if (opts.watchdog_budget != 0) cfg.watchdog_budget = opts.watchdog_budget;
   const RunControl* control = ctl.enabled() ? &ctl : nullptr;
 
+  obs::MetricsRegistry* mx = opts.metrics;
+  const std::uint64_t t0 = mx != nullptr ? steady_ns() : 0;
+
   Machine m(cfg);
   auto kernel = registry.make(job.kernel);
   kernel->seed_inputs(job.seed);
   const Program prog = kernel->build(m, job.bytes_per_lane);
-  res.stats = m.run(prog, nullptr, control);
+  const std::uint64_t t_built = mx != nullptr ? steady_ns() : 0;
+
+  InstrTrace* trace = nullptr;
+  if (opts.capture_trace) {
+    res.trace = std::make_shared<InstrTrace>();
+    res.trace->enable_markers();
+    trace = res.trace.get();
+  }
+  res.stats = m.run(prog, trace, control, mx);
+  if (mx != nullptr) {
+    const std::uint64_t t_sim = steady_ns();
+    mx->counter("runner.phase.build_ns")->add(t_built - t0);
+    mx->counter("runner.phase.simulate_ns")->add(t_sim - t_built);
+    mx->counter("runner.jobs_simulated")->inc();
+  }
 
   if (opts.check_oracle) {
+    const std::uint64_t t_pre = mx != nullptr ? steady_ns() : 0;
     // Fresh machine + kernel: build() writes inputs into machine memory,
-    // so the oracle run needs its own architectural state.
+    // so the oracle run needs its own architectural state. The oracle run
+    // is deliberately unmetered — its engine counters would double-count
+    // every unit cycle against the run under test.
     MachineConfig oracle_cfg = cfg;
     oracle_cfg.timing_mode = TimingMode::kCycleStepped;
     Machine oracle(oracle_cfg);
@@ -150,6 +177,9 @@ JobResult execute(const Job& job, const RunnerOptions& opts,
     oracle_kernel->seed_inputs(job.seed);
     const Program oracle_prog = oracle_kernel->build(oracle, job.bytes_per_lane);
     const RunStats oracle_stats = oracle.run(oracle_prog, nullptr, control);
+    if (mx != nullptr) {
+      mx->counter("runner.phase.oracle_ns")->add(steady_ns() - t_pre);
+    }
     if (!(res.stats == oracle_stats)) {
       throw JobError(ErrorKind::kOracleDivergence,
                      "event-driven RunStats diverge from the cycle-stepped "
@@ -160,9 +190,13 @@ JobResult execute(const Job& job, const RunnerOptions& opts,
   if (opts.corrupt_before_verify) opts.corrupt_before_verify(m, job);
 
   if (opts.verify) {
+    const std::uint64_t t_pre = mx != nullptr ? steady_ns() : 0;
     res.verified = true;
     res.tolerance = kernel->tolerance();
     res.verify = kernel->verify(m);
+    if (mx != nullptr) {
+      mx->counter("runner.phase.verify_ns")->add(steady_ns() - t_pre);
+    }
     if (!res.verify.ok(res.tolerance)) {
       throw JobError(
           ErrorKind::kVerifyFailed,
@@ -208,7 +242,12 @@ JobResult run_attempt(const Job& job, const RunnerOptions& opts,
     if (cacheable(opts)) {
       if (opts.use_cache && !opts.refresh) {
         if (const auto hit = opts.store->find(fp)) {
-          if (auto replayed = replay(job, opts, *hit)) return *replayed;
+          if (auto replayed = replay(job, opts, *hit)) {
+            if (opts.metrics != nullptr) {
+              opts.metrics->counter("runner.cache_hits")->inc();
+            }
+            return *replayed;
+          }
         }
       }
       const RunControl ctl = make_control(opts);
@@ -226,8 +265,13 @@ JobResult run_attempt(const Job& job, const RunnerOptions& opts,
       rec.tolerance = res.tolerance;
       rec.verify = res.verify;
       try {
+        const std::uint64_t t_pre = opts.metrics != nullptr ? steady_ns() : 0;
         opts.store->put(std::move(rec));
         opts.store->flush();
+        if (opts.metrics != nullptr) {
+          opts.metrics->counter("runner.phase.store_ns")
+              ->add(steady_ns() - t_pre);
+        }
       } catch (const store::StoreIoError& e) {
         // A successfully simulated result is never failed by cache I/O:
         // degrade to cache-off-with-warning (the job is still ok, the
@@ -282,6 +326,7 @@ JobResult run_job(const Job& job, const RunnerOptions& opts) {
           attempt >= max_attempts) {
         return res;
       }
+      if (opts.metrics != nullptr) opts.metrics->counter("runner.retries")->inc();
       // Shutdown pre-empts backoff sleeps: a Ctrl-C must not wait out the
       // exponential schedule before the sweep can wind down.
       if (opts.cancel != nullptr && opts.cancel->requested()) return res;

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -32,9 +33,11 @@
 #include "driver/errors.hpp"
 #include "driver/job.hpp"
 #include "kernels/common.hpp"
+#include "obs/metrics.hpp"
 #include "sim/cancel.hpp"
 #include "sim/stats.hpp"
 #include "store/result_store.hpp"
+#include "trace/trace.hpp"
 
 namespace araxl::driver {
 
@@ -60,6 +63,10 @@ struct JobResult {
   /// job failure).
   bool store_degraded = false;
   std::string store_warning;  ///< degradation detail (empty when healthy)
+  /// Instruction trace captured during simulation; only filled when
+  /// RunnerOptions::capture_trace is set and the job actually simulated
+  /// (cache replays have no trace). shared_ptr so JobResult stays copyable.
+  std::shared_ptr<InstrTrace> trace;
 };
 
 struct RunnerOptions {
@@ -115,6 +122,18 @@ struct RunnerOptions {
   /// Test hook: mutate machine state between simulation and verification
   /// (used to prove the golden verifiers catch corrupted results).
   std::function<void(Machine&, const Job&)> corrupt_before_verify;
+
+  // ---- observability --------------------------------------------------------
+  /// Optional metrics sink (not owned; must outlive the sweep). Thread-safe
+  /// — all workers share it. Null (the default) disables all instrumentation
+  /// at near-zero cost. Metrics are pure observers: simulated results and
+  /// reports are identical with or without a registry attached.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Capture a per-job InstrTrace (with batching/wakeup markers enabled)
+  /// into JobResult::trace for every simulated job — the feed for the
+  /// Chrome-trace exporter (obs/trace_export.hpp). Cache hits carry no
+  /// trace, so callers wanting complete traces should disable the cache.
+  bool capture_trace = false;
 };
 
 /// Runs one job synchronously on the calling thread, including the retry

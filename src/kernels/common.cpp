@@ -17,6 +17,7 @@ std::unique_ptr<Kernel> make_fexp();
 std::unique_ptr<Kernel> make_fsoftmax();
 std::unique_ptr<Kernel> make_spmv();
 std::unique_ptr<Kernel> make_stream_triad();
+std::unique_ptr<Kernel> make_axpy();
 
 std::vector<std::unique_ptr<Kernel>> make_all_kernels() {
   std::vector<std::unique_ptr<Kernel>> out;
@@ -33,6 +34,7 @@ std::vector<std::unique_ptr<Kernel>> make_extension_kernels() {
   std::vector<std::unique_ptr<Kernel>> out;
   out.push_back(make_spmv());
   out.push_back(make_stream_triad());
+  out.push_back(make_axpy());
   return out;
 }
 
@@ -45,6 +47,7 @@ std::unique_ptr<Kernel> make_kernel(std::string_view name) {
   if (name == "softmax") return make_fsoftmax();
   if (name == "spmv") return make_spmv();
   if (name == "stream_triad") return make_stream_triad();
+  if (name == "axpy") return make_axpy();
   fail("unknown kernel name");
 }
 

@@ -75,12 +75,14 @@ class Kernel {
 std::vector<std::unique_ptr<Kernel>> make_all_kernels();
 
 /// Extension kernels beyond the paper's benchmark set: "spmv" (CSR sparse
-/// matrix-vector product over the indexed-access path) and "stream_triad"
-/// (bandwidth probe).
+/// matrix-vector product over the indexed-access path), "stream_triad"
+/// (bandwidth probe), and "axpy" (the steady-state loop-batching
+/// reference workload).
 std::vector<std::unique_ptr<Kernel>> make_extension_kernels();
 
 /// Factory by name ("fmatmul", "fconv2d", "jacobi2d", "fdotproduct",
-/// "exp", "softmax", "spmv", "stream_triad"); throws on unknown names.
+/// "exp", "softmax", "spmv", "stream_triad", "axpy"); throws on unknown
+/// names.
 std::unique_ptr<Kernel> make_kernel(std::string_view name);
 
 // ---- shared helpers ---------------------------------------------------------

@@ -9,8 +9,9 @@ Machine::Machine(MachineConfig cfg)
       fn_(cfg_, vrf_, mem_) {}
 
 RunStats Machine::run(const Program& prog, InstrTrace* trace,
-                      const RunControl* control) {
-  TimingEngine engine(cfg_, fn_, trace);
+                      const RunControl* control,
+                      obs::MetricsRegistry* metrics) {
+  TimingEngine engine(cfg_, fn_, trace, metrics);
   return engine.run(prog, control);
 }
 

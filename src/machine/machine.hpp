@@ -53,9 +53,13 @@ class Machine {
   /// receives one record per retired vector instruction (see trace/). An
   /// optional RunControl is polled cooperatively at scheduler wakeups —
   /// a fired shutdown token or deadline raises SimCancelled (the driver's
-  /// job-timeout and graceful-shutdown paths).
+  /// job-timeout and graceful-shutdown paths). An optional metrics
+  /// registry (obs/metrics.hpp) receives per-unit busy/stall/idle cycles,
+  /// occupancy samples, and batching telemetry; simulated results are
+  /// identical with or without one (metrics are pure observers).
   RunStats run(const Program& prog, InstrTrace* trace = nullptr,
-               const RunControl* control = nullptr);
+               const RunControl* control = nullptr,
+               obs::MetricsRegistry* metrics = nullptr);
 
  private:
   MachineConfig cfg_;

@@ -7,6 +7,7 @@
 #include "common/bits.hpp"
 #include "common/contracts.hpp"
 #include "isa/disasm.hpp"
+#include "obs/metrics.hpp"
 
 namespace araxl {
 
@@ -45,11 +46,68 @@ constexpr unsigned unit_order(Unit u) { return static_cast<unsigned>(u); }
 }  // namespace
 
 TimingEngine::TimingEngine(const MachineConfig& cfg, FunctionalEngine& fn,
-                           InstrTrace* trace)
-    : cfg_(cfg), fn_(fn), trace_(trace), ispec_(cfg.interconnect()),
+                           InstrTrace* trace, obs::MetricsRegistry* metrics)
+    : cfg_(cfg), fn_(fn), trace_(trace), metrics_(metrics),
+      ispec_(cfg.interconnect()),
       reqi_(ispec_), glsu_(ispec_), ring_(ispec_), lanes_(cfg), cva6_(cfg),
       watchdog_(cfg.watchdog_budget == 0 ? WakeupWatchdog::kDefaultBudget
                                          : cfg.watchdog_budget) {}
+
+void TimingEngine::metrics_begin_run() {
+  if (metrics_ == nullptr) return;
+  for (std::size_t u = 1; u < kNumUnits; ++u) {
+    const std::string base =
+        "engine.unit." + std::string(unit_name(static_cast<Unit>(u)));
+    m_unit_busy_[u] = metrics_->counter(base + ".busy_cycles");
+    m_unit_stall_[u] = metrics_->counter(base + ".stall_cycles");
+    m_unit_idle_[u] = metrics_->counter(base + ".idle_cycles");
+  }
+  for (std::size_t r = 0; r < kNumBatchRejects; ++r) {
+    m_batch_reject_[r] = metrics_->counter(
+        "engine.batch.reject." +
+        std::string(batch_reject_name(static_cast<BatchReject>(r))));
+  }
+  m_occupancy_ = metrics_->histogram("engine.inflight_occupancy");
+}
+
+void TimingEngine::metrics_account_units(Cycle t, Cycle span) {
+  (void)t;
+  if (metrics_ == nullptr || span == 0) return;
+  for (std::size_t u = 1; u < kNumUnits; ++u) {
+    const auto& q = unitq_[u];
+    if (q.empty()) {
+      m_unit_idle_[u]->add(span);
+      continue;
+    }
+    // Busy while the head is still producing elements; stalled when it
+    // has finished producing but cannot retire yet (chain lag, reduction
+    // phases, a blocked queue front).
+    const Inflight& head = pool_.at(q.front());
+    if (head.finished_producing()) {
+      m_unit_stall_[u]->add(span);
+    } else {
+      m_unit_busy_[u]->add(span);
+    }
+  }
+  m_occupancy_->observe(pool_.active());
+}
+
+void TimingEngine::metrics_end_run() {
+  if (metrics_ == nullptr) return;
+  metrics_->counter("engine.runs")->inc();
+  metrics_->counter("engine.cycles")->add(stats_.cycles);
+  metrics_->counter("engine.wakeups")->add(stats_.wakeups_total);
+  metrics_->counter("engine.batched_iterations")->add(stats_.batched_iterations);
+}
+
+void TimingEngine::count_batch_reject(BatchReject r, Cycle t) {
+  const auto idx = static_cast<std::size_t>(r);
+  ++stats_.batch_rejects[idx];
+  if (metrics_ != nullptr && m_batch_reject_[idx] != nullptr) {
+    m_batch_reject_[idx]->inc();
+  }
+  if (trace_ != nullptr) trace_->mark(t, SimMarkerKind::kBatchReject, idx);
+}
 
 const Inflight* TimingEngine::find(const RegRef& ref) const {
   return ref.id == 0 ? nullptr : pool_.get(ref.slot, ref.id);
@@ -576,9 +634,11 @@ RunStats TimingEngine::run(const Program& prog, const RunControl* control) {
 
 RunStats TimingEngine::run_cycle_stepped(const Program& prog) {
   reset_run(prog);
+  metrics_begin_run();
   Cycle t = 0;
   while (!drained()) {
     step_cycle(t);
+    if (metrics_ != nullptr) metrics_account_units(t, 1);
     if ((t & 0xFFF) == 0) {
       if (control_ != nullptr) control_->check_now();
       if (watchdog_.progress_total() != last_progress_events_) {
@@ -592,6 +652,7 @@ RunStats TimingEngine::run_cycle_stepped(const Program& prog) {
   }
   stats_.cycles = t;
   stats_.wakeups_total = t;  // the oracle evaluates every cycle
+  metrics_end_run();
   return stats_;
 }
 

@@ -44,6 +44,12 @@
 
 namespace araxl {
 
+namespace obs {
+class MetricsRegistry;
+class Counter;
+class Histogram;
+}  // namespace obs
+
 /// Conservative address range [lo, hi) touched by a vector memory op with
 /// `vl` elements of `ew` bytes. Returns false for indexed accesses (their
 /// footprint depends on runtime index values). A vl of 0 yields an empty
@@ -54,7 +60,8 @@ bool mem_range(const VInstr& in, std::uint64_t vl, unsigned ew, std::uint64_t* l
 class TimingEngine {
  public:
   TimingEngine(const MachineConfig& cfg, FunctionalEngine& fn,
-               InstrTrace* trace = nullptr);
+               InstrTrace* trace = nullptr,
+               obs::MetricsRegistry* metrics = nullptr);
 
   /// Simulates `prog` to completion with the engine selected by
   /// cfg.timing_mode and returns the run statistics. `control` installs a
@@ -195,9 +202,31 @@ class TimingEngine {
   void release_claims(const Inflight& instr);
   [[noreturn]] void fail_deadlock(Cycle t) const;
 
+  // -- observability (obs/metrics.hpp; all no-ops when metrics_ is null) ------
+  /// Resolves the instrument handles once per run (map lookups are off the
+  /// hot path; instrumented sites test one pointer).
+  void metrics_begin_run();
+  /// Attributes `span` cycles starting at `t` to each unit as busy, stall
+  /// or idle from its queue state, and samples in-flight occupancy. The
+  /// event engine calls this per wakeup window (unit state is constant
+  /// between wakeups by construction); the oracle calls it per cycle.
+  void metrics_account_units(Cycle t, Cycle span);
+  /// Folds the per-run provenance counters into the registry after a run.
+  void metrics_end_run();
+  /// Counts one batching rejection under `r` (RunStats + metrics + marker).
+  void count_batch_reject(BatchReject r, Cycle t);
+
   const MachineConfig& cfg_;
   FunctionalEngine& fn_;
   InstrTrace* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  // Resolved instrument handles (valid between metrics_begin_run and the
+  // end of the run; all null when metrics_ is null).
+  std::array<obs::Counter*, kNumUnits> m_unit_busy_{};
+  std::array<obs::Counter*, kNumUnits> m_unit_stall_{};
+  std::array<obs::Counter*, kNumUnits> m_unit_idle_{};
+  std::array<obs::Counter*, kNumBatchRejects> m_batch_reject_{};
+  obs::Histogram* m_occupancy_ = nullptr;
   /// The interconnect descriptor both kernels consume: every REQI/GLSU/
   /// RINGI latency and structure number flows through here (declared
   /// before the models, which are built from it).

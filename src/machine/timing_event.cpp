@@ -54,11 +54,16 @@ constexpr std::uint64_t cross_after(std::uint64_t vb, std::uint64_t sb,
 
 RunStats TimingEngine::run_event_driven(const Program& prog) {
   reset_run(prog);
+  metrics_begin_run();
   prepare_loop_batching();
   Cycle t = 0;
   while (!drained()) {
     step_cycle(t);
     watchdog_.note_wakeup();
+    if (trace_ != nullptr && trace_->markers_enabled()) {
+      trace_->mark(t, SimMarkerKind::kWakeup, pool_.active());
+    }
+    if (metrics_ != nullptr) metrics_account_units(t, 1);
     if (control_ != nullptr) control_->poll(watchdog_.wakeups_total());
     if (drained()) {
       ++t;
@@ -94,11 +99,16 @@ RunStats TimingEngine::run_event_driven(const Program& prog) {
       } else if (cva6_stall_ == Cva6Stall::kSeqFull) {
         stats_.issue_stall_cycles += skipped;
       }
+      // Unit queue membership is constant across the skipped window (no
+      // dispatch/retire between wakeups), so the whole gap is attributed
+      // from the post-step state in one call.
+      if (metrics_ != nullptr) metrics_account_units(t + 1, skipped);
     }
     t = wend_excl;
   }
   stats_.cycles = t;
   stats_.wakeups_total = watchdog_.wakeups_total();
+  metrics_end_run();
   return stats_;
 }
 
@@ -735,6 +745,38 @@ void TimingEngine::prepare_loop_batching() {
     }
     loop_addr_ok_end_.push_back(ok_end);
   }
+
+  // Static rejection telemetry: why each detected region cannot batch (or
+  // why it must stop at its end). Counted once per region up front — the
+  // runtime path never revisits a dead region (see the loop_checkpoint
+  // early-out), so these would otherwise be invisible.
+  for (std::size_t i = 0; i < loop_regions_.size(); ++i) {
+    const LoopRegion& r = loop_regions_[i];
+    if (loop_addr_ok_end_[i] < r.end) {
+      // The address progression breaks inside the region (== r.start means
+      // it never held at all): the canonical jacobi2d/stencil failure.
+      count_batch_reject(BatchReject::kAddrProgression, 0);
+    }
+    // Classify what terminated the region when it ends on a vsetvli whose
+    // signature diverged from its previous-period counterpart: a smaller
+    // grant at the same vtype is a strip-mine tail; anything else is a
+    // grant/shape change (the canonical mid-loop vsetvli failure).
+    if (r.end < prog_->ops.size() && r.end >= r.start + r.period) {
+      const auto* end_op = std::get_if<VInstr>(&prog_->ops[r.end]);
+      const auto* prev_op = std::get_if<VInstr>(&prog_->ops[r.end - r.period]);
+      if (end_op != nullptr && prev_op != nullptr &&
+          end_op->op == Op::kVsetvli && prev_op->op == Op::kVsetvli &&
+          !(op_keys_[r.end] == op_keys_[r.end - r.period])) {
+        const OpKey& ke = op_keys_[r.end];
+        const OpKey& kp = op_keys_[r.end - r.period];
+        if (ke.vtype == kp.vtype && ke.value < kp.value) {
+          count_batch_reject(BatchReject::kVlTail, 0);
+        } else {
+          count_batch_reject(BatchReject::kGrantChange, 0);
+        }
+      }
+    }
+  }
 }
 
 void TimingEngine::snapshot_state(Cycle t, std::vector<std::uint64_t>* out) const {
@@ -871,19 +913,39 @@ bool TimingEngine::loop_checkpoint(Cycle* t_io) {
   snap_scratch_.clear();
   snapshot_state(*t_io, &snap_scratch_);
 
-  if (ckpt_.valid && ckpt_.pc + r.period == pc_ &&
-      snap_scratch_ == ckpt_.state) {
-    const Cycle d = *t_io - ckpt_.t;
-    const std::uint64_t id_delta = next_id_ - ckpt_.next_id;
-    const std::uint64_t k = batchable_periods(r);
-    if (k > 0) {
-      apply_batch(r, k, d, id_delta, t_io);
-      // The landing pc is itself a boundary; the state there is known to
-      // equal this snapshot (shifted), so re-arm recording from scratch
-      // for whatever partial tail remains.
-      ckpt_.valid = false;
-      last_ckpt_pc_ = pc_;
-      return true;
+  if (ckpt_.valid && ckpt_.pc + r.period == pc_) {
+    if (snap_scratch_ == ckpt_.state) {
+      const Cycle d = *t_io - ckpt_.t;
+      const std::uint64_t id_delta = next_id_ - ckpt_.next_id;
+      const std::uint64_t k = batchable_periods(r);
+      if (k > 0) {
+        // Clamped when the address-checked prefix (not the region end)
+        // bounded K: the batch stops short of where the signature alone
+        // would have allowed.
+        const std::uint64_t full_ahead = (r.end - pc_) / r.period;
+        apply_batch(r, k, d, id_delta, t_io);
+        if (trace_ != nullptr) {
+          trace_->mark(*t_io, k < full_ahead ? SimMarkerKind::kBatchClamp
+                                             : SimMarkerKind::kBatchEngage,
+                       k);
+        }
+        // The landing pc is itself a boundary; the state there is known to
+        // equal this snapshot (shifted), so re-arm recording from scratch
+        // for whatever partial tail remains.
+        ckpt_.valid = false;
+        last_ckpt_pc_ = pc_;
+        return true;
+      }
+      // Snapshots matched but no whole iteration can retire: the early-out
+      // above guarantees the address-derived bound was >= 1 period here,
+      // so this is exactly the in-flight liveness gate (an op still less
+      // than one period into the region) — the canonical wide-machine
+      // failure, where long in-flight windows span the loop start forever.
+      count_batch_reject(BatchReject::kLivenessGate, *t_io);
+    } else {
+      // Consecutive boundary snapshots differ: not in steady state (yet) —
+      // expected a few times during warmup, pathological if it never stops.
+      count_batch_reject(BatchReject::kSnapshotMismatch, *t_io);
     }
   }
 

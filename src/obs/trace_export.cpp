@@ -1,0 +1,123 @@
+#include "obs/trace_export.hpp"
+
+#include <array>
+#include <cstddef>
+
+#include "store/json.hpp"
+
+namespace araxl::obs {
+
+namespace {
+
+using store::json_escape;
+using store::json_u64;
+
+void append_metadata(std::string& out, std::uint64_t pid, std::uint64_t tid,
+                     std::string_view what, std::string_view name) {
+  out += "{\"name\":\"";
+  out += what;
+  out += "\",\"ph\":\"M\",\"pid\":" + json_u64(pid) +
+         ",\"tid\":" + json_u64(tid) + ",\"args\":{\"name\":\"" +
+         json_escape(std::string(name)) + "\"}}";
+}
+
+std::string marker_name(const SimMarker& m) {
+  switch (m.kind) {
+    case SimMarkerKind::kWakeup:
+      return "wakeup";
+    case SimMarkerKind::kBatchEngage:
+      return "batch_engage";
+    case SimMarkerKind::kBatchClamp:
+      return "batch_clamp";
+    case SimMarkerKind::kBatchReject:
+      return "batch_reject(" +
+             std::string(batch_reject_name(
+                 static_cast<BatchReject>(m.arg < kNumBatchRejects ? m.arg
+                                                                   : 0))) +
+             ")";
+  }
+  return "marker";
+}
+
+std::string_view marker_arg_key(SimMarkerKind kind) {
+  switch (kind) {
+    case SimMarkerKind::kWakeup:
+      return "occupancy";
+    case SimMarkerKind::kBatchEngage:
+    case SimMarkerKind::kBatchClamp:
+      return "iterations";
+    case SimMarkerKind::kBatchReject:
+      return "reason";
+  }
+  return "arg";
+}
+
+}  // namespace
+
+std::string export_chrome_trace(const std::vector<TraceExportJob>& jobs) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&](const std::string& event) {
+    if (!first) out += ",\n";
+    first = false;
+    out += event;
+  };
+
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const TraceExportJob& job = jobs[j];
+    std::string ev;
+    append_metadata(ev, j, 0, "process_name", job.name);
+    emit(ev);
+    if (job.trace == nullptr) continue;
+
+    // Thread rows: tid 0 is the engine (markers), tids 1.. are the units.
+    // Only name threads that actually carry events, so an idle unit does
+    // not clutter the timeline.
+    std::array<bool, kNumUnits> unit_used{};
+    for (const TraceRecord& rec : job.trace->records()) {
+      const auto u = static_cast<std::size_t>(rec.unit);
+      if (u < kNumUnits) unit_used[u] = true;
+    }
+    if (!job.trace->markers().empty()) {
+      ev.clear();
+      append_metadata(ev, j, 0, "thread_name", "engine");
+      emit(ev);
+    }
+    for (std::size_t u = 1; u < kNumUnits; ++u) {
+      if (!unit_used[u]) continue;
+      ev.clear();
+      append_metadata(ev, j, u, "thread_name",
+                      unit_name(static_cast<Unit>(u)));
+      emit(ev);
+    }
+
+    for (const TraceRecord& rec : job.trace->records()) {
+      const Cycle dur =
+          rec.completed > rec.dispatched ? rec.completed - rec.dispatched : 0;
+      ev = "{\"name\":\"" + json_escape(rec.text) +
+           "\",\"cat\":\"instr\",\"ph\":\"X\",\"ts\":" +
+           json_u64(rec.dispatched) + ",\"dur\":" + json_u64(dur) +
+           ",\"pid\":" + json_u64(j) +
+           ",\"tid\":" + json_u64(static_cast<std::uint64_t>(rec.unit)) +
+           ",\"args\":{\"id\":" + json_u64(rec.id) +
+           ",\"vl\":" + json_u64(rec.vl) +
+           ",\"issued\":" + json_u64(rec.issued) +
+           ",\"first_result\":" + json_u64(rec.first_result) + "}}";
+      emit(ev);
+    }
+
+    for (const SimMarker& m : job.trace->markers()) {
+      ev = "{\"name\":\"" + json_escape(marker_name(m)) +
+           "\",\"cat\":\"engine\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" +
+           json_u64(m.cycle) + ",\"pid\":" + json_u64(j) +
+           ",\"tid\":0,\"args\":{\"" + std::string(marker_arg_key(m.kind)) +
+           "\":" + json_u64(m.arg) + "}}";
+      emit(ev);
+    }
+  }
+
+  out += "],\"displayTimeUnit\":\"ns\"}\n";
+  return out;
+}
+
+}  // namespace araxl::obs

@@ -1,0 +1,43 @@
+// Chrome-trace-event exporter (Perfetto / chrome://tracing compatible).
+//
+// Serializes per-job instruction traces and engine markers into the JSON
+// trace-event format:
+//   * one "process" per job (pid = job index, process_name metadata),
+//   * one "thread" per execution unit (tid = Unit index; tid 0 is the
+//     engine row carrying scheduler/batching markers),
+//   * one "X" complete event per traced vector instruction, spanning
+//     dispatch -> completion, with issue/first-result in args,
+//   * one "i" instant event per engine marker (wakeups, batch engage /
+//     clamp / reject with the typed rejection reason).
+//
+// Timestamps are simulation cycles, never wall clock, and jobs are
+// exported in job-index order — the file is byte-deterministic across
+// worker counts and repeated runs (the CI artifact relies on this).
+// Load the file at https://ui.perfetto.dev or chrome://tracing; the "ts"
+// unit renders as microseconds but reads as cycles.
+#ifndef ARAXL_OBS_TRACE_EXPORT_HPP
+#define ARAXL_OBS_TRACE_EXPORT_HPP
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace araxl::obs {
+
+/// One job's contribution to the exported timeline. `trace` may be null
+/// (e.g. a cache-replayed job that never simulated) — the job still gets
+/// its process_name metadata so job indices stay dense and deterministic.
+struct TraceExportJob {
+  std::string name;                  ///< process name, e.g. "axpy/64 bpl=4096"
+  const InstrTrace* trace = nullptr; ///< not owned; may be null
+};
+
+/// Renders the full trace-event JSON document (an object with a single
+/// "traceEvents" array, trailing newline included).
+[[nodiscard]] std::string export_chrome_trace(
+    const std::vector<TraceExportJob>& jobs);
+
+}  // namespace araxl::obs
+
+#endif  // ARAXL_OBS_TRACE_EXPORT_HPP

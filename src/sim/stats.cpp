@@ -17,6 +17,17 @@ std::string_view unit_name(Unit u) {
   return "?";
 }
 
+std::string_view batch_reject_name(BatchReject r) {
+  switch (r) {
+    case BatchReject::kAddrProgression: return "addr_progression";
+    case BatchReject::kLivenessGate: return "liveness_gate";
+    case BatchReject::kSnapshotMismatch: return "snapshot_mismatch";
+    case BatchReject::kVlTail: return "vl_tail";
+    case BatchReject::kGrantChange: return "grant_change";
+  }
+  return "?";
+}
+
 std::string RunStats::summary() const {
   std::string out;
   out += "cycles:            " + fmt_group(cycles) + "\n";
@@ -34,6 +45,13 @@ std::string RunStats::summary() const {
   }
   out += "wakeups:           " + fmt_group(wakeups_total) + "\n";
   out += "batched iters:     " + fmt_group(batched_iterations) + "\n";
+  for (std::size_t r = 0; r < kNumBatchRejects; ++r) {
+    if (batch_rejects[r] == 0) continue;
+    const std::string_view name = batch_reject_name(static_cast<BatchReject>(r));
+    out += "batch reject[" + std::string(name) + "]: ";
+    out.append(name.size() < 18 ? 18 - name.size() : 1, ' ');
+    out += fmt_group(batch_rejects[r]) + "\n";
+  }
   return out;
 }
 

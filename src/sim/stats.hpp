@@ -30,6 +30,29 @@ inline constexpr std::size_t kNumUnits = 7;
 /// Human-readable unit name ("fpu", "load", ...).
 std::string_view unit_name(Unit u);
 
+/// Why steady-state loop batching declined to fast-forward at a period
+/// boundary. Every rejection in the event engine is counted under exactly
+/// one of these, which is the diagnosis interface for "batched_iterations
+/// is 0 on this row" (see `araxl stats` and the trace markers).
+enum class BatchReject : std::uint8_t {
+  kAddrProgression = 0,  ///< a mem op's addresses break the single
+                         ///< arithmetic-progression gate inside the region
+  kLivenessGate,         ///< an in-flight op is still < 1 period into the
+                         ///< region, so no whole iteration can retire
+  kSnapshotMismatch,     ///< consecutive period-boundary snapshots differ
+                         ///< (machine not in steady state yet)
+  kVlTail,               ///< the region ends on a smaller vsetvli grant
+                         ///< (strip-mine tail iteration)
+  kGrantChange,          ///< the region ends on a vsetvli whose vtype/grant
+                         ///< changes (not a tail — a different loop shape)
+};
+
+inline constexpr std::size_t kNumBatchRejects = 5;
+
+/// Stable short name for a rejection reason ("addr_progression", ...);
+/// used as the JSON/CSV column suffix and the metric/trace-marker label.
+std::string_view batch_reject_name(BatchReject r);
+
 /// Counters for one simulated program run.
 struct RunStats {
   Cycle cycles = 0;                  ///< total runtime in cycles
@@ -52,6 +75,10 @@ struct RunStats {
   std::uint64_t wakeups_total = 0;        ///< scheduler wakeups (oracle: cycles)
   std::uint64_t batched_iterations = 0;   ///< loop iterations fast-forwarded
                                           ///< by steady-state batching
+  /// Batching rejections by reason, indexed by BatchReject. Like the two
+  /// counters above these are event-engine provenance: the oracle never
+  /// attempts batching, so its array stays zero.
+  std::array<std::uint64_t, kNumBatchRejects> batch_rejects{};
 
   /// Fraction of lane-FPU slots that produced a valid result — the paper's
   /// FPU-utilization metric (Fig. 6 lines, Fig. 7 drops).

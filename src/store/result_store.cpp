@@ -7,6 +7,7 @@
 #include "common/contracts.hpp"
 #include "common/faults.hpp"
 #include "common/fmt.hpp"
+#include "obs/metrics.hpp"
 #include "store/json.hpp"
 
 namespace araxl::store {
@@ -38,6 +39,15 @@ std::string field_string(const JsonValue& obj, std::string_view key) {
   return v->as_string();
 }
 
+// Tolerant accessor for fields added after the seed schema: records written
+// by older builds simply lack them, and 0 is the correct reading (no schema
+// bump — the fingerprint already embeds the build version for keying).
+std::uint64_t field_u64_or(const JsonValue& obj, std::string_view key,
+                           std::uint64_t dflt) {
+  const JsonValue* v = obj.get(key);
+  return v == nullptr ? dflt : v->as_u64();
+}
+
 }  // namespace
 
 std::string ResultStore::serialize(const StoredResult& r) {
@@ -64,6 +74,17 @@ std::string ResultStore::serialize(const StoredResult& r) {
   for (std::size_t u = 0; u < kNumUnits; ++u) {
     if (u != 0) out += ",";
     out += unum(r.stats.unit_busy_elems[u]);
+  }
+  out += "],";
+  // Provenance fields (excluded from RunStats::operator== and zeroed in
+  // default reports, but persisted so `araxl stats` can roll up batching
+  // telemetry from a finished sweep without re-simulating).
+  out += "\"wakeups_total\":" + unum(r.stats.wakeups_total) + ",";
+  out += "\"batched_iterations\":" + unum(r.stats.batched_iterations) + ",";
+  out += "\"batch_rejects\":[";
+  for (std::size_t i = 0; i < kNumBatchRejects; ++i) {
+    if (i != 0) out += ",";
+    out += unum(r.stats.batch_rejects[i]);
   }
   out += "]},";
   out += std::string("\"verified\":") + (r.verified ? "true" : "false") + ",";
@@ -119,6 +140,16 @@ StoredResult ResultStore::deserialize(std::string_view line) {
         "store record has a malformed unit_busy_elems array");
   for (std::size_t u = 0; u < kNumUnits; ++u) {
     r.stats.unit_busy_elems[u] = busy->items[u].as_u64();
+  }
+  r.stats.wakeups_total = field_u64_or(*stats, "wakeups_total", 0);
+  r.stats.batched_iterations = field_u64_or(*stats, "batched_iterations", 0);
+  if (const JsonValue* rej = stats->get("batch_rejects")) {
+    check(rej->kind == JsonValue::Kind::kArray &&
+              rej->items.size() == kNumBatchRejects,
+          "store record has a malformed batch_rejects array");
+    for (std::size_t i = 0; i < kNumBatchRejects; ++i) {
+      r.stats.batch_rejects[i] = rej->items[i].as_u64();
+    }
   }
 
   const JsonValue* verified = doc.get("verified");
@@ -241,6 +272,11 @@ void ResultStore::flush() {
     // pending_ is retained: a later flush re-appends every record as whole
     // lines, and the loader skips the torn line and dedups the rest.
     throw StoreIoError("injected short write to store file: " + path_);
+  }
+  if (metrics_ != nullptr) {
+    metrics_->counter("store.flushes")->inc();
+    metrics_->counter("store.flush_bytes")->add(out.size());
+    if (heal_tail) metrics_->counter("store.tail_heals")->inc();
   }
   pending_.clear();
 }

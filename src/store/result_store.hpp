@@ -34,7 +34,10 @@
 
 namespace araxl {
 class FaultInjector;
+namespace obs {
+class MetricsRegistry;
 }
+}  // namespace araxl
 
 namespace araxl::store {
 
@@ -103,6 +106,11 @@ class ResultStore {
   /// owned; must outlive the store. Test/chaos harness only.
   void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
 
+  /// Installs an optional metrics sink (obs/metrics.hpp) counting flush
+  /// traffic (store.flushes / store.flush_bytes / store.tail_heals);
+  /// nullptr disables. Not owned; must outlive the store.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
   /// Drops every record whose version differs from `current_version`
   /// (stale entries can never be served — their fingerprints embed the old
   /// salt — so gc just reclaims the space) and compacts the file in place
@@ -129,6 +137,7 @@ class ResultStore {
 
   mutable std::mutex mu_;
   FaultInjector* faults_ = nullptr;                      // not owned
+  obs::MetricsRegistry* metrics_ = nullptr;              // not owned
   std::vector<StoredResult> records_;                    // insertion order
   std::unordered_map<std::string, std::size_t> index_;   // fp → records_ slot
   std::string pending_;  // serialized lines not yet appended to disk

@@ -28,15 +28,50 @@ struct TraceRecord {
   Cycle completed = 0;        ///< retired
 };
 
+/// Engine-level instants worth a timeline marker: scheduler wakeups and
+/// the batching decisions (engage / clamp / reject). Recorded only when a
+/// trace sink opts in (`enable_markers`) — the default-off gate keeps the
+/// plain tracing path and the replayed-trace byte-identity contracts
+/// untouched.
+enum class SimMarkerKind : std::uint8_t {
+  kWakeup = 0,    ///< one scheduler wakeup (arg: in-flight occupancy)
+  kBatchEngage,   ///< apply_batch retired iterations (arg: K)
+  kBatchClamp,    ///< a batch was clamped short of the region end (arg: K)
+  kBatchReject,   ///< batching declined (arg: BatchReject reason index)
+};
+
+struct SimMarker {
+  Cycle cycle = 0;
+  SimMarkerKind kind = SimMarkerKind::kWakeup;
+  std::uint64_t arg = 0;
+};
+
 class InstrTrace {
  public:
   void add(TraceRecord rec) { records_.push_back(std::move(rec)); }
-  void clear() { records_.clear(); }
+  void clear() {
+    records_.clear();
+    markers_.clear();
+  }
 
   [[nodiscard]] const std::vector<TraceRecord>& records() const noexcept {
     return records_;
   }
   [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+
+  /// Opts this trace into engine marker collection (wakeups, batching
+  /// decisions). Off by default: markers are a timeline-export feature,
+  /// not part of the per-instruction record contract.
+  void enable_markers() noexcept { markers_enabled_ = true; }
+  [[nodiscard]] bool markers_enabled() const noexcept {
+    return markers_enabled_;
+  }
+  void mark(Cycle cycle, SimMarkerKind kind, std::uint64_t arg = 0) {
+    if (markers_enabled_) markers_.push_back({cycle, kind, arg});
+  }
+  [[nodiscard]] const std::vector<SimMarker>& markers() const noexcept {
+    return markers_;
+  }
 
   /// ASCII Gantt chart of records whose lifetime intersects
   /// [from_cycle, to_cycle); `width` columns of timeline. '.' marks queue
@@ -47,6 +82,8 @@ class InstrTrace {
 
  private:
   std::vector<TraceRecord> records_;
+  std::vector<SimMarker> markers_;
+  bool markers_enabled_ = false;
 };
 
 }  // namespace araxl

@@ -26,7 +26,7 @@ TEST(Registry, CoversEveryKernelInSrcKernels) {
   std::vector<std::string> expected;
   for (const auto& k : make_all_kernels()) expected.emplace_back(k->name());
   for (const auto& k : make_extension_kernels()) expected.emplace_back(k->name());
-  ASSERT_EQ(expected.size(), 8u);
+  ASSERT_EQ(expected.size(), 9u);
 
   const KernelRegistry& reg = KernelRegistry::instance();
   for (const std::string& name : expected) {

@@ -478,6 +478,112 @@ TEST(LoopBatching, WatchdogCountsBatchedIterationsAsProgress) {
   EXPECT_LT(s.wakeups_total, 2000u);
 }
 
+// ---- batching-decision telemetry: one test per rejection-reason counter -----
+
+std::uint64_t rejects(const RunStats& s, BatchReject r) {
+  return s.batch_rejects[static_cast<std::size_t>(r)];
+}
+
+TEST(LoopBatching, RejectCounterAddrProgression) {
+  // jacobi2d's strip loop walks a 2D stencil, so its per-op address deltas
+  // are not one common progression: the region is detected but address-
+  // ineligible, and the telemetry must say so (this is the measured reason
+  // jacobi2d/16L shows batched_iterations == 0 in BENCH_sim_speed.json).
+  const auto [ev, oracle] = run_both_engines("jacobi2d", 16, 256);
+  EXPECT_EQ(ev.batched_iterations, 0u);
+  EXPECT_GE(rejects(ev, BatchReject::kAddrProgression), 1u);
+  EXPECT_TRUE(ev == oracle);
+  // The oracle never attempts batching, so it never rejects either.
+  for (std::size_t i = 0; i < kNumBatchRejects; ++i) {
+    EXPECT_EQ(oracle.batch_rejects[i], 0u);
+  }
+}
+
+TEST(LoopBatching, RejectCounterSnapshotMismatch) {
+  // axpy at 64 lanes / 2048 B-per-lane is the bench's 16384-element point:
+  // only 16 strip-mine iterations, all consumed by the deep machine's fill
+  // transient, so consecutive period-boundary snapshots never match and
+  // batching never arms (the measured reason axpy/64L shows
+  // batched_iterations == 0 in BENCH_sim_speed.json).
+  const auto [ev, oracle] = run_both_engines("axpy", 64, 2048);
+  EXPECT_EQ(ev.batched_iterations, 0u);
+  EXPECT_GE(rejects(ev, BatchReject::kSnapshotMismatch), 1u);
+  EXPECT_TRUE(ev == oracle);
+
+  // Same kernel with 8x the iterations: the transient ends, snapshots
+  // converge, and batching engages — proving the mismatch above is warmup,
+  // not a broken signature.
+  const auto [ev_long, oracle_long] = run_both_engines("axpy", 64, 16384);
+  EXPECT_GT(ev_long.batched_iterations, 0u);
+  EXPECT_TRUE(ev_long == oracle_long);
+}
+
+TEST(LoopBatching, RejectCounterVlTail) {
+  // Same shape as DisengagesOnVlTail: the region ends on a smaller vsetvli
+  // grant at unchanged vtype. The static classifier must file that under
+  // vl_tail, not grant_change.
+  MachineConfig cfg = MachineConfig::araxl(16);
+  const std::uint64_t vlmax_m4 = 4 * cfg.effective_vlen() / 64;
+  const std::uint64_t total = 12 * vlmax_m4 + vlmax_m4 / 3;
+  const RunStats ev = run_prog(cfg, [&](ProgramBuilder& pb) {
+    std::uint64_t done = 0;
+    std::uint64_t a = kA;
+    while (done < total) {
+      const std::uint64_t vl = pb.vsetvli(total - done, Sew::k64, kLmul4);
+      pb.vle(8, a);
+      pb.vfmacc_vf(16, 1.5, 8);
+      pb.vse(16, a + 0x100000);
+      a += vl * 8;
+      done += vl;
+    }
+  });
+  EXPECT_GT(ev.batched_iterations, 0u);  // batches up to the tail...
+  EXPECT_GE(rejects(ev, BatchReject::kVlTail), 1u);  // ...and names the stop
+  EXPECT_EQ(rejects(ev, BatchReject::kGrantChange), 0u);
+}
+
+TEST(LoopBatching, RejectCounterGrantChange) {
+  // A steady loop whose region ends on a vsetvli with a *different vtype*
+  // (SEW narrows): not a strip-mine tail, a different loop shape. Must be
+  // filed under grant_change, not vl_tail.
+  MachineConfig cfg = MachineConfig::araxl(16);
+  const std::uint64_t vlmax_m4 = 4 * cfg.effective_vlen() / 64;
+  const RunStats ev = run_prog(cfg, [&](ProgramBuilder& pb) {
+    std::uint64_t a = kA;
+    for (std::uint64_t i = 0; i < 12; ++i) {
+      pb.vsetvli(vlmax_m4, Sew::k64, kLmul4);
+      pb.vle(8, a);
+      pb.vfmacc_vf(16, 1.5, 8);
+      a += vlmax_m4 * 8;
+    }
+    pb.vsetvli(vlmax_m4, Sew::k32, kLmul4);  // vtype changes: region ends here
+    pb.vadd_vv(24, 20, 20);
+  });
+  EXPECT_GE(rejects(ev, BatchReject::kGrantChange), 1u);
+  EXPECT_EQ(rejects(ev, BatchReject::kVlTail), 0u);
+}
+
+TEST(LoopBatching, RejectCounterLivenessGateBackstopStaysZero) {
+  // The liveness gate (an in-flight op still < 1 period into the region)
+  // is a defensive backstop: snapshot equality at two consecutive period
+  // boundaries forces the live-op set to be a rigid one-period shift of
+  // itself, which puts the oldest live op at least one period into the
+  // region — so whenever the snapshot check passes, the gate passes too.
+  // No program reachable through the builder has been found that trips it
+  // (a wide empirical scan fires it nowhere). Pin it at zero on the
+  // canonical engaging shapes so any engine change that starts tripping
+  // the backstop — i.e. breaks the invariant above — is surfaced here.
+  const auto [ev_axpy, oracle_axpy] = run_both_engines("axpy", 8, 16384);
+  EXPECT_GT(ev_axpy.batched_iterations, 0u);
+  EXPECT_EQ(rejects(ev_axpy, BatchReject::kLivenessGate), 0u);
+  EXPECT_TRUE(ev_axpy == oracle_axpy);
+
+  const auto [ev_dot, oracle_dot] = run_both_engines("fdotproduct", 8, 16384);
+  EXPECT_GT(ev_dot.batched_iterations, 0u);
+  EXPECT_EQ(rejects(ev_dot, BatchReject::kLivenessGate), 0u);
+  EXPECT_TRUE(ev_dot == oracle_dot);
+}
+
 TEST(LoopBatching, SignatureCollisionAddressBreakRejected) {
   // Adversarial: op signatures repeat perfectly, but one load's address
   // progression silently breaks two periods after steady state would have

@@ -14,6 +14,9 @@
 // JSONL store (src/store/) keyed by (config, kernel, B/lane, seed, build
 // version), so re-running a sweep only simulates missing jobs; `--shard
 // i/N` + `araxl merge` distribute one sweep over many processes/hosts.
+#include <algorithm>
+#include <array>
+#include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -33,6 +36,8 @@
 #include "driver/report.hpp"
 #include "driver/runner.hpp"
 #include "driver/spec.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_export.hpp"
 #include "ppa/freq_model.hpp"
 #include "store/merge.hpp"
 #include "store/result_store.hpp"
@@ -85,8 +90,10 @@ int usage(std::FILE* out) {
       "              [--job-timeout <s>] [--watchdog-budget <wakeups>]\n"
       "              [--retries <n>] [--backoff-ms <ms>]\n"
       "              [--inject-faults <spec>]\n"
+      "              [--trace-out <file>] [--metrics-out <file|->]\n"
       "  araxl merge (--json <out>|--csv <out>) <shard-report>...\n"
       "  araxl cache (ls | stats | gc) [--store <file>]\n"
+      "  araxl stats [--store <file>] [--kernels <k,...>]\n"
       "\n"
       "config spec: araxl:<lanes> | araxl:<clusters>x<lanes> |\n"
       "  araxl:<groups>x<clusters>x<lanes> (hierarchical) | ara2:<lanes>,\n"
@@ -127,6 +134,22 @@ int usage(std::FILE* out) {
       "  Ctrl-C / SIGTERM stop the sweep gracefully: running jobs unwind at\n"
       "  their next wakeup check, finished results are already flushed to the\n"
       "  store, and rerunning the same command resumes (cached jobs replay).\n"
+      "observability:\n"
+      "  --trace-out <file>      write a Chrome-trace-event JSON timeline of\n"
+      "                          the sweep (open at https://ui.perfetto.dev):\n"
+      "                          per-unit instruction spans plus scheduler\n"
+      "                          wakeups and batching engage/clamp/reject\n"
+      "                          markers; timestamps are simulation cycles and\n"
+      "                          the file is byte-deterministic. Implies\n"
+      "                          simulating every job (cache lookups are\n"
+      "                          skipped; results are still stored).\n"
+      "  --metrics-out <file|->  write the sweep's metrics registry (per-unit\n"
+      "                          busy/stall/idle cycles, occupancy histogram,\n"
+      "                          batching-rejection counters, per-phase wall\n"
+      "                          times, store flush traffic) as flat JSON\n"
+      "  araxl stats             roll up batching telemetry (iterations and\n"
+      "                          typed rejection reasons) per job from the\n"
+      "                          result store of a finished sweep\n"
       "exit codes:\n"
       "  0  every job succeeded          2  usage or configuration error\n"
       "  1  one or more jobs failed      3  internal or store I/O error\n"
@@ -155,7 +178,7 @@ bool flag_takes_value(std::string_view name) {
       "--bpl",         "--workers",       "--seed",    "--json",
       "--csv",         "--store",         "--shard",   "--job-timeout",
       "--watchdog-budget", "--retries",   "--backoff-ms",
-      "--inject-faults",
+      "--inject-faults",   "--trace-out", "--metrics-out",
   };
   for (const std::string_view v : kValued) {
     if (name == v) return true;
@@ -304,22 +327,42 @@ int run_and_report(const driver::SweepSpec& spec, const Args& args,
   const std::unique_ptr<FaultInjector> faults =
       make_fault_injector(args.get("--inject-faults"));
   opts.faults = faults.get();
+
+  // Observability: the registry only exists (and instrumentation only
+  // costs anything) when a sink asked for it.
+  const std::string* metrics_out = args.get("--metrics-out");
+  const std::string* trace_out = args.get("--trace-out");
+  obs::MetricsRegistry metrics;
+  if (metrics_out != nullptr) opts.metrics = &metrics;
+  if (trace_out != nullptr) {
+    opts.capture_trace = true;
+    // A replayed job has no trace; a complete timeline needs every job
+    // simulated. Results still flow into the store for later sweeps.
+    opts.use_cache = false;
+  }
+
   std::unique_ptr<store::ResultStore> result_store;
   if (!args.has("--no-cache")) {
     const std::string* path = args.get("--store");
     result_store = std::make_unique<store::ResultStore>(
         path != nullptr ? *path : kDefaultStorePath);
     result_store->set_fault_injector(faults.get());
+    result_store->set_metrics(opts.metrics);
     opts.store = result_store.get();
   }
   const bool quiet = args.has("--quiet");
+  std::atomic<std::size_t> hb_done{0};
+  std::atomic<std::size_t> hb_cached{0};
   if (!quiet) {
     if (faults != nullptr) {
       std::fprintf(stderr, "fault injection active: %s\n",
                    faults->describe().c_str());
     }
-    opts.progress = [](const driver::JobResult& r, std::size_t done,
-                       std::size_t total) {
+    opts.progress = [&hb_done, &hb_cached](const driver::JobResult& r,
+                                           std::size_t done,
+                                           std::size_t total) {
+      hb_done.store(done, std::memory_order_relaxed);
+      if (r.cache_hit) hb_cached.fetch_add(1, std::memory_order_relaxed);
       std::fprintf(stderr, "[%zu/%zu] %-18s %-12s bpl=%-6llu %s\n", done, total,
                    r.job.config_label.c_str(), r.job.kernel.c_str(),
                    static_cast<unsigned long long>(r.job.bytes_per_lane),
@@ -340,7 +383,38 @@ int run_and_report(const driver::SweepSpec& spec, const Args& args,
       driver::filter_shard(driver::expand(spec), shard);
 
   const auto t0 = std::chrono::steady_clock::now();
+
+  // Heartbeat: one status line every ~2s on long sweeps so an operator
+  // watching a multi-minute run sees progress and an ETA without the
+  // per-job log noise. stderr only; silenced by --quiet (CI byte-identity
+  // cmp runs pass --quiet, and reports never carry wall-clock data).
+  std::atomic<bool> hb_stop{false};
+  std::thread heartbeat;
+  if (!quiet && jobs.size() > 1) {
+    heartbeat = std::thread([&hb_stop, &hb_done, &hb_cached, &jobs, t0] {
+      while (!hb_stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2000));
+        if (hb_stop.load(std::memory_order_relaxed)) break;
+        const std::size_t done = hb_done.load(std::memory_order_relaxed);
+        const std::size_t cached = hb_cached.load(std::memory_order_relaxed);
+        if (done == 0 || done >= jobs.size()) continue;
+        const double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count();
+        const double eta =
+            elapsed / static_cast<double>(done) *
+            static_cast<double>(jobs.size() - done);
+        std::fprintf(stderr,
+                     "[heartbeat] %zu/%zu jobs (%zu cached, %zu simulated), "
+                     "%.1fs elapsed, ETA %.1fs\n",
+                     done, jobs.size(), cached, done - cached, elapsed, eta);
+      }
+    });
+  }
+
   const std::vector<driver::JobResult> results = driver::run_jobs(jobs, opts);
+  hb_stop.store(true, std::memory_order_relaxed);
+  if (heartbeat.joinable()) heartbeat.join();
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -353,6 +427,23 @@ int run_and_report(const driver::SweepSpec& spec, const Args& args,
   }
   if (const std::string* path = args.get("--csv")) {
     driver::write_report(*path, driver::to_csv(results, report_opts));
+  }
+  if (trace_out != nullptr) {
+    std::vector<obs::TraceExportJob> tjobs;
+    tjobs.reserve(results.size());
+    for (const driver::JobResult& r : results) {
+      obs::TraceExportJob tj;
+      tj.name = strprintf("%s %s bpl=%llu seed=%llu",
+                          r.job.config_label.c_str(), r.job.kernel.c_str(),
+                          static_cast<unsigned long long>(r.job.bytes_per_lane),
+                          static_cast<unsigned long long>(r.job.seed));
+      tj.trace = r.trace.get();
+      tjobs.push_back(std::move(tj));
+    }
+    driver::write_report(*trace_out, obs::export_chrome_trace(tjobs));
+  }
+  if (metrics_out != nullptr) {
+    driver::write_report(*metrics_out, metrics.to_json());
   }
 
   std::size_t failed = 0;
@@ -535,6 +626,77 @@ int cmd_cache(const Args& args) {
   fail("unknown cache subcommand '" + sub + "' (ls | stats | gc)");
 }
 
+// `araxl stats` — batching-telemetry rollup from the result store. The
+// store persists the engine-provenance counters (wakeups, batched
+// iterations, typed rejection reasons) that default reports zero out, so a
+// finished sweep can be diagnosed after the fact: a kernel showing
+// batched=0 names the gate that rejected it in its nonzero reject column.
+int cmd_stats(const Args& args) {
+  const std::string* path = args.get("--store");
+  store::ResultStore result_store(path != nullptr ? *path : kDefaultStorePath);
+  std::vector<std::string> kernel_filter;
+  if (const std::string* k = args.get("--kernels")) {
+    kernel_filter = resolve_kernels(*k);
+  }
+
+  std::vector<store::StoredResult> entries = result_store.entries();
+  std::sort(entries.begin(), entries.end(),
+            [](const store::StoredResult& a, const store::StoredResult& b) {
+              if (a.label != b.label) return a.label < b.label;
+              if (a.kernel != b.kernel) return a.kernel < b.kernel;
+              if (a.bytes_per_lane != b.bytes_per_lane) {
+                return a.bytes_per_lane < b.bytes_per_lane;
+              }
+              return a.seed < b.seed;
+            });
+
+  std::vector<std::string> header = {"config", "kernel", "B/lane",
+                                     "cycles", "wakeups", "batched"};
+  for (std::size_t i = 0; i < kNumBatchRejects; ++i) {
+    header.push_back(std::string(batch_reject_name(static_cast<BatchReject>(i))));
+  }
+  TextTable table(header);
+  for (std::size_t c = 2; c < header.size(); ++c) table.align_right(c);
+
+  std::size_t shown = 0;
+  std::uint64_t total_batched = 0;
+  std::array<std::uint64_t, kNumBatchRejects> total_rejects{};
+  for (const store::StoredResult& r : entries) {
+    if (!kernel_filter.empty() &&
+        std::find(kernel_filter.begin(), kernel_filter.end(), r.kernel) ==
+            kernel_filter.end()) {
+      continue;
+    }
+    ++shown;
+    total_batched += r.stats.batched_iterations;
+    std::vector<std::string> row = {
+        r.label.empty() ? r.config.substr(0, 24) : r.label, r.kernel,
+        std::to_string(r.bytes_per_lane), fmt_group(r.stats.cycles),
+        fmt_group(r.stats.wakeups_total),
+        fmt_group(r.stats.batched_iterations)};
+    for (std::size_t i = 0; i < kNumBatchRejects; ++i) {
+      total_rejects[i] += r.stats.batch_rejects[i];
+      row.push_back(fmt_group(r.stats.batch_rejects[i]));
+    }
+    table.add_row(row);
+  }
+  if (shown > 1) {
+    table.add_rule();
+    std::vector<std::string> totals = {"total", "", "", "", "",
+                                       fmt_group(total_batched)};
+    for (std::size_t i = 0; i < kNumBatchRejects; ++i) {
+      totals.push_back(fmt_group(total_rejects[i]));
+    }
+    table.add_row(totals);
+  }
+  std::printf("%s", table.render().c_str());
+  std::fprintf(stderr,
+               "%zu entr%s from %s (counters persist only for simulated "
+               "runs; pre-telemetry store entries read as zero)\n",
+               shown, shown == 1 ? "y" : "ies", result_store.path().c_str());
+  return 0;
+}
+
 int cmd_run(const Args& args) {
   const std::string* kernel = args.get("--kernel");
   check(kernel != nullptr, "run needs --kernel");
@@ -598,6 +760,7 @@ int main(int argc, char** argv) {
     if (cmd == "sweep") return cmd_sweep(args);
     if (cmd == "merge") return cmd_merge(args);
     if (cmd == "cache") return cmd_cache(args);
+    if (cmd == "stats") return cmd_stats(args);
     std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
     return usage(stderr);
   } catch (const store::StoreIoError& e) {

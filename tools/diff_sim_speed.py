@@ -21,9 +21,12 @@ import json
 import sys
 
 
-def load_entries(path):
+def load_doc(path):
     with open(path) as f:
-        doc = json.load(f)
+        return json.load(f)
+
+
+def entries_by_key(doc):
     return {(e["name"], e["lanes"], e["bpl"]): e for e in doc["entries"]}
 
 
@@ -39,8 +42,10 @@ def main():
                     help="recorded smoke-sweep wall baseline; fails at >2x")
     args = ap.parse_args()
 
-    base = load_entries(args.baseline)
-    cur = load_entries(args.current)
+    base_doc = load_doc(args.baseline)
+    cur_doc = load_doc(args.current)
+    base = entries_by_key(base_doc)
+    cur = entries_by_key(cur_doc)
     ok = True
 
     if set(base) != set(cur):
@@ -62,6 +67,19 @@ def main():
         if b.get("batched_iterations", 0) > 0 and c.get("batched_iterations", 0) == 0:
             print(f"{name:32s} steady-state batching stopped engaging "
                   f"({b['batched_iterations']} -> 0) REGRESSED")
+            ok = False
+
+    # Metrics-attach overhead: (rate without registry) / (rate with), so
+    # 1.0 is free. Gated absolutely (not against the baseline value, which
+    # is host-noisy) with generous slack; skipped entirely when either file
+    # predates the field.
+    cur_ratio = cur_doc.get("metrics_overhead_ratio")
+    if cur_ratio is not None and "metrics_overhead_ratio" in base_doc:
+        limit = 1.10
+        verdict = "ok" if cur_ratio <= limit else "REGRESSED"
+        print(f"metrics overhead ratio: {cur_ratio:.3f} (limit {limit:.2f}) "
+              f"{verdict}")
+        if cur_ratio > limit:
             ok = False
 
     if args.smoke_wall is not None:
