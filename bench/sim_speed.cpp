@@ -155,6 +155,7 @@ struct TrajectoryEntry {
   double event_cycles_per_s;
   double oracle_cycles_per_s;
   std::uint64_t batched_iterations;
+  double stall_frac;  ///< attributed stall slots / slot universe
 };
 
 /// Measures one trajectory point under both engines. `bpl == 0` selects
@@ -181,7 +182,15 @@ TrajectoryEntry measure_entry(const char* name, unsigned lanes,
     const double rate = measure_cycles_per_s(m, prog);
     if (mode == TimingMode::kEventDriven) {
       e.event_cycles_per_s = rate;
-      e.batched_iterations = m.run(prog).batched_iterations;
+      const RunStats s = m.run(prog);
+      e.batched_iterations = s.batched_iterations;
+      // Unlike the rates, the stall attribution is a pure simulation
+      // invariant — deterministic and host-independent — so the committed
+      // trajectory can gate it exactly.
+      std::uint64_t stalls = 0;
+      for (const std::uint64_t v : s.stall_cycles) stalls += v;
+      e.stall_frac = static_cast<double>(stalls) /
+                     static_cast<double>(s.cycles * s.total_lanes * 8);
     } else {
       e.oracle_cycles_per_s = rate;
     }
@@ -208,13 +217,14 @@ int emit_trajectory(const char* path) {
                   "    {\"name\": \"%s\", \"lanes\": %u, \"bpl\": %llu, "
                   "\"event_sim_cycles_per_s\": %.0f, "
                   "\"oracle_sim_cycles_per_s\": %.0f, "
-                  "\"speedup\": %.3f, \"batched_iterations\": %llu}%s\n",
+                  "\"speedup\": %.3f, \"batched_iterations\": %llu, "
+                  "\"stall_frac\": %.6f}%s\n",
                   e.name.c_str(), e.lanes,
                   static_cast<unsigned long long>(e.bpl), e.event_cycles_per_s,
                   e.oracle_cycles_per_s,
                   e.event_cycles_per_s / e.oracle_cycles_per_s,
                   static_cast<unsigned long long>(e.batched_iterations),
-                  i + 1 == entries.size() ? "" : ",");
+                  e.stall_frac, i + 1 == entries.size() ? "" : ",");
     out += buf;
   }
   out += "  ],\n";

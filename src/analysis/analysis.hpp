@@ -1,0 +1,95 @@
+// Post-sweep analysis layer — `araxl report`.
+//
+// Consumes a finished sweep (the result store, or a merged driver JSON
+// report) and regenerates the paper's analysis surfaces as deterministic
+// artifacts: text tables, flat CSV, and dependency-free SVG figures —
+// pareto frontiers (GFLOPS vs W and vs mm^2), frequency-vs-lanes scaling
+// curves, per-kernel utilization with the stall-taxonomy breakdown as
+// stacked bars, and the Fig. 1 state-of-the-art landscape with this run's
+// configurations overlaid (src/ppa/soa.*).
+//
+// Every artifact is byte-identical for a given dataset: rows are sorted by
+// a total key before any aggregation, numbers go through fixed-precision
+// formatters, and nothing wall-clock- or path-dependent is emitted. A
+// sweep run with 1 or 32 workers, or sharded and merged, therefore
+// produces identical reports — the same contract the driver's JSON/CSV
+// reporters carry, extended through the analysis layer.
+#ifndef ARAXL_ANALYSIS_ANALYSIS_HPP
+#define ARAXL_ANALYSIS_ANALYSIS_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/stats.hpp"
+#include "store/result_store.hpp"
+
+namespace araxl::analysis {
+
+/// One analyzable data point: a successful job with its PPA projection.
+struct Row {
+  std::string label;    ///< display config label ("araxl:64")
+  std::string family;   ///< machine family ("araxl" | "ara2")
+  std::string kernel;
+  std::uint64_t bytes_per_lane = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t vlen_bits = 0;
+  RunStats stats;       ///< includes the stall taxonomy + fpu_busy_slots
+  // PPA-model outputs (ppa/{freq,area,power}_model.hpp).
+  double freq_ghz = 0.0;
+  double area_mm2 = 0.0;
+  double power_w = 0.0;
+  double gflops = 0.0;
+  double gflops_per_w = 0.0;
+  double gflops_per_mm2 = 0.0;
+};
+
+/// Row filters (both conjunctive; empty lists pass everything).
+struct RowFilter {
+  std::vector<std::string> kernels;   ///< exact kernel names
+  std::vector<std::string> configs;   ///< substring match on the config label
+};
+
+/// Rows sorted by (total_lanes, label, kernel, bytes_per_lane, seed) — the
+/// total order every aggregation below iterates in.
+struct Dataset {
+  std::vector<Row> rows;
+};
+
+/// Builds a dataset from result-store entries. Only records written by
+/// `version` are used (pass store::build_version(); other builds' records
+/// cannot be compared — and an empty filter accepts every version). The
+/// stall taxonomy comes straight from the persisted stats; pre-attribution
+/// store entries read as all-zero stalls.
+[[nodiscard]] Dataset dataset_from_store(
+    const std::vector<store::StoredResult>& entries,
+    const std::string& version, const RowFilter& filter);
+
+/// Builds a dataset from a driver JSON report (as written by
+/// `araxl sweep --json` or reassembled by `araxl merge`). Failed jobs are
+/// skipped. Stall fields are zero unless the report was written with
+/// --provenance — the store path is the primary source for stall analysis.
+[[nodiscard]] Dataset dataset_from_json_report(std::string_view doc,
+                                               const RowFilter& filter);
+
+/// One output file of the report bundle.
+struct Artifact {
+  std::string name;     ///< file name within the output directory
+  std::string content;
+};
+
+/// Renders the full artifact bundle for `ds`:
+///   summary.txt            per-job results + stall-breakdown text tables
+///   report.csv             flat rows incl. the live stall taxonomy
+///   pareto_perf_w.csv/svg  GFLOPS vs W scatter with the pareto frontier
+///   pareto_perf_mm2.csv/svg  GFLOPS vs mm^2 likewise
+///   scaling.csv/svg        fmax and peak GFLOPS vs lane count per family
+///   stalls.csv/svg         stacked busy+stall slot fractions per config/kernel
+///   soa_landscape.csv/svg  Fig. 1 VLEN/FPU landscape + this run's configs
+/// Artifact order (and all content) is deterministic.
+[[nodiscard]] std::vector<Artifact> build_report(const Dataset& ds);
+
+}  // namespace araxl::analysis
+
+#endif  // ARAXL_ANALYSIS_ANALYSIS_HPP

@@ -1,0 +1,233 @@
+#include "analysis/svg.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/fmt.hpp"
+
+namespace araxl::analysis {
+
+namespace {
+
+// Plot-area margins (pixels). Left is generous for y tick labels.
+constexpr double kLeft = 72.0;
+constexpr double kRight = 16.0;
+constexpr double kTop = 32.0;
+constexpr double kBottom = 48.0;
+
+/// Pixel coordinate spelling: one decimal is below SVG viewer resolution
+/// and keeps files small and byte-stable.
+std::string pxnum(double v) { return fmt_f(v, 1); }
+
+/// Tick label spelling: trims the trailing zeros %.3f would carry so axis
+/// labels read naturally ("1.4", "0.25", "64").
+std::string ticknum(double v) {
+  std::string s = fmt_f(v, 3);
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s.empty() ? "0" : s;
+}
+
+double tf(double v, bool log2_axis) {
+  return log2_axis ? std::log2(v) : v;
+}
+
+}  // namespace
+
+std::string svg_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+SvgPlot::SvgPlot(unsigned width, unsigned height, std::string title,
+                 std::string x_label, std::string y_label)
+    : width_(width), height_(height), title_(std::move(title)),
+      x_label_(std::move(x_label)), y_label_(std::move(y_label)) {}
+
+void SvgPlot::set_x_range(double lo, double hi) {
+  check(hi >= lo, "SvgPlot x range is inverted");
+  if (hi == lo) {
+    lo -= 0.5;
+    hi += 0.5;
+  }
+  x_lo_ = lo;
+  x_hi_ = hi;
+}
+
+void SvgPlot::set_y_range(double lo, double hi) {
+  check(hi >= lo, "SvgPlot y range is inverted");
+  if (hi == lo) {
+    lo -= 0.5;
+    hi += 0.5;
+  }
+  y_lo_ = lo;
+  y_hi_ = hi;
+}
+
+double SvgPlot::plot_left() const { return kLeft; }
+double SvgPlot::plot_top() const { return kTop; }
+double SvgPlot::plot_width() const { return width_ - kLeft - kRight; }
+double SvgPlot::plot_height() const { return height_ - kTop - kBottom; }
+
+double SvgPlot::px(double x) const {
+  const double lo = tf(x_lo_, x_log2_), hi = tf(x_hi_, x_log2_);
+  return kLeft + (tf(x, x_log2_) - lo) / (hi - lo) * plot_width();
+}
+
+double SvgPlot::py(double y) const {
+  const double lo = tf(y_lo_, y_log2_), hi = tf(y_hi_, y_log2_);
+  return kTop + (hi - tf(y, y_log2_)) / (hi - lo) * plot_height();
+}
+
+void SvgPlot::polyline(const std::vector<std::pair<double, double>>& pts,
+                       std::string_view color, double width_px, bool dashed) {
+  if (pts.size() < 2) return;
+  body_ += "<polyline fill=\"none\" stroke=\"";
+  body_ += color;
+  body_ += "\" stroke-width=\"" + pxnum(width_px) + "\"";
+  if (dashed) body_ += " stroke-dasharray=\"5,4\"";
+  body_ += " points=\"";
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (i != 0) body_ += " ";
+    body_ += pxnum(px(pts[i].first)) + "," + pxnum(py(pts[i].second));
+  }
+  body_ += "\"/>\n";
+}
+
+void SvgPlot::circle(double x, double y, double r_px, std::string_view color,
+                     bool filled) {
+  body_ += "<circle cx=\"" + pxnum(px(x)) + "\" cy=\"" + pxnum(py(y)) +
+           "\" r=\"" + pxnum(r_px) + "\"";
+  if (filled) {
+    body_ += " fill=\"";
+    body_ += color;
+    body_ += "\"/>\n";
+  } else {
+    body_ += " fill=\"none\" stroke=\"";
+    body_ += color;
+    body_ += "\" stroke-width=\"1.5\"/>\n";
+  }
+}
+
+void SvgPlot::bar(double x_lo, double x_hi, double y_px, double h_px,
+                  std::string_view color) {
+  const double left = px(x_lo);
+  body_ += "<rect x=\"" + pxnum(left) + "\" y=\"" + pxnum(y_px) +
+           "\" width=\"" + pxnum(px(x_hi) - left) + "\" height=\"" +
+           pxnum(h_px) + "\" fill=\"";
+  body_ += color;
+  body_ += "\"/>\n";
+}
+
+void SvgPlot::label(double x, double y, std::string_view s, unsigned size_px,
+                    std::string_view anchor, std::string_view color) {
+  text_px(px(x), py(y), s, size_px, anchor, color);
+}
+
+void SvgPlot::text_px(double x_px, double y_px, std::string_view s,
+                      unsigned size_px, std::string_view anchor,
+                      std::string_view color) {
+  body_ += "<text x=\"" + pxnum(x_px) + "\" y=\"" + pxnum(y_px) +
+           "\" font-size=\"" + std::to_string(size_px) +
+           "\" font-family=\"sans-serif\" text-anchor=\"";
+  body_ += anchor;
+  body_ += "\" fill=\"";
+  body_ += color;
+  body_ += "\">" + svg_escape(s) + "</text>\n";
+}
+
+void SvgPlot::legend(
+    const std::vector<std::pair<std::string, std::string>>& entries) {
+  const double x = kLeft + plot_width() - 150.0;
+  double y = kTop + 10.0;
+  for (const auto& [name, color] : entries) {
+    body_ += "<rect x=\"" + pxnum(x) + "\" y=\"" + pxnum(y - 8.0) +
+             "\" width=\"10\" height=\"10\" fill=\"" + color + "\"/>\n";
+    text_px(x + 14.0, y + 1.0, name, 11);
+    y += 15.0;
+  }
+}
+
+void SvgPlot::append_ticks(std::string& out, bool x_axis) const {
+  const bool log2_axis = x_axis ? x_log2_ : y_log2_;
+  const double lo = x_axis ? x_lo_ : y_lo_;
+  const double hi = x_axis ? x_hi_ : y_hi_;
+  // Tick values: 5 evenly spaced for linear axes; whole powers of two
+  // (thinned to at most ~7) for log2 axes.
+  std::vector<double> ticks;
+  if (log2_axis) {
+    const auto k_lo = static_cast<long>(std::ceil(std::log2(lo) - 1e-9));
+    const auto k_hi = static_cast<long>(std::floor(std::log2(hi) + 1e-9));
+    const long step = (k_hi - k_lo) / 7 + 1;
+    for (long k = k_lo; k <= k_hi; k += step) ticks.push_back(std::ldexp(1.0, static_cast<int>(k)));
+  } else {
+    for (int i = 0; i <= 4; ++i) ticks.push_back(lo + (hi - lo) * i / 4.0);
+  }
+  for (const double v : ticks) {
+    if (x_axis) {
+      const double x = px(v);
+      const double y0 = kTop + plot_height();
+      out += "<line x1=\"" + pxnum(x) + "\" y1=\"" + pxnum(y0) + "\" x2=\"" +
+             pxnum(x) + "\" y2=\"" + pxnum(y0 + 4.0) +
+             "\" stroke=\"#333333\"/>\n";
+      out += "<text x=\"" + pxnum(x) + "\" y=\"" + pxnum(y0 + 16.0) +
+             "\" font-size=\"10\" font-family=\"sans-serif\" "
+             "text-anchor=\"middle\" fill=\"#333333\">" +
+             svg_escape(ticknum(v)) + "</text>\n";
+    } else {
+      const double y = py(v);
+      out += "<line x1=\"" + pxnum(kLeft - 4.0) + "\" y1=\"" + pxnum(y) +
+             "\" x2=\"" + pxnum(kLeft) + "\" y2=\"" + pxnum(y) +
+             "\" stroke=\"#333333\"/>\n";
+      out += "<text x=\"" + pxnum(kLeft - 7.0) + "\" y=\"" + pxnum(y + 3.0) +
+             "\" font-size=\"10\" font-family=\"sans-serif\" "
+             "text-anchor=\"end\" fill=\"#333333\">" +
+             svg_escape(ticknum(v)) + "</text>\n";
+    }
+  }
+}
+
+std::string SvgPlot::render() const {
+  std::string out = "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" +
+                    std::to_string(width_) + "\" height=\"" +
+                    std::to_string(height_) + "\" viewBox=\"0 0 " +
+                    std::to_string(width_) + " " + std::to_string(height_) +
+                    "\">\n";
+  out += "<rect width=\"100%\" height=\"100%\" fill=\"#ffffff\"/>\n";
+  // Frame.
+  out += "<rect x=\"" + pxnum(kLeft) + "\" y=\"" + pxnum(kTop) +
+         "\" width=\"" + pxnum(plot_width()) + "\" height=\"" +
+         pxnum(plot_height()) +
+         "\" fill=\"none\" stroke=\"#333333\" stroke-width=\"1\"/>\n";
+  // Title and axis labels.
+  out += "<text x=\"" + pxnum(width_ / 2.0) + "\" y=\"20\" font-size=\"14\" "
+         "font-family=\"sans-serif\" text-anchor=\"middle\" "
+         "fill=\"#111111\">" + svg_escape(title_) + "</text>\n";
+  out += "<text x=\"" + pxnum(kLeft + plot_width() / 2.0) + "\" y=\"" +
+         pxnum(height_ - 10.0) +
+         "\" font-size=\"12\" font-family=\"sans-serif\" "
+         "text-anchor=\"middle\" fill=\"#111111\">" +
+         svg_escape(x_label_) + "</text>\n";
+  out += "<text x=\"14\" y=\"" + pxnum(kTop + plot_height() / 2.0) +
+         "\" font-size=\"12\" font-family=\"sans-serif\" "
+         "text-anchor=\"middle\" fill=\"#111111\" transform=\"rotate(-90 14 " +
+         pxnum(kTop + plot_height() / 2.0) + ")\">" + svg_escape(y_label_) +
+         "</text>\n";
+  append_ticks(out, /*x_axis=*/true);
+  append_ticks(out, /*x_axis=*/false);
+  out += body_;
+  out += "</svg>\n";
+  return out;
+}
+
+}  // namespace araxl::analysis

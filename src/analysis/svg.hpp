@@ -1,0 +1,83 @@
+// Dependency-free SVG plot canvas for the analysis layer.
+//
+// `araxl report` must render its figures (pareto frontiers, scaling
+// curves, stall stacked bars, the SoA landscape) without any plotting
+// dependency, and the output must be byte-deterministic: the same dataset
+// yields the same SVG regardless of worker count or shard split. All
+// coordinates and tick labels therefore go through the fixed-precision
+// formatters in common/fmt.hpp — never ostream double formatting.
+#ifndef ARAXL_ANALYSIS_SVG_HPP
+#define ARAXL_ANALYSIS_SVG_HPP
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace araxl::analysis {
+
+/// One x/y chart. Construct, set the data ranges, then add marks in data
+/// coordinates; render() wraps them in a frame with axis ticks and labels.
+/// Marks are emitted in call order (SVG painter's model), after the frame.
+class SvgPlot {
+ public:
+  SvgPlot(unsigned width, unsigned height, std::string title,
+          std::string x_label, std::string y_label);
+
+  /// Data window; lo == hi is widened symmetrically so projection stays
+  /// finite. Call before any mark.
+  void set_x_range(double lo, double hi);
+  void set_y_range(double lo, double hi);
+  /// log2 axis: range and mark coordinates are given in raw data units and
+  /// transformed internally; ticks land on powers of two.
+  void set_x_log2(bool on) { x_log2_ = on; }
+  void set_y_log2(bool on) { y_log2_ = on; }
+
+  // ---- marks in data coordinates -------------------------------------------
+  void polyline(const std::vector<std::pair<double, double>>& pts,
+                std::string_view color, double width_px,
+                bool dashed = false);
+  void circle(double x, double y, double r_px, std::string_view color,
+              bool filled = true);
+  /// Axis-aligned bar given in data coords for x and pixel coords for the
+  /// vertical extent (stacked-bar charts lay rows out in pixels).
+  void bar(double x_lo, double x_hi, double y_px, double h_px,
+           std::string_view color);
+  /// Text anchored at a data point ("start" | "middle" | "end").
+  void label(double x, double y, std::string_view s, unsigned size_px,
+             std::string_view anchor = "start",
+             std::string_view color = "#333333");
+  /// Text in absolute pixel coordinates (legends, bar row names).
+  void text_px(double x_px, double y_px, std::string_view s, unsigned size_px,
+               std::string_view anchor = "start",
+               std::string_view color = "#333333");
+  /// Color-keyed legend in the top-right corner of the plot area.
+  void legend(const std::vector<std::pair<std::string, std::string>>& entries);
+
+  // ---- projection ----------------------------------------------------------
+  [[nodiscard]] double px(double x) const;
+  [[nodiscard]] double py(double y) const;
+  [[nodiscard]] double plot_left() const;
+  [[nodiscard]] double plot_top() const;
+  [[nodiscard]] double plot_width() const;
+  [[nodiscard]] double plot_height() const;
+
+  /// Complete document: header, frame, ticks, axis labels, then the marks.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  void append_ticks(std::string& out, bool x_axis) const;
+
+  unsigned width_, height_;
+  std::string title_, x_label_, y_label_;
+  double x_lo_ = 0.0, x_hi_ = 1.0, y_lo_ = 0.0, y_hi_ = 1.0;
+  bool x_log2_ = false, y_log2_ = false;
+  std::string body_;
+};
+
+/// Escapes text for an SVG (XML) text node or attribute.
+[[nodiscard]] std::string svg_escape(std::string_view s);
+
+}  // namespace araxl::analysis
+
+#endif  // ARAXL_ANALYSIS_SVG_HPP

@@ -106,6 +106,21 @@ std::string stats_json(const RunStats& s, const ReportOptions& opts) {
     out += unum(opts.live_provenance ? s.batch_rejects[i] : 0);
   }
   out += "},";
+  // Stall taxonomy: exact measurements (bit-identical across engines and
+  // batching), but reported like provenance — zeroed by default so the
+  // default-report surface stays a stable, minimal contract. The store
+  // persists the live values; `araxl report` reads them from there.
+  out += "\"stall_cycles\":{";
+  for (std::size_t i = 0; i < kNumStallReasons; ++i) {
+    if (i != 0) out += ",";
+    out += '"';
+    out += stall_reason_name(static_cast<StallReason>(i));
+    out += "\":";
+    out += unum(opts.live_provenance ? s.stall_cycles[i] : 0);
+  }
+  out += "},";
+  out += "\"fpu_busy_slots\":" +
+         unum(opts.live_provenance ? s.fpu_busy_slots : 0) + ",";
   out += "\"fpu_util\":" + fnum(s.fpu_util()) + ",";
   out += "\"flop_per_cycle\":" + fnum(s.flop_per_cycle());
   out += "}";
@@ -175,7 +190,10 @@ std::string to_csv(const std::vector<JobResult>& results,
       "wakeups_total,"
       "batched_iterations,"
       "reject_addr_progression,reject_liveness_gate,reject_snapshot_mismatch,"
-      "reject_vl_tail,reject_grant_change,kind,clusters,"
+      "reject_vl_tail,reject_grant_change,"
+      "stall_issue_pressure,stall_raw_dependency,stall_structural_unit,"
+      "stall_mem_latency,stall_mem_bandwidth,stall_reduction_slide_latency,"
+      "stall_drain_tail,fpu_busy_slots,kind,clusters,"
       "lanes_per_cluster,"
       "total_lanes,vlen_bits,ok,status,cycles,flops,fpu_util,flop_per_cycle,"
       "freq_ghz,area_mm2,power_w,gflops,gflops_per_w,max_rel_err,error\n";
@@ -193,6 +211,10 @@ std::string to_csv(const std::vector<JobResult>& results,
     for (std::size_t i = 0; i < kNumBatchRejects; ++i) {
       out += unum(opts.live_provenance ? r.stats.batch_rejects[i] : 0) + ",";
     }
+    for (std::size_t i = 0; i < kNumStallReasons; ++i) {
+      out += unum(opts.live_provenance ? r.stats.stall_cycles[i] : 0) + ",";
+    }
+    out += unum(opts.live_provenance ? r.stats.fpu_busy_slots : 0) + ",";
     out += std::string(kind_name(c.kind)) + ",";
     out += unum(c.topo.total_clusters()) + ",";
     out += unum(c.topo.lanes) + ",";

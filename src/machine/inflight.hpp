@@ -3,6 +3,7 @@
 #ifndef ARAXL_MACHINE_INFLIGHT_HPP
 #define ARAXL_MACHINE_INFLIGHT_HPP
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "isa/instr.hpp"
 #include "sim/cycle.hpp"
 #include "sim/pipe.hpp"
+#include "sim/stats.hpp"
 
 namespace araxl {
 
@@ -65,6 +67,14 @@ struct Inflight {
   LaggedCounter hist;          ///< produced-count history for consumers
   std::uint64_t rate_acc = 0;  ///< fractional-throughput accumulator (x256)
 
+  // Stall attribution (FPU-unit instructions only). `tape` mirrors every
+  // `hist` record without the ring's eviction so the attributor can evaluate
+  // per-cycle production inside arbitrarily long wakeup windows; `stall_acc`
+  // accumulates the byte-slots charged while this instruction was the acting
+  // head (or the blamed queue front), feeding the trace-span annotation.
+  ProdTape tape;
+  std::array<std::uint64_t, kNumStallReasons> stall_acc{};
+
   // Memory transfer state (loads/stores).
   std::uint64_t bytes_total = 0;
   std::uint64_t bytes_done = 0;
@@ -103,6 +113,8 @@ struct Inflight {
     produced = 0;
     hist.clear();
     rate_acc = 0;
+    tape.clear();
+    stall_acc.fill(0);
     bytes_total = bytes_done = head_skew = 0;
     red_phase = RedPhase::kIntraLane;
     red_phase_end = kNeverCycle;

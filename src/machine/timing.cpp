@@ -67,6 +67,11 @@ void TimingEngine::metrics_begin_run() {
         "engine.batch.reject." +
         std::string(batch_reject_name(static_cast<BatchReject>(r))));
   }
+  for (std::size_t r = 0; r < kNumStallReasons; ++r) {
+    m_stall_[r] = metrics_->counter(
+        "engine.stall." +
+        std::string(stall_reason_name(static_cast<StallReason>(r))));
+  }
   m_occupancy_ = metrics_->histogram("engine.inflight_occupancy");
 }
 
@@ -139,7 +144,13 @@ std::uint64_t TimingEngine::avail_elems(Cycle t, const Inflight& instr) const {
 
 void TimingEngine::account(Unit u, const Inflight& instr, std::uint64_t adv) {
   stats_.unit_busy_elems[static_cast<std::size_t>(u)] += adv;
-  if (u == Unit::kFpu) stats_.fpu_result_elems += adv;
+  if (u == Unit::kFpu) {
+    stats_.fpu_result_elems += adv;
+    // Busy byte-slots are counted at production time (the stall attributor
+    // charges only the shortfall of each attributed span); widening ops
+    // occupy destination-width slots, matching rate256's quota adjustment.
+    stats_.fpu_busy_slots += adv * fpu_slot_width(instr);
+  }
   stats_.flops += adv * instr.spec->flops_per_elem;
   watchdog_.note_progress();
 }
@@ -234,6 +245,7 @@ void TimingEngine::advance_arith(Cycle t, Inflight& instr) {
   if (instr.produced == 0) instr.first_result_at = t;
   instr.produced += adv;
   instr.hist.record(t, instr.produced);
+  if (instr.unit == Unit::kFpu) instr.tape.record(t, instr.produced);
   account(instr.unit, instr, adv);
   if (instr.finished_producing()) finish_producing(t, instr);
 }
@@ -355,6 +367,16 @@ void TimingEngine::retire(Cycle t) {
       Inflight& instr = pool_.at(q.front());
       debug_check(instr.id != 0, "queued instruction missing from pool");
       if (instr.completed_at > t) break;
+      if (instr.unit == Unit::kFpu) {
+        // Production at the retire cycle itself has not been attributed yet
+        // (attribute_range runs after step_cycle); with a zero FPU chain lag
+        // the instruction can produce and retire in the same cycle, taking
+        // its tape with it. Park those byte-slots so the next attribution
+        // keeps the partition total. (Unreachable with default latencies.)
+        const std::uint64_t at_t = instr.tape.value_at(t);
+        const std::uint64_t before = t == 0 ? 0 : instr.tape.value_at(t - 1);
+        retired_busy_pending_ += fpu_slot_width(instr) * (at_t - before);
+      }
       if (trace_ != nullptr) {
         TraceRecord rec;
         rec.id = instr.id;
@@ -367,6 +389,14 @@ void TimingEngine::retire(Cycle t) {
         rec.first_result =
             instr.first_result_at == kNeverCycle ? 0 : instr.first_result_at;
         rec.completed = instr.completed_at;
+        std::uint64_t best = 0;
+        for (std::size_t r = 0; r < kNumStallReasons; ++r) {
+          if (instr.stall_acc[r] > best) {
+            best = instr.stall_acc[r];
+            rec.stall_reason = static_cast<std::uint8_t>(r);
+          }
+        }
+        rec.stall_slots = best;
         trace_->add(rec);
       }
       release_claims(instr);
@@ -568,6 +598,246 @@ void TimingEngine::tick_cva6(Cycle t) {
   seq_.push_back(p);
 }
 
+// ---------------------------------------------------------------------------
+// Cycle-attribution stall taxonomy.
+//
+// Every (cycle × lane-FPU byte-slot) of a run is attributed to exactly one
+// StallReason, or counted in fpu_busy_slots at production time (account()),
+// so the two always partition the slot universe:
+//
+//   sum(stall_cycles[]) + fpu_busy_slots == cycles * total_lanes * 8
+//
+// Both kernels call the same attribute_range: the oracle once per executed
+// cycle, the event engine once per wakeup cycle plus once per fast-forward
+// window, and the loop batcher multiplies the recorded per-iteration deltas
+// by exactly K. Bit-identity between the three holds because every input the
+// classifier reads is either constant across a fast-forward window (queue
+// membership, seq_, pc_, cva6_stall_ — no dispatch/retire/issue can happen
+// inside one by construction) or monotone-stable (finished_at /
+// first_result_at are written once, so "set and <= u" evaluates the same on
+// the oracle's online state and the event engine's fast-forwarded state),
+// and per-cycle FPU production is replayed exactly from the instruction's
+// ProdTape (an eviction-free mirror of its LaggedCounter history).
+
+unsigned TimingEngine::fpu_slot_width(const Inflight& instr) {
+  unsigned ew = instr.ew;
+  if (instr.spec->widens) ew = std::min(8u, ew * 2);
+  return ew;
+}
+
+Cycle TimingEngine::mem_first_beat_min() const {
+  Cycle m = kNeverCycle;
+  for (const Unit u : {Unit::kLoad, Unit::kStore}) {
+    for (const std::uint32_t slot : unitq_[static_cast<std::size_t>(u)]) {
+      const Inflight& instr = pool_.at(slot);
+      if (instr.first_result_at < m) m = instr.first_result_at;
+    }
+  }
+  return m;
+}
+
+StallReason TimingEngine::classify_dep_limited(const Inflight& acting) const {
+  // Fixed-priority blame (mem > reduction/slide > any RAW) — an argmin over
+  // per-producer binding-ness would be tie-break-sensitive across the two
+  // kernels; a fixed priority is deterministic and matches how the paper
+  // discusses utilization losses (memory first, ring latency second).
+  bool red_slide = false;
+  bool raw = false;
+  for (const Dep& d : acting.deps) {
+    const Inflight* p = pool_.get(d.slot, d.producer);
+    if (p == nullptr) continue;  // retired producers no longer limit anything
+    if (p->unit == Unit::kLoad) return StallReason::kMemLatency;
+    if (p->unit == Unit::kSldu || p->spec->is_reduction) red_slide = true;
+    else raw = true;
+  }
+  if (red_slide) return StallReason::kReductionSlideLatency;
+  if (raw) return StallReason::kRawDependency;
+  // No live producer: the unit's own throughput (divider rate, fractional
+  // rate remainders) is the limiter.
+  return StallReason::kStructuralUnit;
+}
+
+StallReason TimingEngine::classify_no_fpu(Cycle u) const {
+  (void)u;
+  const auto& fq = unitq_[static_cast<std::size_t>(Unit::kFpu)];
+  // (a) A finished reduction holding the FPU queue front is in its
+  // inter-lane/ring/writeback phases — the ring latency gates progress.
+  if (!fq.empty() && pool_.at(fq.front()).spec->is_reduction) {
+    return StallReason::kReductionSlideLatency;
+  }
+  // (b) FPU work exists but has not reached a unit queue: frontend pressure.
+  for (const Pending& p : seq_) {
+    if (op_spec(p.in.op).unit == Unit::kFpu) return StallReason::kIssuePressure;
+  }
+  // (c) CVA6 blocked on a scalar-returning op: blame the producer's kind.
+  if (cva6_stall_ == Cva6Stall::kScalarWait && pc_ < prog_->ops.size()) {
+    if (const auto* in = std::get_if<VInstr>(&prog_->ops[pc_])) {
+      const unsigned reg = in->vs2;
+      for (auto it = seq_.rbegin(); it != seq_.rend(); ++it) {
+        const auto [wb, wc] = write_group(it->in, it->group_regs);
+        if (reg >= wb && reg < wb + wc) {
+          return op_spec(it->in.op).is_reduction
+                     ? StallReason::kReductionSlideLatency
+                     : StallReason::kIssuePressure;
+        }
+      }
+      if (const Inflight* w = find(regs_[reg].writer); w != nullptr) {
+        return w->spec->is_reduction ? StallReason::kReductionSlideLatency
+                                     : StallReason::kIssuePressure;
+      }
+    }
+    return StallReason::kIssuePressure;
+  }
+  // (d) handled by the caller (mem first-beat split); (e)–(g):
+  if (!unitq_[static_cast<std::size_t>(Unit::kSldu)].empty() ||
+      !unitq_[static_cast<std::size_t>(Unit::kMasku)].empty()) {
+    return StallReason::kReductionSlideLatency;
+  }
+  if (!unitq_[static_cast<std::size_t>(Unit::kAlu)].empty()) {
+    return StallReason::kStructuralUnit;
+  }
+  if (pc_ < prog_->ops.size() || !seq_.empty()) {
+    return StallReason::kIssuePressure;
+  }
+  return StallReason::kDrainTail;
+}
+
+void TimingEngine::attribute_piece(Cycle x, Cycle y, Inflight* acting) {
+  const std::uint64_t lane_slots = stats_.total_lanes * 8;
+  auto charge = [&](StallReason r, Cycle cx, Cycle cy,
+                    std::uint64_t produced_slots, Inflight* blame) {
+    if (cy < cx) return;
+    const std::uint64_t gross = (cy - cx + 1) * lane_slots;
+    debug_check(produced_slots <= gross, "production exceeds slot universe");
+    std::uint64_t slots = gross - produced_slots;
+    // Fold in production parked by a same-cycle retire (zero chain lag only;
+    // the retired instruction produced alone in that cycle, so the first
+    // charged sub-span always absorbs it fully).
+    const std::uint64_t absorb = std::min(slots, retired_busy_pending_);
+    slots -= absorb;
+    retired_busy_pending_ -= absorb;
+    if (slots == 0) return;
+    const auto idx = static_cast<std::size_t>(r);
+    stats_.stall_cycles[idx] += slots;
+    if (blame != nullptr) blame->stall_acc[idx] += slots;
+    if (m_stall_[idx] != nullptr) m_stall_[idx]->add(slots);
+  };
+
+  if (acting == nullptr) {
+    // No FPU instruction can produce in [x, y]; the reason is constant over
+    // the piece except for the mem latency/bandwidth split at the first
+    // in-flight beat.
+    const auto& lq = unitq_[static_cast<std::size_t>(Unit::kLoad)];
+    const auto& sq = unitq_[static_cast<std::size_t>(Unit::kStore)];
+    const auto& fq = unitq_[static_cast<std::size_t>(Unit::kFpu)];
+    const bool red_front =
+        !fq.empty() && pool_.at(fq.front()).spec->is_reduction;
+    const bool seq_fpu = [&] {
+      for (const Pending& p : seq_) {
+        if (op_spec(p.in.op).unit == Unit::kFpu) return true;
+      }
+      return false;
+    }();
+    if (!red_front && !seq_fpu && cva6_stall_ != Cva6Stall::kScalarWait &&
+        (!lq.empty() || !sq.empty())) {
+      // (d) memory-bound: waiting on the first in-flight beat is latency,
+      // everything past it is bandwidth.
+      Inflight* blame = !lq.empty() ? &pool_.at(lq.front()) : &pool_.at(sq.front());
+      const Cycle m = mem_first_beat_min();
+      if (m == kNeverCycle || m > y) {
+        charge(StallReason::kMemLatency, x, y, 0, blame);
+      } else if (m <= x) {
+        charge(StallReason::kMemBandwidth, x, y, 0, blame);
+      } else {
+        charge(StallReason::kMemLatency, x, m - 1, 0, blame);
+        charge(StallReason::kMemBandwidth, m, y, 0, blame);
+      }
+      return;
+    }
+    Inflight* blame = nullptr;
+    if (red_front) {
+      blame = &pool_.at(fq.front());
+    } else if (!red_front && !seq_fpu &&
+               cva6_stall_ != Cva6Stall::kScalarWait) {
+      const auto& slq = unitq_[static_cast<std::size_t>(Unit::kSldu)];
+      const auto& mq = unitq_[static_cast<std::size_t>(Unit::kMasku)];
+      const auto& aq = unitq_[static_cast<std::size_t>(Unit::kAlu)];
+      if (!slq.empty()) blame = &pool_.at(slq.front());
+      else if (!mq.empty()) blame = &pool_.at(mq.front());
+      else if (!aq.empty()) blame = &pool_.at(aq.front());
+    }
+    charge(classify_no_fpu(x), x, y, 0, blame);
+    return;
+  }
+
+  Inflight& in = *acting;
+  const unsigned sw = fpu_slot_width(in);
+  // Production in [p, q] from the eviction-free tape (byte-slots).
+  auto prod = [&](Cycle p, Cycle q) {
+    const std::uint64_t hi = in.tape.value_at(q);
+    const std::uint64_t lo = p == 0 ? 0 : in.tape.value_at(p - 1);
+    return static_cast<std::uint64_t>(sw) * (hi - lo);
+  };
+  // (1) fixed unit start-up latency before the first possible result.
+  if (in.start_at > x) {
+    const Cycle e = std::min(y, in.start_at - 1);
+    charge(StallReason::kStructuralUnit, x, e, 0, &in);
+    if (e == y) return;
+  }
+  const Cycle s = std::max(x, in.start_at);
+  // (2) producing span: shortfall goes to the fixed-priority dep blame.
+  const StallReason r = classify_dep_limited(in);
+  if (r == StallReason::kMemLatency) {
+    // Split at the earliest first beat over the live load producers: before
+    // it the dep cap is provably zero (latency); after it the producer's
+    // byte rate is the limiter (bandwidth).
+    Cycle dep_fr = kNeverCycle;
+    for (const Dep& d : in.deps) {
+      const Inflight* p = pool_.get(d.slot, d.producer);
+      if (p != nullptr && p->unit == Unit::kLoad &&
+          p->first_result_at < dep_fr) {
+        dep_fr = p->first_result_at;
+      }
+    }
+    if (dep_fr == kNeverCycle || dep_fr > y) {
+      charge(StallReason::kMemLatency, s, y, prod(s, y), &in);
+    } else if (dep_fr <= s) {
+      charge(StallReason::kMemBandwidth, s, y, prod(s, y), &in);
+    } else {
+      charge(StallReason::kMemLatency, s, dep_fr - 1, prod(s, dep_fr - 1), &in);
+      charge(StallReason::kMemBandwidth, dep_fr, y, prod(dep_fr, y), &in);
+    }
+    return;
+  }
+  charge(r, s, y, prod(s, y), &in);
+}
+
+void TimingEngine::attribute_range(Cycle a, Cycle b) {
+  if (b < a) return;
+  auto& fq = unitq_[static_cast<std::size_t>(Unit::kFpu)];
+  Cycle u = a;
+  while (u <= b) {
+    // Acting head at u: first FPU-queue instruction not done producing
+    // before u (tick_unit's head rule, evaluated on monotone-stable state).
+    Inflight* acting = nullptr;
+    Cycle end = b;
+    for (const std::uint32_t slot : fq) {
+      Inflight& instr = pool_.at(slot);
+      if (instr.finished_at != kNeverCycle && instr.finished_at < u) continue;
+      acting = &instr;
+      if (instr.finished_at != kNeverCycle && instr.finished_at < end) {
+        end = instr.finished_at;  // successor takes over at finished_at + 1
+      }
+      break;
+    }
+    attribute_piece(u, end, acting);
+    u = end + 1;
+  }
+  for (const std::uint32_t slot : fq) pool_.at(slot).tape.prune(b);
+  debug_check(retired_busy_pending_ == 0,
+              "retired FPU production not absorbed by attribution");
+}
+
 bool TimingEngine::drained() const {
   return pc_ >= prog_->ops.size() && seq_.empty() && pool_.active() == 0;
 }
@@ -615,6 +885,7 @@ void TimingEngine::reset_run(const Program& prog) {
   }
   dispatched_this_cycle_ = false;
   cva6_stall_ = Cva6Stall::kNone;
+  retired_busy_pending_ = 0;
   watchdog_.reset();
   last_progress_events_ = 0;
   last_progress_cycle_ = 0;
@@ -638,6 +909,7 @@ RunStats TimingEngine::run_cycle_stepped(const Program& prog) {
   Cycle t = 0;
   while (!drained()) {
     step_cycle(t);
+    attribute_range(t, t);
     if (metrics_ != nullptr) metrics_account_units(t, 1);
     if ((t & 0xFFF) == 0) {
       if (control_ != nullptr) control_->check_now();
@@ -652,6 +924,12 @@ RunStats TimingEngine::run_cycle_stepped(const Program& prog) {
   }
   stats_.cycles = t;
   stats_.wakeups_total = t;  // the oracle evaluates every cycle
+  {
+    std::uint64_t slots = stats_.fpu_busy_slots;
+    for (std::size_t r = 0; r < kNumStallReasons; ++r) slots += stats_.stall_cycles[r];
+    debug_check(slots == stats_.cycles * stats_.total_lanes * 8,
+                "stall taxonomy does not partition the slot universe");
+  }
   metrics_end_run();
   return stats_;
 }

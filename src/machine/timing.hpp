@@ -165,6 +165,10 @@ class TimingEngine {
     std::int64_t first_result = 0;
     bool has_first_result = false;
     std::int64_t completed = 0;
+    /// Dominant-stall annotation: cycle-independent (byte-slot counts repeat
+    /// exactly period over period), so it replays verbatim.
+    std::uint8_t stall_reason = static_cast<std::uint8_t>(kNumStallReasons);
+    std::uint64_t stall_slots = 0;
   };
   /// Computes op signatures + periodic regions + per-region address checks.
   void prepare_loop_batching();
@@ -185,6 +189,32 @@ class TimingEngine {
   };
   [[nodiscard]] CapLine dep_cap(const Dep& d, const Inflight& c, Cycle u) const;
   [[nodiscard]] CapLine combined_cap(const Inflight& c, Cycle u, Cycle to) const;
+
+  // -- stall attribution (see "Cycle-attribution stall taxonomy" in
+  //    timing.cpp) ------------------------------------------------------------
+  /// Attributes every (cycle × lane-FPU byte-slot) of [a, b] to exactly one
+  /// StallReason or to fpu_busy_slots. Shared verbatim by both kernels: the
+  /// oracle calls it per executed cycle, the event engine once per wakeup
+  /// cycle plus once per fast-forward window — yielding bit-identical
+  /// RunStats::stall_cycles[].
+  void attribute_range(Cycle a, Cycle b);
+  /// Classifies one sub-range [x, y] whose acting FPU head is `acting`
+  /// (nullptr = no FPU work in flight); charges stalls + busy slots.
+  void attribute_piece(Cycle x, Cycle y, Inflight* acting);
+  /// Stall reason for cycles where no FPU instruction is in flight; constant
+  /// over any attribution range except the mem first-beat split (handled by
+  /// the caller via `fr_min`).
+  [[nodiscard]] StallReason classify_no_fpu(Cycle u) const;
+  /// Blame for an acting head that is past start-up but under-producing.
+  [[nodiscard]] StallReason classify_dep_limited(const Inflight& acting) const;
+  /// Earliest first-beat cycle over in-flight memory instructions
+  /// (kNeverCycle when none has produced yet). Monotone-stable: both
+  /// engines agree on the predicate `u >= mem_first_beat_min()` for every
+  /// attributed cycle u.
+  [[nodiscard]] Cycle mem_first_beat_min() const;
+  /// Byte width of one produced element slot for an FPU op (widening ops
+  /// occupy the destination width, capped at the 8-byte lane datapath).
+  [[nodiscard]] static unsigned fpu_slot_width(const Inflight& instr);
 
   // -- helpers ----------------------------------------------------------------
   void reset_run(const Program& prog);
@@ -226,6 +256,7 @@ class TimingEngine {
   std::array<obs::Counter*, kNumUnits> m_unit_stall_{};
   std::array<obs::Counter*, kNumUnits> m_unit_idle_{};
   std::array<obs::Counter*, kNumBatchRejects> m_batch_reject_{};
+  std::array<obs::Counter*, kNumStallReasons> m_stall_{};
   obs::Histogram* m_occupancy_ = nullptr;
   /// The interconnect descriptor both kernels consume: every REQI/GLSU/
   /// RINGI latency and structure number flows through here (declared
@@ -251,6 +282,11 @@ class TimingEngine {
   // Per-wakeup outcome flags consumed by the event loop.
   bool dispatched_this_cycle_ = false;
   Cva6Stall cva6_stall_ = Cva6Stall::kNone;
+
+  // Byte-slots produced at the current wakeup cycle by FPU instructions that
+  // retired before attribute_range ran (possible only with a zero FPU chain
+  // lag); folded into the next attribution so the slot partition stays total.
+  std::uint64_t retired_busy_pending_ = 0;
 
   // Cooperative cancellation (sim/cancel.hpp); null when the run has no
   // shutdown token or deadline — the common case costs one pointer test

@@ -59,6 +59,9 @@ RunStats TimingEngine::run_event_driven(const Program& prog) {
   Cycle t = 0;
   while (!drained()) {
     step_cycle(t);
+    // Attribute the wakeup cycle itself from its exact post-step state
+    // (the oracle does the same after every step_cycle).
+    attribute_range(t, t);
     watchdog_.note_wakeup();
     if (trace_ != nullptr && trace_->markers_enabled()) {
       trace_->mark(t, SimMarkerKind::kWakeup, pool_.active());
@@ -103,11 +106,22 @@ RunStats TimingEngine::run_event_driven(const Program& prog) {
       // dispatch/retire between wakeups), so the whole gap is attributed
       // from the post-step state in one call.
       if (metrics_ != nullptr) metrics_account_units(t + 1, skipped);
+      // Same argument for the stall taxonomy: classification inputs are
+      // window-constant (or monotone-stable), and per-cycle production is
+      // replayed from the heads' tapes — bit-identical to the oracle's
+      // per-cycle attribution of the same span.
+      attribute_range(t + 1, wend_excl - 1);
     }
     t = wend_excl;
   }
   stats_.cycles = t;
   stats_.wakeups_total = watchdog_.wakeups_total();
+  {
+    std::uint64_t slots = stats_.fpu_busy_slots;
+    for (std::size_t r = 0; r < kNumStallReasons; ++r) slots += stats_.stall_cycles[r];
+    debug_check(slots == stats_.cycles * stats_.total_lanes * 8,
+                "stall taxonomy does not partition the slot universe");
+  }
   metrics_end_run();
   return stats_;
 }
@@ -336,8 +350,15 @@ void TimingEngine::advance_span_arith(Inflight& instr, Cycle from, Cycle to) {
         if (hold >= from) {
           instr.hist.record_ramp(from, v1, r256, 256, (acc0 + r256) & 0xFF,
                                  hold);
+          if (instr.unit == Unit::kFpu) {
+            instr.tape.record_ramp(from, v1, r256, 256, (acc0 + r256) & 0xFF,
+                                   hold);
+          }
         }
-        if (end == t_fin) instr.hist.record(t_fin, instr.vl);
+        if (end == t_fin) {
+          instr.hist.record(t_fin, instr.vl);
+          if (instr.unit == Unit::kFpu) instr.tape.record(t_fin, instr.vl);
+        }
         account(instr.unit, instr, total - p0);
         instr.produced = total;
       }
@@ -442,12 +463,19 @@ void TimingEngine::advance_span_arith(Inflight& instr, Cycle from, Cycle to) {
       }
       if (sb == 0) {
         instr.hist.record(u1, total);
+        if (instr.unit == Unit::kFpu) instr.tape.record(u1, total);
       } else {
         const Cycle hold = finished ? fin_at - 1 : seg_end;
         if (hold >= u1 && vb + sb * (hold - u1) > instr.produced) {
           instr.hist.record_ramp(u1, vb, sb, 1, 0, hold);
+          if (instr.unit == Unit::kFpu) {
+            instr.tape.record_ramp(u1, vb, sb, 1, 0, hold);
+          }
         }
-        if (finished) instr.hist.record(fin_at, instr.vl);
+        if (finished) {
+          instr.hist.record(fin_at, instr.vl);
+          if (instr.unit == Unit::kFpu) instr.tape.record(fin_at, instr.vl);
+        }
       }
       account(instr.unit, instr, total - instr.produced);
       instr.produced = total;
@@ -994,6 +1022,8 @@ void TimingEngine::apply_batch(const LoopRegion& r, std::uint64_t k, Cycle d,
                             : 0;
       td.completed = static_cast<std::int64_t>(rec.completed) -
                      static_cast<std::int64_t>(ckpt_.t);
+      td.stall_reason = rec.stall_reason;
+      td.stall_slots = rec.stall_slots;
       trace_deltas_.push_back(td);
     }
     for (std::uint64_t m = 0; m < k; ++m) {
@@ -1017,6 +1047,8 @@ void TimingEngine::apply_batch(const LoopRegion& r, std::uint64_t k, Cycle d,
                 : 0;
         rec.completed =
             static_cast<Cycle>(static_cast<std::int64_t>(bt) + td.completed);
+        rec.stall_reason = td.stall_reason;
+        rec.stall_slots = td.stall_slots;
         trace_->add(std::move(rec));
       }
     }
@@ -1065,6 +1097,7 @@ void TimingEngine::apply_batch(const LoopRegion& r, std::uint64_t k, Cycle d,
       shift_cycle(instr.projected_done);
       shift_cycle(instr.red_phase_end);
       instr.hist.shift_time(shift);
+      instr.tape.shift_time(shift);
     }
   }
   for (Pending& p : seq_) {
@@ -1092,6 +1125,14 @@ void TimingEngine::apply_batch(const LoopRegion& r, std::uint64_t k, Cycle d,
   for (std::size_t u = 0; u < kNumUnits; ++u) {
     stats_.unit_busy_elems[u] += k * (stats_.unit_busy_elems[u] - s0.unit_busy_elems[u]);
   }
+  // Stall attribution rides along: it is computed in-band with the machine's
+  // evolution, so the recorded window's per-reason deltas repeat exactly —
+  // "batched iterations multiply deltas by exactly K" is the contract the
+  // equivalence fuzzers pin down.
+  for (std::size_t r2 = 0; r2 < kNumStallReasons; ++r2) {
+    stats_.stall_cycles[r2] += k * (stats_.stall_cycles[r2] - s0.stall_cycles[r2]);
+  }
+  stats_.fpu_busy_slots += k * (stats_.fpu_busy_slots - s0.fpu_busy_slots);
   stats_.batched_iterations += k;
 
   // 5. One batch = K iterations of progress, not one note (the watchdog's

@@ -102,7 +102,15 @@ std::string export_chrome_trace(const std::vector<TraceExportJob>& jobs) {
            ",\"args\":{\"id\":" + json_u64(rec.id) +
            ",\"vl\":" + json_u64(rec.vl) +
            ",\"issued\":" + json_u64(rec.issued) +
-           ",\"first_result\":" + json_u64(rec.first_result) + "}}";
+           ",\"first_result\":" + json_u64(rec.first_result);
+      // Dominant stall annotation: only present when the attributor charged
+      // byte-slots to this instruction, so non-FPU spans stay unchanged.
+      if (rec.stall_reason < kNumStallReasons) {
+        ev += ",\"stall\":\"";
+        ev += stall_reason_name(static_cast<StallReason>(rec.stall_reason));
+        ev += "\",\"stall_slots\":" + json_u64(rec.stall_slots);
+      }
+      ev += "}}";
       emit(ev);
     }
 

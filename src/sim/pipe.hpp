@@ -269,6 +269,99 @@ class LaggedCounter {
   std::size_t count_ = 0;
 };
 
+/// Unbounded production log for stall attribution. Mirrors every history
+/// record an FPU instruction makes into its `LaggedCounter`, but without the
+/// ring's eviction: the stall attributor asks "how many results existed at
+/// cycle w" for windows that can span arbitrarily many recorded pieces (the
+/// event engine's fast-forward can overshoot a window by hundreds of
+/// per-cycle divider records), and the ring legitimately forgets anything
+/// older than its 64 retained entries. The tape is pruned after each
+/// attribution step, so its live length is bounded by one attribution window
+/// in practice; `base_*` preserve the pre-prune value so queries at or before
+/// the pruned boundary still answer exactly.
+class ProdTape {
+ public:
+  void clear() noexcept {
+    pieces_.clear();
+    base_cycle_ = 0;
+    base_value_ = 0;
+  }
+
+  /// Mirrors LaggedCounter::record (point sample at `now`).
+  void record(Cycle now, std::uint64_t value) {
+    if (!pieces_.empty() && pieces_.back().start == now &&
+        pieces_.back().hold == now) {
+      pieces_.back() = Entry{now, value, 0, 1, 0, now};
+      return;
+    }
+    pieces_.push_back(Entry{now, value, 0, 1, 0, now});
+  }
+
+  /// Mirrors LaggedCounter::record_ramp (same merge rule, same evaluation).
+  void record_ramp(Cycle start, std::uint64_t v0, std::uint64_t num,
+                   std::uint64_t den, std::uint64_t acc, Cycle hold) {
+    if (!pieces_.empty()) {
+      Entry& n = pieces_.back();
+      if (n.den == 1 && den == 1 && n.num == num && start == n.hold + 1 &&
+          v0 == eval(n, n.hold) + num) {
+        n.hold = hold;
+        return;
+      }
+    }
+    pieces_.push_back(Entry{start, v0, num, den, acc, hold});
+  }
+
+  /// Value of the counter at cycle `when`; `base_value_` before history.
+  [[nodiscard]] std::uint64_t value_at(Cycle when) const {
+    for (std::size_t k = pieces_.size(); k-- > 0;) {
+      const Entry& e = pieces_[k];
+      if (e.start <= when) return eval(e, when);
+    }
+    return when >= base_cycle_ || base_cycle_ == 0 ? base_value_ : 0;
+  }
+
+  /// Drops pieces whose effect is fully captured at `through` (every future
+  /// query will be at a later cycle). Keeps the value at `through` as the
+  /// new base so boundary queries (`value_at(through)`) still answer.
+  void prune(Cycle through) {
+    base_value_ = value_at(through);
+    base_cycle_ = through;
+    // A piece is droppable once a successor covers every cycle after
+    // `through` (queries walk newest-first and never look past it again).
+    while (pieces_.size() > 1 && pieces_[1].start <= through + 1) {
+      pieces_.pop_front();
+    }
+  }
+
+  /// Time-axis relabel for the loop batcher (mirrors LaggedCounter).
+  void shift_time(Cycle delta) noexcept {
+    base_cycle_ += delta;
+    for (Entry& e : pieces_) {
+      e.start += delta;
+      e.hold += delta;
+    }
+  }
+
+ private:
+  struct Entry {
+    Cycle start = 0;
+    std::uint64_t value = 0;
+    std::uint64_t num = 0;
+    std::uint64_t den = 1;
+    std::uint64_t acc = 0;
+    Cycle hold = 0;
+  };
+
+  [[nodiscard]] static std::uint64_t eval(const Entry& e, Cycle w) noexcept {
+    const Cycle cw = w < e.hold ? w : e.hold;
+    return e.value + (e.acc + (cw - e.start) * e.num) / e.den;
+  }
+
+  std::deque<Entry> pieces_;
+  Cycle base_cycle_ = 0;
+  std::uint64_t base_value_ = 0;
+};
+
 }  // namespace araxl
 
 #endif  // ARAXL_SIM_PIPE_HPP

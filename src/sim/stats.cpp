@@ -28,6 +28,19 @@ std::string_view batch_reject_name(BatchReject r) {
   return "?";
 }
 
+std::string_view stall_reason_name(StallReason r) {
+  switch (r) {
+    case StallReason::kIssuePressure: return "issue_pressure";
+    case StallReason::kRawDependency: return "raw_dependency";
+    case StallReason::kStructuralUnit: return "structural_unit";
+    case StallReason::kMemLatency: return "mem_latency";
+    case StallReason::kMemBandwidth: return "mem_bandwidth";
+    case StallReason::kReductionSlideLatency: return "reduction_slide_latency";
+    case StallReason::kDrainTail: return "drain_tail";
+  }
+  return "?";
+}
+
 std::string RunStats::summary() const {
   std::string out;
   out += "cycles:            " + fmt_group(cycles) + "\n";
@@ -42,6 +55,19 @@ std::string RunStats::summary() const {
     out += "busy[" + std::string(unit_name(static_cast<Unit>(u))) + "]: ";
     out.append(12 - unit_name(static_cast<Unit>(u)).size(), ' ');
     out += fmt_group(unit_busy_elems[u]) + " element-slots\n";
+  }
+  const std::uint64_t slot_universe = cycles * total_lanes * 8;
+  if (slot_universe != 0) {
+    for (std::size_t r = 0; r < kNumStallReasons; ++r) {
+      if (stall_cycles[r] == 0) continue;
+      const std::string_view name = stall_reason_name(static_cast<StallReason>(r));
+      out += "stall[" + std::string(name) + "]: ";
+      out.append(name.size() < 23 ? 23 - name.size() : 1, ' ');
+      out += fmt_pct(static_cast<double>(stall_cycles[r]) /
+                         static_cast<double>(slot_universe),
+                     1) +
+             " of slots\n";
+    }
   }
   out += "wakeups:           " + fmt_group(wakeups_total) + "\n";
   out += "batched iters:     " + fmt_group(batched_iterations) + "\n";

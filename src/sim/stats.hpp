@@ -53,6 +53,40 @@ inline constexpr std::size_t kNumBatchRejects = 5;
 /// used as the JSON/CSV column suffix and the metric/trace-marker label.
 std::string_view batch_reject_name(BatchReject r);
 
+/// Why a (cycle × lane-FPU byte-slot) did not carry a result. Every slot of
+/// every executed cycle is attributed to exactly one reason (or to
+/// `fpu_busy_slots` when an FPU was producing into it), so the taxonomy is a
+/// partition: sum(stall_cycles[]) + fpu_busy_slots == cycles * total_lanes * 8.
+/// Both timing kernels compute the attribution bit-identically (differential
+/// tests demand it), which is what lets `araxl report` explain a utilization
+/// number instead of merely quoting it.
+enum class StallReason : std::uint8_t {
+  kIssuePressure = 0,     ///< no FPU work in flight: frontend/issue/dispatch
+                          ///< could not keep the FPUs fed (Fig. 7's REQI
+                          ///< pressure at scale lands here)
+  kRawDependency,         ///< the acting FPU op exists but is rate-limited by
+                          ///< a chained non-mem, non-slide producer (RAW)
+  kStructuralUnit,        ///< the acting FPU op is dispatched but still in its
+                          ///< fixed unit start-up latency, or only non-FPU
+                          ///< arithmetic (ALU) work is in flight
+  kMemLatency,            ///< waiting on the first beat of an in-flight load
+                          ///< (GLSU/L2 latency, not throughput)
+  kMemBandwidth,          ///< a load producer is streaming but its byte/cycle
+                          ///< rate caps FPU progress (or only mem ops are in
+                          ///< flight past their first beat)
+  kReductionSlideLatency, ///< inter-lane/inter-cluster reduction or slide
+                          ///< phases (ring latency) gate progress
+  kDrainTail,             ///< program fully issued and machine empty of
+                          ///< FPU-feeding work: the final writeback/retire
+                          ///< drain of the last ops
+};
+
+inline constexpr std::size_t kNumStallReasons = 7;
+
+/// Stable short name for a stall reason ("issue_pressure", ...); used as the
+/// JSON/CSV key, the metric name suffix and the trace-span annotation.
+std::string_view stall_reason_name(StallReason r);
+
 /// Counters for one simulated program run.
 struct RunStats {
   Cycle cycles = 0;                  ///< total runtime in cycles
@@ -66,6 +100,19 @@ struct RunStats {
   std::uint64_t issue_stall_cycles = 0;  ///< CVA6 cycles stalled on REQI ack
   std::uint64_t scalar_wait_cycles = 0;  ///< CVA6 cycles waiting on vector results
   std::array<std::uint64_t, kNumUnits> unit_busy_elems{};  ///< element slots per unit
+
+  // ---- cycle-attribution stall taxonomy (byte-slot units) -----------------
+  // One lane-cycle is 8 byte-slots (a lane datapath is 64 bits wide). The
+  // two counters below partition the whole slot universe of a run:
+  //   sum(stall_cycles[]) + fpu_busy_slots == cycles * total_lanes * 8
+  // For a pure-FP64 kernel this divides down to the element-level identity
+  // sum/8 + fpu_result_elems == cycles * total_lanes. Byte-slots (not
+  // elements) keep the partition exact for SEW<64 and widening ops, where a
+  // lane produces more than one element per cycle. Both counters are
+  // measurements, not provenance: the oracle, the event engine, and batched
+  // runs must agree bit for bit (they are inside operator==).
+  std::array<std::uint64_t, kNumStallReasons> stall_cycles{};  ///< lost byte-slots per reason
+  std::uint64_t fpu_busy_slots = 0;  ///< byte-slots that carried an FPU result
 
   // ---- engine provenance (how the run was simulated, not what it did) -----
   // Excluded from operator== on purpose: the cycle-stepped oracle touches
@@ -113,7 +160,9 @@ struct RunStats {
            a.mem_write_bytes == b.mem_write_bytes &&
            a.issue_stall_cycles == b.issue_stall_cycles &&
            a.scalar_wait_cycles == b.scalar_wait_cycles &&
-           a.unit_busy_elems == b.unit_busy_elems;
+           a.unit_busy_elems == b.unit_busy_elems &&
+           a.stall_cycles == b.stall_cycles &&
+           a.fpu_busy_slots == b.fpu_busy_slots;
   }
   friend bool operator!=(const RunStats& a, const RunStats& b) {
     return !(a == b);

@@ -86,7 +86,18 @@ std::string ResultStore::serialize(const StoredResult& r) {
     if (i != 0) out += ",";
     out += unum(r.stats.batch_rejects[i]);
   }
-  out += "]},";
+  out += "],";
+  // Stall taxonomy (indexed by StallReason): the real attribution is
+  // persisted so `araxl report` / `araxl stats` can break down a sweep
+  // from the store even though default reports zero these fields.
+  out += "\"stall_cycles\":[";
+  for (std::size_t i = 0; i < kNumStallReasons; ++i) {
+    if (i != 0) out += ",";
+    out += unum(r.stats.stall_cycles[i]);
+  }
+  out += "],";
+  out += "\"fpu_busy_slots\":" + unum(r.stats.fpu_busy_slots);
+  out += "},";
   out += std::string("\"verified\":") + (r.verified ? "true" : "false") + ",";
   out += "\"tolerance\":" + fnum(r.tolerance) + ",";
   out += "\"checked\":" + unum(r.verify.checked) + ",";
@@ -151,6 +162,16 @@ StoredResult ResultStore::deserialize(std::string_view line) {
       r.stats.batch_rejects[i] = rej->items[i].as_u64();
     }
   }
+  // Pre-attribution records simply lack these; zero is the correct reading.
+  if (const JsonValue* st = stats->get("stall_cycles")) {
+    check(st->kind == JsonValue::Kind::kArray &&
+              st->items.size() == kNumStallReasons,
+          "store record has a malformed stall_cycles array");
+    for (std::size_t i = 0; i < kNumStallReasons; ++i) {
+      r.stats.stall_cycles[i] = st->items[i].as_u64();
+    }
+  }
+  r.stats.fpu_busy_slots = field_u64_or(*stats, "fpu_busy_slots", 0);
 
   const JsonValue* verified = doc.get("verified");
   check(verified != nullptr, "store record is missing 'verified'");

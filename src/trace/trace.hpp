@@ -26,6 +26,12 @@ struct TraceRecord {
   Cycle dispatched = 0;       ///< entered its unit queue
   Cycle first_result = 0;     ///< first element produced (0 if none)
   Cycle completed = 0;        ///< retired
+  /// Dominant stall reason charged to this instruction's lifetime window
+  /// (index into StallReason; kNumStallReasons when nothing was charged)
+  /// and the byte-slots charged under it — the "why was this span long"
+  /// annotation the Perfetto exporter surfaces.
+  std::uint8_t stall_reason = static_cast<std::uint8_t>(kNumStallReasons);
+  std::uint64_t stall_slots = 0;
 };
 
 /// Engine-level instants worth a timeline marker: scheduler wakeups and

@@ -237,6 +237,13 @@ TEST(Observability, ProvenanceColumnsZeroedByDefaultLiveOnRequest) {
     EXPECT_EQ(v.as_u64(), 0u) << name;
   }
   EXPECT_EQ(stats->get("wakeups_total")->as_u64(), 0u);
+  // The stall taxonomy follows the same convention: keys always present,
+  // zeroed unless live provenance is requested.
+  ASSERT_NE(stats->get("stall_cycles"), nullptr);
+  for (const auto& [name, v] : stats->get("stall_cycles")->fields) {
+    EXPECT_EQ(v.as_u64(), 0u) << name;
+  }
+  EXPECT_EQ(stats->get("fpu_busy_slots")->as_u64(), 0u);
 
   ReportOptions live;
   live.live_provenance = true;
@@ -244,6 +251,41 @@ TEST(Observability, ProvenanceColumnsZeroedByDefaultLiveOnRequest) {
       store::parse_json(driver::to_json(results, live));
   const store::JsonValue* lstats = ldoc.get("results")->items[0].get("stats");
   EXPECT_GT(lstats->get("wakeups_total")->as_u64(), 0u);
+  EXPECT_GT(lstats->get("fpu_busy_slots")->as_u64(), 0u);
+  std::uint64_t live_stalls = 0;
+  for (const auto& [name, v] : lstats->get("stall_cycles")->fields) {
+    live_stalls += v.as_u64();
+  }
+  EXPECT_GT(live_stalls, 0u);
+}
+
+TEST(Observability, TraceSpansCarryDominantStallAnnotation) {
+  // Every FPU instruction the attributor charged gets its argmax stall
+  // reason on the Perfetto span; unattributed (non-FPU) spans stay clean.
+  const SweepSpec spec = smoke_spec();
+  RunnerOptions opts;
+  opts.capture_trace = true;
+  const std::vector<JobResult> results = driver::run_sweep(spec, opts);
+  const store::JsonValue doc = store::parse_json(
+      export_chrome_trace(export_jobs(results)));
+  std::size_t annotated = 0;
+  for (const store::JsonValue& ev : doc.get("traceEvents")->items) {
+    if (ev.get("ph")->as_string() != "X") continue;
+    const store::JsonValue* args = ev.get("args");
+    const store::JsonValue* stall = args->get("stall");
+    if (stall == nullptr) continue;
+    ++annotated;
+    // The reason is one of the taxonomy names, with a positive slot count.
+    bool known = false;
+    for (std::size_t r = 0; r < kNumStallReasons; ++r) {
+      if (stall->as_string() == stall_reason_name(static_cast<StallReason>(r))) {
+        known = true;
+      }
+    }
+    EXPECT_TRUE(known) << stall->as_string();
+    EXPECT_GT(args->get("stall_slots")->as_u64(), 0u);
+  }
+  EXPECT_GT(annotated, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,195 @@
+// Stall-taxonomy tests: the cycle attributor must account for every
+// (cycle x lane-FPU byte-slot) exactly once — busy or one typed stall
+// reason — bit-identically on both timing kernels. These assertions are
+// always-on EXPECT_EQs because the engine's internal partition
+// debug_checks compile away in Release builds.
+#include <gtest/gtest.h>
+
+#include "kernels/common.hpp"
+#include "machine/machine.hpp"
+
+namespace araxl {
+namespace {
+
+constexpr std::uint64_t kA = 0x10000;
+constexpr std::uint64_t kB = 0x40000;
+constexpr std::uint64_t kC = 0x80000;
+
+std::uint64_t stall_sum(const RunStats& s) {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t v : s.stall_cycles) sum += v;
+  return sum;
+}
+
+/// The attribution contract: busy slots plus every stall bucket tile the
+/// slot universe `cycles * total_lanes * 8` with no gap and no overlap.
+void expect_totality(const RunStats& s, const std::string& label) {
+  EXPECT_EQ(stall_sum(s) + s.fpu_busy_slots, s.cycles * s.total_lanes * 8)
+      << label;
+}
+
+RunStats run_mode(const MachineConfig& base, TimingMode mode,
+                  const std::function<void(ProgramBuilder&)>& body) {
+  MachineConfig cfg = base;
+  cfg.timing_mode = mode;
+  Machine m(cfg);
+  m.mem().store_doubles(kA, random_doubles(8192, -1, 1, 1));
+  m.mem().store_doubles(kB, random_doubles(8192, -1, 1, 2));
+  ProgramBuilder pb(cfg.effective_vlen(), "stall");
+  body(pb);
+  return m.run(pb.take());
+}
+
+/// Runs `body` through both timing kernels, checks totality on each and
+/// bit-identical attribution between them, and returns the event result.
+RunStats run_attributed(const MachineConfig& cfg,
+                        const std::function<void(ProgramBuilder&)>& body) {
+  const RunStats ev = run_mode(cfg, TimingMode::kEventDriven, body);
+  const RunStats oracle = run_mode(cfg, TimingMode::kCycleStepped, body);
+  expect_totality(ev, "event");
+  expect_totality(oracle, "oracle");
+  for (std::size_t r = 0; r < kNumStallReasons; ++r) {
+    EXPECT_EQ(ev.stall_cycles[r], oracle.stall_cycles[r])
+        << stall_reason_name(static_cast<StallReason>(r));
+  }
+  EXPECT_EQ(ev.fpu_busy_slots, oracle.fpu_busy_slots);
+  EXPECT_TRUE(ev == oracle);
+  return ev;
+}
+
+TEST(StallTaxonomy, TotalityAcrossConfigsOnMixedProgram) {
+  // A program touching every attribution path: loads feeding FPU work, an
+  // ALU op, a reduction, and a trailing store drain.
+  const auto body = [](ProgramBuilder& pb) {
+    pb.vsetvli(512, Sew::k64, kLmul2);
+    pb.vle(8, kA);
+    pb.vle(16, kB);
+    pb.vfmacc_vv(24, 8, 16);
+    pb.vadd_vv(0, 8, 16);
+    pb.vsetvli(1, Sew::k64, kLmul1);
+    pb.vfmv_s_f(4, 0.0);
+    pb.vsetvli(512, Sew::k64, kLmul2);
+    pb.vfredusum(4, 24, 4);
+    pb.vse(24, kC);
+  };
+  const MachineConfig configs[] = {
+      MachineConfig::araxl(8),
+      MachineConfig::ara2(8),
+      MachineConfig::araxl(16),
+      MachineConfig::araxl_hier(2, 4, 4),
+  };
+  for (const MachineConfig& cfg : configs) {
+    const RunStats s = run_attributed(cfg, body);
+    EXPECT_GT(stall_sum(s), 0u) << cfg.name();
+    EXPECT_GT(s.fpu_busy_slots, 0u) << cfg.name();
+  }
+}
+
+TEST(StallTaxonomy, RawChainChargesRawDependency) {
+  // A long chain of dependent FPU ops at tiny vl: each link spends the
+  // producer's latency waiting on live FPU results, which the attributor
+  // must file as raw_dependency — not as generic structural pressure.
+  const MachineConfig cfg = MachineConfig::araxl(8);
+  const RunStats s = run_attributed(cfg, [&](ProgramBuilder& pb) {
+    pb.vsetvli(8, Sew::k64, kLmul1);
+    pb.vle(1, kA);
+    for (unsigned i = 1; i < 30; ++i) {
+      pb.vfmul_vv(i + 1, i, i);
+    }
+  });
+  const std::uint64_t raw =
+      s.stall_cycles[static_cast<std::size_t>(StallReason::kRawDependency)];
+  EXPECT_GT(raw, 0u);
+  // The chain is the program: RAW waiting dwarfs memory- and
+  // reduction-related buckets.
+  EXPECT_GT(raw, s.stall_cycles[static_cast<std::size_t>(
+                     StallReason::kMemBandwidth)]);
+  EXPECT_GT(raw, s.stall_cycles[static_cast<std::size_t>(
+                     StallReason::kReductionSlideLatency)]);
+}
+
+TEST(StallTaxonomy, BandwidthBoundStreamChargesMemory) {
+  // Streaming loads feeding cheap FPU work: the FPU starves on memory, so
+  // the mem_latency/mem_bandwidth buckets must carry the wait — and
+  // dominate raw_dependency (no FPU->FPU chains here) and reductions.
+  const MachineConfig cfg = MachineConfig::araxl(8);
+  const RunStats s = run_attributed(cfg, [&](ProgramBuilder& pb) {
+    pb.vsetvli(1024, Sew::k64, kLmul4);
+    for (unsigned i = 0; i < 3; ++i) {
+      pb.vle(8, kA + i * 64);
+      pb.vle(16, kB + i * 64);
+      pb.vfadd_vv(24, 8, 16);
+    }
+  });
+  const std::uint64_t mem =
+      s.stall_cycles[static_cast<std::size_t>(StallReason::kMemLatency)] +
+      s.stall_cycles[static_cast<std::size_t>(StallReason::kMemBandwidth)];
+  EXPECT_GT(mem, 0u);
+  EXPECT_GT(
+      mem, s.stall_cycles[static_cast<std::size_t>(StallReason::kRawDependency)]);
+  EXPECT_GT(mem, s.stall_cycles[static_cast<std::size_t>(
+                     StallReason::kReductionSlideLatency)]);
+}
+
+TEST(StallTaxonomy, ReductionTailChargesReductionLatency) {
+  // After the elementwise phase of a dot product, the lane tree + cluster
+  // ring reduction leaves the FPUs waiting on slide/reduction hardware.
+  const MachineConfig cfg = MachineConfig::araxl(16);
+  const RunStats s = run_attributed(cfg, [&](ProgramBuilder& pb) {
+    pb.vsetvli(512, Sew::k64, kLmul2);
+    pb.vle(8, kA);
+    pb.vle(16, kB);
+    pb.vfmul_vv(24, 8, 16);
+    pb.vsetvli(1, Sew::k64, kLmul1);
+    pb.vfmv_s_f(4, 0.0);
+    pb.vsetvli(512, Sew::k64, kLmul2);
+    pb.vfredusum(4, 24, 4);
+    pb.vfmv_f_s(4);
+  });
+  EXPECT_GT(s.stall_cycles[static_cast<std::size_t>(
+                StallReason::kReductionSlideLatency)],
+            0u);
+}
+
+TEST(StallTaxonomy, DrainTailCoversPostRetirementCycles) {
+  // Once the last FPU instruction has retired, the cycles spent draining
+  // the trailing store belong to drain_tail — nothing else is eligible.
+  const MachineConfig cfg = MachineConfig::araxl(8);
+  const RunStats s = run_attributed(cfg, [&](ProgramBuilder& pb) {
+    pb.vsetvli(512, Sew::k64, kLmul2);
+    pb.vle(8, kA);
+    pb.vfadd_vf(16, 8, 1.0);
+    pb.vse(16, kC);
+  });
+  EXPECT_GT(
+      s.stall_cycles[static_cast<std::size_t>(StallReason::kDrainTail)], 0u);
+}
+
+TEST(StallTaxonomy, KernelProgramsSatisfyTotalityOnBothEngines) {
+  // Real kernel programs (including ones whose steady-state loops engage
+  // the event engine's iteration batching) must keep the partition exact:
+  // batched iterations multiply the per-iteration attribution, never
+  // approximate it.
+  for (const char* name : {"fdotproduct", "exp", "stream_triad", "fmatmul"}) {
+    for (const MachineConfig& base :
+         {MachineConfig::araxl(8), MachineConfig::ara2(8)}) {
+      RunStats results[2];
+      int i = 0;
+      for (const TimingMode mode :
+           {TimingMode::kEventDriven, TimingMode::kCycleStepped}) {
+        MachineConfig cfg = base;
+        cfg.timing_mode = mode;
+        Machine m(cfg);
+        auto kernel = make_kernel(name);
+        const Program prog = kernel->build(m, 128);
+        results[i] = m.run(prog);
+        expect_totality(results[i], std::string(name) + " " + cfg.name());
+        ++i;
+      }
+      EXPECT_TRUE(results[0] == results[1]) << name << " " << base.name();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace araxl

@@ -175,6 +175,9 @@ StoredResult sample_record(const char* kernel, std::uint64_t bpl,
   r.stats.fpu_result_elems = 777;
   r.stats.mem_read_bytes = 4096;
   r.stats.unit_busy_elems[1] = 31337;
+  r.stats.stall_cycles[0] = 11;
+  r.stats.stall_cycles[4] = 2222;
+  r.stats.fpu_busy_slots = 424242;
   r.verified = true;
   r.tolerance = 1e-12;
   r.verify.checked = 512;

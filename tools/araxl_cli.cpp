@@ -21,6 +21,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -28,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/analysis.hpp"
 #include "common/contracts.hpp"
 #include "common/faults.hpp"
 #include "common/fmt.hpp"
@@ -94,6 +96,9 @@ int usage(std::FILE* out) {
       "  araxl merge (--json <out>|--csv <out>) <shard-report>...\n"
       "  araxl cache (ls | stats | gc) [--store <file>]\n"
       "  araxl stats [--store <file>] [--kernels <k,...>]\n"
+      "              [--config <substr,...>] [--csv <file|->]\n"
+      "  araxl report [--store <file> | --from-json <report.json>]\n"
+      "              [--out <dir>] [--kernels <k,...>] [--config <substr,...>]\n"
       "\n"
       "config spec: araxl:<lanes> | araxl:<clusters>x<lanes> |\n"
       "  araxl:<groups>x<clusters>x<lanes> (hierarchical) | ara2:<lanes>,\n"
@@ -149,7 +154,21 @@ int usage(std::FILE* out) {
       "                          times, store flush traffic) as flat JSON\n"
       "  araxl stats             roll up batching telemetry (iterations and\n"
       "                          typed rejection reasons) per job from the\n"
-      "                          result store of a finished sweep\n"
+      "                          result store of a finished sweep; --config\n"
+      "                          filters rows by config-label substring and\n"
+      "                          --csv emits a machine-readable table that\n"
+      "                          also carries the stall taxonomy\n"
+      "  araxl report            regenerate the paper's analysis surfaces\n"
+      "                          from a finished sweep (store or merged JSON\n"
+      "                          report): summary tables, flat CSV, and\n"
+      "                          dependency-free SVGs — pareto frontiers\n"
+      "                          (GFLOPS vs W / vs mm^2), fmax-vs-lanes\n"
+      "                          scaling, per-kernel stall-taxonomy stacked\n"
+      "                          bars, and the Fig. 1 SoA landscape with this\n"
+      "                          run's configs overlaid; artifacts land in\n"
+      "                          --out (default araxl-report/) and are\n"
+      "                          byte-identical for any worker count or\n"
+      "                          shard split\n"
       "exit codes:\n"
       "  0  every job succeeded          2  usage or configuration error\n"
       "  1  one or more jobs failed      3  internal or store I/O error\n"
@@ -179,6 +198,7 @@ bool flag_takes_value(std::string_view name) {
       "--csv",         "--store",         "--shard",   "--job-timeout",
       "--watchdog-budget", "--retries",   "--backoff-ms",
       "--inject-faults",   "--trace-out", "--metrics-out",
+      "--out",         "--from-json",
   };
   for (const std::string_view v : kValued) {
     if (name == v) return true;
@@ -638,6 +658,12 @@ int cmd_stats(const Args& args) {
   if (const std::string* k = args.get("--kernels")) {
     kernel_filter = resolve_kernels(*k);
   }
+  // --config filters rows whose display label (or canonical config, when no
+  // label was stored) contains any of the given substrings.
+  std::vector<std::string> config_filter;
+  if (const std::string* c = args.get("--config")) {
+    config_filter = driver::split_list(*c);
+  }
 
   std::vector<store::StoredResult> entries = result_store.entries();
   std::sort(entries.begin(), entries.end(),
@@ -658,6 +684,21 @@ int cmd_stats(const Args& args) {
   TextTable table(header);
   for (std::size_t c = 2; c < header.size(); ++c) table.align_right(c);
 
+  // --csv routes a machine-readable table (with the stall taxonomy, which
+  // the human-readable table omits for width) to a file or stdout.
+  std::string csv =
+      "config,kernel,bytes_per_lane,seed,cycles,wakeups_total,"
+      "batched_iterations";
+  for (std::size_t i = 0; i < kNumBatchRejects; ++i) {
+    csv += ",reject_";
+    csv += batch_reject_name(static_cast<BatchReject>(i));
+  }
+  for (std::size_t i = 0; i < kNumStallReasons; ++i) {
+    csv += ",stall_";
+    csv += stall_reason_name(static_cast<StallReason>(i));
+  }
+  csv += ",fpu_busy_slots\n";
+
   std::size_t shown = 0;
   std::uint64_t total_batched = 0;
   std::array<std::uint64_t, kNumBatchRejects> total_rejects{};
@@ -666,6 +707,17 @@ int cmd_stats(const Args& args) {
         std::find(kernel_filter.begin(), kernel_filter.end(), r.kernel) ==
             kernel_filter.end()) {
       continue;
+    }
+    const std::string label = r.label.empty() ? r.config : r.label;
+    if (!config_filter.empty()) {
+      bool hit = false;
+      for (const std::string& sub : config_filter) {
+        if (label.find(sub) != std::string::npos) {
+          hit = true;
+          break;
+        }
+      }
+      if (!hit) continue;
     }
     ++shown;
     total_batched += r.stats.batched_iterations;
@@ -679,6 +731,19 @@ int cmd_stats(const Args& args) {
       row.push_back(fmt_group(r.stats.batch_rejects[i]));
     }
     table.add_row(row);
+
+    csv += label + "," + r.kernel + "," + std::to_string(r.bytes_per_lane) +
+           "," + std::to_string(r.seed) + "," +
+           std::to_string(r.stats.cycles) + "," +
+           std::to_string(r.stats.wakeups_total) + "," +
+           std::to_string(r.stats.batched_iterations);
+    for (std::size_t i = 0; i < kNumBatchRejects; ++i) {
+      csv += "," + std::to_string(r.stats.batch_rejects[i]);
+    }
+    for (std::size_t i = 0; i < kNumStallReasons; ++i) {
+      csv += "," + std::to_string(r.stats.stall_cycles[i]);
+    }
+    csv += "," + std::to_string(r.stats.fpu_busy_slots) + "\n";
   }
   if (shown > 1) {
     table.add_rule();
@@ -689,11 +754,60 @@ int cmd_stats(const Args& args) {
     }
     table.add_row(totals);
   }
-  std::printf("%s", table.render().c_str());
+  if (const std::string* csv_out = args.get("--csv")) {
+    driver::write_report(*csv_out, csv);
+  } else {
+    std::printf("%s", table.render().c_str());
+  }
   std::fprintf(stderr,
                "%zu entr%s from %s (counters persist only for simulated "
                "runs; pre-telemetry store entries read as zero)\n",
                shown, shown == 1 ? "y" : "ies", result_store.path().c_str());
+  return 0;
+}
+
+// `araxl report` — regenerate the paper's analysis surfaces from a finished
+// sweep. The dataset comes from the result store (the primary path: it
+// persists the real stall taxonomy) or from a merged driver JSON report
+// (--from-json). Artifacts are written into --out and are byte-identical
+// for any worker count or shard split of the producing sweep.
+int cmd_report(const Args& args) {
+  analysis::RowFilter filter;
+  if (const std::string* k = args.get("--kernels")) {
+    filter.kernels = resolve_kernels(*k);
+  }
+  if (const std::string* c = args.get("--config")) {
+    filter.configs = driver::split_list(*c);
+  }
+
+  analysis::Dataset ds;
+  if (const std::string* json_in = args.get("--from-json")) {
+    ds = analysis::dataset_from_json_report(slurp(*json_in), filter);
+  } else {
+    const std::string* path = args.get("--store");
+    store::ResultStore result_store(path != nullptr ? *path
+                                                    : kDefaultStorePath);
+    // Only current-version records are comparable (and carry this build's
+    // stall attribution) — same rule the sweep cache applies.
+    ds = analysis::dataset_from_store(result_store.entries(),
+                                      store::build_version(), filter);
+  }
+  check(!ds.rows.empty(),
+        "no analyzable rows (empty/stale store or over-restrictive filters); "
+        "run a sweep first, e.g. `araxl sweep --smoke`");
+
+  const std::string* out = args.get("--out");
+  const std::string dir = out != nullptr ? *out : "araxl-report";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  check(!ec, "cannot create report directory: " + dir);
+  const std::vector<analysis::Artifact> artifacts =
+      analysis::build_report(ds);
+  for (const analysis::Artifact& a : artifacts) {
+    driver::write_report(dir + "/" + a.name, a.content);
+  }
+  std::fprintf(stderr, "wrote %zu artifact(s) from %zu row(s) to %s/\n",
+               artifacts.size(), ds.rows.size(), dir.c_str());
   return 0;
 }
 
@@ -761,6 +875,7 @@ int main(int argc, char** argv) {
     if (cmd == "merge") return cmd_merge(args);
     if (cmd == "cache") return cmd_cache(args);
     if (cmd == "stats") return cmd_stats(args);
+    if (cmd == "report") return cmd_report(args);
     std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
     return usage(stderr);
   } catch (const store::StoreIoError& e) {

@@ -68,17 +68,36 @@ def main():
             print(f"{name:32s} steady-state batching stopped engaging "
                   f"({b['batched_iterations']} -> 0) REGRESSED")
             ok = False
+        # Deterministic fields (stall_frac: attributed stall slots over the
+        # cycle x lane x byte slot universe) are host-independent, so they
+        # gate exactly. A field present only in the current file is new —
+        # tolerated until the committed baseline is regenerated with it.
+        for field, tol in (("stall_frac", 1e-6),):
+            if field in b and field in c:
+                if abs(c[field] - b[field]) > tol:
+                    print(f"{name:32s} {field} {b[field]:.6f} -> "
+                          f"{c[field]:.6f} REGRESSED")
+                    ok = False
+            elif field in c:
+                print(f"{name:32s} new field {field}={c[field]:.6f} "
+                      f"(no baseline, not gated)")
 
-    # Metrics-attach overhead: (rate without registry) / (rate with), so
-    # 1.0 is free. Gated absolutely (not against the baseline value, which
-    # is host-noisy) with generous slack; skipped entirely when either file
-    # predates the field.
-    cur_ratio = cur_doc.get("metrics_overhead_ratio")
-    if cur_ratio is not None and "metrics_overhead_ratio" in base_doc:
+    # Overhead ratios ((rate without feature) / (rate with), so 1.0 is
+    # free) are gated absolutely — not against the baseline value, which is
+    # host-noisy — with generous slack. Any *_overhead_ratio field a newer
+    # bench emits is tolerated until the committed baseline carries it too.
+    for field in sorted(set(base_doc) | set(cur_doc)):
+        if not field.endswith("_overhead_ratio"):
+            continue
+        cur_ratio = cur_doc.get(field)
+        if cur_ratio is None:
+            continue
+        if field not in base_doc:
+            print(f"new field {field}={cur_ratio:.3f} (no baseline, not gated)")
+            continue
         limit = 1.10
         verdict = "ok" if cur_ratio <= limit else "REGRESSED"
-        print(f"metrics overhead ratio: {cur_ratio:.3f} (limit {limit:.2f}) "
-              f"{verdict}")
+        print(f"{field}: {cur_ratio:.3f} (limit {limit:.2f}) {verdict}")
         if cur_ratio > limit:
             ok = False
 
