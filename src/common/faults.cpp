@@ -19,6 +19,11 @@ enum Site : std::uint64_t {
   kSiteJobTransient = 5,
   kSiteJobPermanent = 6,
   kSiteJobHang = 7,
+  kSiteLedgerOpen = 8,
+  kSiteLedgerWrite = 9,
+  kSiteLedgerShortLen = 10,
+  kSiteLeaseClaim = 11,
+  kSiteLeaseRenew = 12,
 };
 
 /// splitmix64 finalizer — full-avalanche 64-bit mix.
@@ -99,6 +104,14 @@ FaultInjector::FaultInjector(std::string_view spec) {
       store_write_rate_ = parse_rate(item, val);
     } else if (key == "store.rename") {
       store_rename_rate_ = parse_rate(item, val);
+    } else if (key == "ledger.open") {
+      ledger_open_rate_ = parse_rate(item, val);
+    } else if (key == "ledger.write") {
+      ledger_write_rate_ = parse_rate(item, val);
+    } else if (key == "lease.claim") {
+      lease_claim_rate_ = parse_rate(item, val);
+    } else if (key == "lease.renew") {
+      lease_renew_rate_ = parse_rate(item, val);
     } else if (key == "job") {
       const std::size_t at = val.find('@');
       if (at != std::string_view::npos) {
@@ -116,7 +129,8 @@ FaultInjector::FaultInjector(std::string_view spec) {
       job_hang_rate_ = parse_rate(item, val);
     } else {
       fail("unknown fault spec item '" + std::string(key) +
-           "' (seed, store.open, store.write, store.rename, job, job.fail, "
+           "' (seed, store.open, store.write, store.rename, ledger.open, "
+           "ledger.write, lease.claim, lease.renew, job, job.fail, "
            "job.hang)");
     }
   }
@@ -136,6 +150,18 @@ std::string FaultInjector::describe() const {
   }
   if (store_rename_rate_ > 0) {
     out += ",store.rename=" + rate_str(store_rename_rate_);
+  }
+  if (ledger_open_rate_ > 0) {
+    out += ",ledger.open=" + rate_str(ledger_open_rate_);
+  }
+  if (ledger_write_rate_ > 0) {
+    out += ",ledger.write=" + rate_str(ledger_write_rate_);
+  }
+  if (lease_claim_rate_ > 0) {
+    out += ",lease.claim=" + rate_str(lease_claim_rate_);
+  }
+  if (lease_renew_rate_ > 0) {
+    out += ",lease.renew=" + rate_str(lease_renew_rate_);
   }
   if (job_transient_rate_ > 0) {
     out += ",job=" + rate_str(job_transient_rate_);
@@ -169,6 +195,38 @@ bool FaultInjector::store_rename_fails() {
   if (store_rename_rate_ <= 0) return false;
   const std::uint64_t n = rename_seq_.fetch_add(1, std::memory_order_relaxed);
   return unit(site_hash(seed_, kSiteStoreRename, {}, n)) < store_rename_rate_;
+}
+
+bool FaultInjector::ledger_open_fails() {
+  if (ledger_open_rate_ <= 0) return false;
+  const std::uint64_t n =
+      ledger_open_seq_.fetch_add(1, std::memory_order_relaxed);
+  return unit(site_hash(seed_, kSiteLedgerOpen, {}, n)) < ledger_open_rate_;
+}
+
+std::optional<std::size_t> FaultInjector::ledger_short_write(std::size_t len) {
+  if (ledger_write_rate_ <= 0 || len == 0) return std::nullopt;
+  const std::uint64_t n =
+      ledger_write_seq_.fetch_add(1, std::memory_order_relaxed);
+  if (unit(site_hash(seed_, kSiteLedgerWrite, {}, n)) >= ledger_write_rate_) {
+    return std::nullopt;
+  }
+  const std::uint64_t cut = site_hash(seed_, kSiteLedgerShortLen, {}, n) % len;
+  return static_cast<std::size_t>(cut);
+}
+
+bool FaultInjector::lease_claim_fails() {
+  if (lease_claim_rate_ <= 0) return false;
+  const std::uint64_t n =
+      lease_claim_seq_.fetch_add(1, std::memory_order_relaxed);
+  return unit(site_hash(seed_, kSiteLeaseClaim, {}, n)) < lease_claim_rate_;
+}
+
+bool FaultInjector::lease_renew_fails() {
+  if (lease_renew_rate_ <= 0) return false;
+  const std::uint64_t n =
+      lease_renew_seq_.fetch_add(1, std::memory_order_relaxed);
+  return unit(site_hash(seed_, kSiteLeaseRenew, {}, n)) < lease_renew_rate_;
 }
 
 FaultInjector::JobFault FaultInjector::job_fault(std::string_view fingerprint,

@@ -21,6 +21,10 @@
 //          | 'store.open='   <rate>     open-for-append fails
 //          | 'store.write='  <rate>     short write (torn line), then error
 //          | 'store.rename=' <rate>     gc compaction rename fails
+//          | 'ledger.open='  <rate>     serve-ledger open-for-append fails
+//          | 'ledger.write=' <rate>     serve-ledger short write (torn line)
+//          | 'lease.claim='  <rate>     worker lease claim/takeover fails
+//          | 'lease.renew='  <rate>     worker heartbeat renewal fails
 //          | 'job='          <rate> ['@' <attempts>]   transient job fault:
 //                                       fails the first <attempts> (default
 //                                       1) attempts, then succeeds
@@ -71,6 +75,27 @@ class FaultInjector {
   /// True when this compaction's rename should fail.
   [[nodiscard]] bool store_rename_fails();
 
+  // ---- serve-layer sites (sequence-keyed, thread-safe) --------------------
+  // The job ledger and worker leases are separate chaos targets from the
+  // result store: a fleet run routinely injects torn ledger appends and
+  // dropped heartbeats while leaving the store clean (or vice versa).
+
+  /// True when this ledger append's open should fail.
+  [[nodiscard]] bool ledger_open_fails();
+
+  /// Like store_short_write(), for the serve-layer job ledger.
+  [[nodiscard]] std::optional<std::size_t> ledger_short_write(std::size_t len);
+
+  /// True when this lease claim (or expired-lease takeover) should fail —
+  /// the worker skips the job and another claimant picks it up.
+  [[nodiscard]] bool lease_claim_fails();
+
+  /// True when this heartbeat renewal should be dropped — renewals are
+  /// retried at the next pulse, and enough consecutive drops let the lease
+  /// expire and the job be re-dispatched mid-flight (the at-least-once
+  /// double-execution path).
+  [[nodiscard]] bool lease_renew_fails();
+
   // ---- per-fingerprint job faults (pure, order-independent) ---------------
 
   enum class JobFault : std::uint8_t { kNone, kTransient, kPermanent, kHang };
@@ -92,6 +117,10 @@ class FaultInjector {
   double store_open_rate_ = 0.0;
   double store_write_rate_ = 0.0;
   double store_rename_rate_ = 0.0;
+  double ledger_open_rate_ = 0.0;
+  double ledger_write_rate_ = 0.0;
+  double lease_claim_rate_ = 0.0;
+  double lease_renew_rate_ = 0.0;
   double job_transient_rate_ = 0.0;
   double job_permanent_rate_ = 0.0;
   double job_hang_rate_ = 0.0;
@@ -100,6 +129,10 @@ class FaultInjector {
   std::atomic<std::uint64_t> open_seq_{0};
   std::atomic<std::uint64_t> write_seq_{0};
   std::atomic<std::uint64_t> rename_seq_{0};
+  std::atomic<std::uint64_t> ledger_open_seq_{0};
+  std::atomic<std::uint64_t> ledger_write_seq_{0};
+  std::atomic<std::uint64_t> lease_claim_seq_{0};
+  std::atomic<std::uint64_t> lease_renew_seq_{0};
 };
 
 }  // namespace araxl

@@ -2,6 +2,38 @@
 
 namespace araxl::driver {
 
+namespace {
+
+/// splitmix64 finalizer — same full-avalanche mix as common/faults.cpp.
+constexpr std::uint64_t mix(std::uint64_t h) {
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t RetryPolicy::backoff_jittered(
+    unsigned retry_index, std::string_view fingerprint) const {
+  const std::uint64_t base = backoff(retry_index);
+  if (base == 0 || fingerprint.empty()) return base;
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (const char c : fingerprint) {
+    h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+  }
+  h = mix(h ^ mix(retry_index));
+  // 53 uniform mantissa bits onto [0.5, 1.5).
+  const double factor = 0.5 + static_cast<double>(h >> 11) * 0x1.0p-53;
+  double ms = static_cast<double>(base) * factor;
+  const double cap = static_cast<double>(max_backoff_ms);
+  if (ms > cap) ms = cap;
+  if (ms < 1.0) ms = 1.0;  // a zero sleep would defeat the backoff entirely
+  return static_cast<std::uint64_t>(ms);
+}
+
 std::string_view error_kind_name(ErrorKind kind) {
   switch (kind) {
     case ErrorKind::kNone: return "ok";

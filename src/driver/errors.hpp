@@ -73,13 +73,26 @@ struct RetryPolicy {
   }
 
   /// Backoff (ms) before retry `retry_index` (1-based: the sleep after the
-  /// first failed attempt is backoff(1)).
+  /// first failed attempt is backoff(1)). The undithered schedule — the
+  /// runner applies backoff_jittered() on top.
   [[nodiscard]] std::uint64_t backoff(unsigned retry_index) const {
     double ms = static_cast<double>(backoff_ms);
     for (unsigned i = 1; i < retry_index; ++i) ms *= backoff_mult;
     const double cap = static_cast<double>(max_backoff_ms);
     return static_cast<std::uint64_t>(ms < cap ? ms : cap);
   }
+
+  /// backoff() scaled by a deterministic jitter factor in [0.5, 1.5),
+  /// keyed on (job fingerprint, retry_index) via the same splitmix64
+  /// finalizer the fault injector uses. Without jitter, a re-dispatched
+  /// fleet whose workers all hit the same transient store fault retries in
+  /// lockstep against the shared file; with it the retry times spread out,
+  /// yet remain exactly reproducible — the same job backs off the same
+  /// number of milliseconds in every run, worker count, and shard layout.
+  /// An empty fingerprint (no store, no faults: nothing to thunder against)
+  /// returns the undithered backoff().
+  [[nodiscard]] std::uint64_t backoff_jittered(
+      unsigned retry_index, std::string_view fingerprint) const;
 };
 
 }  // namespace araxl::driver

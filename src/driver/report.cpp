@@ -171,6 +171,10 @@ std::string result_json(const JobResult& r, const ReportOptions& opts) {
 
 }  // namespace
 
+std::string json_record(const JobResult& r, const ReportOptions& opts) {
+  return result_json(r, opts);
+}
+
 std::string to_json(const std::vector<JobResult>& results,
                     const ReportOptions& opts) {
   std::string out = "{\"results\":[\n";
@@ -183,9 +187,8 @@ std::string to_json(const std::vector<JobResult>& results,
   return out;
 }
 
-std::string to_csv(const std::vector<JobResult>& results,
-                   const ReportOptions& opts) {
-  std::string out =
+std::string csv_header() {
+  return
       "index,config,kernel,bytes_per_lane,seed,cache_hit,attempts,"
       "wakeups_total,"
       "batched_iterations,"
@@ -197,7 +200,11 @@ std::string to_csv(const std::vector<JobResult>& results,
       "lanes_per_cluster,"
       "total_lanes,vlen_bits,ok,status,cycles,flops,fpu_util,flop_per_cycle,"
       "freq_ghz,area_mm2,power_w,gflops,gflops_per_w,max_rel_err,error\n";
-  for (const JobResult& r : results) {
+}
+
+std::string csv_row(const JobResult& r, const ReportOptions& opts) {
+  std::string out;
+  {
     const MachineConfig& c = r.job.cfg;
     out += unum(r.job.index) + ",";
     out += r.job.config_label + ",";
@@ -247,6 +254,13 @@ std::string to_csv(const std::vector<JobResult>& results,
     }
     out += "\"" + err + "\"\n";
   }
+  return out;
+}
+
+std::string to_csv(const std::vector<JobResult>& results,
+                   const ReportOptions& opts) {
+  std::string out = csv_header();
+  for (const JobResult& r : results) out += csv_row(r, opts);
   return out;
 }
 

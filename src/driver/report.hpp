@@ -42,6 +42,24 @@ struct ReportOptions {
 [[nodiscard]] std::string to_csv(const std::vector<JobResult>& results,
                                  const ReportOptions& opts = {});
 
+// Per-record serializers — the exact building blocks of to_json/to_csv,
+// exposed so the serve-layer job ledger can persist each finished job's
+// record text as a worker completes it and `araxl merge --ledger` can
+// reassemble a report byte-identical to a single-process sweep (the same
+// bytes, produced by the same code, only stored one record at a time).
+
+/// One JSON record as it appears inside to_json's "results" array (no
+/// surrounding framing, no trailing comma/newline).
+[[nodiscard]] std::string json_record(const JobResult& r,
+                                      const ReportOptions& opts = {});
+
+/// The CSV header line to_csv emits, including the trailing newline.
+[[nodiscard]] std::string csv_header();
+
+/// One CSV data row as to_csv emits it, including the trailing newline.
+[[nodiscard]] std::string csv_row(const JobResult& r,
+                                  const ReportOptions& opts = {});
+
 /// Writes `content` to `path` ("-" means stdout); throws ContractViolation
 /// when the file cannot be opened.
 void write_report(const std::string& path, const std::string& content);

@@ -87,15 +87,28 @@ void fill_error(JobResult& res, ErrorKind kind, std::string msg) {
 RunControl make_control(const RunnerOptions& opts) {
   RunControl ctl;
   ctl.shutdown = opts.cancel;
+  std::function<bool()> deadline;
   if (opts.job_timeout_s > 0.0) {
     std::function<std::uint64_t()> clock =
         opts.clock_ms ? opts.clock_ms : std::function<std::uint64_t()>(steady_ms);
     const std::uint64_t start = clock();
     const std::uint64_t budget_ms =
         static_cast<std::uint64_t>(opts.job_timeout_s * 1000.0);
-    ctl.deadline_exceeded = [clock = std::move(clock), start, budget_ms] {
+    deadline = [clock = std::move(clock), start, budget_ms] {
       return clock() - start >= budget_ms;
     };
+  }
+  if (opts.pulse) {
+    // The pulse rides the deadline probe: the engines already call it at
+    // the cooperative check cadence, so a lease heartbeat costs no extra
+    // polling surface in the timing kernels.
+    ctl.deadline_exceeded = [pulse = opts.pulse,
+                             deadline = std::move(deadline)] {
+      pulse();
+      return deadline && deadline();
+    };
+  } else {
+    ctl.deadline_exceeded = std::move(deadline);
   }
   return ctl;
 }
@@ -330,7 +343,7 @@ JobResult run_job(const Job& job, const RunnerOptions& opts) {
       // Shutdown pre-empts backoff sleeps: a Ctrl-C must not wait out the
       // exponential schedule before the sweep can wind down.
       if (opts.cancel != nullptr && opts.cancel->requested()) return res;
-      const std::uint64_t ms = opts.retry.backoff(attempt);
+      const std::uint64_t ms = opts.retry.backoff_jittered(attempt, fp);
       if (opts.sleep_ms) {
         opts.sleep_ms(ms);
       } else {

@@ -114,6 +114,14 @@ struct RunnerOptions {
   std::function<std::uint64_t()> clock_ms;
   /// Retry-backoff sleeper; defaults to std::this_thread::sleep_for.
   std::function<void(std::uint64_t ms)> sleep_ms;
+  /// Liveness pulse, invoked from the engine's cooperative check cadence
+  /// (roughly every `RunControl::check_mask + 1` wakeups) while a job
+  /// simulates. This is how a serve-layer worker renews its lease
+  /// mid-simulation: a multi-minute job would otherwise look dead to the
+  /// fleet and be speculatively re-dispatched. Must be cheap and must not
+  /// throw; rate-limit internally (the callee decides when a pulse is due,
+  /// on the injectable clock). Null (the default) costs nothing.
+  std::function<void()> pulse;
 
   /// Progress callback; invoked serially (under an internal lock) as jobs
   /// finish, with the number completed so far.

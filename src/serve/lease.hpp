@@ -1,0 +1,94 @@
+// Filesystem job leases — mutual exclusion (best-effort) for fleet workers.
+//
+// One lease file per job lives in `<ledger>.leases/`:
+//
+//   * a *fresh claim* creates `job-<index>.lease` with O_CREAT|O_EXCL —
+//     the kernel arbitrates, exactly one creator wins;
+//   * *renewal* (the heartbeat) and *takeover* (of an expired or straggling
+//     lease) rewrite the file via unique-temp + rename. Rename is atomic
+//     but last-writer-wins, so after every rewrite the writer reads the
+//     file back: if the owner is no longer us, we lost the race;
+//   * each takeover bumps a generation counter, so a stale owner's read-
+//     back sees a foreign (worker, generation) and knows it was displaced.
+//
+// The race windows this leaves open (two workers both executing one job
+// for a while) are deliberate: execution is at-least-once and completions
+// are idempotent — the ledger dedupes done records and the store dedupes
+// by fingerprint — so leases only need to make double work *rare*, never
+// impossible. Timestamps are milliseconds on the injectable driver clock
+// (CLOCK_MONOTONIC by default, which is machine-wide on Linux, so values
+// written by one process compare correctly in another on the same host —
+// the fleet is same-host by design, coordinating through one filesystem).
+#ifndef ARAXL_SERVE_LEASE_HPP
+#define ARAXL_SERVE_LEASE_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace araxl {
+class FaultInjector;
+}
+
+namespace araxl::serve {
+
+/// One job's lease as stored on disk.
+struct Lease {
+  std::uint64_t job = 0;
+  std::string worker;            ///< current owner
+  std::uint64_t generation = 0;  ///< bumped on every takeover
+  std::uint64_t claimed_ms = 0;  ///< when the *current owner* took the job
+  std::uint64_t expires_ms = 0;  ///< owner is presumed dead past this
+};
+
+/// `<ledger>.leases` — the lease directory for a ledger path.
+[[nodiscard]] std::string lease_dir_for(const std::string& ledger_path);
+
+/// Creates the lease directory (and ignores it already existing).
+void ensure_lease_dir(const std::string& dir);
+
+/// Path of job `index`'s lease file inside `dir`.
+[[nodiscard]] std::string lease_path(const std::string& dir,
+                                     std::uint64_t job);
+
+/// Reads and validates a lease file; nullopt when absent or corrupt (a
+/// corrupt lease reads as claimable — worst case a job runs twice).
+[[nodiscard]] std::optional<Lease> read_lease(const std::string& dir,
+                                              std::uint64_t job);
+
+/// Atomically claims an unclaimed job (O_CREAT|O_EXCL). Returns the lease
+/// on success, nullopt when another worker holds the file or the claim
+/// fault site fires. Never blocks.
+[[nodiscard]] std::optional<Lease> try_claim(
+    const std::string& dir, std::uint64_t job, const std::string& worker,
+    std::uint64_t now_ms, std::uint64_t ttl_ms,
+    FaultInjector* faults = nullptr);
+
+/// Takes over an existing lease (expired or straggling): rewrites the file
+/// with us as owner and `prev.generation + 1`, then reads back to confirm
+/// we won any concurrent rewrite race. Returns the new lease on success.
+[[nodiscard]] std::optional<Lease> take_over(
+    const std::string& dir, const Lease& prev, const std::string& worker,
+    std::uint64_t now_ms, std::uint64_t ttl_ms,
+    FaultInjector* faults = nullptr);
+
+/// Renews `mine`'s expiry (the heartbeat). Returns the renewed lease, or
+/// nullopt when the renewal was dropped (injected fault) or the read-back
+/// shows another worker took the lease over — the caller has lost
+/// ownership and its eventual completion will simply be a duplicate.
+[[nodiscard]] std::optional<Lease> renew(
+    const std::string& dir, const Lease& mine, std::uint64_t now_ms,
+    std::uint64_t ttl_ms, FaultInjector* faults = nullptr);
+
+/// Releases a lease we own (unlink). A lease held by someone else (we were
+/// taken over mid-job) is left alone.
+void release(const std::string& dir, const Lease& mine);
+
+// ---- serialization (exposed for tests) ------------------------------------
+[[nodiscard]] std::string serialize_lease(const Lease& lease);
+[[nodiscard]] Lease parse_lease(std::string_view line);
+
+}  // namespace araxl::serve
+
+#endif  // ARAXL_SERVE_LEASE_HPP

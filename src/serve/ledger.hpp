@@ -1,0 +1,125 @@
+// Crash-safe sweep job ledger — the coordination substrate of `araxl
+// serve` / `araxl worker`.
+//
+// A ledger is one append-only JSONL file shared by every process of a
+// fleet, following the result store's durability discipline exactly (the
+// same checksummed-line format, torn-tail healing, and corruption-tolerant
+// loading, via store/appendio.hpp):
+//
+//   * line 1 is the sweep header: the declarative SweepSpec axes (config
+//     spec strings, kernels, bytes-per-lane points, base seed), the
+//     expanded job count, and the build version. Workers re-expand the
+//     job list from the header, so the ledger never stores per-job
+//     configs — `expand()` is deterministic and the header is tiny;
+//   * every subsequent line is a `done` record: one worker's terminal
+//     verdict on one job, carrying the job's *exact report record text*
+//     (the JSON record and CSV row produced by driver::json_record /
+//     driver::csv_row as the job finished). `araxl merge --ledger`
+//     reassembles those verbatim texts inside the standard framing, which
+//     is how a fleet's final report is byte-identical to a single-process
+//     sweep: same bytes, same serializers, just persisted one record at a
+//     time;
+//   * execution is at-least-once, so duplicate done records for one job
+//     are expected (lease expiry re-dispatch, straggler speculation).
+//     Loading dedupes: an "ok" record is never superseded by a failure,
+//     otherwise the later line wins.
+//
+// Unlike reports, the ledger is operational state, not an artifact — done
+// records may carry wall-clock durations (the straggler detector feeds on
+// them). The report texts embedded in them remain pure.
+#ifndef ARAXL_SERVE_LEDGER_HPP
+#define ARAXL_SERVE_LEDGER_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace araxl {
+class FaultInjector;
+}
+
+namespace araxl::serve {
+
+/// The declarative sweep a ledger coordinates — the header line. Axes are
+/// kept in their textual spec form so workers re-expand jobs with the same
+/// parse_config_spec + expand path a single-process sweep uses.
+struct LedgerSpec {
+  std::vector<std::string> configs;  ///< config spec strings ("araxl:64",…)
+  std::vector<std::string> kernels;
+  std::vector<std::uint64_t> bytes_per_lane;
+  std::uint64_t base_seed = 0;
+  bool verify = true;
+  /// Build version stamp (store::build_version()). Workers refuse a
+  /// mismatched ledger: mixing builds in one fleet would break the
+  /// byte-identity contract (and the store fingerprints would miss anyway).
+  std::string version;
+  /// Expanded job count, cross-checked against re-expansion on load.
+  std::uint64_t jobs = 0;
+};
+
+/// One worker's terminal verdict on one job.
+struct DoneRecord {
+  std::uint64_t job = 0;     ///< global job index
+  std::string fingerprint;   ///< store fingerprint (dedupe / audit key)
+  std::string worker;        ///< worker id that produced it
+  std::string status;        ///< error_kind_name vocabulary ("ok", …)
+  std::uint64_t attempts = 1;
+  std::uint64_t duration_ms = 0;  ///< wall-clock execution time (see above)
+  std::string json_record;   ///< driver::json_record text, verbatim
+  std::string csv_row;       ///< driver::csv_row text, verbatim (with '\n')
+};
+
+/// What ledger_load() saw on disk.
+struct LedgerLoad {
+  LedgerSpec spec;
+  /// Best done record per job index (size == spec.jobs). At-least-once
+  /// dedupe: "ok" beats any failure; between equals the later line wins.
+  std::vector<std::optional<DoneRecord>> done;
+  std::size_t done_count = 0;  ///< jobs with a done record
+  std::size_t bad_lines = 0;   ///< torn / corrupt / out-of-range lines
+  std::size_t duplicates = 0;  ///< superseded duplicate done records
+
+  [[nodiscard]] bool complete() const { return done_count == spec.jobs; }
+};
+
+/// Writes the header line into a fresh ledger at `path`. Refuses (throws
+/// ContractViolation) when the file already exists — a ledger is enqueued
+/// once; re-running serve against a live fleet must not truncate history.
+void ledger_create(const std::string& path, const LedgerSpec& spec,
+                   FaultInjector* faults = nullptr, bool fsync = false);
+
+/// Loads and validates a ledger. Throws ContractViolation when the file is
+/// missing or no valid header line survives; corrupt or torn done lines
+/// are skipped and counted, never fatal (the affected jobs simply remain
+/// pending and get re-dispatched).
+[[nodiscard]] LedgerLoad ledger_load(const std::string& path);
+
+/// Appends one done record (torn-tail healing + optional fsync, fault
+/// sites ledger.open / ledger.write). Throws StoreIoError on failure —
+/// injected or real; the caller retries or releases the job's lease so
+/// another worker re-executes it.
+void ledger_append_done(const std::string& path, const DoneRecord& rec,
+                        FaultInjector* faults = nullptr, bool fsync = false);
+
+// ---- serialization (exposed for tests) ------------------------------------
+[[nodiscard]] std::string serialize_header(const LedgerSpec& spec);
+[[nodiscard]] LedgerSpec parse_header(std::string_view line);
+[[nodiscard]] std::string serialize_done(const DoneRecord& rec);
+[[nodiscard]] DoneRecord parse_done(std::string_view line);
+
+// ---- final-report assembly -------------------------------------------------
+
+/// Reassembles the sweep's JSON report from a complete ledger — byte-
+/// identical to driver::to_json over a single-process run of the same
+/// spec. Throws ContractViolation when any job lacks a done record (an
+/// incomplete fleet cannot reproduce the report).
+[[nodiscard]] std::string ledger_report_json(const LedgerLoad& led);
+
+/// CSV counterpart of ledger_report_json (driver::csv_header framing).
+[[nodiscard]] std::string ledger_report_csv(const LedgerLoad& led);
+
+}  // namespace araxl::serve
+
+#endif  // ARAXL_SERVE_LEDGER_HPP

@@ -1,0 +1,315 @@
+#include "serve/worker.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/contracts.hpp"
+#include "common/fmt.hpp"
+#include "driver/report.hpp"
+#include "driver/spec.hpp"
+#include "store/fingerprint.hpp"
+#include "store/version.hpp"
+
+namespace araxl::serve {
+
+namespace {
+
+std::uint64_t steady_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Commit retries for a failed done-record append. Transient ledger I/O
+/// (injected torn writes) must not discard a finished simulation: the
+/// record is retried as a whole line, and the loader dedupes.
+constexpr unsigned kCommitAttempts = 4;
+
+struct HeartbeatState {
+  const WorkerOptions* opts = nullptr;
+  std::string lease_dir;
+  Lease lease;
+  std::uint64_t period_ms = 0;
+  std::uint64_t last_ms = 0;
+  std::uint64_t renewals = 0;
+};
+
+}  // namespace
+
+std::uint64_t median_done_duration_ms(const LedgerLoad& led) {
+  std::vector<std::uint64_t> durations;
+  durations.reserve(led.done_count);
+  for (const std::optional<DoneRecord>& rec : led.done) {
+    if (rec.has_value()) durations.push_back(rec->duration_ms);
+  }
+  if (durations.empty()) return 0;
+  const std::size_t mid = durations.size() / 2;
+  std::nth_element(durations.begin(), durations.begin() + mid,
+                   durations.end());
+  return durations[mid];
+}
+
+std::optional<WorkItem> find_work(
+    const LedgerLoad& led, const std::vector<std::optional<Lease>>& leases,
+    const std::string& self, std::uint64_t now_ms, std::uint64_t start,
+    const SpeculationPolicy& policy) {
+  const std::size_t n = led.done.size();
+  check(leases.size() == n, "find_work: lease vector size mismatch");
+  if (n == 0) return std::nullopt;
+
+  // Straggler threshold: only meaningful once enough jobs have finished
+  // for the median to say what "normal" looks like.
+  std::uint64_t straggler_age_ms = 0;
+  if (led.done_count >= policy.min_done) {
+    const std::uint64_t median = median_done_duration_ms(led);
+    const double scaled =
+        policy.straggler_mult * static_cast<double>(median);
+    straggler_age_ms = std::max<std::uint64_t>(
+        policy.floor_ms, static_cast<std::uint64_t>(scaled));
+  }
+
+  std::optional<WorkItem> expired;
+  std::optional<WorkItem> straggler;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = (static_cast<std::size_t>(start) + k) % n;
+    if (led.done[i].has_value()) continue;
+    const std::optional<Lease>& lease = leases[i];
+    if (!lease.has_value()) {
+      // Unclaimed (or corrupt-lease) job: the best possible work — return
+      // immediately, fresh claims are also the cheapest to arbitrate.
+      return WorkItem{static_cast<std::uint64_t>(i), WorkKind::kFresh,
+                      std::nullopt};
+    }
+    if (now_ms >= lease->expires_ms) {
+      if (!expired.has_value()) {
+        expired = WorkItem{static_cast<std::uint64_t>(i), WorkKind::kExpired,
+                           lease};
+      }
+      continue;
+    }
+    // Live lease. Speculate only against *other* workers' long-running
+    // jobs: re-claiming our own lease would just duplicate our own work.
+    if (straggler_age_ms > 0 && lease->worker != self &&
+        now_ms - lease->claimed_ms > straggler_age_ms &&
+        !straggler.has_value()) {
+      straggler = WorkItem{static_cast<std::uint64_t>(i),
+                           WorkKind::kStraggler, lease};
+    }
+  }
+  if (expired.has_value()) return expired;
+  return straggler;
+}
+
+std::vector<driver::Job> expand_ledger_jobs(const LedgerSpec& spec) {
+  driver::SweepSpec sweep;
+  sweep.configs.reserve(spec.configs.size());
+  for (const std::string& cfg : spec.configs) {
+    sweep.configs.push_back(driver::parse_config_spec(cfg));
+  }
+  sweep.kernels = spec.kernels;
+  sweep.bytes_per_lane = spec.bytes_per_lane;
+  sweep.base_seed = spec.base_seed;
+  std::vector<driver::Job> jobs = driver::expand(sweep);
+  check(jobs.size() == spec.jobs,
+        "ledger job expansion does not match the header count");
+  return jobs;
+}
+
+WorkerReport run_worker(const WorkerOptions& opts) {
+  check(!opts.worker_id.empty(), "worker needs a non-empty id");
+  check(opts.lease_ttl_ms > 0, "worker lease TTL must be positive");
+
+  LedgerLoad led = ledger_load(opts.ledger_path);
+  const std::string version = opts.runner.cache_salt.empty()
+                                  ? store::build_version()
+                                  : opts.runner.cache_salt;
+  check(led.spec.version == version,
+        "ledger was enqueued by build '" + led.spec.version +
+            "' but this worker is '" + version +
+            "' — mixed builds would break report byte-identity");
+  const std::vector<driver::Job> jobs = expand_ledger_jobs(led.spec);
+
+  const std::string lease_dir = lease_dir_for(opts.ledger_path);
+  ensure_lease_dir(lease_dir);
+
+  const auto clock = opts.runner.clock_ms
+                         ? opts.runner.clock_ms
+                         : std::function<std::uint64_t()>(steady_ms);
+  const auto sleep = opts.runner.sleep_ms
+                         ? opts.runner.sleep_ms
+                         : std::function<void(std::uint64_t)>([](std::uint64_t ms) {
+                             std::this_thread::sleep_for(
+                                 std::chrono::milliseconds(ms));
+                           });
+  const std::uint64_t heartbeat_ms =
+      opts.heartbeat_ms != 0 ? opts.heartbeat_ms
+                             : std::max<std::uint64_t>(1, opts.lease_ttl_ms / 3);
+  const auto log = [&](const std::string& msg) {
+    if (opts.log) opts.log("[" + opts.worker_id + "] " + msg);
+  };
+  const auto cancelled = [&] {
+    return opts.runner.cancel != nullptr && opts.runner.cancel->requested();
+  };
+  // Rotate each worker's scan start so a fleet doesn't serialize on job 0.
+  const std::uint64_t scan_start = store::hash64(opts.worker_id);
+
+  WorkerReport report;
+  log(strprintf("worker starting: %zu jobs, lease ttl %llu ms, heartbeat "
+                "%llu ms",
+                jobs.size(),
+                static_cast<unsigned long long>(opts.lease_ttl_ms),
+                static_cast<unsigned long long>(heartbeat_ms)));
+
+  for (;;) {
+    if (cancelled()) {
+      report.cancelled = true;
+      break;
+    }
+    led = ledger_load(opts.ledger_path);
+    if (led.complete()) break;
+
+    std::vector<std::optional<Lease>> leases(led.done.size());
+    for (std::size_t i = 0; i < led.done.size(); ++i) {
+      if (!led.done[i].has_value()) leases[i] = read_lease(lease_dir, i);
+    }
+    const std::uint64_t now = clock();
+    const std::optional<WorkItem> work =
+        find_work(led, leases, opts.worker_id, now, scan_start,
+                  opts.speculation);
+    if (!work.has_value()) {
+      sleep(opts.poll_ms);  // everything pending is leased and healthy
+      continue;
+    }
+
+    std::optional<Lease> lease;
+    switch (work->kind) {
+      case WorkKind::kFresh:
+        lease = try_claim(lease_dir, work->job, opts.worker_id, now,
+                          opts.lease_ttl_ms, opts.runner.faults);
+        break;
+      case WorkKind::kExpired:
+      case WorkKind::kStraggler:
+        lease = take_over(lease_dir, *work->lease, opts.worker_id, now,
+                          opts.lease_ttl_ms, opts.runner.faults);
+        break;
+    }
+    if (!lease.has_value()) continue;  // lost the race or injected drop
+    if (work->kind == WorkKind::kExpired) {
+      ++report.takeovers;
+      log(strprintf("job %llu: taking over expired lease from %s (gen %llu)",
+                    static_cast<unsigned long long>(work->job),
+                    work->lease->worker.c_str(),
+                    static_cast<unsigned long long>(lease->generation)));
+    } else if (work->kind == WorkKind::kStraggler) {
+      ++report.speculations;
+      log(strprintf("job %llu: speculatively re-dispatching straggler held "
+                    "by %s",
+                    static_cast<unsigned long long>(work->job),
+                    work->lease->worker.c_str()));
+    }
+
+    const driver::Job& job = jobs[static_cast<std::size_t>(work->job)];
+
+    // Per-job runner options: the ledger header decides verification, and
+    // the pulse hook renews our lease at the engine's check cadence.
+    driver::RunnerOptions ropts = opts.runner;
+    ropts.verify = led.spec.verify;
+    HeartbeatState hb;
+    hb.opts = &opts;
+    hb.lease_dir = lease_dir;
+    hb.lease = *lease;
+    hb.period_ms = heartbeat_ms;
+    hb.last_ms = now;
+    const std::uint64_t job_index = work->job;
+    ropts.pulse = [&hb, &clock, &opts, &log, job_index] {
+      const std::uint64_t t = clock();
+      if (t - hb.last_ms < hb.period_ms) return;
+      hb.last_ms = t;
+      if (const std::optional<Lease> renewed =
+              renew(hb.lease_dir, hb.lease, t, opts.lease_ttl_ms,
+                    opts.runner.faults)) {
+        hb.lease = *renewed;
+        ++hb.renewals;
+        log(strprintf("[heartbeat] job %llu lease renewed (renewal %llu)",
+                      static_cast<unsigned long long>(job_index),
+                      static_cast<unsigned long long>(hb.renewals)));
+      }
+      // A dropped or lost renewal is not fatal: we keep computing. If the
+      // lease truly expired, another worker re-dispatches and our eventual
+      // completion is deduped — at-least-once by construction.
+    };
+
+    const std::uint64_t t0 = clock();
+    const driver::JobResult res = driver::run_job(job, ropts);
+    const std::uint64_t duration = clock() - t0;
+    report.renewals += hb.renewals;
+
+    if (res.error_kind == driver::ErrorKind::kCancelled) {
+      // Graceful drain: unwind without a done record so the job is
+      // re-dispatched; release the lease immediately rather than making
+      // the fleet wait out the TTL.
+      release(lease_dir, hb.lease);
+      report.cancelled = true;
+      log(strprintf("job %llu: cancelled mid-flight, lease released",
+                    static_cast<unsigned long long>(work->job)));
+      break;
+    }
+
+    DoneRecord rec;
+    rec.job = work->job;
+    rec.fingerprint = store::fingerprint(
+        store::JobKey{store::canonical_config(job.cfg), job.kernel,
+                      job.bytes_per_lane, job.seed, version});
+    rec.worker = opts.worker_id;
+    rec.status = std::string(driver::error_kind_name(res.error_kind));
+    rec.attempts = res.attempts;
+    rec.duration_ms = duration;
+    rec.json_record = driver::json_record(res);
+    rec.csv_row = driver::csv_row(res);
+
+    bool committed = false;
+    for (unsigned attempt = 1; attempt <= kCommitAttempts; ++attempt) {
+      try {
+        ledger_append_done(opts.ledger_path, rec, opts.runner.faults,
+                           opts.fsync);
+        committed = true;
+        break;
+      } catch (const store::StoreIoError& e) {
+        if (attempt == kCommitAttempts) {
+          log(strprintf("job %llu: dropping completion after %u commit "
+                        "attempts: %s",
+                        static_cast<unsigned long long>(work->job),
+                        kCommitAttempts, e.what()));
+          break;
+        }
+        sleep(opts.runner.retry.backoff_jittered(attempt, rec.fingerprint));
+      }
+    }
+    ++report.executed;
+    if (res.ok) {
+      ++report.ok;
+    } else {
+      ++report.failed;
+      log(strprintf("job %llu: terminal failure (%s): %s",
+                    static_cast<unsigned long long>(work->job),
+                    rec.status.c_str(), res.error.c_str()));
+    }
+    if (!committed) ++report.commit_drops;
+    // Commit or no commit, the lease is released: with a committed record
+    // the job is done; without one, releasing lets another worker retry
+    // immediately instead of waiting out the TTL.
+    release(lease_dir, hb.lease);
+  }
+
+  log(strprintf("worker done: %zu executed (%zu ok, %zu failed), "
+                "%zu takeovers, %zu speculations, %llu renewals%s",
+                report.executed, report.ok, report.failed, report.takeovers,
+                report.speculations,
+                static_cast<unsigned long long>(report.renewals),
+                report.cancelled ? ", cancelled" : ""));
+  return report;
+}
+
+}  // namespace araxl::serve

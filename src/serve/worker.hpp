@@ -1,0 +1,128 @@
+// Fleet worker — pulls jobs from a sweep ledger under lease and executes
+// them through the driver runner.
+//
+// Any number of worker *processes* point at one ledger and coordinate
+// purely through the filesystem: the ledger says what is done, the lease
+// directory says what is in flight, and everything else is re-derived
+// (workers re-expand the job list from the ledger header). The loop:
+//
+//   scan:    reload done state; pick work — an unclaimed job first, then a
+//            job whose lease expired (its worker is presumed dead), then —
+//            only when nothing else is left — a straggler: a live lease
+//            whose age exceeds a multiple of the fleet's median job time
+//            (speculative re-dispatch, the tail-latency cure);
+//   claim:   O_EXCL create for fresh jobs, generation-bumping takeover for
+//            expired/straggling ones;
+//   run:     driver::run_job with the full PR-6 substrate (typed errors,
+//            retry/backoff with fingerprint jitter, deadlines, fault
+//            injection). While the simulation runs, a pulse hook renews
+//            the lease on the injectable clock (heartbeat), so a long job
+//            does not read as dead;
+//   commit:  append a done record carrying the job's exact report texts,
+//            release the lease. A SIGTERM mid-job unwinds cooperatively:
+//            the lease is released, *no* done record is written, and the
+//            job is simply re-dispatched — graceful drain.
+//
+// Execution is at-least-once: a kill -9'd worker leaves an orphaned lease
+// that expires and is re-claimed; a worker that lost its lease mid-job
+// still finishes and appends a duplicate done record, which the ledger
+// dedupes. Either way the final report is byte-identical to a clean
+// single-process sweep.
+#ifndef ARAXL_SERVE_WORKER_HPP
+#define ARAXL_SERVE_WORKER_HPP
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "driver/runner.hpp"
+#include "serve/ledger.hpp"
+#include "serve/lease.hpp"
+
+namespace araxl::serve {
+
+/// Straggler speculation knobs (pure policy, unit-tested on a fake clock).
+struct SpeculationPolicy {
+  /// A live lease is a straggler when its age exceeds
+  /// `max(floor_ms, straggler_mult * median done duration)`.
+  double straggler_mult = 3.0;
+  std::uint64_t floor_ms = 2000;
+  /// Minimum done records before the median is trusted at all.
+  std::size_t min_done = 3;
+};
+
+struct WorkerOptions {
+  std::string ledger_path;
+  /// Stable worker id — the lease owner string, the done-record `worker`
+  /// field, and the log prefix. Must be unique per process in a fleet.
+  std::string worker_id;
+  /// Lease time-to-live: a worker silent for this long is presumed dead.
+  std::uint64_t lease_ttl_ms = 15000;
+  /// Heartbeat renewal period; 0 means lease_ttl_ms / 3 (three missed
+  /// beats before expiry — one dropped renewal never kills a live worker).
+  std::uint64_t heartbeat_ms = 0;
+  SpeculationPolicy speculation;
+  /// Idle wait between scans when no work is claimable.
+  std::uint64_t poll_ms = 200;
+  /// fsync ledger appends (crash-durable completions).
+  bool fsync = false;
+  /// Execution options passed through to driver::run_job: store, retry,
+  /// deadlines, cancel token, fault injection, clock/sleep injection.
+  /// `runner.verify` is overridden by the ledger header (the enqueuer
+  /// decides); `runner.pulse` is owned by the worker (lease heartbeat).
+  driver::RunnerOptions runner;
+  /// Stderr-style log sink; null silences the worker.
+  std::function<void(const std::string&)> log;
+};
+
+/// What one worker process did, for the exit summary.
+struct WorkerReport {
+  std::size_t executed = 0;      ///< jobs run to a terminal status
+  std::size_t ok = 0;            ///< of those, successes
+  std::size_t failed = 0;        ///< of those, terminal failures
+  std::size_t takeovers = 0;     ///< expired-lease re-dispatches claimed
+  std::size_t speculations = 0;  ///< straggler re-dispatches claimed
+  std::uint64_t renewals = 0;    ///< successful heartbeat renewals
+  std::size_t commit_drops = 0;  ///< done appends abandoned after retries
+  bool cancelled = false;        ///< drained by a shutdown request
+};
+
+/// Runs the worker loop until the ledger is complete or shutdown is
+/// requested. Throws ContractViolation on an unusable ledger (missing,
+/// corrupt header, build-version mismatch).
+WorkerReport run_worker(const WorkerOptions& opts);
+
+// ---- pure scheduling helpers (exposed for fake-clock tests) ----------------
+
+/// Median duration_ms over the ledger's done records (0 when none).
+[[nodiscard]] std::uint64_t median_done_duration_ms(const LedgerLoad& led);
+
+enum class WorkKind : std::uint8_t { kFresh, kExpired, kStraggler };
+
+struct WorkItem {
+  std::uint64_t job = 0;
+  WorkKind kind = WorkKind::kFresh;
+  std::optional<Lease> lease;  ///< current holder, for kExpired/kStraggler
+};
+
+/// Picks the next job to claim. `leases[i]` is job i's current lease (as
+/// read from the lease dir; nullopt = unclaimed), `start` rotates the scan
+/// so a fleet's workers don't all fight over job 0, `self` prevents a
+/// worker from speculating against its own leases. Fresh work beats
+/// expired work beats stragglers; nullopt means nothing is claimable now.
+[[nodiscard]] std::optional<WorkItem> find_work(
+    const LedgerLoad& led, const std::vector<std::optional<Lease>>& leases,
+    const std::string& self, std::uint64_t now_ms, std::uint64_t start,
+    const SpeculationPolicy& policy);
+
+/// Re-expands the ledger header's declarative axes into the job list
+/// (parse_config_spec + expand — the exact single-process path). Throws
+/// ContractViolation when the expansion does not match `spec.jobs`.
+[[nodiscard]] std::vector<driver::Job> expand_ledger_jobs(
+    const LedgerSpec& spec);
+
+}  // namespace araxl::serve
+
+#endif  // ARAXL_SERVE_WORKER_HPP

@@ -1,5 +1,8 @@
 #include "store/result_store.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -8,6 +11,7 @@
 #include "common/faults.hpp"
 #include "common/fmt.hpp"
 #include "obs/metrics.hpp"
+#include "store/appendio.hpp"
 #include "store/json.hpp"
 
 namespace araxl::store {
@@ -251,53 +255,25 @@ void ResultStore::put(StoredResult r) {
 void ResultStore::flush() {
   const std::lock_guard<std::mutex> lock(mu_);
   if (pending_.empty()) return;
-  if (faults_ != nullptr && faults_->store_open_fails()) {
-    throw StoreIoError("injected open failure on store file: " + path_);
-  }
-  // A crashed (or fault-injected) writer can leave the file ending in a
-  // torn, newline-less tail. Appending straight after it would merge our
-  // first record into that garbage line and lose it — heal by starting on
-  // a fresh line. (The loader skips the blank line this may create when
-  // two writers both heal.)
-  bool heal_tail = false;
-  {
-    std::ifstream probe(path_, std::ios::binary | std::ios::ate);
-    if (probe.good() && probe.tellg() > 0) {
-      probe.seekg(-1, std::ios::end);
-      char last = '\n';
-      heal_tail = probe.get(last).good() && last != '\n';
-    }
-  }
-  // One append-mode write per flush: concurrent writers interleave at
-  // line granularity (O_APPEND), and a torn line from a crash is skipped
-  // by the corruption-tolerant loader.
-  std::ofstream f(path_, std::ios::binary | std::ios::app);
-  if (!f.good()) {
-    throw StoreIoError("cannot open store file for appending: " + path_);
-  }
-  if (heal_tail) f.put('\n');
-  std::string_view out = pending_;
-  bool torn = false;
+  // One append-mode write per flush (torn-tail healing, fault injection,
+  // and optional fsync live in append_lines, shared with the serve-layer
+  // job ledger): concurrent writers interleave at line granularity
+  // (O_APPEND), and a torn line from a crash is skipped by the
+  // corruption-tolerant loader. On failure pending_ is retained: a later
+  // flush re-appends every record as whole lines, and the loader skips
+  // the torn line and dedups the rest.
+  AppendFaults faults;
   if (faults_ != nullptr) {
-    if (const auto cut = faults_->store_short_write(out.size())) {
-      out = out.substr(0, *cut);  // torn tail — exactly what a crash leaves
-      torn = true;
-    }
+    faults.open_fails = [this] { return faults_->store_open_fails(); };
+    faults.short_write = [this](std::size_t len) {
+      return faults_->store_short_write(len);
+    };
   }
-  f.write(out.data(), static_cast<std::streamsize>(out.size()));
-  f.flush();
-  if (!f.good()) {
-    throw StoreIoError("failed appending to store file: " + path_);
-  }
-  if (torn) {
-    // pending_ is retained: a later flush re-appends every record as whole
-    // lines, and the loader skips the torn line and dedups the rest.
-    throw StoreIoError("injected short write to store file: " + path_);
-  }
+  const AppendOutcome out = append_lines(path_, pending_, faults, fsync_);
   if (metrics_ != nullptr) {
     metrics_->counter("store.flushes")->inc();
-    metrics_->counter("store.flush_bytes")->add(out.size());
-    if (heal_tail) metrics_->counter("store.tail_heals")->inc();
+    metrics_->counter("store.flush_bytes")->add(out.bytes);
+    if (out.healed_tail) metrics_->counter("store.tail_heals")->inc();
   }
   pending_.clear();
 }
@@ -333,6 +309,16 @@ std::size_t ResultStore::gc(const std::string& current_version) {
       throw StoreIoError("failed writing store temp file: " + tmp);
     }
   }
+  if (fsync_) {
+    // The rename below only atomically replaces *names*; without syncing
+    // the temp file's data first, a power loss can leave the new name
+    // pointing at a truncated file.
+    const int fd = ::open(tmp.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd >= 0) {
+      ::fsync(fd);
+      ::close(fd);
+    }
+  }
   if (faults_ != nullptr && faults_->store_rename_fails()) {
     std::remove(tmp.c_str());  // a failed rename leaves the original intact
     throw StoreIoError("injected rename failure on store temp file: " + tmp);
@@ -340,6 +326,7 @@ std::size_t ResultStore::gc(const std::string& current_version) {
   if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
     throw StoreIoError("cannot rename store temp file over " + path_);
   }
+  if (fsync_) fsync_parent_dir(path_);  // make the rename itself durable
   pending_.clear();
   return removed;
 }

@@ -106,6 +106,13 @@ class ResultStore {
   /// owned; must outlive the store. Test/chaos harness only.
   void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
 
+  /// When enabled, every flush() fsyncs the store file before returning
+  /// and gc() fsyncs both the compacted temp file and the directory, so an
+  /// acked record survives a power loss (not just a process crash). Off by
+  /// default: page-cache durability is enough for the common workflows and
+  /// fsync per job is measurably slower (`--fsync` / RunnerOptions opt in).
+  void set_fsync(bool on) { fsync_ = on; }
+
   /// Installs an optional metrics sink (obs/metrics.hpp) counting flush
   /// traffic (store.flushes / store.flush_bytes / store.tail_heals);
   /// nullptr disables. Not owned; must outlive the store.
@@ -137,6 +144,7 @@ class ResultStore {
 
   mutable std::mutex mu_;
   FaultInjector* faults_ = nullptr;                      // not owned
+  bool fsync_ = false;
   obs::MetricsRegistry* metrics_ = nullptr;              // not owned
   std::vector<StoredResult> records_;                    // insertion order
   std::unordered_map<std::string, std::size_t> index_;   // fp → records_ slot

@@ -67,6 +67,30 @@ grep -q '"status":"ok"' clean.json || {
   fails=$((fails + 1))
 }
 
+# Fleet orchestration: serve -> worker -> merge --ledger round-trips with
+# the same exit-code contract.
+serve_axes="--configs araxl:8 --kernels stream_triad --bpl 64"
+expect "serve enqueues a ledger" 0 \
+  "$ARAXL" serve --ledger fleet.jsonl $serve_axes
+expect "serve refuses an existing ledger" 2 \
+  "$ARAXL" serve --ledger fleet.jsonl $serve_axes
+expect "merge --ledger refuses an incomplete ledger" 2 \
+  "$ARAXL" merge --ledger fleet.jsonl --json fleet.json
+expect "worker drains the ledger" 0 \
+  "$ARAXL" worker --ledger fleet.jsonl --id w1 --store cache.jsonl --quiet
+expect "merge --ledger assembles the report" 0 \
+  "$ARAXL" merge --ledger fleet.jsonl --json fleet.json --csv fleet.csv
+grep -q '"status":"ok"' fleet.json || {
+  echo "FAIL: fleet.json lacks status=ok" >&2
+  fails=$((fails + 1))
+}
+expect "worker needs a ledger that exists" 2 \
+  "$ARAXL" worker --ledger no-such-ledger.jsonl --quiet
+"$ARAXL" serve --ledger fail.jsonl $serve_axes 2>/dev/null
+expect "worker surfaces job failures" 1 \
+  "$ARAXL" worker --ledger fail.jsonl --id w1 --no-cache --quiet --retries 0 \
+  --inject-faults seed=1,job.fail=1
+
 # --help documents the contract.
 "$ARAXL" --help | grep -q "exit codes:" || {
   echo "FAIL: --help does not document exit codes" >&2

@@ -268,13 +268,50 @@ TEST(RunnerFaults, TransientInjectedFaultRetriesWithBackoffThenSucceeds) {
   opts.retry.backoff_ms = 100;
   time.wire(opts);
 
-  const JobResult res = driver::run_job(small_job(), opts);
+  const Job job = small_job();
+  const JobResult res = driver::run_job(job, opts);
   EXPECT_TRUE(res.ok) << res.error;
   EXPECT_EQ(res.attempts, 3u);
   EXPECT_EQ(res.error_kind, ErrorKind::kNone);
+  // The backoff schedule is jittered deterministically by the job's store
+  // fingerprint (decorrelates a fleet retrying in lockstep); reproduce the
+  // key the runner derives and expect the exact dithered values.
+  const std::string fp = store::fingerprint(
+      store::JobKey{store::canonical_config(job.cfg), job.kernel,
+                    job.bytes_per_lane, job.seed, store::build_version()});
   ASSERT_EQ(time.sleeps.size(), 2u);  // backoff between the three attempts
-  EXPECT_EQ(time.sleeps[0], 100u);
-  EXPECT_EQ(time.sleeps[1], 200u);
+  EXPECT_EQ(time.sleeps[0], opts.retry.backoff_jittered(1, fp));
+  EXPECT_EQ(time.sleeps[1], opts.retry.backoff_jittered(2, fp));
+  // Jitter factor lives in [0.5, 1.5) of the undithered 100/200 schedule.
+  EXPECT_GE(time.sleeps[0], 50u);
+  EXPECT_LT(time.sleeps[0], 150u);
+  EXPECT_GE(time.sleeps[1], 100u);
+  EXPECT_LT(time.sleeps[1], 300u);
+}
+
+TEST(RetryPolicy, JitterIsDeterministicBoundedAndKeyedOnFingerprint) {
+  driver::RetryPolicy p;
+  p.backoff_ms = 100;
+  p.max_backoff_ms = 5000;
+  // Same (fingerprint, retry index) -> same delay, run to run.
+  EXPECT_EQ(p.backoff_jittered(1, "fp-a"), p.backoff_jittered(1, "fp-a"));
+  // An empty fingerprint falls back to the undithered schedule.
+  EXPECT_EQ(p.backoff_jittered(1, ""), p.backoff(1));
+  EXPECT_EQ(p.backoff_jittered(3, ""), p.backoff(3));
+  // Different fingerprints decorrelate; different indices re-dither.
+  bool any_differs = false;
+  for (const char* fp : {"fp-a", "fp-b", "fp-c", "fp-d"}) {
+    for (unsigned i = 1; i <= 4; ++i) {
+      const std::uint64_t base = p.backoff(i);
+      const std::uint64_t jit = p.backoff_jittered(i, fp);
+      EXPECT_GE(jit, base / 2) << fp << " i=" << i;
+      EXPECT_LE(jit, base + base / 2) << fp << " i=" << i;
+      EXPECT_LE(jit, p.max_backoff_ms);
+      if (jit != base) any_differs = true;
+    }
+  }
+  EXPECT_TRUE(any_differs);
+  EXPECT_NE(p.backoff_jittered(1, "fp-a"), p.backoff_jittered(1, "fp-b"));
 }
 
 TEST(RunnerFaults, PermanentInjectedFaultExhaustsAttempts) {

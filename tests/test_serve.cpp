@@ -1,0 +1,529 @@
+// Tests for the fleet-orchestration layer (src/serve/): the crash-safe
+// job ledger (header + done records, torn-line recovery, duplicate
+// dedupe), the filesystem lease protocol (atomic claim, generation-bumped
+// takeover, heartbeat renewal on a fake clock), the straggler/expiry
+// scheduling policy, and the end-to-end worker loop — including the
+// byte-identity contract: a fleet-assembled report equals the
+// single-process sweep's report exactly.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/faults.hpp"
+#include "driver/report.hpp"
+#include "driver/runner.hpp"
+#include "driver/spec.hpp"
+#include "serve/ledger.hpp"
+#include "serve/lease.hpp"
+#include "serve/worker.hpp"
+#include "sim/cancel.hpp"
+#include "store/fingerprint.hpp"
+
+namespace araxl {
+namespace {
+
+using serve::DoneRecord;
+using serve::Lease;
+using serve::LedgerLoad;
+using serve::LedgerSpec;
+using serve::SpeculationPolicy;
+using serve::WorkItem;
+using serve::WorkKind;
+
+std::string temp_path(const char* name) {
+  return testing::TempDir() + "araxl_serve_test_" + name + "_" +
+         std::to_string(static_cast<long>(::getpid())) + ".jsonl";
+}
+
+/// Removes a ledger file and its lease directory.
+void cleanup(const std::string& ledger) {
+  std::remove(ledger.c_str());
+  const std::string dir = serve::lease_dir_for(ledger);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    std::remove(serve::lease_path(dir, i).c_str());
+  }
+  ::rmdir(dir.c_str());
+}
+
+/// A tiny 2-job sweep (2 configs x 1 kernel x 1 B/lane) with a test salt
+/// so the ledger version never depends on the live build fingerprint.
+LedgerSpec tiny_spec() {
+  LedgerSpec spec;
+  spec.configs = {"araxl:8", "ara2:8"};
+  spec.kernels = {"stream_triad"};
+  spec.bytes_per_lane = {64};
+  spec.base_seed = 0;
+  spec.verify = true;
+  spec.version = "serve-test-salt";
+  spec.jobs = 2;
+  return spec;
+}
+
+DoneRecord done_record(std::uint64_t job, const std::string& worker,
+                       const std::string& status) {
+  DoneRecord rec;
+  rec.job = job;
+  rec.fingerprint = "fp-" + std::to_string(job);
+  rec.worker = worker;
+  rec.status = status;
+  rec.attempts = 1;
+  rec.duration_ms = 10 + job;
+  rec.json_record = "{\"job\":" + std::to_string(job) + "}";
+  rec.csv_row = "row-" + std::to_string(job) + "\n";
+  return rec;
+}
+
+// ---- ledger serialization ---------------------------------------------------
+
+TEST(Ledger, HeaderRoundTrips) {
+  const LedgerSpec spec = tiny_spec();
+  const LedgerSpec back = serve::parse_header(serve::serialize_header(spec));
+  EXPECT_EQ(back.configs, spec.configs);
+  EXPECT_EQ(back.kernels, spec.kernels);
+  EXPECT_EQ(back.bytes_per_lane, spec.bytes_per_lane);
+  EXPECT_EQ(back.base_seed, spec.base_seed);
+  EXPECT_EQ(back.verify, spec.verify);
+  EXPECT_EQ(back.version, spec.version);
+  EXPECT_EQ(back.jobs, spec.jobs);
+}
+
+TEST(Ledger, DoneRecordRoundTripsWithExactReportTexts) {
+  DoneRecord rec = done_record(1, "w1", "ok");
+  rec.json_record = "{\"x\":\"quoted \\\"stuff\\\", commas, \\n\"}";
+  rec.csv_row = "a,b,\"c,d\"\n";
+  const DoneRecord back = serve::parse_done(serve::serialize_done(rec));
+  EXPECT_EQ(back.job, rec.job);
+  EXPECT_EQ(back.fingerprint, rec.fingerprint);
+  EXPECT_EQ(back.worker, rec.worker);
+  EXPECT_EQ(back.status, rec.status);
+  EXPECT_EQ(back.attempts, rec.attempts);
+  EXPECT_EQ(back.duration_ms, rec.duration_ms);
+  EXPECT_EQ(back.json_record, rec.json_record);
+  EXPECT_EQ(back.csv_row, rec.csv_row);
+}
+
+TEST(Ledger, TamperedLineFailsItsChecksum) {
+  std::string line = serve::serialize_done(done_record(1, "w1", "ok"));
+  line.replace(line.find("\"job\":1"), 7, "\"job\":2");
+  EXPECT_THROW((void)serve::parse_done(line), ContractViolation);
+}
+
+// ---- ledger file lifecycle --------------------------------------------------
+
+TEST(Ledger, CreateLoadAppendRoundTrips) {
+  const std::string path = temp_path("lifecycle");
+  cleanup(path);
+  serve::ledger_create(path, tiny_spec());
+  // Enqueue-once: a second serve against the same path must refuse.
+  EXPECT_THROW(serve::ledger_create(path, tiny_spec()), ContractViolation);
+
+  LedgerLoad led = serve::ledger_load(path);
+  EXPECT_EQ(led.spec.jobs, 2u);
+  EXPECT_EQ(led.done_count, 0u);
+  EXPECT_FALSE(led.complete());
+
+  serve::ledger_append_done(path, done_record(0, "w1", "ok"));
+  serve::ledger_append_done(path, done_record(1, "w2", "ok"));
+  led = serve::ledger_load(path);
+  EXPECT_EQ(led.done_count, 2u);
+  EXPECT_TRUE(led.complete());
+  ASSERT_TRUE(led.done[0].has_value());
+  EXPECT_EQ(led.done[0]->worker, "w1");
+  cleanup(path);
+}
+
+TEST(Ledger, LoadRejectsMissingFileAndMissingHeader) {
+  const std::string path = temp_path("missing");
+  cleanup(path);
+  EXPECT_THROW((void)serve::ledger_load(path), ContractViolation);
+  std::ofstream(path) << "not a header line\n";
+  EXPECT_THROW((void)serve::ledger_load(path), ContractViolation);
+  cleanup(path);
+}
+
+TEST(Ledger, DuplicateCompletionsAreIdempotent) {
+  const std::string path = temp_path("dupes");
+  cleanup(path);
+  serve::ledger_create(path, tiny_spec());
+  // Failure, then success, then a late duplicate failure (a straggler that
+  // lost its lease finishing after the re-dispatch already succeeded):
+  // "ok" wins and is never superseded.
+  serve::ledger_append_done(path, done_record(0, "w1", "timeout"));
+  serve::ledger_append_done(path, done_record(0, "w2", "ok"));
+  serve::ledger_append_done(path, done_record(0, "w3", "injected"));
+  // Two equal-rank records: the later line wins.
+  serve::ledger_append_done(path, done_record(1, "w1", "ok"));
+  serve::ledger_append_done(path, done_record(1, "w2", "ok"));
+
+  const LedgerLoad led = serve::ledger_load(path);
+  EXPECT_EQ(led.done_count, 2u);
+  EXPECT_EQ(led.duplicates, 3u);
+  ASSERT_TRUE(led.done[0].has_value());
+  EXPECT_EQ(led.done[0]->status, "ok");
+  EXPECT_EQ(led.done[0]->worker, "w2");
+  ASSERT_TRUE(led.done[1].has_value());
+  EXPECT_EQ(led.done[1]->worker, "w2");
+  cleanup(path);
+}
+
+TEST(Ledger, TornTailIsHealedAndCorruptLinesAreSkipped) {
+  const std::string path = temp_path("torn");
+  cleanup(path);
+  serve::ledger_create(path, tiny_spec());
+  serve::ledger_append_done(path, done_record(0, "w1", "ok"));
+  {
+    // A writer crashed mid-append: half a line, no trailing newline.
+    std::ofstream f(path, std::ios::binary | std::ios::app);
+    f << "{\"type\":\"done\",\"job\":1,\"trunca";
+  }
+  // The next append heals the tail (newline first), so the good record
+  // lands on its own line instead of gluing onto the torn one.
+  serve::ledger_append_done(path, done_record(1, "w2", "ok"));
+
+  const LedgerLoad led = serve::ledger_load(path);
+  EXPECT_EQ(led.done_count, 2u);
+  EXPECT_EQ(led.bad_lines, 1u);
+  EXPECT_TRUE(led.complete());
+  ASSERT_TRUE(led.done[1].has_value());
+  EXPECT_EQ(led.done[1]->worker, "w2");
+  cleanup(path);
+}
+
+TEST(Ledger, InjectedAppendFaultsThrowAndRecordIsRetriable) {
+  const std::string path = temp_path("faults");
+  cleanup(path);
+  serve::ledger_create(path, tiny_spec());
+  FaultInjector faults("seed=1,ledger.write=1");
+  EXPECT_THROW(
+      serve::ledger_append_done(path, done_record(0, "w1", "ok"), &faults),
+      store::StoreIoError);
+  // The torn line from the injected short write is skipped on load...
+  LedgerLoad led = serve::ledger_load(path);
+  EXPECT_EQ(led.done_count, 0u);
+  // ...and a clean retry of the same record commits (healing whatever the
+  // injected short write left at the tail).
+  serve::ledger_append_done(path, done_record(0, "w1", "ok"));
+  led = serve::ledger_load(path);
+  EXPECT_EQ(led.done_count, 1u);
+  cleanup(path);
+}
+
+// ---- report assembly --------------------------------------------------------
+
+TEST(Ledger, ReportAssemblyRequiresCompleteness) {
+  const std::string path = temp_path("report");
+  cleanup(path);
+  serve::ledger_create(path, tiny_spec());
+  serve::ledger_append_done(path, done_record(0, "w1", "ok"));
+  LedgerLoad led = serve::ledger_load(path);
+  EXPECT_THROW((void)serve::ledger_report_json(led), ContractViolation);
+  EXPECT_THROW((void)serve::ledger_report_csv(led), ContractViolation);
+
+  serve::ledger_append_done(path, done_record(1, "w1", "ok"));
+  led = serve::ledger_load(path);
+  const std::string json = serve::ledger_report_json(led);
+  EXPECT_EQ(json,
+            "{\"results\":[\n{\"job\":0},\n{\"job\":1}\n]}\n");
+  const std::string csv = serve::ledger_report_csv(led);
+  EXPECT_EQ(csv, driver::csv_header() + "row-0\nrow-1\n");
+  cleanup(path);
+}
+
+// ---- leases -----------------------------------------------------------------
+
+struct LeaseDirFixture : testing::Test {
+  std::string ledger = temp_path("leasedir");
+  std::string dir = serve::lease_dir_for(ledger);
+
+  void SetUp() override {
+    cleanup(ledger);
+    serve::ensure_lease_dir(dir);
+  }
+  void TearDown() override { cleanup(ledger); }
+};
+
+TEST_F(LeaseDirFixture, ClaimIsExclusive) {
+  const auto a = serve::try_claim(dir, 3, "w1", 1000, 500);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->generation, 1u);
+  EXPECT_EQ(a->expires_ms, 1500u);
+  // The kernel arbitrates O_EXCL: the second claimant loses.
+  EXPECT_FALSE(serve::try_claim(dir, 3, "w2", 1001, 500).has_value());
+  const auto read = serve::read_lease(dir, 3);
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(read->worker, "w1");
+}
+
+TEST_F(LeaseDirFixture, CorruptLeaseReadsAsClaimable) {
+  std::ofstream(serve::lease_path(dir, 5)) << "torn garbage";
+  EXPECT_FALSE(serve::read_lease(dir, 5).has_value());
+}
+
+TEST_F(LeaseDirFixture, TakeOverBumpsGenerationAndDisplacesOldOwner) {
+  const auto a = serve::try_claim(dir, 0, "w1", 1000, 500);
+  ASSERT_TRUE(a.has_value());
+  // w1 goes silent; at t=2000 the lease is expired and w2 takes over.
+  const auto b = serve::take_over(dir, *a, "w2", 2000, 500);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->generation, 2u);
+  EXPECT_EQ(b->worker, "w2");
+  // w1 wakes up and tries to heartbeat: the read-back shows a foreign
+  // (worker, generation), so the renewal reports lost ownership...
+  EXPECT_FALSE(serve::renew(dir, *a, 2100, 500).has_value());
+  // ...and w1's release is a no-op on w2's lease.
+  serve::release(dir, *a);
+  const auto still = serve::read_lease(dir, 0);
+  ASSERT_TRUE(still.has_value());
+  EXPECT_EQ(still->worker, "w2");
+}
+
+TEST_F(LeaseDirFixture, HeartbeatRenewalExtendsExpiryOnFakeClock) {
+  const auto a = serve::try_claim(dir, 7, "w1", 1000, 500);
+  ASSERT_TRUE(a.has_value());
+  const auto r1 = serve::renew(dir, *a, 1400, 500);
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ(r1->expires_ms, 1900u);
+  EXPECT_EQ(r1->generation, 1u);        // renewal never bumps generation
+  EXPECT_EQ(r1->claimed_ms, 1000u);     // straggler age keeps accruing
+  const auto r2 = serve::renew(dir, *r1, 1800, 500);
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r2->expires_ms, 2300u);
+  serve::release(dir, *r2);
+  EXPECT_FALSE(serve::read_lease(dir, 7).has_value());
+}
+
+TEST_F(LeaseDirFixture, InjectedClaimAndRenewFaultsDrop) {
+  FaultInjector faults("seed=1,lease.claim=1,lease.renew=1");
+  EXPECT_FALSE(serve::try_claim(dir, 1, "w1", 0, 500, &faults).has_value());
+  const auto a = serve::try_claim(dir, 1, "w1", 0, 500);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_FALSE(serve::renew(dir, *a, 100, 500, &faults).has_value());
+  // A dropped renewal leaves the lease intact (just not extended).
+  const auto read = serve::read_lease(dir, 1);
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(read->expires_ms, 500u);
+}
+
+// ---- scheduling policy ------------------------------------------------------
+
+/// A LedgerLoad with `jobs` pending slots and the given done durations.
+LedgerLoad load_with_done(std::size_t jobs,
+                          const std::vector<std::uint64_t>& durations) {
+  LedgerLoad led;
+  led.spec.jobs = jobs;
+  led.done.resize(jobs);
+  for (std::size_t i = 0; i < durations.size(); ++i) {
+    DoneRecord rec = done_record(i, "w0", "ok");
+    rec.duration_ms = durations[i];
+    led.done[i] = rec;
+    ++led.done_count;
+  }
+  return led;
+}
+
+Lease live_lease(std::uint64_t job, const std::string& worker,
+                 std::uint64_t claimed_ms, std::uint64_t expires_ms) {
+  Lease l;
+  l.job = job;
+  l.worker = worker;
+  l.generation = 1;
+  l.claimed_ms = claimed_ms;
+  l.expires_ms = expires_ms;
+  return l;
+}
+
+TEST(FindWork, PrefersFreshOverExpiredOverStraggler) {
+  const LedgerLoad led = load_with_done(4, {});
+  std::vector<std::optional<Lease>> leases(4);
+  leases[0] = live_lease(0, "other", 0, 100);  // expired at now=1000
+  // job 1 unclaimed, jobs 2/3 live
+  leases[2] = live_lease(2, "other", 900, 2000);
+  leases[3] = live_lease(3, "other", 900, 2000);
+
+  const auto work =
+      serve::find_work(led, leases, "me", 1000, 0, SpeculationPolicy{});
+  ASSERT_TRUE(work.has_value());
+  EXPECT_EQ(work->kind, WorkKind::kFresh);
+  EXPECT_EQ(work->job, 1u);
+
+  // With job 1 also leased and live, the expired lease is next best.
+  leases[1] = live_lease(1, "other", 900, 2000);
+  const auto work2 =
+      serve::find_work(led, leases, "me", 1000, 0, SpeculationPolicy{});
+  ASSERT_TRUE(work2.has_value());
+  EXPECT_EQ(work2->kind, WorkKind::kExpired);
+  EXPECT_EQ(work2->job, 0u);
+}
+
+TEST(FindWork, SpeculatesOnStragglersOnlyWithEnoughMedianEvidence) {
+  SpeculationPolicy policy;
+  policy.straggler_mult = 3.0;
+  policy.floor_ms = 100;
+  policy.min_done = 3;
+
+  // 3 done jobs with median 100 ms -> threshold max(100, 300) = 300 ms.
+  LedgerLoad led = load_with_done(5, {100, 100, 100});
+  std::vector<std::optional<Lease>> leases(5);
+  leases[3] = live_lease(3, "other", 0, 99000);    // age 1000 > 300
+  leases[4] = live_lease(4, "other", 900, 99000);  // age 100 <= 300
+
+  const auto work = serve::find_work(led, leases, "me", 1000, 0, policy);
+  ASSERT_TRUE(work.has_value());
+  EXPECT_EQ(work->kind, WorkKind::kStraggler);
+  EXPECT_EQ(work->job, 3u);
+
+  // Below min_done the median is not trusted: no speculation at all (job
+  // 2 is now pending too, so it gets a live lease to keep it unclaimable).
+  LedgerLoad thin = load_with_done(5, {100, 100});
+  std::vector<std::optional<Lease>> thin_leases = leases;
+  thin_leases[2] = live_lease(2, "other", 900, 99000);
+  const auto none = serve::find_work(thin, thin_leases, "me", 1000, 0, policy);
+  EXPECT_FALSE(none.has_value());
+}
+
+TEST(FindWork, NeverSpeculatesAgainstOwnLease) {
+  SpeculationPolicy policy;
+  policy.floor_ms = 100;
+  LedgerLoad led = load_with_done(4, {50, 50, 50});
+  std::vector<std::optional<Lease>> leases(4);
+  leases[3] = live_lease(3, "me", 0, 99000);  // ancient, but it's ours
+  EXPECT_FALSE(
+      serve::find_work(led, leases, "me", 5000, 0, policy).has_value());
+  // The same lease held by someone else IS a straggler.
+  leases[3]->worker = "other";
+  const auto work = serve::find_work(led, leases, "me", 5000, 0, policy);
+  ASSERT_TRUE(work.has_value());
+  EXPECT_EQ(work->kind, WorkKind::kStraggler);
+}
+
+TEST(MedianDuration, IgnoresPendingSlots) {
+  EXPECT_EQ(serve::median_done_duration_ms(load_with_done(8, {})), 0u);
+  EXPECT_EQ(serve::median_done_duration_ms(
+                load_with_done(8, {10, 1000, 20, 30, 40})),
+            30u);
+}
+
+// ---- worker loop ------------------------------------------------------------
+
+driver::RunnerOptions test_runner_opts() {
+  driver::RunnerOptions opts;
+  opts.cache_salt = "serve-test-salt";  // matches tiny_spec().version
+  return opts;
+}
+
+TEST(Worker, CompletesLedgerAndReportMatchesSingleProcessByteForByte) {
+  const std::string path = temp_path("worker_e2e");
+  cleanup(path);
+  const LedgerSpec spec = tiny_spec();
+  serve::ledger_create(path, spec);
+
+  serve::WorkerOptions wopts;
+  wopts.ledger_path = path;
+  wopts.worker_id = "w1";
+  wopts.lease_ttl_ms = 60000;
+  wopts.runner = test_runner_opts();
+  const serve::WorkerReport rep = serve::run_worker(wopts);
+  EXPECT_EQ(rep.executed, 2u);
+  EXPECT_EQ(rep.ok, 2u);
+  EXPECT_EQ(rep.failed, 0u);
+  EXPECT_FALSE(rep.cancelled);
+
+  const LedgerLoad led = serve::ledger_load(path);
+  ASSERT_TRUE(led.complete());
+
+  // The reference: the exact same jobs through the single-process path.
+  const std::vector<driver::Job> jobs = serve::expand_ledger_jobs(spec);
+  std::vector<driver::JobResult> results;
+  results.reserve(jobs.size());
+  for (const driver::Job& job : jobs) {
+    results.push_back(driver::run_job(job, test_runner_opts()));
+  }
+  EXPECT_EQ(serve::ledger_report_json(led), driver::to_json(results));
+  EXPECT_EQ(serve::ledger_report_csv(led), driver::to_csv(results));
+  cleanup(path);
+}
+
+TEST(Worker, TakesOverExpiredLeaseFromDeadWorker) {
+  const std::string path = temp_path("worker_expiry");
+  cleanup(path);
+  serve::ledger_create(path, tiny_spec());
+  const std::string dir = serve::lease_dir_for(path);
+  serve::ensure_lease_dir(dir);
+  // A "worker" that died after claiming job 0: its lease expired long ago
+  // on the monotonic clock (claimed at t=0 with a 1 ms TTL).
+  ASSERT_TRUE(serve::try_claim(dir, 0, "dead-worker", 0, 1).has_value());
+
+  serve::WorkerOptions wopts;
+  wopts.ledger_path = path;
+  wopts.worker_id = "w2";
+  wopts.lease_ttl_ms = 60000;
+  wopts.runner = test_runner_opts();
+  const serve::WorkerReport rep = serve::run_worker(wopts);
+  EXPECT_EQ(rep.executed, 2u);
+  EXPECT_EQ(rep.takeovers, 1u);
+  EXPECT_TRUE(serve::ledger_load(path).complete());
+  // The taken-over lease was released after commit.
+  EXPECT_FALSE(serve::read_lease(dir, 0).has_value());
+  cleanup(path);
+}
+
+TEST(Worker, RefusesVersionMismatchedLedger) {
+  const std::string path = temp_path("worker_version");
+  cleanup(path);
+  LedgerSpec spec = tiny_spec();
+  spec.version = "some-other-build";
+  serve::ledger_create(path, spec);
+  serve::WorkerOptions wopts;
+  wopts.ledger_path = path;
+  wopts.worker_id = "w1";
+  wopts.runner = test_runner_opts();
+  EXPECT_THROW((void)serve::run_worker(wopts), ContractViolation);
+  cleanup(path);
+}
+
+TEST(Worker, CancelTokenDrainsBeforeClaimingAnything) {
+  const std::string path = temp_path("worker_cancel");
+  cleanup(path);
+  serve::ledger_create(path, tiny_spec());
+  CancelToken cancel;
+  cancel.request();
+  serve::WorkerOptions wopts;
+  wopts.ledger_path = path;
+  wopts.worker_id = "w1";
+  wopts.runner = test_runner_opts();
+  wopts.runner.cancel = &cancel;
+  const serve::WorkerReport rep = serve::run_worker(wopts);
+  EXPECT_TRUE(rep.cancelled);
+  EXPECT_EQ(rep.executed, 0u);
+  EXPECT_EQ(serve::ledger_load(path).done_count, 0u);
+  cleanup(path);
+}
+
+TEST(Worker, PulseHookFiresDuringSimulation) {
+  // The lease heartbeat rides RunnerOptions::pulse at the engine's check
+  // cadence (~every 1024 wakeups), so the job must be big enough to cross
+  // that cadence at least once — fmatmul at 512 B/lane on 64 lanes makes
+  // a few thousand wakeups.
+  driver::SweepSpec sweep;
+  sweep.configs.push_back(driver::parse_config_spec("araxl:64"));
+  sweep.kernels = {"fmatmul"};
+  sweep.bytes_per_lane = {512};
+  const std::vector<driver::Job> jobs = driver::expand(sweep);
+  ASSERT_EQ(jobs.size(), 1u);
+  driver::RunnerOptions opts = test_runner_opts();
+  std::size_t pulses = 0;
+  opts.pulse = [&pulses] { ++pulses; };
+  const driver::JobResult res = driver::run_job(jobs[0], opts);
+  EXPECT_TRUE(res.ok) << res.error;
+  EXPECT_GT(pulses, 0u);
+}
+
+}  // namespace
+}  // namespace araxl

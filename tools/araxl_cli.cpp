@@ -29,6 +29,8 @@
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 #include "analysis/analysis.hpp"
 #include "common/contracts.hpp"
 #include "common/faults.hpp"
@@ -41,6 +43,8 @@
 #include "obs/metrics.hpp"
 #include "obs/trace_export.hpp"
 #include "ppa/freq_model.hpp"
+#include "serve/ledger.hpp"
+#include "serve/worker.hpp"
 #include "store/merge.hpp"
 #include "store/result_store.hpp"
 #include "store/version.hpp"
@@ -93,7 +97,16 @@ int usage(std::FILE* out) {
       "              [--retries <n>] [--backoff-ms <ms>]\n"
       "              [--inject-faults <spec>]\n"
       "              [--trace-out <file>] [--metrics-out <file|->]\n"
+      "  araxl serve --ledger <file> [sweep axes/presets as above]\n"
+      "              [--no-verify] [--fsync] [--seed <n>]\n"
+      "  araxl worker --ledger <file> [--id <worker-id>]\n"
+      "              [--lease-ttl-ms <ms>] [--heartbeat-ms <ms>]\n"
+      "              [--straggler-mult <x>] [--straggler-floor-ms <ms>]\n"
+      "              [--poll-ms <ms>] [--store <file>] [--no-cache]\n"
+      "              [--fsync] [--job-timeout <s>] [--retries <n>]\n"
+      "              [--backoff-ms <ms>] [--inject-faults <spec>] [--quiet]\n"
       "  araxl merge (--json <out>|--csv <out>) <shard-report>...\n"
+      "  araxl merge --ledger <file> [--json <out>] [--csv <out>]\n"
       "  araxl cache (ls | stats | gc) [--store <file>]\n"
       "  araxl stats [--store <file>] [--kernels <k,...>]\n"
       "              [--config <substr,...>] [--csv <file|->]\n"
@@ -120,6 +133,20 @@ int usage(std::FILE* out) {
       "  real cache_hit flags instead of the deterministic zeros;\n"
       "  --provenance likewise reports the real wakeups_total /\n"
       "  batched_iterations engine counters (and retry attempts).\n"
+      "fleet orchestration (serve / worker / merge --ledger):\n"
+      "  `araxl serve` enqueues a sweep into a crash-safe append-only job\n"
+      "  ledger (checksummed JSONL, same torn-tail discipline as the store);\n"
+      "  any number of `araxl worker` processes then pull jobs under lease:\n"
+      "  atomic O_EXCL claim files in <ledger>.leases/, heartbeat renewal\n"
+      "  while a job simulates, lease expiry -> automatic re-dispatch of a\n"
+      "  killed worker's jobs, and straggler jobs exceeding\n"
+      "  --straggler-mult x the fleet's median job time are speculatively\n"
+      "  re-dispatched. Execution is at-least-once but byte-exact: duplicate\n"
+      "  completions dedupe by job fingerprint, and `araxl merge --ledger`\n"
+      "  reassembles a final report cmp-identical to a single-process sweep.\n"
+      "  SIGTERM drains a worker gracefully (in-flight job unwinds, lease\n"
+      "  released, exit 130); a kill -9'd worker's lease simply expires.\n"
+      "  --fsync makes ledger/store appends power-loss durable.\n"
       "fault tolerance:\n"
       "  --job-timeout <s>       per-job wall-clock deadline, checked\n"
       "                          cooperatively at scheduler wakeups; an\n"
@@ -134,7 +161,9 @@ int usage(std::FILE* out) {
       "  --inject-faults <spec>  deterministic fault injection (also read from\n"
       "                          ARAXL_FAULTS); spec items, comma-separated:\n"
       "                          seed=<u64> store.open=<rate> store.write=<rate>\n"
-      "                          store.rename=<rate> job=<rate>[@k]\n"
+      "                          store.rename=<rate> ledger.open=<rate>\n"
+      "                          ledger.write=<rate> lease.claim=<rate>\n"
+      "                          lease.renew=<rate> job=<rate>[@k]\n"
       "                          job.fail=<rate> job.hang=<rate>\n"
       "  Ctrl-C / SIGTERM stop the sweep gracefully: running jobs unwind at\n"
       "  their next wakeup check, finished results are already flushed to the\n"
@@ -198,7 +227,9 @@ bool flag_takes_value(std::string_view name) {
       "--csv",         "--store",         "--shard",   "--job-timeout",
       "--watchdog-budget", "--retries",   "--backoff-ms",
       "--inject-faults",   "--trace-out", "--metrics-out",
-      "--out",         "--from-json",
+      "--out",         "--from-json",     "--ledger",  "--id",
+      "--lease-ttl-ms",    "--heartbeat-ms",
+      "--straggler-mult",  "--straggler-floor-ms",     "--poll-ms",
   };
   for (const std::string_view v : kValued) {
     if (name == v) return true;
@@ -368,6 +399,7 @@ int run_and_report(const driver::SweepSpec& spec, const Args& args,
         path != nullptr ? *path : kDefaultStorePath);
     result_store->set_fault_injector(faults.get());
     result_store->set_metrics(opts.metrics);
+    result_store->set_fsync(args.has("--fsync"));
     opts.store = result_store.get();
   }
   const bool quiet = args.has("--quiet");
@@ -410,8 +442,13 @@ int run_and_report(const driver::SweepSpec& spec, const Args& args,
   // cmp runs pass --quiet, and reports never carry wall-clock data).
   std::atomic<bool> hb_stop{false};
   std::thread heartbeat;
+  // Every heartbeat line carries a stable worker-id prefix (--id, default
+  // w0) so interleaved stderr from a fleet of processes stays attributable.
+  const std::string* id_flag = args.get("--id");
+  const std::string hb_id = id_flag != nullptr ? *id_flag : "w0";
   if (!quiet && jobs.size() > 1) {
-    heartbeat = std::thread([&hb_stop, &hb_done, &hb_cached, &jobs, t0] {
+    heartbeat = std::thread([&hb_stop, &hb_done, &hb_cached, &hb_id, &jobs,
+                             t0] {
       while (!hb_stop.load(std::memory_order_relaxed)) {
         std::this_thread::sleep_for(std::chrono::milliseconds(2000));
         if (hb_stop.load(std::memory_order_relaxed)) break;
@@ -425,9 +462,10 @@ int run_and_report(const driver::SweepSpec& spec, const Args& args,
             elapsed / static_cast<double>(done) *
             static_cast<double>(jobs.size() - done);
         std::fprintf(stderr,
-                     "[heartbeat] %zu/%zu jobs (%zu cached, %zu simulated), "
-                     "%.1fs elapsed, ETA %.1fs\n",
-                     done, jobs.size(), cached, done - cached, elapsed, eta);
+                     "[%s] [heartbeat] %zu/%zu jobs (%zu cached, %zu "
+                     "simulated), %.1fs elapsed, ETA %.1fs\n",
+                     hb_id.c_str(), done, jobs.size(), cached, done - cached,
+                     elapsed, eta);
       }
     });
   }
@@ -571,6 +609,25 @@ std::string slurp(const std::string& path) {
 int cmd_merge(const Args& args) {
   const std::string* json_out = args.get("--json");
   const std::string* csv_out = args.get("--csv");
+  if (const std::string* ledger = args.get("--ledger")) {
+    // Fleet mode: reassemble the final report from a complete ledger's
+    // done records. Both outputs are allowed at once — the ledger carries
+    // each job's JSON and CSV record text.
+    check(json_out != nullptr || csv_out != nullptr,
+          "merge --ledger needs --json <out> and/or --csv <out>");
+    check(args.positional.size() == 1,
+          "merge --ledger takes no input reports");
+    const serve::LedgerLoad led = serve::ledger_load(*ledger);
+    if (json_out != nullptr) {
+      driver::write_report(*json_out, serve::ledger_report_json(led));
+    }
+    if (csv_out != nullptr) {
+      driver::write_report(*csv_out, serve::ledger_report_csv(led));
+    }
+    std::fprintf(stderr, "assembled %zu job(s) from ledger %s\n",
+                 led.done_count, ledger->c_str());
+    return 0;
+  }
   check((json_out != nullptr) != (csv_out != nullptr),
         "merge needs exactly one of --json <out> or --csv <out>");
   check(args.positional.size() >= 2,
@@ -824,7 +881,9 @@ int cmd_run(const Args& args) {
   return run_and_report(spec, args, /*print_summary=*/true);
 }
 
-int cmd_sweep(const Args& args) {
+// Sweep axes from presets + overrides; shared by `sweep` (execute here)
+// and `serve` (enqueue into a ledger for a worker fleet).
+driver::SweepSpec build_sweep_spec(const Args& args) {
   driver::SweepSpec spec;
   if (args.has("--fig6")) {
     spec = preset_fig6();
@@ -855,7 +914,103 @@ int cmd_sweep(const Args& args) {
   }
   if (spec.bytes_per_lane.empty()) spec.bytes_per_lane = {64, 128, 256, 512};
   spec.base_seed = flag_u64(args, "--seed", 0);
-  return run_and_report(spec, args, !args.has("--quiet"));
+  return spec;
+}
+
+int cmd_sweep(const Args& args) {
+  return run_and_report(build_sweep_spec(args), args, !args.has("--quiet"));
+}
+
+// `araxl serve` — enqueue a sweep into a crash-safe job ledger. Workers
+// re-expand the job list from the header, so the ledger stores the
+// declarative axes (a ConfigPoint's label IS its parseable spec string),
+// not per-job configs.
+int cmd_serve(const Args& args) {
+  const std::string* ledger = args.get("--ledger");
+  check(ledger != nullptr, "serve needs --ledger <file>");
+  const driver::SweepSpec spec = build_sweep_spec(args);
+
+  serve::LedgerSpec lspec;
+  lspec.configs.reserve(spec.configs.size());
+  for (const driver::ConfigPoint& cp : spec.configs) {
+    lspec.configs.push_back(cp.label);
+  }
+  lspec.kernels = spec.kernels;
+  lspec.bytes_per_lane = spec.bytes_per_lane;
+  lspec.base_seed = spec.base_seed;
+  lspec.verify = !args.has("--no-verify");
+  lspec.version = store::build_version();
+  lspec.jobs = driver::expand(spec).size();
+
+  const std::unique_ptr<FaultInjector> faults =
+      make_fault_injector(args.get("--inject-faults"));
+  serve::ledger_create(*ledger, lspec, faults.get(), args.has("--fsync"));
+  std::fprintf(stderr,
+               "enqueued %llu job(s) into %s (build %s); start workers with: "
+               "araxl worker --ledger %s\n",
+               static_cast<unsigned long long>(lspec.jobs), ledger->c_str(),
+               lspec.version.c_str(), ledger->c_str());
+  return 0;
+}
+
+// `araxl worker` — one fleet worker process pulling ledger jobs under
+// lease. Any number of these run concurrently against one ledger; see
+// src/serve/worker.hpp for the protocol.
+int cmd_worker(const Args& args) {
+  const std::string* ledger = args.get("--ledger");
+  check(ledger != nullptr, "worker needs --ledger <file>");
+
+  serve::WorkerOptions wopts;
+  wopts.ledger_path = *ledger;
+  const std::string* id = args.get("--id");
+  wopts.worker_id =
+      id != nullptr ? *id : strprintf("w-%d", static_cast<int>(::getpid()));
+  wopts.lease_ttl_ms = flag_u64(args, "--lease-ttl-ms", 15000);
+  wopts.heartbeat_ms = flag_u64(args, "--heartbeat-ms", 0);
+  wopts.speculation.straggler_mult =
+      flag_double(args, "--straggler-mult", 3.0);
+  wopts.speculation.floor_ms = flag_u64(args, "--straggler-floor-ms", 2000);
+  wopts.poll_ms = flag_u64(args, "--poll-ms", 200);
+  wopts.fsync = args.has("--fsync");
+
+  wopts.runner.job_timeout_s = flag_double(args, "--job-timeout", 0.0);
+  wopts.runner.watchdog_budget = flag_u64(args, "--watchdog-budget", 0);
+  wopts.runner.retry.max_attempts =
+      1 + static_cast<unsigned>(flag_u64(args, "--retries", 2));
+  wopts.runner.retry.backoff_ms = flag_u64(args, "--backoff-ms", 100);
+  install_signal_handlers();
+  wopts.runner.cancel = &g_shutdown;
+  const std::unique_ptr<FaultInjector> faults =
+      make_fault_injector(args.get("--inject-faults"));
+  wopts.runner.faults = faults.get();
+
+  std::unique_ptr<store::ResultStore> result_store;
+  if (!args.has("--no-cache")) {
+    const std::string* path = args.get("--store");
+    result_store = std::make_unique<store::ResultStore>(
+        path != nullptr ? *path : kDefaultStorePath);
+    result_store->set_fault_injector(faults.get());
+    result_store->set_fsync(args.has("--fsync"));
+    wopts.runner.store = result_store.get();
+  }
+  if (!args.has("--quiet")) {
+    if (faults != nullptr) {
+      std::fprintf(stderr, "fault injection active: %s\n",
+                   faults->describe().c_str());
+    }
+    wopts.log = [](const std::string& msg) {
+      std::fprintf(stderr, "%s\n", msg.c_str());
+    };
+  }
+
+  const serve::WorkerReport rep = serve::run_worker(wopts);
+  if (rep.cancelled) {
+    std::fprintf(stderr,
+                 "interrupted — completed jobs are in the ledger; restart "
+                 "the worker to resume\n");
+    return 130;
+  }
+  return rep.failed == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -872,6 +1027,8 @@ int main(int argc, char** argv) {
     if (cmd == "list-kernels") return cmd_list_kernels();
     if (cmd == "run") return cmd_run(args);
     if (cmd == "sweep") return cmd_sweep(args);
+    if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "worker") return cmd_worker(args);
     if (cmd == "merge") return cmd_merge(args);
     if (cmd == "cache") return cmd_cache(args);
     if (cmd == "stats") return cmd_stats(args);
