@@ -113,23 +113,30 @@ BENCHMARK(BM_FmatmulSimOracle)->Unit(benchmark::kMillisecond);
 
 // ---- sim-speed trajectory (--emit-json) -------------------------------------
 
-/// Simulated cycles per wall second for `prog` on a fresh run of `m`,
-/// measured over enough repetitions to cover ~0.5 s (long enough that the
-/// event/oracle ratio is stable within the trajectory gate's tolerance).
+/// Simulated cycles per wall second for `prog` on a fresh run of `m`.
+/// Best-of-windows, not one long average: the hosts this runs on (CI
+/// runners, shared containers) suffer multi-x interference spikes, and
+/// interference only ever slows a run down — so the fastest of several
+/// short windows is the estimate closest to the machine's true rate, and
+/// the one that keeps the event/oracle ratio stable across regenerations.
 double measure_cycles_per_s(Machine& m, const Program& prog,
                             obs::MetricsRegistry* metrics = nullptr) {
   // One warmup run (page faults, allocator steady state).
-  std::uint64_t sim_cycles = m.run(prog, nullptr, nullptr, metrics).cycles;
-  const auto t0 = std::chrono::steady_clock::now();
-  std::uint64_t total = 0;
-  double elapsed = 0.0;
-  do {
-    total += m.run(prog, nullptr, nullptr, metrics).cycles;
-    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-                  .count();
-  } while (elapsed < 0.5);
-  (void)sim_cycles;
-  return static_cast<double>(total) / elapsed;
+  m.run(prog, nullptr, nullptr, metrics);
+  double best = 0.0;
+  for (int w = 0; w < 5; ++w) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t total = 0;
+    double elapsed = 0.0;
+    do {
+      total += m.run(prog, nullptr, nullptr, metrics).cycles;
+      elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+    } while (elapsed < 0.12);
+    best = std::max(best, static_cast<double>(total) / elapsed);
+  }
+  return best;
 }
 
 /// Cost of carrying a live metrics registry, as (rate without) / (rate
@@ -201,10 +208,16 @@ TrajectoryEntry measure_entry(const char* name, unsigned lanes,
 int emit_trajectory(const char* path) {
   std::vector<TrajectoryEntry> entries;
   entries.push_back(measure_entry("axpy", 8, 0));
-  entries.push_back(measure_entry("axpy", 64, 0));
+  // Registry axpy at a long AVL: 64-lane batching only engages once the
+  // run is deep enough for warmup projection, which the hand-built bpl=0
+  // program (16384 elements = 2 strips at 64 lanes) never reaches. Deep
+  // enough (bpl=16384 is 128 strips) that the batched steady state, not
+  // the warmup, dominates the measured rate.
+  entries.push_back(measure_entry("axpy", 64, 16384));
   entries.push_back(measure_entry("fdotproduct", 8, 16384));
   entries.push_back(measure_entry("stream_triad", 8, 32768));
   entries.push_back(measure_entry("jacobi2d", 16, 256));
+  entries.push_back(measure_entry("jacobi2d", 64, 256));
   entries.push_back(measure_entry("fmatmul", 16, 64));
 
   std::string out = "{\n";

@@ -342,7 +342,7 @@ std::string render_rows_csv(const Dataset& ds) {
     out += ",stall_";
     out += stall_reason_name(static_cast<StallReason>(i));
   }
-  out += "\n";
+  out += ",batched_iterations,batch_clamps,warmup_projected\n";
   for (const Row& r : ds.rows) {
     out += r.label + "," + r.kernel + "," + unum(r.bytes_per_lane) + "," +
            unum(r.seed) + "," + unum(r.stats.total_lanes) + "," +
@@ -355,6 +355,8 @@ std::string render_rows_csv(const Dataset& ds) {
     for (std::size_t i = 0; i < kNumStallReasons; ++i) {
       out += "," + unum(r.stats.stall_cycles[i]);
     }
+    out += "," + unum(r.stats.batched_iterations) + "," +
+           unum(r.stats.batch_clamps) + "," + unum(r.stats.warmup_projected);
     out += "\n";
   }
   return out;
@@ -620,6 +622,17 @@ Dataset dataset_from_json_report(std::string_view doc,
     }
     if (const store::JsonValue* v = stats->get("fpu_busy_slots")) {
       row.stats.fpu_busy_slots = v->as_u64();
+    }
+    // Batching provenance: present (and nonzero) only in --provenance
+    // reports; default reports carry deterministic zeros.
+    if (const store::JsonValue* v = stats->get("batched_iterations")) {
+      row.stats.batched_iterations = v->as_u64();
+    }
+    if (const store::JsonValue* v = stats->get("batch_clamps")) {
+      row.stats.batch_clamps = v->as_u64();
+    }
+    if (const store::JsonValue* v = stats->get("warmup_projected")) {
+      row.stats.warmup_projected = v->as_u64();
     }
     row.freq_ghz = ppa->get("freq_ghz")->as_double();
     row.area_mm2 = ppa->get("area_mm2")->as_double();

@@ -106,6 +106,9 @@ std::string stats_json(const RunStats& s, const ReportOptions& opts) {
     out += unum(opts.live_provenance ? s.batch_rejects[i] : 0);
   }
   out += "},";
+  out += "\"batch_clamps\":" + unum(opts.live_provenance ? s.batch_clamps : 0) + ",";
+  out += "\"warmup_projected\":" +
+         unum(opts.live_provenance ? s.warmup_projected : 0) + ",";
   // Stall taxonomy: exact measurements (bit-identical across engines and
   // batching), but reported like provenance — zeroed by default so the
   // default-report surface stays a stable, minimal contract. The store
@@ -193,7 +196,7 @@ std::string csv_header() {
       "wakeups_total,"
       "batched_iterations,"
       "reject_addr_progression,reject_liveness_gate,reject_snapshot_mismatch,"
-      "reject_vl_tail,reject_grant_change,"
+      "reject_vl_tail,reject_grant_change,batch_clamps,warmup_projected,"
       "stall_issue_pressure,stall_raw_dependency,stall_structural_unit,"
       "stall_mem_latency,stall_mem_bandwidth,stall_reduction_slide_latency,"
       "stall_drain_tail,fpu_busy_slots,kind,clusters,"
@@ -218,6 +221,8 @@ std::string csv_row(const JobResult& r, const ReportOptions& opts) {
     for (std::size_t i = 0; i < kNumBatchRejects; ++i) {
       out += unum(opts.live_provenance ? r.stats.batch_rejects[i] : 0) + ",";
     }
+    out += unum(opts.live_provenance ? r.stats.batch_clamps : 0) + ",";
+    out += unum(opts.live_provenance ? r.stats.warmup_projected : 0) + ",";
     for (std::size_t i = 0; i < kNumStallReasons; ++i) {
       out += unum(opts.live_provenance ? r.stats.stall_cycles[i] : 0) + ",";
     }

@@ -25,7 +25,14 @@ class Jacobi2dKernel final : public Kernel {
   Program build(Machine& m, std::uint64_t bytes_per_lane) override {
     const MachineConfig& cfg = m.config();
     n_ = elems_for_bytes_per_lane(cfg, bytes_per_lane);
-    in_cols_ = n_ + 2;  // one halo column on each side
+    // One halo column on each side, then pad the input pitch up to a
+    // multiple of the lane count so the per-row load address advances by a
+    // bus-aligned step (bus width is 8 bytes x total lanes). The stores
+    // already step by n_*8, which is lane-aligned; with both progressions
+    // bus-phase-periodic the whole row loop becomes batchable.
+    in_cols_ = n_ + 2;
+    const std::uint64_t lanes = cfg.total_lanes();
+    in_cols_ += (lanes - in_cols_ % lanes) % lanes;
 
     in_ = random_doubles((kRows + 2) * in_cols_, -1.0, 1.0, input_seed(0x1A));
 

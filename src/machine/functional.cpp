@@ -3,12 +3,71 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <type_traits>
 #include <vector>
 
 #include "common/contracts.hpp"
 
 namespace araxl {
+
+namespace {
+
+// binary16 <-> binary64. All FP arithmetic in this engine runs in double;
+// like the SEW=32 float cast, the narrowing conversion rounds exactly once
+// on writeback (round-to-nearest-even), so bulk and per-element paths agree
+// bit for bit.
+double f16_to_f64(std::uint16_t h) {
+  const int exp = (h >> 10) & 0x1F;
+  const std::uint32_t frac = h & 0x3FF;
+  double v;
+  if (exp == 0x1F) {
+    v = frac != 0 ? std::numeric_limits<double>::quiet_NaN()
+                  : std::numeric_limits<double>::infinity();
+  } else if (exp == 0) {
+    v = std::ldexp(static_cast<double>(frac), -24);  // subnormal or zero
+  } else {
+    v = std::ldexp(static_cast<double>(frac + 1024), exp - 25);
+  }
+  return (h & 0x8000) != 0 ? -v : v;
+}
+
+std::uint16_t f64_to_f16(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, 8);
+  const auto sign = static_cast<std::uint16_t>((bits >> 48) & 0x8000);
+  const int e = static_cast<int>((bits >> 52) & 0x7FF);
+  const std::uint64_t mant = bits & 0xFFFFFFFFFFFFFULL;
+  if (e == 0x7FF) {  // inf / NaN (NaN payloads canonicalised to quiet)
+    return static_cast<std::uint16_t>(sign | 0x7C00 | (mant != 0 ? 0x200 : 0));
+  }
+  int he = e - 1023 + 15;
+  if (he >= 31) return static_cast<std::uint16_t>(sign | 0x7C00);  // -> inf
+  std::uint64_t sig = mant | (e != 0 ? (1ULL << 52) : 0);
+  int shift = 42;  // 52-bit significand -> 10-bit fraction
+  if (he <= 0) {   // subnormal target: shift the hidden bit into the fraction
+    shift += 1 - he;
+    he = 0;
+  }
+  if (shift >= 64) return sign;  // below half the smallest subnormal
+  const std::uint64_t keep = sig >> shift;
+  const std::uint64_t rem = sig & ((1ULL << shift) - 1);
+  const std::uint64_t half = 1ULL << (shift - 1);
+  std::uint64_t rounded = keep;
+  if (rem > half || (rem == half && (keep & 1) != 0)) ++rounded;
+  if (he == 0) {
+    // A carry out of the fraction lands on the exponent-1 bit, which is
+    // already the correct smallest-normal encoding.
+    return static_cast<std::uint16_t>(sign | rounded);
+  }
+  // `keep` includes the hidden bit (1024). The plain addition lets a carry
+  // to 2048 bump the exponent, and he==30 overflowing to 31 produces the
+  // infinity encoding — both intentional.
+  return static_cast<std::uint16_t>(
+      sign + (static_cast<std::uint64_t>(he) << 10) + rounded - 1024);
+}
+
+}  // namespace
 
 FunctionalEngine::FunctionalEngine(const MachineConfig& cfg, Vrf& vrf,
                                    MainMemory& mem)
@@ -18,7 +77,9 @@ double FunctionalEngine::read_f(unsigned reg, std::uint64_t i) const {
   switch (vtype_.sew) {
     case Sew::k64: return vrf_.read_f64(reg, i);
     case Sew::k32: return static_cast<double>(vrf_.read_f32(reg, i));
-    default: fail("FP operations require SEW of 32 or 64");
+    case Sew::k16:
+      return f16_to_f64(static_cast<std::uint16_t>(vrf_.read_elem(reg, i, 2)));
+    default: fail("FP operations require SEW of 16, 32 or 64");
   }
 }
 
@@ -26,7 +87,8 @@ void FunctionalEngine::write_f(unsigned reg, std::uint64_t i, double v) {
   switch (vtype_.sew) {
     case Sew::k64: vrf_.write_f64(reg, i, v); return;
     case Sew::k32: vrf_.write_f32(reg, i, static_cast<float>(v)); return;
-    default: fail("FP operations require SEW of 32 or 64");
+    case Sew::k16: vrf_.write_elem(reg, i, 2, f64_to_f16(v)); return;
+    default: fail("FP operations require SEW of 16, 32 or 64");
   }
 }
 
@@ -193,6 +255,10 @@ void FunctionalEngine::exec_memory(const VInstr& in) {
       exec_memory_bulk_strided(in)) {
     return;
   }
+  if ((in.op == Op::kVle || in.op == Op::kVse) && in.masked &&
+      exec_memory_bulk_masked_unit(in)) {
+    return;
+  }
   const auto elem_addr = [&](std::uint64_t i) -> std::uint64_t {
     switch (in.op) {
       case Op::kVle:
@@ -285,90 +351,211 @@ bool FunctionalEngine::exec_memory_bulk_strided(const VInstr& in) {
   return true;
 }
 
-bool FunctionalEngine::exec_fp_bulk64(const VInstr& in) {
-  if (vtype_.sew != Sew::k64 || in.masked) return false;
+bool FunctionalEngine::exec_memory_bulk_masked_unit(const VInstr& in) {
+  const unsigned ew = ew_bytes();
+  const std::uint64_t total = vl_ * ew;
+  // One bounds check for the whole range. Any out-of-bounds byte falls back
+  // to the per-element loop, which reports the exact faulting active element
+  // (a range whose out-of-bounds elements are all inactive also falls back —
+  // that only costs speed, never correctness).
+  if (in.addr > mem_.size() || total > mem_.size() - in.addr) return false;
+  const bool is_load = in.op == Op::kVle;
+  buf_mem_.resize(total);
+  std::uint8_t* buf = buf_mem_.data();
+  std::uint8_t* ram = mem_.raw(in.addr, total);
+
+  // Fixed-width copies so the compiler lowers each to a plain load/store.
+  const auto stream = [&]<unsigned kW>() {
+    // Both directions route through the current vd stream: a masked load
+    // merges into vd (inactive elements keep their old value), and a masked
+    // store sources vd and touches only the active elements of memory.
+    vrf_.read_stream(in.vd, vl_, kW, buf);
+    if (is_load) {
+      for (std::uint64_t i = 0; i < vl_; ++i) {
+        if (vrf_.mask_bit(0, i)) std::memcpy(buf + i * kW, ram + i * kW, kW);
+      }
+      vrf_.write_stream(in.vd, vl_, kW, buf);
+    } else {
+      for (std::uint64_t i = 0; i < vl_; ++i) {
+        if (vrf_.mask_bit(0, i)) std::memcpy(ram + i * kW, buf + i * kW, kW);
+      }
+    }
+  };
+  switch (ew) {
+    case 1: stream.template operator()<1>(); break;
+    case 2: stream.template operator()<2>(); break;
+    case 4: stream.template operator()<4>(); break;
+    case 8: stream.template operator()<8>(); break;
+    default: return false;
+  }
+  return true;
+}
+
+bool FunctionalEngine::exec_fp_bulk(const VInstr& in) {
+  if (in.masked) return false;
+  const unsigned ew = ew_bytes();
+  if (ew != 2 && ew != 4 && ew != 8) return false;
   const OpSpec& spec = op_spec(in.op);
   const std::uint64_t n = vl_;
+  const double fs = scalar_of(in);
+  // The opcode kernel, shared by both data paths below. Returns false for
+  // ops this bulk path doesn't cover (conversions etc. take the
+  // per-element path); probing with cnt == 0 answers "covered?" without
+  // touching any data.
+  const auto compute = [&](double* d, const double* a, const double* b,
+                           std::uint64_t cnt) -> bool {
+    switch (in.op) {
+      case Op::kVfaddVV: for (std::uint64_t i = 0; i < cnt; ++i) d[i] = a[i] + b[i]; break;
+      case Op::kVfaddVF: for (std::uint64_t i = 0; i < cnt; ++i) d[i] = a[i] + fs; break;
+      case Op::kVfsubVV: for (std::uint64_t i = 0; i < cnt; ++i) d[i] = a[i] - b[i]; break;
+      case Op::kVfsubVF: for (std::uint64_t i = 0; i < cnt; ++i) d[i] = a[i] - fs; break;
+      case Op::kVfrsubVF: for (std::uint64_t i = 0; i < cnt; ++i) d[i] = fs - a[i]; break;
+      case Op::kVfmulVV: for (std::uint64_t i = 0; i < cnt; ++i) d[i] = a[i] * b[i]; break;
+      case Op::kVfmulVF: for (std::uint64_t i = 0; i < cnt; ++i) d[i] = a[i] * fs; break;
+      case Op::kVfdivVV: for (std::uint64_t i = 0; i < cnt; ++i) d[i] = a[i] / b[i]; break;
+      case Op::kVfdivVF: for (std::uint64_t i = 0; i < cnt; ++i) d[i] = a[i] / fs; break;
+      case Op::kVfrdivVF: for (std::uint64_t i = 0; i < cnt; ++i) d[i] = fs / a[i]; break;
+      case Op::kVfmaccVV:
+        for (std::uint64_t i = 0; i < cnt; ++i) d[i] = std::fma(b[i], a[i], d[i]);
+        break;
+      case Op::kVfmaccVF:
+        for (std::uint64_t i = 0; i < cnt; ++i) d[i] = std::fma(fs, a[i], d[i]);
+        break;
+      case Op::kVfnmsacVV:
+        for (std::uint64_t i = 0; i < cnt; ++i) d[i] = std::fma(-b[i], a[i], d[i]);
+        break;
+      case Op::kVfnmsacVF:
+        for (std::uint64_t i = 0; i < cnt; ++i) d[i] = std::fma(-fs, a[i], d[i]);
+        break;
+      case Op::kVfmaddVF:
+        for (std::uint64_t i = 0; i < cnt; ++i) d[i] = std::fma(d[i], fs, a[i]);
+        break;
+      case Op::kVfmaddVV:
+        for (std::uint64_t i = 0; i < cnt; ++i) d[i] = std::fma(d[i], b[i], a[i]);
+        break;
+      case Op::kVfmsacVF:
+        for (std::uint64_t i = 0; i < cnt; ++i) d[i] = std::fma(fs, a[i], -d[i]);
+        break;
+      case Op::kVfminVV:
+        for (std::uint64_t i = 0; i < cnt; ++i) d[i] = std::fmin(a[i], b[i]);
+        break;
+      case Op::kVfminVF:
+        for (std::uint64_t i = 0; i < cnt; ++i) d[i] = std::fmin(a[i], fs);
+        break;
+      case Op::kVfmaxVV:
+        for (std::uint64_t i = 0; i < cnt; ++i) d[i] = std::fmax(a[i], b[i]);
+        break;
+      case Op::kVfmaxVF:
+        for (std::uint64_t i = 0; i < cnt; ++i) d[i] = std::fmax(a[i], fs);
+        break;
+      case Op::kVfsgnjVV:
+        for (std::uint64_t i = 0; i < cnt; ++i) d[i] = std::copysign(a[i], b[i]);
+        break;
+      case Op::kVfsgnjnVV:
+        for (std::uint64_t i = 0; i < cnt; ++i) d[i] = std::copysign(a[i], -b[i]);
+        break;
+      case Op::kVfsqrtV:
+        for (std::uint64_t i = 0; i < cnt; ++i) d[i] = std::sqrt(a[i]);
+        break;
+      default: return false;
+    }
+    return true;
+  };
+  if (!compute(nullptr, nullptr, nullptr, 0)) return false;
+
+  // SEW-64 zero-copy path: at SEW 64 the packed mirror bytes ARE the
+  // doubles, so when every operand group's mirror is valid the op computes
+  // directly in the mirror — no staging copies at all. Source and
+  // destination groups must coincide exactly or not overlap (the RVV
+  // legality rule the kernels follow); a shifted overlap would make the
+  // in-place elementwise loop read already-written elements where the
+  // staged path below reads the old ones.
+  if (ew == 8) {
+    const std::uint64_t epr = vrf_.mapping().elems_per_reg(8);
+    const auto group_regs = static_cast<unsigned>((n + epr - 1) / epr);
+    const auto clean = [&](unsigned src) {
+      return src == in.vd || src + group_regs <= in.vd ||
+             in.vd + group_regs <= src;
+    };
+    if (clean(in.vs2) && (!spec.reads_vs1 || clean(in.vs1))) {
+      const std::uint8_t* a8 = vrf_.packed_read_span(in.vs2, n, 8);
+      const std::uint8_t* b8 =
+          spec.reads_vs1 ? vrf_.packed_read_span(in.vs1, n, 8) : nullptr;
+      std::uint8_t* d8 = vrf_.packed_write_span(in.vd, n, 8, spec.reads_vd);
+      compute(reinterpret_cast<double*>(d8), reinterpret_cast<const double*>(a8),
+              reinterpret_cast<const double*>(b8), n);
+      return true;
+    }
+  }
+
   const auto as_bytes = [](std::vector<double>& v) {
     return reinterpret_cast<std::uint8_t*>(v.data());
   };
+  // Stream a register into a double buffer, widening narrow elements. The
+  // widening is exact (f16/f32 -> f64 is injective), so computing in double
+  // and narrowing once on writeback matches the per-element path bit for
+  // bit — that path also reads wide, computes in double, and rounds once
+  // inside write_f.
+  const auto load_wide = [&](unsigned reg, std::vector<double>& dst) {
+    dst.resize(n);
+    if (ew == 8) {
+      vrf_.read_stream(reg, n, 8, as_bytes(dst));
+      return;
+    }
+    buf_mem_.resize(n * ew);
+    vrf_.read_stream(reg, n, ew, buf_mem_.data());
+    if (ew == 4) {
+      for (std::uint64_t i = 0; i < n; ++i) {
+        float f = 0.0F;
+        std::memcpy(&f, buf_mem_.data() + i * 4, 4);
+        dst[i] = static_cast<double>(f);
+      }
+    } else {
+      for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint16_t h = 0;
+        std::memcpy(&h, buf_mem_.data() + i * 2, 2);
+        dst[i] = f16_to_f64(h);
+      }
+    }
+  };
 
   // Gather the operand streams this opcode needs.
-  buf_s2_.resize(n);
-  vrf_.read_stream(in.vs2, n, 8, as_bytes(buf_s2_));
+  load_wide(in.vs2, buf_s2_);
   const double* a = buf_s2_.data();
   const double* b = nullptr;
   if (spec.reads_vs1) {
-    buf_s1_.resize(n);
-    vrf_.read_stream(in.vs1, n, 8, as_bytes(buf_s1_));
+    load_wide(in.vs1, buf_s1_);
     b = buf_s1_.data();
   }
   buf_d_.resize(n);
   double* d = buf_d_.data();
-  if (spec.reads_vd) vrf_.read_stream(in.vd, n, 8, as_bytes(buf_d_));
-  const double fs = scalar_of(in);
+  if (spec.reads_vd) load_wide(in.vd, buf_d_);
 
-  switch (in.op) {
-    case Op::kVfaddVV: for (std::uint64_t i = 0; i < n; ++i) d[i] = a[i] + b[i]; break;
-    case Op::kVfaddVF: for (std::uint64_t i = 0; i < n; ++i) d[i] = a[i] + fs; break;
-    case Op::kVfsubVV: for (std::uint64_t i = 0; i < n; ++i) d[i] = a[i] - b[i]; break;
-    case Op::kVfsubVF: for (std::uint64_t i = 0; i < n; ++i) d[i] = a[i] - fs; break;
-    case Op::kVfrsubVF: for (std::uint64_t i = 0; i < n; ++i) d[i] = fs - a[i]; break;
-    case Op::kVfmulVV: for (std::uint64_t i = 0; i < n; ++i) d[i] = a[i] * b[i]; break;
-    case Op::kVfmulVF: for (std::uint64_t i = 0; i < n; ++i) d[i] = a[i] * fs; break;
-    case Op::kVfdivVV: for (std::uint64_t i = 0; i < n; ++i) d[i] = a[i] / b[i]; break;
-    case Op::kVfdivVF: for (std::uint64_t i = 0; i < n; ++i) d[i] = a[i] / fs; break;
-    case Op::kVfrdivVF: for (std::uint64_t i = 0; i < n; ++i) d[i] = fs / a[i]; break;
-    case Op::kVfmaccVV:
-      for (std::uint64_t i = 0; i < n; ++i) d[i] = std::fma(b[i], a[i], d[i]);
-      break;
-    case Op::kVfmaccVF:
-      for (std::uint64_t i = 0; i < n; ++i) d[i] = std::fma(fs, a[i], d[i]);
-      break;
-    case Op::kVfnmsacVV:
-      for (std::uint64_t i = 0; i < n; ++i) d[i] = std::fma(-b[i], a[i], d[i]);
-      break;
-    case Op::kVfnmsacVF:
-      for (std::uint64_t i = 0; i < n; ++i) d[i] = std::fma(-fs, a[i], d[i]);
-      break;
-    case Op::kVfmaddVF:
-      for (std::uint64_t i = 0; i < n; ++i) d[i] = std::fma(d[i], fs, a[i]);
-      break;
-    case Op::kVfmaddVV:
-      for (std::uint64_t i = 0; i < n; ++i) d[i] = std::fma(d[i], b[i], a[i]);
-      break;
-    case Op::kVfmsacVF:
-      for (std::uint64_t i = 0; i < n; ++i) d[i] = std::fma(fs, a[i], -d[i]);
-      break;
-    case Op::kVfminVV:
-      for (std::uint64_t i = 0; i < n; ++i) d[i] = std::fmin(a[i], b[i]);
-      break;
-    case Op::kVfminVF:
-      for (std::uint64_t i = 0; i < n; ++i) d[i] = std::fmin(a[i], fs);
-      break;
-    case Op::kVfmaxVV:
-      for (std::uint64_t i = 0; i < n; ++i) d[i] = std::fmax(a[i], b[i]);
-      break;
-    case Op::kVfmaxVF:
-      for (std::uint64_t i = 0; i < n; ++i) d[i] = std::fmax(a[i], fs);
-      break;
-    case Op::kVfsgnjVV:
-      for (std::uint64_t i = 0; i < n; ++i) d[i] = std::copysign(a[i], b[i]);
-      break;
-    case Op::kVfsgnjnVV:
-      for (std::uint64_t i = 0; i < n; ++i) d[i] = std::copysign(a[i], -b[i]);
-      break;
-    case Op::kVfsqrtV:
-      for (std::uint64_t i = 0; i < n; ++i) d[i] = std::sqrt(a[i]);
-      break;
-    default: return false;  // conversions etc. take the per-element path
+  compute(d, a, b, n);
+  if (ew == 8) {
+    vrf_.write_stream(in.vd, n, 8, as_bytes(buf_d_));
+  } else {
+    // Narrow once on writeback — the single rounding step shared with
+    // write_f on the per-element path.
+    buf_mem_.resize(n * ew);
+    if (ew == 4) {
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const auto f = static_cast<float>(d[i]);
+        std::memcpy(buf_mem_.data() + i * 4, &f, 4);
+      }
+    } else {
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint16_t h = f64_to_f16(d[i]);
+        std::memcpy(buf_mem_.data() + i * 2, &h, 2);
+      }
+    }
+    vrf_.write_stream(in.vd, n, ew, buf_mem_.data());
   }
-  vrf_.write_stream(in.vd, n, 8, as_bytes(buf_d_));
   return true;
 }
 
 void FunctionalEngine::exec_fp(const VInstr& in) {
-  if (exec_fp_bulk64(in)) return;
+  if (exec_fp_bulk(in)) return;
   const double fs = scalar_of(in);
   for (std::uint64_t i = 0; i < vl_; ++i) {
     if (!active(in, i)) continue;

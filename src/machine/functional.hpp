@@ -51,11 +51,20 @@ class FunctionalEngine {
   /// scratch, and a single VRF stream. Returns false when the shape needs
   /// the per-element fallback.
   bool exec_memory_bulk_strided(const VInstr& in);
+  /// Bulk *masked* unit-stride path (vle/vse with a mask): one bounds
+  /// check for the whole range, the vd stream read once (load merge keeps
+  /// inactive elements), then fixed-width copies for the active elements
+  /// only. Returns false when any byte of the range is out of bounds —
+  /// the per-element fallback then reports the exact faulting element.
+  bool exec_memory_bulk_masked_unit(const VInstr& in);
   void exec_fp(const VInstr& in);
-  /// Bulk SEW=64 unmasked FP path: operands streamed into contiguous
-  /// scratch, one tight loop per opcode, result streamed back. Returns
-  /// false when the op/shape needs the per-element fallback.
-  bool exec_fp_bulk64(const VInstr& in);
+  /// Bulk unmasked FP path at SEW 16/32/64: operands streamed into
+  /// contiguous scratch (narrow elements widened to double — bit-exact
+  /// with the per-element path, which also computes in double and rounds
+  /// once on writeback), one tight loop per opcode, result narrowed and
+  /// streamed back. Returns false when the op/shape needs the per-element
+  /// fallback.
+  bool exec_fp_bulk(const VInstr& in);
   void exec_int(const VInstr& in);
   /// Bulk unmasked integer/move path at any SEW: operands streamed into
   /// fixed-width scratch, one tight native-width loop per opcode (wrapping

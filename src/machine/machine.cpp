@@ -11,7 +11,12 @@ Machine::Machine(MachineConfig cfg)
 RunStats Machine::run(const Program& prog, InstrTrace* trace,
                       const RunControl* control,
                       obs::MetricsRegistry* metrics) {
-  TimingEngine engine(cfg_, fn_, trace, metrics);
+  // Instrument binding is cached across runs: re-binding the same registry
+  // is a pointer compare, so the per-run cost of carrying metrics is the
+  // counters themselves, not ~40 name lookups.
+  instruments_.bind(metrics);
+  TimingEngine engine(cfg_, fn_, trace,
+                      metrics == nullptr ? nullptr : &instruments_);
   return engine.run(prog, control);
 }
 

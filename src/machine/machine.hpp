@@ -66,6 +66,7 @@ class Machine {
   MainMemory mem_;
   Vrf vrf_;
   FunctionalEngine fn_;
+  EngineInstruments instruments_;
 };
 
 }  // namespace araxl

@@ -46,33 +46,41 @@ constexpr unsigned unit_order(Unit u) { return static_cast<unsigned>(u); }
 }  // namespace
 
 TimingEngine::TimingEngine(const MachineConfig& cfg, FunctionalEngine& fn,
-                           InstrTrace* trace, obs::MetricsRegistry* metrics)
+                           InstrTrace* trace, const EngineInstruments* metrics)
     : cfg_(cfg), fn_(fn), trace_(trace), metrics_(metrics),
       ispec_(cfg.interconnect()),
       reqi_(ispec_), glsu_(ispec_), ring_(ispec_), lanes_(cfg), cva6_(cfg),
       watchdog_(cfg.watchdog_budget == 0 ? WakeupWatchdog::kDefaultBudget
                                          : cfg.watchdog_budget) {}
 
-void TimingEngine::metrics_begin_run() {
-  if (metrics_ == nullptr) return;
+void EngineInstruments::bind(obs::MetricsRegistry* reg) {
+  if (reg == registry) return;
+  registry = reg;
+  if (reg == nullptr) return;
   for (std::size_t u = 1; u < kNumUnits; ++u) {
     const std::string base =
         "engine.unit." + std::string(unit_name(static_cast<Unit>(u)));
-    m_unit_busy_[u] = metrics_->counter(base + ".busy_cycles");
-    m_unit_stall_[u] = metrics_->counter(base + ".stall_cycles");
-    m_unit_idle_[u] = metrics_->counter(base + ".idle_cycles");
+    unit_busy[u] = reg->counter(base + ".busy_cycles");
+    unit_stall[u] = reg->counter(base + ".stall_cycles");
+    unit_idle[u] = reg->counter(base + ".idle_cycles");
   }
   for (std::size_t r = 0; r < kNumBatchRejects; ++r) {
-    m_batch_reject_[r] = metrics_->counter(
+    batch_reject[r] = reg->counter(
         "engine.batch.reject." +
         std::string(batch_reject_name(static_cast<BatchReject>(r))));
   }
   for (std::size_t r = 0; r < kNumStallReasons; ++r) {
-    m_stall_[r] = metrics_->counter(
+    stall[r] = reg->counter(
         "engine.stall." +
         std::string(stall_reason_name(static_cast<StallReason>(r))));
   }
-  m_occupancy_ = metrics_->histogram("engine.inflight_occupancy");
+  occupancy = reg->histogram("engine.inflight_occupancy");
+  runs = reg->counter("engine.runs");
+  cycles = reg->counter("engine.cycles");
+  wakeups = reg->counter("engine.wakeups");
+  batched_iterations = reg->counter("engine.batched_iterations");
+  warmup_projected = reg->counter("engine.batch.warmup_projected");
+  batch_clamps = reg->counter("engine.batch.clamps");
 }
 
 void TimingEngine::metrics_account_units(Cycle t, Cycle span) {
@@ -81,7 +89,7 @@ void TimingEngine::metrics_account_units(Cycle t, Cycle span) {
   for (std::size_t u = 1; u < kNumUnits; ++u) {
     const auto& q = unitq_[u];
     if (q.empty()) {
-      m_unit_idle_[u]->add(span);
+      acc_unit_idle_[u] += span;
       continue;
     }
     // Busy while the head is still producing elements; stalled when it
@@ -89,28 +97,57 @@ void TimingEngine::metrics_account_units(Cycle t, Cycle span) {
     // phases, a blocked queue front).
     const Inflight& head = pool_.at(q.front());
     if (head.finished_producing()) {
-      m_unit_stall_[u]->add(span);
+      acc_unit_stall_[u] += span;
     } else {
-      m_unit_busy_[u]->add(span);
+      acc_unit_busy_[u] += span;
     }
   }
-  m_occupancy_->observe(pool_.active());
+  const std::uint64_t occ = pool_.active();
+  ++acc_occ_buckets_[obs::Histogram::bucket_of(occ)];
+  ++acc_occ_count_;
+  acc_occ_sum_ += occ;
+  if (occ > acc_occ_max_) acc_occ_max_ = occ;
 }
 
 void TimingEngine::metrics_end_run() {
   if (metrics_ == nullptr) return;
-  metrics_->counter("engine.runs")->inc();
-  metrics_->counter("engine.cycles")->add(stats_.cycles);
-  metrics_->counter("engine.wakeups")->add(stats_.wakeups_total);
-  metrics_->counter("engine.batched_iterations")->add(stats_.batched_iterations);
+  for (std::size_t u = 1; u < kNumUnits; ++u) {
+    if (acc_unit_busy_[u] != 0) metrics_->unit_busy[u]->add(acc_unit_busy_[u]);
+    if (acc_unit_stall_[u] != 0) {
+      metrics_->unit_stall[u]->add(acc_unit_stall_[u]);
+    }
+    if (acc_unit_idle_[u] != 0) metrics_->unit_idle[u]->add(acc_unit_idle_[u]);
+  }
+  metrics_->occupancy->merge_counts(acc_occ_buckets_, acc_occ_count_,
+                                    acc_occ_sum_, acc_occ_max_);
+  metrics_->runs->inc();
+  metrics_->cycles->add(stats_.cycles);
+  metrics_->wakeups->add(stats_.wakeups_total);
+  metrics_->batched_iterations->add(stats_.batched_iterations);
+  metrics_->warmup_projected->add(stats_.warmup_projected);
+  metrics_->batch_clamps->add(stats_.batch_clamps);
+  // Stall metrics are folded from the finished RunStats instead of being
+  // added per charged sub-span: the per-slot path in attribute_piece is the
+  // hottest loop in the engine, and a registry test there erodes the
+  // metrics-overhead budget as instrumented sites grow. Folding here also
+  // covers the batched K× stall deltas, which never passed through
+  // attribute_piece at all.
+  for (std::size_t r = 0; r < kNumStallReasons; ++r) {
+    metrics_->stall[r]->add(stats_.stall_cycles[r]);
+  }
+  // An engine can be driven through run() more than once (differential
+  // tests); the accumulators are per-run, so clear them after folding.
+  acc_unit_busy_ = {};
+  acc_unit_stall_ = {};
+  acc_unit_idle_ = {};
+  acc_occ_buckets_ = {};
+  acc_occ_count_ = acc_occ_sum_ = acc_occ_max_ = 0;
 }
 
 void TimingEngine::count_batch_reject(BatchReject r, Cycle t) {
   const auto idx = static_cast<std::size_t>(r);
   ++stats_.batch_rejects[idx];
-  if (metrics_ != nullptr && m_batch_reject_[idx] != nullptr) {
-    m_batch_reject_[idx]->inc();
-  }
+  if (metrics_ != nullptr) metrics_->batch_reject[idx]->inc();
   if (trace_ != nullptr) trace_->mark(t, SimMarkerKind::kBatchReject, idx);
 }
 
@@ -720,7 +757,6 @@ void TimingEngine::attribute_piece(Cycle x, Cycle y, Inflight* acting) {
     const auto idx = static_cast<std::size_t>(r);
     stats_.stall_cycles[idx] += slots;
     if (blame != nullptr) blame->stall_acc[idx] += slots;
-    if (m_stall_[idx] != nullptr) m_stall_[idx]->add(slots);
   };
 
   if (acting == nullptr) {
@@ -891,7 +927,8 @@ void TimingEngine::reset_run(const Program& prog) {
   last_progress_cycle_ = 0;
   op_keys_.clear();
   loop_regions_.clear();
-  loop_addr_ok_end_.clear();
+  loop_barriers_.clear();
+  loop_last_engageable_.clear();
   loop_region_idx_ = 0;
   last_ckpt_pc_ = static_cast<std::size_t>(-1);
   ckpt_.valid = false;
@@ -905,7 +942,6 @@ RunStats TimingEngine::run(const Program& prog, const RunControl* control) {
 
 RunStats TimingEngine::run_cycle_stepped(const Program& prog) {
   reset_run(prog);
-  metrics_begin_run();
   Cycle t = 0;
   while (!drained()) {
     step_cycle(t);

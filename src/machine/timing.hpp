@@ -36,6 +36,7 @@
 #include "machine/config.hpp"
 #include "machine/functional.hpp"
 #include "machine/inflight.hpp"
+#include "obs/metrics.hpp"
 #include "scalar/cva6.hpp"
 #include "sim/cancel.hpp"
 #include "sim/scheduler.hpp"
@@ -44,12 +45,6 @@
 
 namespace araxl {
 
-namespace obs {
-class MetricsRegistry;
-class Counter;
-class Histogram;
-}  // namespace obs
-
 /// Conservative address range [lo, hi) touched by a vector memory op with
 /// `vl` elements of `ew` bytes. Returns false for indexed accesses (their
 /// footprint depends on runtime index values). A vl of 0 yields an empty
@@ -57,11 +52,37 @@ class Histogram;
 bool mem_range(const VInstr& in, std::uint64_t vl, unsigned ew, std::uint64_t* lo,
                std::uint64_t* hi);
 
+/// Resolved metric-instrument handles for one registry. Binding performs
+/// the name lookups (string building plus a mutex-guarded registry map
+/// walk per instrument); re-binding against the same registry is a single
+/// pointer compare. The Machine caches one of these across runs — a
+/// TimingEngine is constructed per run, and paying ~40 lookups per run
+/// dominated the metrics overhead budget once runs got fast.
+struct EngineInstruments {
+  /// Points the handles at `reg`'s instruments (no-op when already bound
+  /// to `reg`; clears only the registry tag when `reg` is null).
+  void bind(obs::MetricsRegistry* reg);
+
+  obs::MetricsRegistry* registry = nullptr;
+  std::array<obs::Counter*, kNumUnits> unit_busy{};
+  std::array<obs::Counter*, kNumUnits> unit_stall{};
+  std::array<obs::Counter*, kNumUnits> unit_idle{};
+  std::array<obs::Counter*, kNumBatchRejects> batch_reject{};
+  std::array<obs::Counter*, kNumStallReasons> stall{};
+  obs::Histogram* occupancy = nullptr;
+  obs::Counter* runs = nullptr;
+  obs::Counter* cycles = nullptr;
+  obs::Counter* wakeups = nullptr;
+  obs::Counter* batched_iterations = nullptr;
+  obs::Counter* warmup_projected = nullptr;
+  obs::Counter* batch_clamps = nullptr;
+};
+
 class TimingEngine {
  public:
   TimingEngine(const MachineConfig& cfg, FunctionalEngine& fn,
                InstrTrace* trace = nullptr,
-               obs::MetricsRegistry* metrics = nullptr);
+               const EngineInstruments* metrics = nullptr);
 
   /// Simulates `prog` to completion with the engine selected by
   /// cfg.timing_mode and returns the run statistics. `control` installs a
@@ -152,6 +173,10 @@ class TimingEngine {
     RunStats stats{};
     std::size_t trace_len = 0;
     std::vector<std::uint64_t> state;  ///< canonical rebased serialization
+    /// Raw values of the timing-inert fields canonicalized out of `state`
+    /// (warmup fast-forward); compared only to tell a projected engage from
+    /// an exact one.
+    std::vector<std::uint64_t> shadow;
   };
   /// One trace record retired inside the recorded window, rebased to the
   /// window-start (cycle, id, pc) so it can be replayed for any iteration.
@@ -175,8 +200,17 @@ class TimingEngine {
   /// Post-step hook: records/compares boundary checkpoints and, in steady
   /// state, batches; *t_io advances by K whole periods when it returns true.
   bool loop_checkpoint(Cycle* t_io);
-  void snapshot_state(Cycle t, std::vector<std::uint64_t>* out) const;
+  void snapshot_state(Cycle t, std::vector<std::uint64_t>* out,
+                      std::vector<std::uint64_t>* shadow) const;
   [[nodiscard]] std::uint64_t batchable_periods(const LoopRegion& r) const;
+  /// First barrier boundary >= b in the current region (region end when
+  /// none): batches may not cross it (see the per-op progression gate in
+  /// prepare_loop_batching).
+  [[nodiscard]] std::size_t next_barrier(std::size_t b) const;
+  /// First barrier boundary a batch from the current state may not cross,
+  /// looking back to the oldest still-pending sequencer op (whose dispatch —
+  /// and therefore address consumption — happens inside the batched window).
+  [[nodiscard]] std::size_t replay_barrier_limit(const LoopRegion& r) const;
   void apply_batch(const LoopRegion& r, std::uint64_t k, Cycle d,
                    std::uint64_t id_delta, Cycle* t_io);
 
@@ -233,9 +267,6 @@ class TimingEngine {
   [[noreturn]] void fail_deadlock(Cycle t) const;
 
   // -- observability (obs/metrics.hpp; all no-ops when metrics_ is null) ------
-  /// Resolves the instrument handles once per run (map lookups are off the
-  /// hot path; instrumented sites test one pointer).
-  void metrics_begin_run();
   /// Attributes `span` cycles starting at `t` to each unit as busy, stall
   /// or idle from its queue state, and samples in-flight occupancy. The
   /// event engine calls this per wakeup window (unit state is constant
@@ -249,15 +280,21 @@ class TimingEngine {
   const MachineConfig& cfg_;
   FunctionalEngine& fn_;
   InstrTrace* trace_ = nullptr;
-  obs::MetricsRegistry* metrics_ = nullptr;
-  // Resolved instrument handles (valid between metrics_begin_run and the
-  // end of the run; all null when metrics_ is null).
-  std::array<obs::Counter*, kNumUnits> m_unit_busy_{};
-  std::array<obs::Counter*, kNumUnits> m_unit_stall_{};
-  std::array<obs::Counter*, kNumUnits> m_unit_idle_{};
-  std::array<obs::Counter*, kNumBatchRejects> m_batch_reject_{};
-  std::array<obs::Counter*, kNumStallReasons> m_stall_{};
-  obs::Histogram* m_occupancy_ = nullptr;
+  /// Pre-bound instrument handles (owned by the Machine, which re-binds
+  /// them only when the attached registry changes); null when no registry
+  /// is attached to this run.
+  const EngineInstruments* metrics_ = nullptr;
+  // Per-run plain accumulators behind the instruments: the per-wakeup
+  // accounting path counts here (no atomic traffic) and metrics_end_run
+  // folds the totals into the shared registry once. Final registry values
+  // are identical to counting per wakeup — addition commutes.
+  std::array<std::uint64_t, kNumUnits> acc_unit_busy_{};
+  std::array<std::uint64_t, kNumUnits> acc_unit_stall_{};
+  std::array<std::uint64_t, kNumUnits> acc_unit_idle_{};
+  std::array<std::uint64_t, obs::Histogram::kBuckets> acc_occ_buckets_{};
+  std::uint64_t acc_occ_count_ = 0;
+  std::uint64_t acc_occ_sum_ = 0;
+  std::uint64_t acc_occ_max_ = 0;
   /// The interconnect descriptor both kernels consume: every REQI/GLSU/
   /// RINGI latency and structure number flows through here (declared
   /// before the models, which are built from it).
@@ -306,15 +343,22 @@ class TimingEngine {
   // Loop-batching state (event engine only; see prepare_loop_batching).
   std::vector<OpKey> op_keys_;
   std::vector<LoopRegion> loop_regions_;
-  /// Per region: first op index at which the address arithmetic-progression
-  /// / common-delta / bus-alignment requirements stop holding (== start
-  /// when the region is not batchable at all, == end when fully eligible).
-  std::vector<std::size_t> loop_addr_ok_end_;
+  /// Per region: sorted period-boundary op indices a batch may not cross —
+  /// boundaries where some bounded mem op's address breaks its per-position
+  /// arithmetic progression, changes its bus phase (unit-stride skew), or
+  /// flips a pairwise conflict outcome relative to one period earlier.
+  std::vector<std::vector<std::size_t>> loop_barriers_;
+  /// Per region: the largest boundary from which a whole barrier-free
+  /// period still lies ahead (0 = region dead — no boundary can engage).
+  /// Checkpoint recording stops past it; this is the cheap early-out that
+  /// keeps dense-barrier regions from snapshotting every period.
+  std::vector<std::size_t> loop_last_engageable_;
   std::size_t loop_region_idx_ = 0;
   std::size_t last_ckpt_pc_ = static_cast<std::size_t>(-1);
   LoopCheckpoint ckpt_;
   std::vector<TraceDelta> trace_deltas_;  ///< scratch for the recorded window
   std::vector<std::uint64_t> snap_scratch_;
+  std::vector<std::uint64_t> shadow_scratch_;
 };
 
 }  // namespace araxl

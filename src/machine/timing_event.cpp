@@ -54,7 +54,6 @@ constexpr std::uint64_t cross_after(std::uint64_t vb, std::uint64_t sb,
 
 RunStats TimingEngine::run_event_driven(const Program& prog) {
   reset_run(prog);
-  metrics_begin_run();
   prepare_loop_batching();
   Cycle t = 0;
   while (!drained()) {
@@ -674,15 +673,46 @@ void TimingEngine::advance_span_store(Inflight& instr, Cycle from, Cycle to) {
 //  * upcoming op signatures: guaranteed inside the precomputed periodic
 //    region (signatures are compared field-wise, so adversarial hash
 //    collisions cannot fake a loop);
-//  * memory addresses: per-position address deltas must form an arithmetic
-//    progression with one common delta for every bounded memory op (then
-//    every dispatch-time range-overlap test shifts rigidly and repeats)
-//    that is a multiple of the bus width (then head_skew repeats), checked
-//    op-by-op over the whole batched range — and every live op must be at
-//    least one period into the region so its previous-period counterpart
-//    is covered by those checks. Indexed accesses are exempt: the timing
-//    model never reads their addresses (unknown footprint => conservative
-//    conflict either way).
+//  * memory addresses. Addresses reach the timing model through exactly
+//    two reads: head_skew(addr) at dispatch of a non-elementwise
+//    (unit-stride) access, and the dispatch-time range-overlap test
+//    against the other-kind unit queue. Each bounded memory op may
+//    therefore follow its *own* per-position progression — the batcher
+//    does not need one common delta — as long as, op by op, (a) the bus
+//    phase addr % bus_bytes equals its period-earlier counterpart's
+//    (head_skew repeats) and (b) every possible pairwise overlap outcome
+//    equals the counterpart pair's. The candidate partners of op i are a
+//    static superset of what can be queued when i dispatches: in-order
+//    dispatch and retire make the other-kind queue a contiguous suffix of
+//    the other-kind ops before i, at most unit_queue_depth deep; if every
+//    pair in the superset repeats its outcome, whatever subset is live
+//    repeats it too. prepare_loop_batching turns every violated check
+//    into a *barrier* at the period boundary containing the op (a pair
+//    whose counterpart falls before the region start is conservatively a
+//    barrier as well), and a batch may cover [pc, pc+K*period) only when
+//    that range is barrier-free. Barriers inside an already-recorded
+//    window are irrelevant — its behavior is history, captured by the
+//    snapshot — which is why recording continues across them (the early
+//    boundaries of any load+store region carry conservative barriers from
+//    out-of-region partners). Indexed accesses are exempt from both
+//    checks: the timing model never reads their addresses (unknown
+//    footprint => conservative conflict either way), and zero-vl ops
+//    never enter the sequencer at all.
+//
+// Warmup fast-forward: a handful of serialized fields provably cannot
+// influence evolution — issue/dispatch stamps are read only when writing
+// trace records, and Pending::arrive_at / cva6_free_ are read only
+// through `> t`-style predicates, so any value <= t is equivalent to any
+// other. snapshot_state canonicalizes those (stamps move to a side
+// `shadow` buffer when tracing is off; the predicate cycles are clamped
+// to t) so two boundaries that differ only by such inert residue of the
+// fill transient still compare equal, and short runs on wide machines
+// engage ~12 iterations earlier. An engage whose raw shadow differed is
+// counted as warmup_projected. The relabelling below shifts the raw
+// fields rigidly, which preserves the equivalence (a cycle <= t stays
+// <= t + shift), so measurements are identical either way — with tracing
+// on, the stamps are compared exactly and the engine merely engages
+// later.
 //
 // Under those conditions each batched window retires the recorded per-
 // window stat delta, emits the recorded trace records (rebased, with the
@@ -692,9 +722,11 @@ void TimingEngine::advance_span_store(Inflight& instr, Cycle from, Cycle to) {
 // exactly the state the per-wakeup engine would have reached. Anything
 // else — a vl tail (different vsetvli grant), a mid-loop vtype change, a
 // drifting stall pattern — either breaks signature equality, the snapshot
-// match, or the address checks, and the engine simply keeps simulating
-// per wakeup. The EngineEquivalence fuzzers drive loop-heavy and
-// adversarial variants of all of these through both engines.
+// match, or the barrier-free requirement, and the engine simply keeps
+// simulating per wakeup (a nested-loop row boundary clamps K to the
+// barrier and re-arms on the far side instead of disabling the region).
+// The EngineEquivalence fuzzers drive loop-heavy and adversarial
+// variants of all of these through both engines.
 
 namespace {
 
@@ -720,6 +752,20 @@ bool bounded_mem_op(Op op) {
   return op == Op::kVle || op == Op::kVse || op == Op::kVlse || op == Op::kVsse;
 }
 
+/// Which memory unit queue an op occupies (kNone for non-memory ops);
+/// the dispatch-time conflict test scans the opposite queue.
+Unit mem_unit(Op op) {
+  switch (op) {
+    case Op::kVle:
+    case Op::kVlse:
+    case Op::kVluxei: return Unit::kLoad;
+    case Op::kVse:
+    case Op::kVsse:
+    case Op::kVsuxei: return Unit::kStore;
+    default: return Unit::kNone;
+  }
+}
+
 }  // namespace
 
 void TimingEngine::prepare_loop_batching() {
@@ -729,62 +775,138 @@ void TimingEngine::prepare_loop_batching() {
     op_keys_.push_back(op_key(op, cfg_.effective_vlen()));
   }
   loop_regions_ = find_loop_regions(op_keys_);
-  loop_addr_ok_end_.reserve(loop_regions_.size());
-  for (const LoopRegion& r : loop_regions_) {
-    // Per-position address delta between the first two periods; the region
-    // is batchable up to the first op that breaks the progression, the
-    // common-delta rule, or the bus alignment of unit-stride deltas.
-    const std::size_t p = r.period;
-    bool eligible = true;
-    bool have_common = false;
-    std::int64_t common = 0;
-    std::vector<std::int64_t> delta(p, 0);
-    for (std::size_t j = 0; j < p && eligible; ++j) {
-      const auto* v = std::get_if<VInstr>(&prog_->ops[r.start + j]);
-      if (v == nullptr || !bounded_mem_op(v->op)) continue;
-      const auto& v2 = std::get<VInstr>(prog_->ops[r.start + p + j]);
-      delta[j] = static_cast<std::int64_t>(v2.addr) -
-                 static_cast<std::int64_t>(v->addr);
-      if (!have_common) {
-        have_common = true;
-        common = delta[j];
-      } else if (delta[j] != common) {
-        eligible = false;  // ranges would not shift rigidly together
-      }
-      if (delta[j] % static_cast<std::int64_t>(glsu_.bus_bytes()) != 0) {
-        eligible = false;  // head_skew would change across iterations
-      }
-    }
-    if (!eligible) {
-      loop_addr_ok_end_.push_back(r.start);
-      continue;
-    }
-    std::size_t ok_end = r.end;
-    for (std::size_t i = r.start + p; i < r.end; ++i) {
+  loop_barriers_.assign(loop_regions_.size(), {});
+  loop_last_engageable_.assign(loop_regions_.size(), 0);
+  if (loop_regions_.empty()) return;
+
+  // Dispatch-time shape of every op, reproduced by the same walk tick_cva6
+  // performs (the grant of the last vsetvli before the op). Zero-vl ops
+  // never enter the sequencer, so they are invisible to dispatch and
+  // excluded from every barrier check below.
+  const std::size_t n_ops = prog_->ops.size();
+  std::vector<std::uint64_t> op_vl(n_ops, 0);
+  std::vector<unsigned> op_ew(n_ops, 8);
+  {
+    std::uint64_t vl = 0;
+    Vtype vt{};
+    for (std::size_t i = 0; i < n_ops; ++i) {
       const auto* v = std::get_if<VInstr>(&prog_->ops[i]);
-      if (v == nullptr || !bounded_mem_op(v->op)) continue;
-      const auto& prev = std::get<VInstr>(prog_->ops[i - p]);
-      const std::int64_t want = static_cast<std::int64_t>(prev.addr) +
-                                delta[(i - r.start) % p];
-      if (static_cast<std::int64_t>(v->addr) != want) {
-        ok_end = i;
+      if (v == nullptr) continue;
+      if (v->op == Op::kVsetvli) {
+        vt = v->vtype;
+        vl = vsetvl_result(cfg_.effective_vlen(), v->avl, vt);
+      }
+      op_vl[i] = vl;
+      op_ew[i] = sew_bytes(vt.sew);
+    }
+  }
+
+  const std::uint64_t bus = glsu_.bus_bytes();
+  const auto overlaps = [&](std::size_t a, std::size_t b) {
+    const auto& va = std::get<VInstr>(prog_->ops[a]);
+    const auto& vb = std::get<VInstr>(prog_->ops[b]);
+    std::uint64_t alo = 0;
+    std::uint64_t ahi = 0;
+    std::uint64_t blo = 0;
+    std::uint64_t bhi = 0;
+    mem_range(va, op_vl[a], op_ew[a], &alo, &ahi);
+    mem_range(vb, op_vl[b], op_ew[b], &blo, &bhi);
+    return alo < bhi && blo < ahi;
+  };
+
+  for (std::size_t ri = 0; ri < loop_regions_.size(); ++ri) {
+    const LoopRegion& r = loop_regions_[ri];
+    const std::size_t p = r.period;
+    // Per period: bit 0 = any barrier, bit 1 = a genuine one (skew phase or
+    // overlap-outcome change with in-region counterparts, as opposed to the
+    // conservative partner-before-region-start case).
+    const std::size_t num_periods = (r.end - r.start + p - 1) / p;
+    std::vector<std::uint8_t> flags(num_periods, 0);
+    // The candidate partner set for op i is the nearest unit_queue_depth
+    // *in-region* opposite-unit ops before it. Partners wholly before the
+    // region are irrelevant: engaging requires the liveness gate (every
+    // queued op a full period into the region) and a rebased-index
+    // snapshot match, which together put every queue entry at both window
+    // boundaries at or past r.start — and a pre-region op never re-enters
+    // a queue. Tracking the partner sets with a forward sweep keeps the
+    // analysis O(ops x depth); a backward scan per op would walk to the
+    // region start every time in regions with no opposite-unit ops of
+    // their own (a pure-load inner loop after a store block).
+    std::vector<std::size_t> recent[kNumUnits];
+    for (std::size_t i = r.start; i < r.end; ++i) {
+      const auto* v = std::get_if<VInstr>(&prog_->ops[i]);
+      if (v == nullptr || op_vl[i] == 0) continue;
+      const Unit u = mem_unit(v->op);
+      if (u == Unit::kNone) continue;
+      if (bounded_mem_op(v->op) && i >= r.start + p) {
+        const std::size_t q = (i - r.start) / p;
+        std::uint8_t f = 0;
+        const auto& prev = std::get<VInstr>(prog_->ops[i - p]);
+        // (a) head_skew repeats only if the bus phase does (unit-stride
+        // ops; strided accesses are elementwise and never read head_skew).
+        if (!elementwise_mem_op(v->op) && v->addr % bus != prev.addr % bus) {
+          f = 3;
+        }
+        // (b) every candidate partner pair's overlap outcome must repeat.
+        const Unit other = u == Unit::kLoad ? Unit::kStore : Unit::kLoad;
+        for (const std::size_t j : recent[static_cast<std::size_t>(other)]) {
+          if (j < p || j - p < r.start) {
+            f |= 1;  // counterpart precedes the region: conservative barrier
+            continue;
+          }
+          if (!bounded_mem_op(std::get<VInstr>(prog_->ops[j]).op)) {
+            continue;  // indexed: conservative conflict both times
+          }
+          if (overlaps(i, j) != overlaps(i - p, j - p)) f = 3;
+        }
+        flags[q] |= f;
+      }
+      auto& own = recent[static_cast<std::size_t>(u)];
+      own.push_back(i);
+      if (own.size() > cfg_.unit_queue_depth) own.erase(own.begin());
+    }
+
+    auto& barriers = loop_barriers_[ri];
+    for (std::size_t q = 1; q < num_periods; ++q) {
+      if (flags[q] != 0) barriers.push_back(r.start + q * p);
+    }
+    for (std::size_t q = num_periods; q-- > 2;) {
+      const std::size_t b = r.start + q * p;
+      if (b + p <= r.end && flags[q] == 0) {
+        loop_last_engageable_[ri] = b;
         break;
       }
     }
-    loop_addr_ok_end_.push_back(ok_end);
-  }
 
-  // Static rejection telemetry: why each detected region cannot batch (or
-  // why it must stop at its end). Counted once per region up front — the
-  // runtime path never revisits a dead region (see the loop_checkpoint
-  // early-out), so these would otherwise be invisible.
-  for (std::size_t i = 0; i < loop_regions_.size(); ++i) {
-    const LoopRegion& r = loop_regions_[i];
-    if (loop_addr_ok_end_[i] < r.end) {
-      // The address progression breaks inside the region (== r.start means
-      // it never held at all): the canonical jacobi2d/stencil failure.
+    // Static rejection telemetry: a genuine barrier that does not sit on a
+    // detected nested-loop boundary means some op's address walk is
+    // aperiodic — the region can never batch across it and the runtime
+    // path never revisits dead boundaries (see the loop_checkpoint
+    // early-out), so count the progression failure once up front. Barriers
+    // that *are* the nest's outer-loop boundaries are expected: they clamp
+    // batches at row ends (counted per engage as batch_clamps).
+    bool genuine_non_nest = false;
+    LoopNest nest;
+    bool nest_computed = false;
+    for (std::size_t q = 1; q < num_periods && !genuine_non_nest; ++q) {
+      if ((flags[q] & 2) == 0) continue;
+      if (!nest_computed) {
+        nest = find_loop_nest(*prog_, r);
+        nest_computed = true;
+      }
+      if (!nest.valid || (q - 1) % nest.outer_period != nest.phase) {
+        genuine_non_nest = true;
+      }
+    }
+    if (genuine_non_nest) {
       count_batch_reject(BatchReject::kAddrProgression, 0);
     }
+  }
+
+  // Classify how each region terminates (tail vs grant change) — the other
+  // half of the static telemetry.
+  for (std::size_t i = 0; i < loop_regions_.size(); ++i) {
+    const LoopRegion& r = loop_regions_[i];
     // Classify what terminated the region when it ends on a vsetvli whose
     // signature diverged from its previous-period counterpart: a smaller
     // grant at the same vtype is a strip-mine tail; anything else is a
@@ -807,13 +929,29 @@ void TimingEngine::prepare_loop_batching() {
   }
 }
 
-void TimingEngine::snapshot_state(Cycle t, std::vector<std::uint64_t>* out) const {
+void TimingEngine::snapshot_state(Cycle t, std::vector<std::uint64_t>* out,
+                                  std::vector<std::uint64_t>* shadow) const {
   const std::uint64_t id_base = next_id_;
   const std::size_t pc_base = pc_;
 
+  // Warmup fast-forward (see the exactness argument above): issue/dispatch
+  // stamps feed nothing but trace records, so with tracing off they are
+  // diverted to `shadow` instead of the compared state; cycles read only
+  // through `> t` predicates are clamped to t (any past value behaves
+  // identically), with the raw value kept in `shadow` so an engage that
+  // relied on the projection can be told apart from an exact one.
+  const bool stamps_inert = trace_ == nullptr;
+  const auto push_stamp = [&](Cycle x) {
+    push_cycle_rel(stamps_inert ? shadow : out, x, t);
+  };
+  const auto push_past_equiv = [&](Cycle x) {
+    push_cycle_rel(out, std::max(x, t), t);
+    push_cycle_rel(shadow, x, t);
+  };
+
   out->push_back(static_cast<std::uint64_t>(dispatched_this_cycle_));
   out->push_back(static_cast<std::uint64_t>(cva6_stall_));
-  push_cycle_rel(out, cva6_free_, t);
+  push_past_equiv(cva6_free_);
   out->push_back(fn_.vl());
   out->push_back(sew_bits(fn_.vtype().sew));
   out->push_back(static_cast<std::uint64_t>(fn_.vtype().lmul.log2 + 8));
@@ -835,8 +973,8 @@ void TimingEngine::snapshot_state(Cycle t, std::vector<std::uint64_t>* out) cons
     out->push_back(p.vl);
     out->push_back(p.ew);
     out->push_back(p.group_regs);
-    push_cycle_rel(out, p.issued_at, t);
-    push_cycle_rel(out, p.arrive_at, t);
+    push_stamp(p.issued_at);
+    push_past_equiv(p.arrive_at);
   }
 
   for (std::size_t u = 1; u < kNumUnits; ++u) {
@@ -849,8 +987,8 @@ void TimingEngine::snapshot_state(Cycle t, std::vector<std::uint64_t>* out) cons
       out->push_back(instr.vl);
       out->push_back(instr.ew);
       out->push_back(static_cast<std::uint64_t>(instr.unit));
-      push_cycle_rel(out, instr.issued_at, t);
-      push_cycle_rel(out, instr.dispatched_at, t);
+      push_stamp(instr.issued_at);
+      push_stamp(instr.dispatched_at);
       push_cycle_rel(out, instr.start_at, t);
       push_cycle_rel(out, instr.advanced_until, t);
       push_cycle_rel(out, instr.first_result_at, t);
@@ -900,11 +1038,38 @@ void TimingEngine::snapshot_state(Cycle t, std::vector<std::uint64_t>* out) cons
   }
 }
 
+std::size_t TimingEngine::next_barrier(std::size_t b) const {
+  const auto& bars = loop_barriers_[loop_region_idx_];
+  const auto it = std::lower_bound(bars.begin(), bars.end(), b);
+  return it == bars.end() ? loop_regions_[loop_region_idx_].end : *it;
+}
+
+std::size_t TimingEngine::replay_barrier_limit(const LoopRegion& r) const {
+  // Barriers invalidate a batch from the oldest still-PENDING op's period,
+  // not from the issue front: a sequencer-queued op dispatches *inside* the
+  // batched window, and dispatch is where its address is consumed (head
+  // skew, load/store conflict checks). The replay gives it its
+  // period-earlier counterpart's dispatch pattern, so a barrier on its
+  // period — an address-phase or conflict-outcome change the snapshot
+  // cannot see (Pending state carries no address) — would be replayed
+  // wrong. Unit-queue ops are safe: their dispatch-time address reads are
+  // already consumed and their remaining evolution is snapshot state.
+  std::size_t min_pending = pc_;
+  for (const Pending& p : seq_) {
+    min_pending = std::min(min_pending, p.prog_index);
+  }
+  const std::size_t from =
+      min_pending <= r.start
+          ? r.start
+          : r.start + ((min_pending - r.start) / r.period) * r.period;
+  return std::min(next_barrier(from), r.end);
+}
+
 std::uint64_t TimingEngine::batchable_periods(const LoopRegion& r) const {
   const std::size_t b2 = pc_;
-  const std::size_t ok_end = loop_addr_ok_end_[loop_region_idx_];
-  if (ok_end <= b2) return 0;
-  const std::uint64_t k = (ok_end - b2) / r.period;
+  const std::size_t limit = replay_barrier_limit(r);
+  if (limit <= b2) return 0;
+  const std::uint64_t k = (limit - b2) / r.period;
   if (k == 0) return 0;
   // Every live op must be at least one period deep into the region: its
   // previous-period counterpart anchors the rigid-shift argument for the
@@ -928,18 +1093,20 @@ bool TimingEngine::loop_checkpoint(Cycle* t_io) {
   }
   if (loop_region_idx_ >= loop_regions_.size()) return false;
   const LoopRegion& r = loop_regions_[loop_region_idx_];
-  // A batch from this boundary needs at least one address-checked period
-  // ahead; pc only grows, so once that fails the whole region is dead —
-  // skip the snapshot work entirely (address-ineligible loops would
-  // otherwise serialize the machine at every boundary for nothing).
-  if (loop_addr_ok_end_[loop_region_idx_] < pc_ + r.period) return false;
+  // Past the last boundary from which a whole barrier-free period still
+  // lies ahead, no engage can ever happen (pc only grows) — skip the
+  // snapshot work entirely. Dense-barrier regions (an aperiodic address
+  // walk, an unpadded stencil whose bus phase drifts every period) would
+  // otherwise serialize the machine at every boundary for nothing.
+  if (pc_ > loop_last_engageable_[loop_region_idx_]) return false;
   if (pc_ < r.start + r.period) return false;
   if ((pc_ - r.start) % r.period != 0) return false;
   if (pc_ == last_ckpt_pc_) return false;  // stalled at the boundary
   last_ckpt_pc_ = pc_;
 
   snap_scratch_.clear();
-  snapshot_state(*t_io, &snap_scratch_);
+  shadow_scratch_.clear();
+  snapshot_state(*t_io, &snap_scratch_, &shadow_scratch_);
 
   if (ckpt_.valid && ckpt_.pc + r.period == pc_) {
     if (snap_scratch_ == ckpt_.state) {
@@ -947,14 +1114,20 @@ bool TimingEngine::loop_checkpoint(Cycle* t_io) {
       const std::uint64_t id_delta = next_id_ - ckpt_.next_id;
       const std::uint64_t k = batchable_periods(r);
       if (k > 0) {
-        // Clamped when the address-checked prefix (not the region end)
-        // bounded K: the batch stops short of where the signature alone
-        // would have allowed.
+        // Clamped when a barrier (not the region end) bounded K: the batch
+        // stops at a nested-loop row boundary and re-arms beyond it.
+        // Projected when the snapshots matched only up to inert warmup
+        // residue (the canonical short-run wide-machine engage).
         const std::uint64_t full_ahead = (r.end - pc_) / r.period;
+        const bool clamped = k < full_ahead;
+        const bool projected = shadow_scratch_ != ckpt_.shadow;
         apply_batch(r, k, d, id_delta, t_io);
+        if (clamped) ++stats_.batch_clamps;
+        if (projected) ++stats_.warmup_projected;
         if (trace_ != nullptr) {
-          trace_->mark(*t_io, k < full_ahead ? SimMarkerKind::kBatchClamp
-                                             : SimMarkerKind::kBatchEngage,
+          trace_->mark(*t_io, clamped     ? SimMarkerKind::kBatchClamp
+                              : projected ? SimMarkerKind::kBatchWarmup
+                                          : SimMarkerKind::kBatchEngage,
                        k);
         }
         // The landing pc is itself a boundary; the state there is known to
@@ -964,12 +1137,17 @@ bool TimingEngine::loop_checkpoint(Cycle* t_io) {
         last_ckpt_pc_ = pc_;
         return true;
       }
-      // Snapshots matched but no whole iteration can retire: the early-out
-      // above guarantees the address-derived bound was >= 1 period here,
-      // so this is exactly the in-flight liveness gate (an op still less
-      // than one period into the region) — the canonical wide-machine
-      // failure, where long in-flight windows span the loop start forever.
-      count_batch_reject(BatchReject::kLivenessGate, *t_io);
+      if (replay_barrier_limit(r) >= pc_ + r.period && r.end >= pc_ + r.period) {
+        // Snapshots matched and the next period is barrier-free, yet no
+        // whole iteration can retire: exactly the in-flight liveness gate
+        // (an op still less than one period into the region) — the
+        // canonical wide-machine failure, where long in-flight windows
+        // span the loop start forever.
+        count_batch_reject(BatchReject::kLivenessGate, *t_io);
+      }
+      // Otherwise a barrier sits inside the very next period (early
+      // conservative partner reach, or a row boundary): nothing to count —
+      // recording simply continues and a later boundary engages.
     } else {
       // Consecutive boundary snapshots differ: not in steady state (yet) —
       // expected a few times during warmup, pathological if it never stops.
@@ -984,6 +1162,7 @@ bool TimingEngine::loop_checkpoint(Cycle* t_io) {
   ckpt_.stats = stats_;
   ckpt_.trace_len = trace_ == nullptr ? 0 : trace_->size();
   ckpt_.state.swap(snap_scratch_);
+  ckpt_.shadow.swap(shadow_scratch_);
   return false;
 }
 

@@ -91,6 +91,25 @@ class Histogram {
     return buckets_[b].load(std::memory_order_relaxed);
   }
 
+  /// Folds a locally accumulated distribution in — the bulk equivalent of
+  /// calling observe() once per sample. Lets a hot loop count into plain
+  /// (non-atomic) storage and pay the atomic traffic once.
+  void merge_counts(const std::array<std::uint64_t, kBuckets>& buckets,
+                    std::uint64_t count, std::uint64_t sum,
+                    std::uint64_t max_seen) noexcept {
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      if (buckets[b] != 0) {
+        buckets_[b].fetch_add(buckets[b], std::memory_order_relaxed);
+      }
+    }
+    count_.fetch_add(count, std::memory_order_relaxed);
+    sum_.fetch_add(sum, std::memory_order_relaxed);
+    std::uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (max_seen > prev && !max_.compare_exchange_weak(
+                                  prev, max_seen, std::memory_order_relaxed)) {
+    }
+  }
+
   /// Bucket index for a sample: its bit width (0 for the value 0).
   static constexpr std::size_t bucket_of(std::uint64_t v) noexcept {
     std::size_t b = 0;

@@ -29,6 +29,8 @@ std::string marker_name(const SimMarker& m) {
       return "batch_engage";
     case SimMarkerKind::kBatchClamp:
       return "batch_clamp";
+    case SimMarkerKind::kBatchWarmup:
+      return "batch_warmup";
     case SimMarkerKind::kBatchReject:
       return "batch_reject(" +
              std::string(batch_reject_name(
@@ -45,6 +47,7 @@ std::string_view marker_arg_key(SimMarkerKind kind) {
       return "occupancy";
     case SimMarkerKind::kBatchEngage:
     case SimMarkerKind::kBatchClamp:
+    case SimMarkerKind::kBatchWarmup:
       return "iterations";
     case SimMarkerKind::kBatchReject:
       return "reason";

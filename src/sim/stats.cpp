@@ -71,6 +71,12 @@ std::string RunStats::summary() const {
   }
   out += "wakeups:           " + fmt_group(wakeups_total) + "\n";
   out += "batched iters:     " + fmt_group(batched_iterations) + "\n";
+  if (batch_clamps != 0) {
+    out += "batch clamps:      " + fmt_group(batch_clamps) + "\n";
+  }
+  if (warmup_projected != 0) {
+    out += "warmup projected:  " + fmt_group(warmup_projected) + "\n";
+  }
   for (std::size_t r = 0; r < kNumBatchRejects; ++r) {
     if (batch_rejects[r] == 0) continue;
     const std::string_view name = batch_reject_name(static_cast<BatchReject>(r));

@@ -126,6 +126,14 @@ struct RunStats {
   /// counters above these are event-engine provenance: the oracle never
   /// attempts batching, so its array stays zero.
   std::array<std::uint64_t, kNumBatchRejects> batch_rejects{};
+  /// Engagements whose boundary snapshots matched only after canonicalizing
+  /// timing-inert fields (warmup fast-forward projected past the fill
+  /// transient instead of waiting for it to drain).
+  std::uint64_t warmup_projected = 0;
+  /// Batches clamped short of the region end by a per-op progression break
+  /// (nested-loop row boundary): the batch retires up to the break and the
+  /// batcher re-arms on the far side.
+  std::uint64_t batch_clamps = 0;
 
   /// Fraction of lane-FPU slots that produced a valid result — the paper's
   /// FPU-utilization metric (Fig. 6 lines, Fig. 7 drops).

@@ -91,6 +91,8 @@ std::string ResultStore::serialize(const StoredResult& r) {
     out += unum(r.stats.batch_rejects[i]);
   }
   out += "],";
+  out += "\"batch_clamps\":" + unum(r.stats.batch_clamps) + ",";
+  out += "\"warmup_projected\":" + unum(r.stats.warmup_projected) + ",";
   // Stall taxonomy (indexed by StallReason): the real attribution is
   // persisted so `araxl report` / `araxl stats` can break down a sweep
   // from the store even though default reports zero these fields.
@@ -166,6 +168,10 @@ StoredResult ResultStore::deserialize(std::string_view line) {
       r.stats.batch_rejects[i] = rej->items[i].as_u64();
     }
   }
+  // Pre-clamp/projection records simply lack these; zero is the correct
+  // reading (those engines never clamped at a barrier or projected warmup).
+  r.stats.batch_clamps = field_u64_or(*stats, "batch_clamps", 0);
+  r.stats.warmup_projected = field_u64_or(*stats, "warmup_projected", 0);
   // Pre-attribution records simply lack these; zero is the correct reading.
   if (const JsonValue* st = stats->get("stall_cycles")) {
     check(st->kind == JsonValue::Kind::kArray &&

@@ -44,6 +44,8 @@ enum class SimMarkerKind : std::uint8_t {
   kBatchEngage,   ///< apply_batch retired iterations (arg: K)
   kBatchClamp,    ///< a batch was clamped short of the region end (arg: K)
   kBatchReject,   ///< batching declined (arg: BatchReject reason index)
+  kBatchWarmup,   ///< engage whose snapshots matched only after projecting
+                  ///< timing-inert warmup fields (arg: K)
 };
 
 struct SimMarker {

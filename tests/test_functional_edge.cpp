@@ -194,6 +194,205 @@ INSTANTIATE_TEST_SUITE_P(AllWidths, NarrowMem,
                            return std::string(sew_name(info.param));
                          });
 
+class BulkMaskedMem : public testing::TestWithParam<Sew> {};
+
+TEST_P(BulkMaskedMem, LoadMergesInactiveElements) {
+  // Masked unit-stride load through the bulk path (whole range in bounds):
+  // active elements come from memory, inactive ones keep the destination's
+  // prior (sentinel) contents — the load-merge the per-element path
+  // implements one element at a time.
+  const Sew sew = GetParam();
+  const unsigned ew = sew_bytes(sew);
+  Machine m = small_machine();
+  const std::uint64_t vl = 171;  // odd length: tail not mask-word aligned
+  ProgramBuilder pb(m.config().effective_vlen(), "bmload");
+  pb.vsetvli(vl, sew, kLmul2);
+  pb.vle(8, 0x10000, /*masked=*/true);
+  const Program prog = pb.take();
+  Rng rng(47);
+  std::vector<std::uint8_t> data(vl * ew);
+  for (auto& byte : data) byte = static_cast<std::uint8_t>(rng.next_below(256));
+  m.mem().write(0x10000, data);
+  const std::uint64_t sentinel_mask =
+      ew >= 8 ? ~0ull : ((1ull << (8 * ew)) - 1);
+  for (std::uint64_t i = 0; i < vl; ++i) {
+    m.vrf().write_elem(8, i, ew, (0xA5A5A5A5A5A5A5A5ull + i) & sentinel_mask);
+    m.vrf().set_mask_bit(0, i, rng.next_below(3) != 0);
+  }
+  m.run(prog);
+  for (std::uint64_t i = 0; i < vl; ++i) {
+    std::uint64_t mem_bits = 0;
+    std::memcpy(&mem_bits, data.data() + i * ew, ew);
+    const std::uint64_t expect =
+        m.vrf().mask_bit(0, i) ? mem_bits
+                               : ((0xA5A5A5A5A5A5A5A5ull + i) & sentinel_mask);
+    EXPECT_EQ(m.vrf().read_elem(8, i, ew), expect) << "i=" << i;
+  }
+}
+
+TEST_P(BulkMaskedMem, StoreSkipsInactiveElements) {
+  const Sew sew = GetParam();
+  const unsigned ew = sew_bytes(sew);
+  Machine m = small_machine();
+  const std::uint64_t vl = 171;
+  ProgramBuilder pb(m.config().effective_vlen(), "bmstore");
+  pb.vsetvli(vl, sew, kLmul2);
+  pb.vse(8, 0x20000, /*masked=*/true);
+  const Program prog = pb.take();
+  Rng rng(48);
+  std::vector<std::uint8_t> sentinel(vl * ew);
+  for (auto& byte : sentinel) {
+    byte = static_cast<std::uint8_t>(rng.next_below(256));
+  }
+  m.mem().write(0x20000, sentinel);
+  const std::uint64_t val_mask = ew >= 8 ? ~0ull : ((1ull << (8 * ew)) - 1);
+  for (std::uint64_t i = 0; i < vl; ++i) {
+    m.vrf().write_elem(8, i, ew, (0x123456789ABCDEFull * (i + 1)) & val_mask);
+    m.vrf().set_mask_bit(0, i, rng.next_below(3) != 0);
+  }
+  m.run(prog);
+  for (std::uint64_t i = 0; i < vl; ++i) {
+    std::uint64_t got = 0;
+    std::vector<std::uint8_t> out(ew);
+    m.mem().read(0x20000 + i * ew, out);
+    std::memcpy(&got, out.data(), ew);
+    std::uint64_t untouched = 0;
+    std::memcpy(&untouched, sentinel.data() + i * ew, ew);
+    const std::uint64_t expect = m.vrf().mask_bit(0, i)
+                                     ? ((0x123456789ABCDEFull * (i + 1)) & val_mask)
+                                     : untouched;
+    EXPECT_EQ(got, expect) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, BulkMaskedMem,
+                         testing::Values(Sew::k8, Sew::k16, Sew::k32, Sew::k64),
+                         [](const testing::TestParamInfo<Sew>& info) {
+                           return std::string(sew_name(info.param));
+                         });
+
+TEST(BulkMaskedMemEdge, OobTailInactiveFallsBackToPerElement) {
+  // The whole-range bounds check fails (the tail runs past the end of
+  // memory), so the bulk path must decline and the per-element fallback —
+  // which never touches inactive addresses — must complete the access.
+  Machine m = small_machine();
+  const std::uint64_t vl = 100;
+  const std::uint64_t active_n = 40;
+  const std::uint64_t base = m.mem().size() - active_n * 8;
+  ProgramBuilder pb(m.config().effective_vlen(), "bmoob");
+  pb.vsetvli(vl, Sew::k64, kLmul1);
+  pb.vle(8, base, /*masked=*/true);
+  const Program prog = pb.take();
+  std::vector<double> data(active_n);
+  for (std::uint64_t i = 0; i < active_n; ++i) {
+    data[i] = static_cast<double>(i) * 1.5 - 7.0;
+  }
+  m.mem().store_doubles(base, data);
+  for (std::uint64_t i = 0; i < vl; ++i) {
+    m.vrf().write_f64(8, i, -99.0);
+    m.vrf().set_mask_bit(0, i, i < active_n);
+  }
+  m.run(prog);
+  for (std::uint64_t i = 0; i < vl; ++i) {
+    EXPECT_DOUBLE_EQ(m.vrf().read_f64(8, i), i < active_n ? data[i] : -99.0)
+        << i;
+  }
+}
+
+class NarrowFpBulk : public testing::TestWithParam<Sew> {};
+
+TEST_P(NarrowFpBulk, BulkMatchesPerElementBitForBit) {
+  // Differential check of the narrow-SEW bulk FP path against the
+  // per-element path: a masked op with an all-ones mask computes the same
+  // elements but is routed per element (the bulk path declines masked
+  // shapes), so the two destinations must agree bit for bit.
+  const Sew sew = GetParam();
+  const unsigned ew = sew_bytes(sew);
+  Machine m = small_machine();
+  const std::uint64_t vl = 157;
+  ProgramBuilder pb(m.config().effective_vlen(), "nfpbulk");
+  pb.vsetvli(vl, sew, kLmul2);
+  pb.vfmul_vv(16, 8, 12);                   // bulk
+  pb.vfmul_vv(20, 8, 12, /*masked=*/true);  // per-element (all-ones mask)
+  pb.vfadd_vf(24, 16, 0.333333);
+  pb.vfadd_vf(28, 20, 0.333333, /*masked=*/true);
+  pb.vfmacc_vv(16, 8, 12);
+  pb.vfmacc_vv(20, 8, 12, /*masked=*/true);
+  const Program prog = pb.take();
+  Rng rng(49);
+  for (std::uint64_t i = 0; i < vl; ++i) {
+    // Random element bit patterns: covers subnormals, NaNs, infinities.
+    const std::uint64_t mask = ew >= 8 ? ~0ull : ((1ull << (8 * ew)) - 1);
+    const std::uint64_t bits =
+        (rng.next_below(1u << 16) | (std::uint64_t{rng.next_below(1u << 16)} << 16) |
+         (std::uint64_t{rng.next_below(1u << 16)} << 32) |
+         (std::uint64_t{rng.next_below(1u << 16)} << 48)) & mask;
+    m.vrf().write_elem(8, i, ew, bits);
+    m.vrf().write_elem(12, i, ew, bits ^ (mask >> 1));
+    m.vrf().write_elem(16, i, ew, 0);
+    m.vrf().write_elem(20, i, ew, 0);
+    m.vrf().set_mask_bit(0, i, true);
+  }
+  m.run(prog);
+  for (std::uint64_t i = 0; i < vl; ++i) {
+    EXPECT_EQ(m.vrf().read_elem(16, i, ew), m.vrf().read_elem(20, i, ew))
+        << "vfmacc i=" << i;
+    EXPECT_EQ(m.vrf().read_elem(24, i, ew), m.vrf().read_elem(28, i, ew))
+        << "vfadd i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NarrowWidths, NarrowFpBulk,
+                         testing::Values(Sew::k16, Sew::k32),
+                         [](const testing::TestParamInfo<Sew>& info) {
+                           return std::string(sew_name(info.param));
+                         });
+
+TEST(Binary16, ConversionSpecialsRoundTrip) {
+  // The SEW=16 FP path converts binary16 -> double, computes, and rounds
+  // once back. vfsgnj with itself is a pure pass-through (exact even for
+  // signed zero, which an add would rewrite), so each pattern must
+  // round-trip exactly: zeros and signed zero, the smallest/largest
+  // subnormals, one, and the largest finite value (65504).
+  const std::uint16_t patterns[] = {0x0000, 0x8000, 0x0001, 0x03FF,
+                                    0x3C00, 0x4000, 0x7BFF};
+  Machine m = small_machine();
+  const std::uint64_t n = std::size(patterns);
+  ProgramBuilder pb(m.config().effective_vlen(), "f16id");
+  pb.vsetvli(n, Sew::k16, kLmul1);
+  pb.vfsgnj_vv(12, 8, 8);
+  const Program prog = pb.take();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    m.vrf().write_elem(8, i, 2, patterns[i]);
+  }
+  m.run(prog);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(m.vrf().read_elem(12, i, 2), patterns[i]) << "pattern " << i;
+  }
+}
+
+TEST(Binary16, OverflowRoundingAndNan) {
+  Machine m = small_machine();
+  ProgramBuilder pb(m.config().effective_vlen(), "f16ovf");
+  pb.vsetvli(4, Sew::k16, kLmul1);
+  pb.vfadd_vv(12, 8, 10);
+  const Program prog = pb.take();
+  // 65504 + 65504 overflows to +inf; -65504 + -65504 to -inf. 1.0 + 2^-11
+  // is a half-ulp tie (ulp of 1.0 is 2^-10) and rounds to the even
+  // fraction, back to 1.0. NaN + 1.0 stays NaN.
+  const std::uint16_t a[4] = {0x7BFF, 0xFBFF, 0x3C00, 0x7E00};
+  const std::uint16_t b[4] = {0x7BFF, 0xFBFF, 0x1000, 0x3C00};
+  for (int i = 0; i < 4; ++i) {
+    m.vrf().write_elem(8, i, 2, a[i]);
+    m.vrf().write_elem(10, i, 2, b[i]);
+  }
+  m.run(prog);
+  EXPECT_EQ(m.vrf().read_elem(12, 0, 2), 0x7C00u);  // +inf
+  EXPECT_EQ(m.vrf().read_elem(12, 1, 2), 0xFC00u);  // -inf
+  EXPECT_EQ(m.vrf().read_elem(12, 2, 2), 0x3C00u);  // tie to even
+  EXPECT_EQ(m.vrf().read_elem(12, 3, 2), 0x7E00u);  // quiet NaN
+}
+
 TEST(ExpClamps, OverflowToInfUnderflowToZero) {
   Machine m = small_machine();
   ProgramBuilder pb(m.config().effective_vlen(), "clamp");

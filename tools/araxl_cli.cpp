@@ -132,7 +132,8 @@ int usage(std::FILE* out) {
       "  byte-identically to the unsharded run. --cache-provenance reports\n"
       "  real cache_hit flags instead of the deterministic zeros;\n"
       "  --provenance likewise reports the real wakeups_total /\n"
-      "  batched_iterations engine counters (and retry attempts).\n"
+      "  batched_iterations / batch_clamps / warmup_projected engine\n"
+      "  counters (and retry attempts).\n"
       "fleet orchestration (serve / worker / merge --ledger):\n"
       "  `araxl serve` enqueues a sweep into a crash-safe append-only job\n"
       "  ledger (checksummed JSONL, same torn-tail discipline as the store);\n"
@@ -733,8 +734,8 @@ int cmd_stats(const Args& args) {
               return a.seed < b.seed;
             });
 
-  std::vector<std::string> header = {"config", "kernel", "B/lane",
-                                     "cycles", "wakeups", "batched"};
+  std::vector<std::string> header = {"config", "kernel",  "B/lane", "cycles",
+                                     "wakeups", "batched", "clamps", "warmproj"};
   for (std::size_t i = 0; i < kNumBatchRejects; ++i) {
     header.push_back(std::string(batch_reject_name(static_cast<BatchReject>(i))));
   }
@@ -745,7 +746,7 @@ int cmd_stats(const Args& args) {
   // the human-readable table omits for width) to a file or stdout.
   std::string csv =
       "config,kernel,bytes_per_lane,seed,cycles,wakeups_total,"
-      "batched_iterations";
+      "batched_iterations,batch_clamps,warmup_projected";
   for (std::size_t i = 0; i < kNumBatchRejects; ++i) {
     csv += ",reject_";
     csv += batch_reject_name(static_cast<BatchReject>(i));
@@ -758,6 +759,8 @@ int cmd_stats(const Args& args) {
 
   std::size_t shown = 0;
   std::uint64_t total_batched = 0;
+  std::uint64_t total_clamps = 0;
+  std::uint64_t total_warmproj = 0;
   std::array<std::uint64_t, kNumBatchRejects> total_rejects{};
   for (const store::StoredResult& r : entries) {
     if (!kernel_filter.empty() &&
@@ -778,11 +781,15 @@ int cmd_stats(const Args& args) {
     }
     ++shown;
     total_batched += r.stats.batched_iterations;
+    total_clamps += r.stats.batch_clamps;
+    total_warmproj += r.stats.warmup_projected;
     std::vector<std::string> row = {
         r.label.empty() ? r.config.substr(0, 24) : r.label, r.kernel,
         std::to_string(r.bytes_per_lane), fmt_group(r.stats.cycles),
         fmt_group(r.stats.wakeups_total),
-        fmt_group(r.stats.batched_iterations)};
+        fmt_group(r.stats.batched_iterations),
+        fmt_group(r.stats.batch_clamps),
+        fmt_group(r.stats.warmup_projected)};
     for (std::size_t i = 0; i < kNumBatchRejects; ++i) {
       total_rejects[i] += r.stats.batch_rejects[i];
       row.push_back(fmt_group(r.stats.batch_rejects[i]));
@@ -793,7 +800,9 @@ int cmd_stats(const Args& args) {
            "," + std::to_string(r.seed) + "," +
            std::to_string(r.stats.cycles) + "," +
            std::to_string(r.stats.wakeups_total) + "," +
-           std::to_string(r.stats.batched_iterations);
+           std::to_string(r.stats.batched_iterations) + "," +
+           std::to_string(r.stats.batch_clamps) + "," +
+           std::to_string(r.stats.warmup_projected);
     for (std::size_t i = 0; i < kNumBatchRejects; ++i) {
       csv += "," + std::to_string(r.stats.batch_rejects[i]);
     }
@@ -804,8 +813,14 @@ int cmd_stats(const Args& args) {
   }
   if (shown > 1) {
     table.add_rule();
-    std::vector<std::string> totals = {"total", "", "", "", "",
-                                       fmt_group(total_batched)};
+    std::vector<std::string> totals = {"total",
+                                       "",
+                                       "",
+                                       "",
+                                       "",
+                                       fmt_group(total_batched),
+                                       fmt_group(total_clamps),
+                                       fmt_group(total_warmproj)};
     for (std::size_t i = 0; i < kNumBatchRejects; ++i) {
       totals.push_back(fmt_group(total_rejects[i]));
     }
